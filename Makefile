@@ -1,0 +1,43 @@
+# HEF reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench figures tables hash ablate clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+# One benchmark per paper table and figure (plus ablations).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation artifacts.
+figures:
+	$(GO) run ./cmd/ssbbench -all
+
+tables:
+	$(GO) run ./cmd/ssbbench -table 3
+	$(GO) run ./cmd/ssbbench -table 4
+	$(GO) run ./cmd/ssbbench -table 5
+
+hash:
+	$(GO) run ./cmd/uopshist
+
+ablate:
+	$(GO) run ./cmd/uopshist -ablate
+	$(GO) run ./cmd/uopshist -width
+
+clean:
+	$(GO) clean ./...
+	rm -f test_output.txt bench_output.txt

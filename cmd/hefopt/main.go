@@ -1,0 +1,116 @@
+// Command hefopt runs HEF's offline optimization on an operator: candidate
+// generation from processor/instruction information, then the pruning
+// search, printing the optimal (v, s, p) node, the generated code, and the
+// search trace.
+//
+// Usage:
+//
+//	hefopt -cpu silver -op murmur -show-code
+//	hefopt -cpu gold -op crc64 -trace
+//	hefopt -cpu silver -file ops.hid -op myop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hef/internal/core"
+	"hef/internal/engine"
+	"hef/internal/hashes"
+	"hef/internal/hid"
+	"hef/internal/translator"
+)
+
+func main() {
+	cpuName := flag.String("cpu", "silver", `CPU model: "silver" or "gold"`)
+	op := flag.String("op", "murmur", "built-in operator (murmur, crc64, probe, filter, agg, bloom) or a template name with -file")
+	file := flag.String("file", "", "operator template file to load instead of the built-ins")
+	elems := flag.Int64("elems", 1<<14, "synthetic test size per evaluation")
+	showCode := flag.Bool("show-code", false, "print the generated code at the optimum (Fig. 6 analogue)")
+	trace := flag.Bool("trace", false, "print every tested node (the search trace)")
+	flag.Parse()
+
+	tmpl, err := selectTemplate(*op, *file)
+	if err != nil {
+		fail(err)
+	}
+	fw, err := core.New(*cpuName, core.WithTestElems(*elems))
+	if err != nil {
+		fail(err)
+	}
+	opt, err := fw.OptimizeOperator(tmpl)
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("operator %s on %s\n", tmpl.Name, fw.CPU().Name)
+	fmt.Printf("initial candidate (two-stage model): %v\n", opt.Initial)
+	fmt.Printf("optimal implementation:              %v\n", opt.Node)
+	fmt.Printf("per-element cost at optimum:         %.3f ns\n", opt.SecondsPerElem()*1e9)
+	fmt.Printf("nodes tested: %d of %d (pruned %.0f%%)\n",
+		opt.Search.Tested, opt.Search.SpaceSize, opt.Search.PrunedFraction()*100)
+
+	baselineNS := func(n translator.Node) float64 {
+		res, err := fw.Measure(tmpl, n)
+		if err != nil {
+			fail(err)
+		}
+		return res.Seconds() / float64(res.Elems) * 1e9
+	}
+	scalarNS := baselineNS(translator.Node{V: 0, S: 1, P: 1})
+	simdNS := baselineNS(translator.Node{V: 1, S: 0, P: 1})
+	optNS := opt.SecondsPerElem() * 1e9
+	fmt.Printf("speedup over purely scalar: %.2fx   over purely SIMD: %.2fx\n",
+		scalarNS/optNS, simdNS/optNS)
+
+	if *trace {
+		fmt.Println("\nsearch trace:")
+		for _, st := range opt.Search.Trace {
+			verdict := "pruned"
+			if st.Winner {
+				verdict = "candidate"
+			}
+			fmt.Printf("  %-16s %8.3f ns/elem  parent %-16s %s\n",
+				st.Node.String(), st.Seconds*1e9, st.Parent.String(), verdict)
+		}
+	}
+	if *showCode {
+		fmt.Println("\ngenerated code at the optimum:")
+		fmt.Println(opt.Source)
+	}
+}
+
+func selectTemplate(op, file string) (*hid.Template, error) {
+	if file != "" {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		f, err := core.ParseTemplates(string(src))
+		if err != nil {
+			return nil, err
+		}
+		return f.Get(op)
+	}
+	switch op {
+	case "murmur":
+		return hashes.MurmurTemplate(), nil
+	case "crc64":
+		return hashes.CRC64Template(), nil
+	case "probe":
+		return engine.ProbeTemplate(32 << 20), nil
+	case "filter":
+		return engine.FilterTemplate(2), nil
+	case "agg":
+		return engine.GroupAggTemplate(64 << 10), nil
+	case "bloom":
+		return engine.BloomTemplate(1 << 20), nil
+	}
+	return nil, fmt.Errorf("hefopt: unknown built-in operator %q (want murmur, crc64, probe, filter, agg, bloom)", op)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hefopt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,140 @@
+// Command ssbbench regenerates the SSB experiments of the paper: the
+// per-query execution times of Figs. 8-10 and the perf-counter breakdowns
+// of Tables III-V.
+//
+// Usage:
+//
+//	ssbbench -cpu silver -sf 10                # one figure
+//	ssbbench -all                              # Figs. 8, 9, 10 on both CPUs
+//	ssbbench -table 3                          # Table III (Q3.3, SF10, Silver)
+//	ssbbench -cpu gold -sf 50 -queries Q2.1 -stages
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hef/internal/experiments"
+	"hef/internal/queries"
+)
+
+func main() {
+	cpu := flag.String("cpu", "silver", `CPU model: "silver" or "gold"`)
+	sf := flag.Float64("sf", 10, "nominal scale factor (the paper uses 10, 20, 50)")
+	sample := flag.Float64("sample", 0.01, "functional sampling scale factor")
+	seed := flag.Uint64("seed", 20230401, "data generator seed")
+	queryList := flag.String("queries", "", "comma-separated query IDs (default: the paper's ten)")
+	table := flag.Int("table", 0, "print paper Table 3, 4, or 5 instead of a figure")
+	all := flag.Bool("all", false, "run Figs. 8-10 on both CPUs")
+	stages := flag.Bool("stages", false, "print per-stage timing detail")
+	format := flag.String("format", "text", `output format: "text", "csv", or "markdown"`)
+	flag.Parse()
+	outFormat = *format
+
+	if *table != 0 {
+		if err := printTable(*table, *sample, *seed); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *all {
+		for _, c := range []string{"silver", "gold"} {
+			for _, s := range []float64{10, 20, 50} {
+				if err := printFigure(c, s, *sample, *seed, nil, false); err != nil {
+					fail(err)
+				}
+			}
+		}
+		return
+	}
+	var qs []queries.Query
+	if *queryList != "" {
+		for _, id := range strings.Split(*queryList, ",") {
+			q, err := queries.Get(strings.TrimSpace(id))
+			if err != nil {
+				fail(err)
+			}
+			qs = append(qs, q)
+		}
+	}
+	if err := printFigure(*cpu, *sf, *sample, *seed, qs, *stages); err != nil {
+		fail(err)
+	}
+}
+
+func printFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query, stages bool) error {
+	fig, err := experiments.RunFigure(experiments.FigureConfig{
+		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed, Queries: qs,
+	})
+	if err != nil {
+		return err
+	}
+	switch outFormat {
+	case "csv":
+		fmt.Print(fig.CSV())
+	case "markdown":
+		fmt.Print(fig.Markdown())
+	default:
+		fmt.Println(fig.String())
+	}
+	if stages {
+		for _, id := range fig.Order {
+			for _, kind := range experiments.AllEngines {
+				run := fig.Runs[id][kind]
+				fmt.Printf("%s %v (%.1fms, IPC %.2f, %.2f GHz):\n", id, kind, run.Seconds*1e3, run.IPC(), run.FreqGHz)
+				for _, st := range run.Stages {
+					if st.Stage.Elems == 0 {
+						continue
+					}
+					fmt.Printf("  %-18s %12d elems %9.2fms  IPC %.2f\n",
+						st.Stage.Name, st.Stage.Elems, st.Seconds*1e3, st.Res.IPC())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// printTable reproduces Table III (Q3.3, SF10, Silver), Table IV (Q2.3,
+// SF20, Silver), or Table V (Q2.1, SF50, Gold).
+func printTable(n int, sample float64, seed uint64) error {
+	var cpu, query string
+	var sf float64
+	switch n {
+	case 3:
+		cpu, query, sf = "silver", "Q3.3", 10
+	case 4:
+		cpu, query, sf = "silver", "Q2.3", 20
+	case 5:
+		cpu, query, sf = "gold", "Q2.1", 50
+	default:
+		return fmt.Errorf("ssbbench: -table must be 3, 4, or 5")
+	}
+	q, err := queries.Get(query)
+	if err != nil {
+		return err
+	}
+	fig, err := experiments.RunFigure(experiments.FigureConfig{
+		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed,
+		Queries: []queries.Query{q},
+	})
+	if err != nil {
+		return err
+	}
+	tbl, err := fig.CounterTable(query)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Paper Table %s analogue:\n%s", map[int]string{3: "III", 4: "IV", 5: "V"}[n], tbl)
+	return nil
+}
+
+// outFormat selects the figure rendering ("text", "csv", "markdown").
+var outFormat = "text"
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "ssbbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command ssbgen generates a deterministic Star Schema Benchmark dataset
+// and prints table summaries, optionally exporting columns as CSV.
+//
+// Usage:
+//
+//	ssbgen -sf 0.01 [-seed 42] [-preview 5] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"hef/internal/ssb"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "scale factor (fractional values scale linearly)")
+	seed := flag.Uint64("seed", 20230401, "generator seed")
+	preview := flag.Int("preview", 3, "rows to preview per table (0 disables)")
+	csvDir := flag.String("csv", "", "export tables as CSV files into this directory")
+	flag.Parse()
+
+	data := ssb.Generate(*sf, *seed)
+	tables := []*ssb.Table{data.Date, data.Customer, data.Supplier, data.Part, data.Lineorder}
+
+	fmt.Printf("SSB SF%g (seed %d)\n", *sf, *seed)
+	var total uint64
+	for _, t := range tables {
+		total += t.Bytes()
+		fmt.Printf("%-10s %10d rows  %8.2f MB  columns: %s\n",
+			t.Name, t.N, float64(t.Bytes())/(1<<20), strings.Join(t.Columns(), ", "))
+	}
+	fmt.Printf("total in-memory size: %.2f MB\n", float64(total)/(1<<20))
+
+	if *preview > 0 {
+		for _, t := range tables {
+			fmt.Printf("\n%s:\n", t.Name)
+			cols := t.Columns()
+			fmt.Println("  " + strings.Join(cols, "\t"))
+			n := *preview
+			if n > t.N {
+				n = t.N
+			}
+			for r := 0; r < n; r++ {
+				row := make([]string, len(cols))
+				for i, c := range cols {
+					row[i] = strconv.FormatUint(t.Col(c)[r], 10)
+				}
+				fmt.Println("  " + strings.Join(row, "\t"))
+			}
+		}
+	}
+
+	if *csvDir != "" {
+		if err := exportCSV(tables, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, "ssbgen:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nexported CSV files to %s\n", *csvDir)
+	}
+}
+
+func exportCSV(tables []*ssb.Table, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, t := range tables {
+		f, err := os.Create(filepath.Join(dir, t.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		cols := t.Columns()
+		if _, err := fmt.Fprintln(f, strings.Join(cols, ",")); err != nil {
+			f.Close()
+			return err
+		}
+		var sb strings.Builder
+		for r := 0; r < t.N; r++ {
+			sb.Reset()
+			for i, c := range cols {
+				if i > 0 {
+					sb.WriteByte(',')
+				}
+				sb.WriteString(strconv.FormatUint(t.Col(c)[r], 10))
+			}
+			if _, err := fmt.Fprintln(f, sb.String()); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,114 @@
+// Command uopshist regenerates the paper's synthetic benchmarks: the
+// MurmurHash and CRC64 time/IPC tables (Tables VI-IX) and the
+// µops-executed-per-cycle distributions (Figs. 11-14), plus the Fig. 3
+// execution-mode illustration.
+//
+// Usage:
+//
+//	uopshist                          # all four tables + histograms
+//	uopshist -cpu silver -bench murmur
+//	uopshist -fig3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hef/internal/experiments"
+)
+
+func main() {
+	cpu := flag.String("cpu", "", `restrict to one CPU ("silver" or "gold")`)
+	bench := flag.String("bench", "", `restrict to one benchmark ("murmur" or "crc64")`)
+	elems := flag.Uint64("elems", experiments.HashElems, "nominal element count (the paper hashes 10^9)")
+	fig3 := flag.Bool("fig3", false, "print the Fig. 3 execution-mode comparison instead")
+	width := flag.Bool("width", false, "print the AVX2-vs-AVX-512 ISA width study instead")
+	ablate := flag.Bool("ablate", false, "print the pack-depth and line-fill-buffer ablation sweeps instead")
+	flag.Parse()
+
+	if *fig3 {
+		cpuName := *cpu
+		if cpuName == "" {
+			cpuName = "silver"
+		}
+		rows, err := experiments.RunFig3(cpuName)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(experiments.FormatFig3(rows))
+		return
+	}
+
+	cpus := []string{"silver", "gold"}
+	if *cpu != "" {
+		cpus = []string{*cpu}
+	}
+	benches := []string{"murmur", "crc64"}
+	if *bench != "" {
+		benches = []string{*bench}
+	}
+
+	if *width {
+		for _, c := range cpus {
+			for _, b := range benches {
+				rows, err := experiments.RunWidthStudy(c, b)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Println(experiments.FormatWidthStudy(c, rows))
+			}
+		}
+		return
+	}
+
+	if *ablate {
+		for _, c := range cpus {
+			for _, b := range benches {
+				pts, err := experiments.PackSweep(c, b, 1, 3, 10)
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("[%s]\n%s\n", c, experiments.FormatPackSweep(b, pts))
+			}
+			lfb, err := experiments.LFBSweep(c, nil, 0)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Printf("[%s]\n%s\n", c, experiments.FormatLFBSweep(lfb))
+		}
+		return
+	}
+
+	tableNo := map[string]string{
+		"murmur/silver": "VI", "murmur/gold": "VII",
+		"crc64/silver": "VIII", "crc64/gold": "IX",
+	}
+	figNo := map[string]string{
+		"murmur/silver": "11", "murmur/gold": "12",
+		"crc64/silver": "13", "crc64/gold": "14",
+	}
+	for _, b := range benches {
+		for _, c := range cpus {
+			res, err := experiments.RunHashBench(c, b, *elems)
+			if err != nil {
+				fail(err)
+			}
+			key := b + "/" + c
+			if t, ok := tableNo[key]; ok {
+				fmt.Printf("Paper Table %s analogue:\n", t)
+			}
+			fmt.Print(res.Table())
+			if f, ok := figNo[key]; ok {
+				fmt.Printf("\nPaper Fig. %s analogue:\n", f)
+			}
+			fmt.Print(res.Histogram())
+			fmt.Println()
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "uopshist:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Ssbquery runs one Star Schema Benchmark query end to end: it generates
+// the data, executes the query functionally under all three engine flavours
+// (verifying they agree), and then times all four engines of the paper's
+// evaluation — purely scalar, purely SIMD, the Voila comparator model, and
+// HEF's hybrid execution — at a nominal scale factor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"hef/internal/engine"
+	"hef/internal/experiments"
+	"hef/internal/queries"
+	"hef/internal/ssb"
+)
+
+func main() {
+	queryID := flag.String("query", "Q2.1", "SSB query (Q1.1 .. Q4.3)")
+	cpu := flag.String("cpu", "silver", `CPU model: "silver" or "gold"`)
+	sf := flag.Float64("sf", 10, "nominal scale factor for the timing model")
+	sample := flag.Float64("sample", 0.01, "scale factor of the functionally executed sample")
+	flag.Parse()
+
+	q, err := queries.Get(*queryID)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("generating SSB SF%g sample...\n", *sample)
+	data := ssb.Generate(*sample, 42)
+
+	// Functional execution: the three kernel flavours must agree exactly.
+	var sum uint64
+	var groups int
+	for _, mode := range []engine.Mode{engine.Scalar, engine.SIMD, engine.Hybrid} {
+		res, err := queries.Execute(q, data, mode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if mode == engine.Scalar {
+			sum, groups = res.Sum, res.Stats.GroupCount
+		} else if res.Sum != sum {
+			log.Fatalf("%v mode disagrees: %d != %d", mode, res.Sum, sum)
+		}
+	}
+	fmt.Printf("%s: %v = %d over %d group(s) — scalar, SIMD, and hybrid kernels agree\n\n",
+		q.ID, q.Measure, sum, groups)
+
+	// Timing at the nominal scale factor on the microarchitecture model.
+	fig, err := experiments.RunFigure(experiments.FigureConfig{
+		CPUName: *cpu, NominalSF: *sf, SampleSF: *sample,
+		Queries: []queries.Query{q},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig.String())
+
+	tbl, err := fig.CounterTable(q.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(tbl)
+}

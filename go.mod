@@ -1,0 +1,3 @@
+module hef
+
+go 1.22

@@ -1,0 +1,130 @@
+// Package hef is the public API of the Hybrid Execution Framework (HEF), a
+// reproduction of "Co-Utilizing SIMD and Scalar to Accelerate the Data
+// Analytics Workloads" (Sun, Li, Weng; ICDE 2023).
+//
+// HEF co-schedules SIMD and scalar execution units: an operator is written
+// once in the hybrid intermediate description (HID) and the framework finds,
+// per processor, the optimal mix of v SIMD statements and s scalar
+// statements replicated into packs of size p. Packing isomorphic statements
+// eliminates the data dependencies between adjacent instructions, shrinking
+// execution intervals from instruction latency to instruction throughput.
+//
+// Because Go exposes neither SIMD intrinsics nor issue-port scheduling, the
+// "hardware" of this reproduction is a cycle-approximate out-of-order core
+// simulator with Skylake-SP port layouts (Xeon Silver 4110 / Gold 6240R
+// models); the search, translation, and code generation are the paper's
+// algorithms in full. See DESIGN.md for the substitution rationale and
+// EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	fw, _ := hef.New("silver")
+//	b := hef.NewTemplate("scale", hef.U64)
+//	in := b.Stream("in", hef.ReadStream)
+//	out := b.Stream("out", hef.WriteStream)
+//	c := b.Const("c", 3)
+//	x := b.Load("x", in)
+//	y := b.Mul("y", x, c)
+//	b.Store(out, y)
+//	tmpl, _ := b.Build(hef.KnownOp)
+//	opt, _ := fw.OptimizeOperator(tmpl)
+//	fmt.Println(opt.Node, opt.Source)
+package hef
+
+import (
+	"hef/internal/core"
+	"hef/internal/hef"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// Framework is a configured HEF instance for one target processor.
+type Framework = core.Framework
+
+// Optimized is the outcome of optimizing one operator.
+type Optimized = core.Optimized
+
+// Node is a candidate implementation: v SIMD statements, s scalar
+// statements, pack size p.
+type Node = translator.Node
+
+// Template is an operator written in the hybrid intermediate description.
+type Template = hid.Template
+
+// Builder constructs templates programmatically.
+type Builder = hid.Builder
+
+// Result is a simulator measurement (cycles, instructions, IPC, cache
+// counters, µops-per-cycle histogram, effective frequency).
+type Result = uarch.Result
+
+// SearchResult records a pruning search (tested nodes, candidate and end
+// lists, pruning savings).
+type SearchResult = hef.Result
+
+// Option configures New.
+type Option = core.Option
+
+// Element types of the hybrid intermediate description (Table II).
+const (
+	I16 = hid.I16
+	U16 = hid.U16
+	I32 = hid.I32
+	U32 = hid.U32
+	I64 = hid.I64
+	U64 = hid.U64
+	F32 = hid.F32
+	F64 = hid.F64
+)
+
+// Memory patterns for template parameters.
+const (
+	ReadStream   = hid.ReadStream
+	WriteStream  = hid.WriteStream
+	RandomRegion = hid.RandomRegion
+)
+
+// SIMD widths.
+const (
+	Neon   = isa.W128
+	AVX2   = isa.W256
+	AVX512 = isa.W512
+)
+
+// New builds a framework for the named CPU model: "silver" (Xeon Silver
+// 4110, one AVX-512 unit per core), "gold" (Xeon Gold 6240R, two),
+// "neoverse" (ARM Neoverse N1, 128-bit Neon — where gather falls back to
+// scalar statements), or "zen" (AMD Zen 2, 256-bit). The SIMD width
+// defaults to the part's native width.
+func New(cpuName string, opts ...Option) (*Framework, error) {
+	return core.New(cpuName, opts...)
+}
+
+// WithWidth selects the SIMD width (default AVX-512).
+func WithWidth(w isa.Width) Option { return core.WithWidth(w) }
+
+// WithTestElems overrides the synthetic test size used per evaluation in
+// the offline search.
+func WithTestElems(n int64) Option { return core.WithTestElems(n) }
+
+// NewTemplate starts building an operator template.
+func NewTemplate(name string, elem hid.Type) *Builder { return hid.NewTemplate(name, elem) }
+
+// ParseTemplates reads an operator-template file (the paper's operator list
+// and dictionary form).
+func ParseTemplates(src string) (*hid.File, error) { return core.ParseTemplates(src) }
+
+// KnownOp reports whether a HID operation exists in the built-in ISA
+// description table; pass it to Builder.Build.
+func KnownOp(op string) bool {
+	_, err := isa.Describe(op)
+	return err == nil
+}
+
+// SearchSpaceSize evaluates the paper's Eq. 2 for the candidate-space size.
+func SearchSpaceSize(v, s, p int) int { return hef.SearchSpaceSize(v, s, p) }
+
+// Version identifies the library release.
+const Version = core.Version

@@ -1,0 +1,323 @@
+// Package cache implements the set-associative, LRU, three-level cache
+// hierarchy the core simulator consults for every load, store, gather lane,
+// and software prefetch. It provides the LLC-miss counters reported in the
+// paper's Tables III–V and the latency inputs for the timing model.
+package cache
+
+import (
+	"fmt"
+
+	"hef/internal/isa"
+)
+
+// level is one cache level as an array of LRU sets.
+type level struct {
+	geom     isa.CacheGeom
+	setShift uint
+	setMask  uint64
+	// sets[s] holds up to Ways line tags in LRU order, most recent first.
+	sets [][]uint64
+
+	hits   uint64
+	misses uint64
+}
+
+func newLevel(g isa.CacheGeom) (*level, error) {
+	if g.LineBytes <= 0 || g.SizeBytes <= 0 || g.Ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid geometry %+v", g)
+	}
+	lines := g.SizeBytes / g.LineBytes
+	numSets := lines / g.Ways
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d must be a positive power of two (size=%d ways=%d line=%d)",
+			numSets, g.SizeBytes, g.Ways, g.LineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift < g.LineBytes {
+		shift++
+	}
+	lv := &level{
+		geom:     g,
+		setShift: shift,
+		setMask:  uint64(numSets - 1),
+		sets:     make([][]uint64, numSets),
+	}
+	return lv, nil
+}
+
+// lookup probes the level; on a hit the line is moved to MRU position.
+func (l *level) lookup(lineAddr uint64) bool {
+	s := lineAddr & l.setMask
+	set := l.sets[s]
+	for i, tag := range set {
+		if tag == lineAddr {
+			if i != 0 {
+				copy(set[1:i+1], set[:i])
+				set[0] = lineAddr
+			}
+			l.hits++
+			return true
+		}
+	}
+	l.misses++
+	return false
+}
+
+// present probes the level without updating counters or LRU order.
+func (l *level) present(lineAddr uint64) bool {
+	set := l.sets[lineAddr&l.setMask]
+	for _, tag := range set {
+		if tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// fill installs the line as MRU, evicting LRU if the set is full.
+func (l *level) fill(lineAddr uint64) {
+	s := lineAddr & l.setMask
+	set := l.sets[s]
+	if len(set) < l.geom.Ways {
+		set = append(set, 0)
+	}
+	copy(set[1:], set)
+	set[0] = lineAddr
+	l.sets[s] = set
+}
+
+func (l *level) reset() {
+	for i := range l.sets {
+		l.sets[i] = l.sets[i][:0]
+	}
+	l.hits, l.misses = 0, 0
+}
+
+// Stats is the per-level hit/miss counters plus memory-access count.
+type Stats struct {
+	L1Hits, L1Misses   uint64
+	L2Hits, L2Misses   uint64
+	LLCHits, LLCMisses uint64
+	// MemAccesses counts demand fills from main memory (equals demand LLC
+	// misses; prefetch fills are counted separately).
+	MemAccesses uint64
+	// PrefetchFills counts lines installed by software prefetch.
+	PrefetchFills uint64
+	// HWPrefetchFills counts lines installed by the hardware stream
+	// prefetcher; HWPrefetchMem counts those that came from memory.
+	HWPrefetchFills uint64
+	HWPrefetchMem   uint64
+	// SWPrefetchMem counts software-prefetch fills from memory.
+	SWPrefetchMem uint64
+}
+
+// LLCMissesReported mirrors the perf LLC-misses event the paper collects:
+// demand misses plus hardware-prefetcher fills from memory. Software
+// prefetches are counted by a separate event and therefore excluded — the
+// accounting under which Voila's prefetch-everything strategy shows its
+// characteristically low LLC-miss counts.
+func (s Stats) LLCMissesReported() uint64 { return s.MemAccesses + s.HWPrefetchMem }
+
+// stream tracks one sequential access stream for the hardware prefetcher.
+type stream struct {
+	nextLine uint64
+	hits     int
+	lastUsed uint64
+}
+
+// streamTableSize and streamDepth configure the hardware prefetcher: up to
+// streamTableSize concurrent streams, running streamDepth lines ahead once a
+// stream is confirmed (two consecutive lines), like the Skylake L2 streamer.
+const (
+	streamTableSize = 16
+	streamDepth     = 8
+)
+
+// Hierarchy is a three-level inclusive cache hierarchy in front of main
+// memory, with a stream-detecting hardware prefetcher.
+type Hierarchy struct {
+	l1, l2, llc *level
+	memLatency  int
+	lineShift   uint
+
+	streams  [streamTableSize]stream
+	accessNo uint64
+
+	memAccesses     uint64
+	prefetchFills   uint64
+	hwPrefetchFills uint64
+	hwPrefetchMem   uint64
+	swPrefetchMem   uint64
+}
+
+// New builds a hierarchy from a CPU description.
+func New(cpu *isa.CPU) (*Hierarchy, error) {
+	l1, err := newLevel(cpu.L1D)
+	if err != nil {
+		return nil, fmt.Errorf("L1: %w", err)
+	}
+	l2, err := newLevel(cpu.L2)
+	if err != nil {
+		return nil, fmt.Errorf("L2: %w", err)
+	}
+	llc, err := newLevel(cpu.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("LLC: %w", err)
+	}
+	shift := uint(0)
+	for 1<<shift < cpu.L1D.LineBytes {
+		shift++
+	}
+	return &Hierarchy{l1: l1, l2: l2, llc: llc, memLatency: cpu.MemLatency, lineShift: shift}, nil
+}
+
+// MustNew is New for known-good CPU models.
+func MustNew(cpu *isa.CPU) *Hierarchy {
+	h, err := New(cpu)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Access simulates a demand load or store of the byte at addr and returns
+// the load-to-use latency in cycles. Stores are modelled as accesses too
+// (write-allocate). Level returned: 1, 2, 3, or 4 for memory. Sequential
+// streams are detected and run ahead by the hardware prefetcher, so steady
+// streaming loads hit the L1 as they do on real parts.
+func (h *Hierarchy) Access(addr uint64) (latency, levelHit int) {
+	line := addr >> h.lineShift
+	h.accessNo++
+	h.runStreamPrefetcher(line)
+	switch {
+	case h.l1.lookup(line):
+		return h.l1.geom.Latency, 1
+	case h.l2.lookup(line):
+		h.l1.fill(line)
+		return h.l2.geom.Latency, 2
+	case h.llc.lookup(line):
+		h.l2.fill(line)
+		h.l1.fill(line)
+		return h.llc.geom.Latency, 3
+	default:
+		h.memAccesses++
+		h.llc.fill(line)
+		h.l2.fill(line)
+		h.l1.fill(line)
+		return h.memLatency, 4
+	}
+}
+
+// runStreamPrefetcher matches line against the stream table; on a confirmed
+// stream it installs lines ahead of the demand access.
+func (h *Hierarchy) runStreamPrefetcher(line uint64) {
+	for i := range h.streams {
+		st := &h.streams[i]
+		if st.nextLine != line || st.nextLine == 0 {
+			continue
+		}
+		st.nextLine = line + 1
+		st.hits++
+		st.lastUsed = h.accessNo
+		if st.hits >= 2 {
+			for k := uint64(1); k <= streamDepth; k++ {
+				if lvl := h.installIfAbsent(line + k); lvl > 0 {
+					h.hwPrefetchFills++
+					if lvl == 4 {
+						h.hwPrefetchMem++
+					}
+				}
+			}
+		}
+		return
+	}
+	// No stream matched: allocate one predicting line+1, replacing the
+	// least-recently-used slot.
+	victim := 0
+	for i := 1; i < len(h.streams); i++ {
+		if h.streams[i].lastUsed < h.streams[victim].lastUsed {
+			victim = i
+		}
+	}
+	h.streams[victim] = stream{nextLine: line + 1, lastUsed: h.accessNo}
+}
+
+// installIfAbsent brings a line into all levels without touching the demand
+// counters. It returns the level the fill came from (2 = L2, 3 = LLC,
+// 4 = memory) or 0 when the line was already L1-resident.
+func (h *Hierarchy) installIfAbsent(line uint64) (fromLevel int) {
+	if h.l1.present(line) {
+		return 0
+	}
+	fromLevel = 2
+	if !h.l2.present(line) {
+		fromLevel = 3
+		if !h.llc.present(line) {
+			h.llc.fill(line)
+			fromLevel = 4
+		}
+		h.l2.fill(line)
+	}
+	h.l1.fill(line)
+	return fromLevel
+}
+
+// Prefetch installs the line containing addr into every level without
+// counting a demand miss; a later demand access then hits. It models a
+// software prefetch instruction and returns the level the fill came from
+// (0 = already L1-resident, 2 = L2, 3 = LLC, 4 = memory), which the core
+// simulator uses to hold a line-fill buffer for the fill duration.
+func (h *Hierarchy) Prefetch(addr uint64) (fromLevel int) {
+	line := addr >> h.lineShift
+	lvl := h.installIfAbsent(line)
+	if lvl > 0 {
+		h.prefetchFills++
+		if lvl == 4 {
+			h.swPrefetchMem++
+		}
+	}
+	return lvl
+}
+
+// Warm touches every line of [base, base+size) so that subsequent accesses
+// reflect a steady-state working set rather than a cold cache.
+func (h *Hierarchy) Warm(base, size uint64) {
+	lineBytes := uint64(1) << h.lineShift
+	for a := base &^ (lineBytes - 1); a < base+size; a += lineBytes {
+		h.Access(a)
+	}
+	h.ResetStats()
+}
+
+// Stats returns a snapshot of the counters.
+func (h *Hierarchy) Stats() Stats {
+	return Stats{
+		L1Hits: h.l1.hits, L1Misses: h.l1.misses,
+		L2Hits: h.l2.hits, L2Misses: h.l2.misses,
+		LLCHits: h.llc.hits, LLCMisses: h.llc.misses,
+		MemAccesses:     h.memAccesses,
+		PrefetchFills:   h.prefetchFills,
+		HWPrefetchFills: h.hwPrefetchFills,
+		HWPrefetchMem:   h.hwPrefetchMem,
+		SWPrefetchMem:   h.swPrefetchMem,
+	}
+}
+
+// ResetStats clears the counters but keeps cache contents and stream state.
+func (h *Hierarchy) ResetStats() {
+	h.l1.hits, h.l1.misses = 0, 0
+	h.l2.hits, h.l2.misses = 0, 0
+	h.llc.hits, h.llc.misses = 0, 0
+	h.memAccesses, h.prefetchFills, h.hwPrefetchFills = 0, 0, 0
+	h.hwPrefetchMem, h.swPrefetchMem = 0, 0
+}
+
+// Reset clears contents, counters, and prefetcher state.
+func (h *Hierarchy) Reset() {
+	h.l1.reset()
+	h.l2.reset()
+	h.llc.reset()
+	h.streams = [streamTableSize]stream{}
+	h.memAccesses, h.prefetchFills, h.hwPrefetchFills = 0, 0, 0
+	h.hwPrefetchMem, h.swPrefetchMem = 0, 0
+}

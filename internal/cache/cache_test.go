@@ -1,0 +1,144 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hef/internal/isa"
+)
+
+func TestAccessLevels(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	h := MustNew(cpu)
+
+	lat, lvl := h.Access(0x1000)
+	if lvl != 4 || lat != cpu.MemLatency {
+		t.Errorf("cold access: level=%d lat=%d, want memory (4, %d)", lvl, lat, cpu.MemLatency)
+	}
+	lat, lvl = h.Access(0x1000)
+	if lvl != 1 || lat != cpu.L1D.Latency {
+		t.Errorf("hot access: level=%d lat=%d, want L1 (1, %d)", lvl, lat, cpu.L1D.Latency)
+	}
+	// Same line, different byte.
+	_, lvl = h.Access(0x1004)
+	if lvl != 1 {
+		t.Errorf("same-line access: level=%d, want 1", lvl)
+	}
+}
+
+func TestL1EvictionFallsToL2(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	h := MustNew(cpu)
+	// Touch 9 lines mapping to the same L1 set (8-way): set stride is
+	// 64 sets * 64B = 4KB.
+	for i := uint64(0); i < 9; i++ {
+		h.Access(i * 4096)
+	}
+	// First line evicted from L1 but resident in L2.
+	lat, lvl := h.Access(0)
+	if lvl != 2 || lat != cpu.L2.Latency {
+		t.Errorf("evicted line: level=%d lat=%d, want L2 (2, %d)", lvl, lat, cpu.L2.Latency)
+	}
+}
+
+func TestPrefetchHidesMiss(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	h := MustNew(cpu)
+	before := h.Stats()
+	h.Prefetch(0x9000)
+	_, lvl := h.Access(0x9000)
+	if lvl != 1 {
+		t.Errorf("prefetched line should hit L1, got level %d", lvl)
+	}
+	st := h.Stats()
+	if st.LLCMisses != before.LLCMisses {
+		t.Errorf("prefetch counted as demand LLC miss: %d -> %d", before.LLCMisses, st.LLCMisses)
+	}
+	if st.PrefetchFills != 1 {
+		t.Errorf("PrefetchFills = %d, want 1", st.PrefetchFills)
+	}
+	if st.MemAccesses != 0 {
+		t.Errorf("demand MemAccesses = %d, want 0", st.MemAccesses)
+	}
+}
+
+func TestWarmMakesRegionResident(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	h := MustNew(cpu)
+	h.Warm(1<<20, 16<<10)
+	_, lvl := h.Access(1 << 20)
+	if lvl != 1 {
+		t.Errorf("warmed region should hit L1, got level %d", lvl)
+	}
+	if st := h.Stats(); st.L1Misses != 0 || st.L1Hits != 1 {
+		t.Errorf("Warm should reset stats, got %+v", st)
+	}
+}
+
+func TestResetStatsKeepsContents(t *testing.T) {
+	h := MustNew(isa.XeonSilver4110())
+	h.Access(0x4000)
+	h.ResetStats()
+	_, lvl := h.Access(0x4000)
+	if lvl != 1 {
+		t.Errorf("ResetStats should keep contents, got level %d", lvl)
+	}
+	if st := h.Stats(); st.L1Hits != 1 || st.L1Misses != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestResetClearsContents(t *testing.T) {
+	h := MustNew(isa.XeonSilver4110())
+	h.Access(0x4000)
+	h.Reset()
+	_, lvl := h.Access(0x4000)
+	if lvl != 4 {
+		t.Errorf("Reset should clear contents, got level %d", lvl)
+	}
+}
+
+func TestInvalidGeometry(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	cpu.L1D.Ways = 3 // 32KB/64B/3 is not a power-of-two set count
+	if _, err := New(cpu); err == nil {
+		t.Error("New should reject non-power-of-two set counts")
+	}
+	cpu = isa.XeonSilver4110()
+	cpu.L2.SizeBytes = 0
+	if _, err := New(cpu); err == nil {
+		t.Error("New should reject zero-size caches")
+	}
+}
+
+// Property: hit+miss counters per level always equal the number of lookups
+// reaching that level, and a second access to any address hits L1.
+func TestAccessIdempotentProperty(t *testing.T) {
+	h := MustNew(isa.XeonSilver4110())
+	f := func(addr uint64) bool {
+		addr %= 1 << 40
+		h.Access(addr)
+		_, lvl := h.Access(addr)
+		return lvl == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: demand LLC misses equal demand memory accesses when no
+// prefetches are issued.
+func TestLLCMissEqualsMemAccess(t *testing.T) {
+	h := MustNew(isa.XeonSilver4110())
+	f := func(seeds []uint64) bool {
+		h.Reset()
+		for _, s := range seeds {
+			h.Access(s % (1 << 38))
+		}
+		st := h.Stats()
+		return st.LLCMisses == st.MemAccesses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package core composes the hybrid execution framework end to end,
+// mirroring the architecture of the paper's Fig. 4: a preprocessing phase
+// (description tables, operator templates, processor configuration), a
+// front-end (candidate generator + translator), and an optimizer (the
+// test-based pruning search, with the microarchitecture simulator standing
+// in for compile-and-measure). It is the implementation behind the public
+// hef package at the module root.
+package core
+
+import (
+	"hef/internal/hef"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// Framework is a configured HEF instance for one target processor.
+type Framework struct {
+	cpu    *isa.CPU
+	width  isa.Width
+	bounds hef.Bounds
+	elems  int64
+}
+
+// Option configures a Framework.
+type Option func(*Framework)
+
+// WithWidth selects the SIMD width (default AVX-512).
+func WithWidth(w isa.Width) Option { return func(f *Framework) { f.width = w } }
+
+// WithBounds overrides the search-space bounds.
+func WithBounds(b hef.Bounds) Option { return func(f *Framework) { f.bounds = b } }
+
+// WithTestElems overrides the per-evaluation synthetic test size.
+func WithTestElems(n int64) Option { return func(f *Framework) { f.elems = n } }
+
+// New builds a framework for the named CPU: "silver" or "gold" (the
+// paper's testbeds), or "neoverse" / "zen" (the other microarchitectures
+// its background discusses). The SIMD width defaults to the part's native
+// width (AVX-512, Neon 128-bit, or AVX2 respectively).
+func New(cpuName string, opts ...Option) (*Framework, error) {
+	cpu, err := isa.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	f := &Framework{cpu: cpu, width: cpu.NativeWidth(), bounds: hef.DefaultBounds, elems: hef.DefaultTestElems}
+	for _, o := range opts {
+		o(f)
+	}
+	return f, nil
+}
+
+// CPU returns the processor model the framework optimises for.
+func (f *Framework) CPU() *isa.CPU { return f.cpu }
+
+// Optimized is the outcome of the offline phase for one operator: the
+// optimal candidate node, the generated code for it, and the search record.
+type Optimized struct {
+	Template *hid.Template
+	// Node is the optimal (v, s, p) found by the pruning search.
+	Node translator.Node
+	// Initial is the candidate generator's starting node.
+	Initial translator.Node
+	// Source is the generated C-like code at the optimal node (Fig. 6).
+	Source string
+	// Program is the simulator trace at the optimal node.
+	Program *uarch.Program
+	// Search records every tested node, the candidate and end lists, and
+	// the pruning savings.
+	Search *hef.Result
+}
+
+// SecondsPerElem is the measured per-element cost of the optimum.
+func (o *Optimized) SecondsPerElem() float64 { return o.Search.BestSeconds }
+
+// OptimizeOperator runs HEF's offline phase on one operator template:
+// candidate generation from processor and instruction information, then the
+// pruning search over translated-and-tested implementations.
+func (f *Framework) OptimizeOperator(tmpl *hid.Template) (*Optimized, error) {
+	initial, err := hef.InitialNode(f.cpu, tmpl, f.width)
+	if err != nil {
+		return nil, err
+	}
+	if !f.boundsContain(initial) {
+		initial = clampNode(initial, f.bounds)
+	}
+	eval := hef.NewSimEvaluator(f.cpu, tmpl, f.width, f.elems)
+	res, err := hef.Search(eval, initial, f.bounds)
+	if err != nil {
+		return nil, err
+	}
+	out, err := translator.Translate(tmpl, res.Best, translator.Options{Width: f.width, CPU: f.cpu})
+	if err != nil {
+		return nil, err
+	}
+	return &Optimized{
+		Template: tmpl,
+		Node:     res.Best,
+		Initial:  initial,
+		Source:   out.Source,
+		Program:  out.Program,
+		Search:   res,
+	}, nil
+}
+
+// Translate generates code for an explicit candidate node without searching
+// (e.g. to inspect the purely scalar or purely SIMD implementations).
+func (f *Framework) Translate(tmpl *hid.Template, node translator.Node) (*translator.Output, error) {
+	return translator.Translate(tmpl, node, translator.Options{Width: f.width, CPU: f.cpu})
+}
+
+// Measure times an explicit candidate node on the simulator.
+func (f *Framework) Measure(tmpl *hid.Template, node translator.Node) (*uarch.Result, error) {
+	eval := hef.NewSimEvaluator(f.cpu, tmpl, f.width, f.elems)
+	return eval.Run(node)
+}
+
+// ParseTemplates reads an operator-template file (the paper's operator list
+// and dictionary) using the built-in description table as the operation
+// validator.
+func ParseTemplates(src string) (*hid.File, error) {
+	return hid.Parse(src, func(op string) bool {
+		_, err := isa.Describe(op)
+		return err == nil
+	})
+}
+
+func (f *Framework) boundsContain(n translator.Node) bool {
+	return n.V <= f.bounds.VMax && n.S <= f.bounds.SMax && n.P <= f.bounds.PMax
+}
+
+func clampNode(n translator.Node, b hef.Bounds) translator.Node {
+	if n.V > b.VMax {
+		n.V = b.VMax
+	}
+	if n.S > b.SMax {
+		n.S = b.SMax
+	}
+	if n.P > b.PMax {
+		n.P = b.PMax
+	}
+	if !n.Valid() {
+		return translator.Node{V: 1, S: 1, P: 1}
+	}
+	return n
+}
+
+// Version identifies the library release.
+const Version = "1.0.0"

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"hef/internal/hashes"
+	"hef/internal/hef"
+	"hef/internal/isa"
+	"hef/internal/translator"
+)
+
+func TestNewFramework(t *testing.T) {
+	fw, err := New("silver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fw.CPU().Name != "Intel Xeon Silver 4110" {
+		t.Errorf("CPU = %q", fw.CPU().Name)
+	}
+	if _, err := New("epyc"); err == nil {
+		t.Error("unknown CPU should error")
+	}
+}
+
+func TestOptimizeOperatorMurmur(t *testing.T) {
+	if testing.Short() {
+		t.Skip("search is slow")
+	}
+	fw, err := New("silver", WithTestElems(1<<13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := fw.OptimizeOperator(hashes.MurmurTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Node.V != 1 || opt.Node.S < 3 {
+		t.Errorf("murmur optimum = %v, want the paper's hybrid shape (v=1, s>=3)", opt.Node)
+	}
+	if opt.Initial != (translator.Node{V: 1, S: 3, P: 3}) {
+		t.Errorf("initial node = %v, want n(1,3,3) from the candidate generator", opt.Initial)
+	}
+	if !strings.Contains(opt.Source, "_mm512_mullo_epi64") {
+		t.Error("generated source should contain AVX-512 intrinsics")
+	}
+	if opt.Search.Tested >= opt.Search.SpaceSize {
+		t.Error("pruning should avoid testing the whole space")
+	}
+	if opt.SecondsPerElem() <= 0 {
+		t.Error("optimum must have a positive measured cost")
+	}
+	if opt.Program == nil || len(opt.Program.Body) == 0 {
+		t.Error("optimized operator should carry its trace")
+	}
+}
+
+func TestTranslateAndMeasure(t *testing.T) {
+	fw, err := New("gold", WithWidth(isa.W256), WithTestElems(1<<12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fw.Translate(hashes.MurmurTemplate(), translator.Node{V: 1, S: 0, P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ElemsPerIter != 4 {
+		t.Errorf("AVX2 lanes: ElemsPerIter = %d, want 4", out.ElemsPerIter)
+	}
+	res, err := fw.Measure(hashes.MurmurTemplate(), translator.Node{V: 0, S: 1, P: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Error("Measure returned empty counters")
+	}
+}
+
+func TestParseTemplates(t *testing.T) {
+	f, err := ParseTemplates(`
+template double u64 (in:stream, out:wstream) {
+    const two = 2;
+    x = load(in);
+    y = mul(x, two);
+    store(out, y);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl, err := f.Get("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, _ := New("silver", WithTestElems(1<<12))
+	if _, err := fw.Translate(tmpl, translator.Node{V: 1, S: 1, P: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseTemplates("template broken {"); err == nil {
+		t.Error("malformed template file should error")
+	}
+}
+
+func TestBoundsClamping(t *testing.T) {
+	fw, err := New("silver", WithBounds(hef.Bounds{VMax: 1, SMax: 1, PMax: 1}), WithTestElems(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The candidate generator proposes (1,3,3); the framework must clamp it
+	// into the bounds instead of failing.
+	opt, err := fw.OptimizeOperator(hashes.MurmurTemplate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Node.V > 1 || opt.Node.S > 1 || opt.Node.P > 1 {
+		t.Errorf("optimum %v exceeds bounds", opt.Node)
+	}
+}
+
+func TestClampNode(t *testing.T) {
+	b := hef.Bounds{VMax: 2, SMax: 2, PMax: 2}
+	if got := clampNode(translator.Node{V: 9, S: 9, P: 9}, b); got != (translator.Node{V: 2, S: 2, P: 2}) {
+		t.Errorf("clampNode = %v", got)
+	}
+	if got := clampNode(translator.Node{V: 0, S: 0, P: 1}, b); !got.Valid() {
+		t.Errorf("clampNode must return a valid node, got %v", got)
+	}
+}

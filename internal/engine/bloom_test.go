@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000)
+	for k := uint64(1); k <= 1000; k++ {
+		b.Add(k * 7919)
+	}
+	if b.Len() != 1000 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	for k := uint64(1); k <= 1000; k++ {
+		if !b.Test(k * 7919) {
+			t.Fatalf("false negative for key %d", k*7919)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(10000)
+	for k := uint64(1); k <= 10000; k++ {
+		b.Add(k)
+	}
+	fp := 0
+	const probes = 20000
+	for k := uint64(1_000_000); k < 1_000_000+probes; k++ {
+		if b.Test(k) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.15 {
+		t.Errorf("false positive rate %.3f too high for 8 bits/key", rate)
+	}
+}
+
+// Property: the SIMD and hybrid kernels agree exactly with the scalar one.
+func TestBloomKernelsAgree(t *testing.T) {
+	f := func(adds []uint64, probes []uint64) bool {
+		b := NewBloom(len(adds) + 1)
+		for _, k := range adds {
+			b.Add(k)
+		}
+		n := len(probes)
+		s := make([]bool, n)
+		v := make([]bool, n)
+		h := make([]bool, n)
+		b.TestBatch(probes, s)
+		b.TestBatchSIMD(probes, v)
+		b.TestBatchHybrid(probes, h, HybridScalarLanes)
+		for i := range probes {
+			if v[i] != s[i] || h[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBloomSizing(t *testing.T) {
+	b := NewBloom(0)
+	if b.Bytes() < 64 {
+		t.Errorf("minimum filter size too small: %d bytes", b.Bytes())
+	}
+	big := NewBloom(1 << 20)
+	if bits := big.Bytes() * 8; bits < 8<<20 {
+		t.Errorf("filter for 1M keys has %d bits, want >= 8M", bits)
+	}
+	if got := b.String(); got == "" {
+		t.Error("String should describe the filter")
+	}
+}
+
+func TestBloomTemplateValidates(t *testing.T) {
+	tmpl := BloomTemplate(1 << 16)
+	if err := tmpl.Validate(knownOp); err != nil {
+		t.Fatal(err)
+	}
+	gathers := 0
+	for _, s := range tmpl.Body {
+		if s.Op == "gather" {
+			gathers++
+		}
+	}
+	if gathers != 2 {
+		t.Errorf("bloom template has %d gathers, want 2", gathers)
+	}
+	if p, _ := BloomTemplate(0).Param("words"); p.Region < 64 {
+		t.Error("BloomTemplate should clamp tiny filters")
+	}
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"hef/internal/ssb"
+)
+
+// Functional micro-benchmarks of the runnable kernels (real Go wall time,
+// complementary to the microarchitecture-model numbers).
+
+func benchTable(n int) (*LinearTable, []uint64) {
+	ht := NewLinearTable(n)
+	for k := uint64(1); k <= uint64(n); k++ {
+		ht.Insert(k, k*3)
+	}
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i*2+1)%uint64(2*n) + 1 // half hit, half miss
+	}
+	return ht, keys
+}
+
+func BenchmarkLinearTableLookupScalar(b *testing.B) {
+	ht, keys := benchTable(1 << 14)
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.LookupBatch(keys, vals, found)
+	}
+}
+
+func BenchmarkLinearTableLookupSIMD(b *testing.B) {
+	ht, keys := benchTable(1 << 14)
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.LookupBatchSIMD(keys, vals, found)
+	}
+}
+
+func BenchmarkLinearTableLookupHybrid(b *testing.B) {
+	ht, keys := benchTable(1 << 14)
+	vals := make([]uint64, len(keys))
+	found := make([]bool, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ht.LookupBatchHybrid(keys, vals, found, HybridScalarLanes)
+	}
+}
+
+func benchFilterTable() *ssb.Table {
+	const n = 1 << 14
+	t := ssb.NewTable("bench", n)
+	a := make([]uint64, n)
+	c := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		a[i] = uint64(i % 1000)
+		c[i] = uint64(i % 17)
+	}
+	t.AddCol("a", a)
+	t.AddCol("b", c)
+	return t
+}
+
+func benchFilter(b *testing.B, mode Mode) {
+	t := benchFilterTable()
+	preds := []Pred{Between("a", 100, 500), Eq("b", 3)}
+	b.SetBytes(int64(t.N * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FilterTable(t, preds, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFilterScalar(b *testing.B) { benchFilter(b, Scalar) }
+func BenchmarkFilterSIMD(b *testing.B)   { benchFilter(b, SIMD) }
+func BenchmarkFilterHybrid(b *testing.B) { benchFilter(b, Hybrid) }
+
+func BenchmarkBloomTest(b *testing.B) {
+	bl := NewBloom(1 << 14)
+	for k := uint64(1); k <= 1<<14; k++ {
+		bl.Add(k)
+	}
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+	}
+	out := make([]bool, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.TestBatchSIMD(keys, out)
+	}
+}

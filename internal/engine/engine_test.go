@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hef/internal/ssb"
+)
+
+func TestLinearTableBasics(t *testing.T) {
+	ht := NewLinearTable(100)
+	if ht.Buckets() < 400 || ht.Buckets()&(ht.Buckets()-1) != 0 {
+		t.Errorf("buckets = %d, want power of two >= 4n", ht.Buckets())
+	}
+	for k := uint64(1); k <= 100; k++ {
+		if err := ht.Insert(k, k*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ht.Len() != 100 {
+		t.Errorf("Len = %d", ht.Len())
+	}
+	for k := uint64(1); k <= 100; k++ {
+		v, ok := ht.Lookup(k)
+		if !ok || v != k*10 {
+			t.Fatalf("Lookup(%d) = %d, %v", k, v, ok)
+		}
+	}
+	if _, ok := ht.Lookup(101); ok {
+		t.Error("Lookup of absent key should miss")
+	}
+	if err := ht.Insert(0, 1); err == nil {
+		t.Error("Insert(0) should be rejected")
+	}
+	// Overwrite.
+	if err := ht.Insert(5, 99); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := ht.Lookup(5); v != 99 {
+		t.Errorf("overwrite failed: %d", v)
+	}
+	if ht.Len() != 100 {
+		t.Errorf("overwrite should not grow Len: %d", ht.Len())
+	}
+	if ht.Bytes() != uint64(ht.Buckets())*16 {
+		t.Errorf("Bytes = %d", ht.Bytes())
+	}
+}
+
+func TestLinearTableFull(t *testing.T) {
+	ht := NewLinearTable(2) // 16 buckets
+	for k := uint64(1); k <= 16; k++ {
+		if err := ht.Insert(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ht.Insert(17, 17); err == nil {
+		t.Error("inserting into a full table should fail")
+	}
+}
+
+// Property: the SIMD and hybrid probe kernels agree exactly with the scalar
+// kernel, including misses, for adversarial key sets that collide.
+func TestProbeKernelsAgree(t *testing.T) {
+	f := func(seedKeys []uint64, probe []uint64) bool {
+		ht := NewLinearTable(len(seedKeys) + 1)
+		want := map[uint64]uint64{}
+		for i, k := range seedKeys {
+			k = k%1000 + 1 // small range forces collisions
+			ht.Insert(k, uint64(i)+1)
+			want[k] = uint64(i) + 1
+		}
+		keys := make([]uint64, len(probe))
+		for i, k := range probe {
+			keys[i] = k%1500 + 1 // half the probes miss
+		}
+		n := len(keys)
+		vs, vv, vh := make([]uint64, n), make([]uint64, n), make([]uint64, n)
+		fs, fv, fh := make([]bool, n), make([]bool, n), make([]bool, n)
+		ht.LookupBatch(keys, vs, fs)
+		ht.LookupBatchSIMD(keys, vv, fv)
+		ht.LookupBatchHybrid(keys, vh, fh, HybridScalarLanes)
+		for i := range keys {
+			wantV, wantOK := want[keys[i]]
+			if fs[i] != wantOK || (wantOK && vs[i] != wantV) {
+				return false
+			}
+			if fv[i] != fs[i] || fh[i] != fs[i] {
+				return false
+			}
+			if fs[i] && (vv[i] != vs[i] || vh[i] != vs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func makeTestTable(n int) *ssb.Table {
+	t := ssb.NewTable("t", n)
+	a := make([]uint64, n)
+	b := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		a[i] = uint64(i % 100)
+		b[i] = uint64(i % 7)
+	}
+	t.AddCol("a", a)
+	t.AddCol("b", b)
+	return t
+}
+
+func TestFilterModesAgree(t *testing.T) {
+	tab := makeTestTable(1000)
+	preds := []Pred{Between("a", 10, 30), Eq("b", 3)}
+	s, err := FilterTable(tab, preds, Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := FilterTable(tab, preds, SIMD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FilterTable(tab, preds, Hybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) == 0 {
+		t.Fatal("test predicates select nothing")
+	}
+	if len(v) != len(s) || len(h) != len(s) {
+		t.Fatalf("lengths differ: scalar=%d simd=%d hybrid=%d", len(s), len(v), len(h))
+	}
+	for i := range s {
+		if v[i] != s[i] || h[i] != s[i] {
+			t.Fatalf("selection differs at %d", i)
+		}
+	}
+}
+
+func TestFilterOneOf(t *testing.T) {
+	tab := makeTestTable(100)
+	preds := []Pred{OneOf("b", 2, 5)}
+	for _, mode := range []Mode{Scalar, SIMD, Hybrid} {
+		sel, err := FilterTable(tab, preds, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range sel {
+			if b := tab.Col("b")[r]; b != 2 && b != 5 {
+				t.Fatalf("%v selected row with b=%d", mode, b)
+			}
+		}
+		want := 0
+		for _, b := range tab.Col("b") {
+			if b == 2 || b == 5 {
+				want++
+			}
+		}
+		if len(sel) != want {
+			t.Fatalf("%v selected %d rows, want %d", mode, len(sel), want)
+		}
+	}
+}
+
+func TestFilterErrors(t *testing.T) {
+	tab := makeTestTable(10)
+	if _, err := FilterTable(tab, []Pred{Eq("nope", 1)}, Scalar); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := FilterRange(tab, nil, -1, 5, Scalar); err == nil {
+		t.Error("negative lo should error")
+	}
+	if _, err := FilterRange(tab, nil, 0, 11, Scalar); err == nil {
+		t.Error("hi beyond N should error")
+	}
+	if _, err := FilterTable(tab, []Pred{Eq("a", 1)}, Mode(99)); err == nil {
+		t.Error("unknown mode should error")
+	}
+}
+
+func TestFilterRangeNoPreds(t *testing.T) {
+	tab := makeTestTable(10)
+	sel, err := FilterRange(tab, nil, 3, 7, Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 4 || sel[0] != 3 || sel[3] != 6 {
+		t.Errorf("sel = %v", sel)
+	}
+}
+
+func TestGatherColumn(t *testing.T) {
+	col := []uint64{10, 11, 12, 13, 14}
+	out := make([]uint64, 3)
+	GatherColumn(col, []uint32{4, 0, 2}, out)
+	if out[0] != 14 || out[1] != 10 || out[2] != 12 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestPredString(t *testing.T) {
+	if Eq("a", 3).String() != "a = 3" {
+		t.Error(Eq("a", 3).String())
+	}
+	if Between("a", 1, 5).String() != "1 <= a <= 5" {
+		t.Error(Between("a", 1, 5).String())
+	}
+	if OneOf("a", 1, 2).String() != "a in [1 2]" {
+		t.Error(OneOf("a", 1, 2).String())
+	}
+	if Scalar.String() != "scalar" || SIMD.String() != "simd" || Hybrid.String() != "hybrid" {
+		t.Error("mode names")
+	}
+}
+
+func TestOperatorTemplatesValidate(t *testing.T) {
+	for _, tmpl := range []interface{ Validate(func(string) bool) error }{
+		FilterTemplate(1), FilterTemplate(3), ProbeTemplate(1 << 20),
+		SumAggTemplate(), GroupAggTemplate(4096), BuildTemplate(1 << 16),
+	} {
+		if err := tmpl.Validate(knownOp); err != nil {
+			t.Errorf("template failed validation: %v", err)
+		}
+	}
+	// Region clamps.
+	p := ProbeTemplate(0)
+	if prm, _ := p.Param("htkeys"); prm.Region == 0 {
+		t.Error("ProbeTemplate should clamp tiny regions")
+	}
+}

@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"fmt"
+
+	"hef/internal/ssb"
+	"hef/internal/vec"
+)
+
+// Pred is an inclusive range predicate on a column: Lo <= col <= Hi.
+// Equality predicates set Lo == Hi; set-membership over two values (SSB
+// Q3.3/Q3.4's "city in (X, Y)") uses In.
+type Pred struct {
+	Col    string
+	Lo, Hi uint64
+	// In, when non-empty, overrides Lo/Hi with membership in the listed
+	// values.
+	In []uint64
+}
+
+// Eq builds an equality predicate.
+func Eq(col string, v uint64) Pred { return Pred{Col: col, Lo: v, Hi: v} }
+
+// Between builds an inclusive range predicate.
+func Between(col string, lo, hi uint64) Pred { return Pred{Col: col, Lo: lo, Hi: hi} }
+
+// OneOf builds a set-membership predicate.
+func OneOf(col string, vs ...uint64) Pred { return Pred{Col: col, In: vs} }
+
+func (p Pred) match(v uint64) bool {
+	if len(p.In) > 0 {
+		for _, x := range p.In {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	return v >= p.Lo && v <= p.Hi
+}
+
+func (p Pred) String() string {
+	if len(p.In) > 0 {
+		return fmt.Sprintf("%s in %v", p.Col, p.In)
+	}
+	if p.Lo == p.Hi {
+		return fmt.Sprintf("%s = %d", p.Col, p.Lo)
+	}
+	return fmt.Sprintf("%d <= %s <= %d", p.Lo, p.Col, p.Hi)
+}
+
+// Mode selects the functional implementation flavour; all modes produce
+// identical results.
+type Mode int
+
+const (
+	// Scalar is the purely scalar implementation.
+	Scalar Mode = iota
+	// SIMD is the purely vectorized (8-lane) implementation.
+	SIMD
+	// Hybrid co-schedules one SIMD group with HybridScalarLanes scalar
+	// elements per step, the functional shape of HEF's generated code.
+	Hybrid
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Scalar:
+		return "scalar"
+	case SIMD:
+		return "simd"
+	case Hybrid:
+		return "hybrid"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// HybridScalarLanes is the number of scalar elements the hybrid functional
+// flavour processes alongside each 8-lane SIMD group (s=1..3 in the paper's
+// optima; the value does not affect results).
+const HybridScalarLanes = 3
+
+// FilterTable scans table rows 0..N against all predicates and returns the
+// selected row indices. Mode selects the kernel.
+func FilterTable(t *ssb.Table, preds []Pred, mode Mode) ([]uint32, error) {
+	return FilterRange(t, preds, 0, t.N, mode)
+}
+
+// FilterRange scans rows [lo, hi) of the table, returning absolute selected
+// row indices. It is the batch-wise form used by the pipelined fact scan.
+func FilterRange(t *ssb.Table, preds []Pred, lo, hi int, mode Mode) ([]uint32, error) {
+	if lo < 0 || hi > t.N || lo > hi {
+		return nil, fmt.Errorf("engine: range [%d,%d) out of bounds for %s (N=%d)", lo, hi, t.Name, t.N)
+	}
+	cols := make([][]uint64, len(preds))
+	for i, p := range preds {
+		if !t.HasCol(p.Col) {
+			return nil, fmt.Errorf("engine: table %s has no column %q", t.Name, p.Col)
+		}
+		cols[i] = t.Col(p.Col)
+	}
+	sel := make([]uint32, 0, (hi-lo)/4+8)
+	if len(preds) == 0 {
+		for r := lo; r < hi; r++ {
+			sel = append(sel, uint32(r))
+		}
+		return sel, nil
+	}
+	switch mode {
+	case Scalar:
+		for r := lo; r < hi; r++ {
+			if matchRow(preds, cols, r) {
+				sel = append(sel, uint32(r))
+			}
+		}
+	case SIMD:
+		sel = filterSIMD(lo, hi, preds, cols, sel)
+	case Hybrid:
+		step := vec.Lanes + HybridScalarLanes
+		r := lo
+		for ; r+step <= hi; r += step {
+			sel = filterSIMDRange(r, r+vec.Lanes, preds, cols, sel)
+			for j := r + vec.Lanes; j < r+step; j++ {
+				if matchRow(preds, cols, j) {
+					sel = append(sel, uint32(j))
+				}
+			}
+		}
+		for ; r < hi; r++ {
+			if matchRow(preds, cols, r) {
+				sel = append(sel, uint32(r))
+			}
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown mode %v", mode)
+	}
+	return sel, nil
+}
+
+func matchRow(preds []Pred, cols [][]uint64, r int) bool {
+	for i := range preds {
+		if !preds[i].match(cols[i][r]) {
+			return false
+		}
+	}
+	return true
+}
+
+func filterSIMD(lo, hi int, preds []Pred, cols [][]uint64, sel []uint32) []uint32 {
+	r := lo
+	for ; r+vec.Lanes <= hi; r += vec.Lanes {
+		sel = filterSIMDRange(r, r+vec.Lanes, preds, cols, sel)
+	}
+	for ; r < hi; r++ {
+		if matchRow(preds, cols, r) {
+			sel = append(sel, uint32(r))
+		}
+	}
+	return sel
+}
+
+// filterSIMDRange evaluates one 8-lane group [r, r+8) with compare masks.
+func filterSIMDRange(r, end int, preds []Pred, cols [][]uint64, sel []uint32) []uint32 {
+	m := vec.MaskAll
+	for i := range preds {
+		v := vec.Load(cols[i][r:])
+		if in := preds[i].In; len(in) > 0 {
+			var pm vec.Mask
+			for _, x := range in {
+				pm |= vec.CmpEq(v, vec.Broadcast(x))
+			}
+			m &= pm
+		} else {
+			m &= vec.CmpGe(v, vec.Broadcast(preds[i].Lo))
+			m &= vec.CmpLe(v, vec.Broadcast(preds[i].Hi))
+		}
+		if m == 0 {
+			return sel
+		}
+	}
+	for l := 0; l < end-r; l++ {
+		if m.Test(l) {
+			sel = append(sel, uint32(r+l))
+		}
+	}
+	return sel
+}
+
+// GatherColumn copies col[sel[i]] into out for each selected row.
+func GatherColumn(col []uint64, sel []uint32, out []uint64) {
+	for i, s := range sel {
+		out[i] = col[s]
+	}
+}

@@ -1,0 +1,145 @@
+package engine
+
+import (
+	"fmt"
+
+	"hef/internal/hid"
+	"hef/internal/isa"
+)
+
+// This file defines the HID operator templates the timing model uses for
+// each pipeline stage. The functional operators in this package produce the
+// results; these templates, translated at a candidate node and run on the
+// simulator, produce the cycles, IPC, LLC misses, and µop histograms of the
+// paper's tables and figures.
+
+func knownOp(op string) bool {
+	_, err := isa.Describe(op)
+	return err == nil
+}
+
+// FilterTemplate models a scan applying nPreds inclusive range predicates:
+// per predicate a column load and two compares combined into a mask, with
+// the surviving selection written out (VIP-style selection vectors).
+func FilterTemplate(nPreds int) *hid.Template {
+	if nPreds < 1 {
+		nPreds = 1
+	}
+	b := hid.NewTemplate(fmt.Sprintf("filter%d", nPreds), hid.U64)
+	out := b.Stream("sel", hid.WriteStream)
+	var mask hid.Operand
+	for i := 0; i < nPreds; i++ {
+		col := b.Stream(fmt.Sprintf("col%d", i), hid.ReadStream)
+		lo := b.Const(fmt.Sprintf("lo%d", i), uint64(10+i))
+		hi := b.Const(fmt.Sprintf("hi%d", i), uint64(1000+i))
+		v := b.Load(fmt.Sprintf("v%d", i), col)
+		ge := b.CmpGt(fmt.Sprintf("ge%d", i), v, lo)
+		le := b.CmpLt(fmt.Sprintf("le%d", i), v, hi)
+		m := b.And(fmt.Sprintf("m%d", i), ge, le)
+		if i == 0 {
+			mask = m
+		} else {
+			mask = b.And(fmt.Sprintf("acc%d", i), mask, m)
+		}
+	}
+	b.Store(out, mask)
+	return b.MustBuild(knownOp)
+}
+
+// ProbeTemplate models one linear-probe hash-join lookup: load the foreign
+// key, one multiplicative hash (multiply + shift + mask), a gather into the
+// bucket key array, the key compare, a gather into the value array, and the
+// select writing the payload. htBytes sizes the randomly-accessed region —
+// the variable that moves the working set between L2, LLC, and memory
+// across scale factors.
+// ProbeTemplate includes the VIP-style pipeline bookkeeping around the
+// lookup itself: the incoming selection vector is loaded, the surviving
+// lanes are compressed, and both the payload and the updated selection are
+// written for the next operator.
+func ProbeTemplate(htBytes uint64) *hid.Template {
+	if htBytes < 64 {
+		htBytes = 64
+	}
+	b := hid.NewTemplate("probe", hid.U64)
+	fk := b.Stream("fk", hid.ReadStream)
+	selv := b.Stream("selv", hid.ReadStream)
+	out := b.Stream("out", hid.WriteStream)
+	outSel := b.Stream("outsel", hid.WriteStream)
+	htk := b.Table("htkeys", htBytes/2)
+	htv := b.Table("htvals", htBytes/2)
+	mul := b.Const("hmul", hashMul)
+	mask := b.Const("hmask", (htBytes/16)-1)
+
+	sel := b.Load("sel", selv)
+	key := b.Load("key", fk)
+	h1 := b.Mul("h1", key, mul)
+	h2 := b.Srl("h2", h1, 32)
+	idx := b.And("idx", h2, mask)
+	bk := b.Gather("bk", htk, idx)
+	hit := b.CmpEq("hit", bk, key)
+	bv := b.Gather("bv", htv, idx)
+	res := b.Select("res", hit, bv, bk)
+	ns := b.And("ns", sel, hit)
+	packed := b.Op("packed", "compress", res, ns)
+	b.Store(out, packed)
+	b.Store(outSel, ns)
+	return b.MustBuild(knownOp)
+}
+
+// SumAggTemplate models the Q1-style aggregation sum(a*b) with a register
+// accumulator.
+func SumAggTemplate() *hid.Template {
+	b := hid.NewTemplate("sumagg", hid.U64)
+	a := b.Stream("a", hid.ReadStream)
+	c := b.Stream("c", hid.ReadStream)
+	acc := b.Acc("acc")
+	x := b.Load("x", a)
+	y := b.Load("y", c)
+	m := b.Mul("m", x, y)
+	b.Add("acc", acc, m)
+	return b.MustBuild(knownOp)
+}
+
+// GroupAggTemplate models a grouped aggregation update: compute the group
+// slot from the composed key, gather the current sum, add the measure, and
+// scatter it back. groupBytes sizes the group table (small: it stays in L1
+// for SSB's group-by cardinalities).
+func GroupAggTemplate(groupBytes uint64) *hid.Template {
+	if groupBytes < 64 {
+		groupBytes = 64
+	}
+	b := hid.NewTemplate("groupagg", hid.U64)
+	keys := b.Stream("keys", hid.ReadStream)
+	meas := b.Stream("meas", hid.ReadStream)
+	grp := b.Table("grp", groupBytes)
+	mask := b.Const("gmask", (groupBytes/8)-1)
+
+	k := b.Load("k", keys)
+	v := b.Load("v", meas)
+	slot := b.And("slot", k, mask)
+	cur := b.Gather("cur", grp, slot)
+	nv := b.Add("nv", cur, v)
+	b.Store(grp, nv)
+	return b.MustBuild(knownOp)
+}
+
+// BuildTemplate models the hash-join build side: hash the key and scatter
+// key and payload into the bucket arrays.
+func BuildTemplate(htBytes uint64) *hid.Template {
+	if htBytes < 64 {
+		htBytes = 64
+	}
+	b := hid.NewTemplate("build", hid.U64)
+	keys := b.Stream("keys", hid.ReadStream)
+	pay := b.Stream("pay", hid.ReadStream)
+	ht := b.Table("ht", htBytes)
+	mul := b.Const("hmul", hashMul)
+
+	k := b.Load("k", keys)
+	p := b.Load("p", pay)
+	h1 := b.Mul("h1", k, mul)
+	h2 := b.Srl("h2", h1, 32)
+	x := b.Xor("x", h2, p)
+	b.Store(ht, x)
+	return b.MustBuild(knownOp)
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hef/internal/engine"
+	"hef/internal/hef"
+	"hef/internal/isa"
+	"hef/internal/translator"
+)
+
+// Ablations for the design choices DESIGN.md calls out.
+//
+// PackSweep validates the assumption behind the pruning optimizer
+// (Section IV-C): moving away from the optimal pack in either direction
+// makes runtime change monotonically — improving utilisation up to the
+// optimum, then paying register spills past it.
+//
+// LFBSweep isolates the memory-level-parallelism limit: with more line-fill
+// buffers, the memory-latency-bound probe gets proportionally faster, which
+// is why all engines converge in the DRAM-bound regime.
+
+// PackPoint is one pack-depth measurement.
+type PackPoint struct {
+	Node        translator.Node
+	NSPerElem   float64
+	SpillStores int
+	SpillLoads  int
+}
+
+// PackSweep measures the named kernel at fixed (v, s) for p = 1..maxP.
+func PackSweep(cpuName, benchName string, v, s, maxP int) ([]PackPoint, error) {
+	cpu, err := isa.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := hashTemplate(benchName)
+	if err != nil {
+		return nil, err
+	}
+	if maxP < 1 {
+		maxP = 8
+	}
+	eval := hef.NewSimEvaluator(cpu, tmpl, 0, 1<<13)
+	var points []PackPoint
+	for p := 1; p <= maxP; p++ {
+		n := translator.Node{V: v, S: s, P: p}
+		if !n.Valid() {
+			return nil, fmt.Errorf("experiments: invalid sweep node %v", n)
+		}
+		out, err := translator.Translate(tmpl, n, translator.Options{CPU: cpu})
+		if err != nil {
+			return nil, err
+		}
+		sec, err := eval.Evaluate(n)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, PackPoint{
+			Node: n, NSPerElem: sec * 1e9,
+			SpillStores: out.SpillStores, SpillLoads: out.SpillLoads,
+		})
+	}
+	return points, nil
+}
+
+// FormatPackSweep renders the sweep.
+func FormatPackSweep(benchName string, pts []PackPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pack sweep for %s (ns/elem; spills mark register-budget overflow)\n", benchName)
+	for _, p := range pts {
+		bar := strings.Repeat("#", int(p.NSPerElem*20))
+		if len(bar) > 60 {
+			bar = bar[:60]
+		}
+		fmt.Fprintf(&b, "  %-16s %8.3f  spills=%d+%d  %s\n",
+			p.Node.String(), p.NSPerElem, p.SpillStores, p.SpillLoads, bar)
+	}
+	return b.String()
+}
+
+// LFBPoint is one line-fill-buffer-count measurement of the probe kernel.
+type LFBPoint struct {
+	Buffers   int
+	NSPerElem float64
+}
+
+// LFBSweep times a memory-resident hash probe at different line-fill-buffer
+// counts on a copy of the CPU model.
+func LFBSweep(cpuName string, buffers []int, htBytes uint64) ([]LFBPoint, error) {
+	if len(buffers) == 0 {
+		buffers = []int{4, 8, 12, 16, 24}
+	}
+	if htBytes == 0 {
+		htBytes = 256 << 20
+	}
+	tmpl := engine.ProbeTemplate(htBytes)
+	var points []LFBPoint
+	for _, n := range buffers {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			return nil, err
+		}
+		cpu.LineFillBuffers = n
+		eval := hef.NewSimEvaluator(cpu, tmpl, 0, 1<<13)
+		sec, err := eval.Evaluate(translator.Node{V: 1, S: 0, P: 1})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, LFBPoint{Buffers: n, NSPerElem: sec * 1e9})
+	}
+	return points, nil
+}
+
+// FormatLFBSweep renders the sweep.
+func FormatLFBSweep(pts []LFBPoint) string {
+	var b strings.Builder
+	b.WriteString("line-fill-buffer sweep, memory-resident probe (ns/elem)\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "  %2d buffers  %8.3f\n", p.Buffers, p.NSPerElem)
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The pruning optimizer's premise (Section IV-C): past the optimum, adding
+// pack depth increases runtime because register pressure forces spills.
+func TestPackSweepShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	pts, err := PackSweep("silver", "murmur", 1, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 10 {
+		t.Fatalf("want 10 points, got %d", len(pts))
+	}
+	// p=1 must not be the optimum (packing helps), and spills must appear
+	// at some depth and grow monotonically after that.
+	best := 0
+	for i, p := range pts {
+		if p.NSPerElem < pts[best].NSPerElem {
+			best = i
+		}
+	}
+	if best == 0 {
+		t.Errorf("pack=1 should not be optimal (packing eliminates dependences); sweep: %+v", pts)
+	}
+	firstSpill := -1
+	for i, p := range pts {
+		if p.SpillStores > 0 {
+			firstSpill = i
+			break
+		}
+	}
+	if firstSpill < 0 {
+		t.Fatal("no spills up to pack 10; the register budget never binds")
+	}
+	for i := firstSpill + 1; i < len(pts); i++ {
+		if pts[i].SpillStores < pts[i-1].SpillStores {
+			t.Errorf("spills should grow with pack depth: p=%d has %d < p=%d's %d",
+				pts[i].Node.P, pts[i].SpillStores, pts[i-1].Node.P, pts[i-1].SpillStores)
+		}
+	}
+	// Deep packs with heavy spills must be slower than the optimum.
+	if last := pts[len(pts)-1]; last.NSPerElem <= pts[best].NSPerElem {
+		t.Errorf("deepest pack (%.3f ns) should be slower than the optimum (%.3f ns)",
+			last.NSPerElem, pts[best].NSPerElem)
+	}
+	out := FormatPackSweep("murmur", pts)
+	if !strings.Contains(out, "spills=") {
+		t.Error("formatted sweep missing spill counts")
+	}
+}
+
+// More line-fill buffers means more memory-level parallelism: the
+// memory-resident probe must get monotonically faster (within tolerance).
+func TestLFBSweepMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	// 4 and 8 plateau (an 8-lane gather's fills drain as a unit); 12 and 24
+	// add real gather-level overlap.
+	pts, err := LFBSweep("silver", []int{4, 12, 24}, 256<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("want 3 points, got %d", len(pts))
+	}
+	if !(pts[0].NSPerElem > pts[1].NSPerElem && pts[1].NSPerElem > pts[2].NSPerElem) {
+		t.Errorf("probe time should fall with LFB count: %+v", pts)
+	}
+	// Tripling 4 -> 12 should give a substantial gain in the DRAM-bound regime.
+	if r := pts[0].NSPerElem / pts[1].NSPerElem; r < 1.3 {
+		t.Errorf("4->12 LFBs speedup = %.2f, want >= 1.3 (MLP-bound)", r)
+	}
+	if !strings.Contains(FormatLFBSweep(pts), "buffers") {
+		t.Error("formatted LFB sweep malformed")
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	if _, err := PackSweep("epyc", "murmur", 1, 1, 4); err == nil {
+		t.Error("unknown CPU should error")
+	}
+	if _, err := PackSweep("silver", "sha", 1, 1, 4); err == nil {
+		t.Error("unknown bench should error")
+	}
+	if _, err := PackSweep("silver", "murmur", 0, 0, 4); err == nil {
+		t.Error("invalid (v,s) should error")
+	}
+	if _, err := LFBSweep("epyc", nil, 0); err == nil {
+		t.Error("unknown CPU should error")
+	}
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/isa"
+	"hef/internal/queries"
+	"hef/internal/ssb"
+	"hef/internal/translator"
+)
+
+// The dynamic-selection extension (paper Section VII future work): the
+// per-stage tuned run must be at least as fast as the fixed-node hybrid,
+// since the fixed node is inside every stage's search space.
+func TestTunedQueryBeatsFixedHybrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("per-stage searches are slow")
+	}
+	cpu := isa.XeonSilver4110()
+	q, err := queries.Get("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := ssb.Generate(0.005, 7)
+	fres, err := queries.Execute(q, data, engine.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixed, err := TimeQuery(cpu, q, fres.Stats, 10, KindHybrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuned, nodes, err := TimeQueryTuned(cpu, q, fres.Stats, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) == 0 {
+		t.Fatal("no tuned stages recorded")
+	}
+	for _, n := range nodes {
+		if !n.Node.Valid() {
+			t.Errorf("stage %s chose invalid node %v", n.Name, n.Node)
+		}
+	}
+	// Allow a small tolerance: the tuned nodes are chosen on a fresh cache
+	// state, so tiny regressions from sampling noise are possible.
+	if tuned.Seconds > fixed.Seconds*1.10 {
+		t.Errorf("tuned run (%.1fms) should not lose to the fixed hybrid (%.1fms)",
+			tuned.Seconds*1e3, fixed.Seconds*1e3)
+	}
+}
+
+func TestClampToBounds(t *testing.T) {
+	b := tunedBounds
+	n := clampToBounds(translator.Node{V: 9, S: 9, P: 9}, b)
+	if n.V > b.VMax || n.S > b.SMax || n.P > b.PMax {
+		t.Errorf("clamp failed: %v", n)
+	}
+	if !clampToBounds(translator.Node{V: 0, S: 0, P: 1}, b).Valid() {
+		t.Error("clamp must return a valid node")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hef/internal/hef"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+)
+
+// Fig. 3 of the paper illustrates the execution of a gather-bound kernel
+// under purely scalar, purely SIMD, and hybrid-with-pack implementations:
+// packing isomorphic statements turns the dependent vpgatherqq chain
+// (latency 26) into throughput-bound streaming (reciprocal throughput ~5).
+
+// fig3Template is a minimal gather kernel: one table lookup feeding an
+// arithmetic op per element, with the lookup's result needed by the next
+// statement — the dependency Fig. 3's timeline shows.
+func fig3Template() *hid.Template {
+	b := hid.NewTemplate("fig3", hid.U64)
+	in := b.Stream("in", hid.ReadStream)
+	out := b.Stream("out", hid.WriteStream)
+	tab := b.Table("tab", 64<<10)
+	mask := b.Const("mask", (64<<10)/8-1)
+
+	x := b.Load("x", in)
+	i1 := b.And("i1", x, mask)
+	g1 := b.Gather("g1", tab, i1)
+	i2 := b.And("i2", g1, mask)
+	g2 := b.Gather("g2", tab, i2)
+	r := b.Xor("r", g2, x)
+	b.Store(out, r)
+	return b.MustBuild(func(op string) bool {
+		_, err := isa.Describe(op)
+		return err == nil
+	})
+}
+
+// Fig3Row is one implementation's cycles-per-element measurement.
+type Fig3Row struct {
+	Label string
+	Node  translator.Node
+	// CyclesPerElem and NSPerElem quantify the timeline of Fig. 3.
+	CyclesPerElem float64
+	NSPerElem     float64
+}
+
+// RunFig3 measures the three implementations of Fig. 3: purely scalar,
+// purely SIMD (latency-bound gather chain), and the hybrid execution with
+// one SIMD + two scalar statements at pack 2.
+func RunFig3(cpuName string) ([]Fig3Row, error) {
+	cpu, err := isa.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl := fig3Template()
+	eval := hef.NewSimEvaluator(cpu, tmpl, 0, 1<<14)
+	impls := []struct {
+		label string
+		node  translator.Node
+	}{
+		{"scalar", translator.Node{V: 0, S: 1, P: 1}},
+		{"SIMD", translator.Node{V: 1, S: 0, P: 1}},
+		{"hybrid+pack", translator.Node{V: 1, S: 2, P: 2}},
+	}
+	var rows []Fig3Row
+	for _, im := range impls {
+		res, err := eval.Run(im.node)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig3Row{
+			Label:         im.label,
+			Node:          im.node,
+			CyclesPerElem: res.CyclesPerElem(),
+			NSPerElem:     res.Seconds() * 1e9 / float64(res.Elems),
+		})
+	}
+	return rows, nil
+}
+
+// FormatFig3 renders the Fig. 3 comparison.
+func FormatFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("Fig. 3: execution of a gather kernel per implementation\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %-14s %6.2f cycles/elem %8.3f ns/elem\n",
+			r.Label, r.Node.String(), r.CyclesPerElem, r.NSPerElem)
+	}
+	return b.String()
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hef/internal/hashes"
+	"hef/internal/hef"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// HashElems is the paper's synthetic benchmark size: the hash of 10^9
+// 64-bit integer elements (Section V-C).
+const HashElems = 1_000_000_000
+
+// HashRun is one implementation's measurement in a hash benchmark.
+type HashRun struct {
+	Label string
+	Node  translator.Node
+	Res   *uarch.Result
+}
+
+// TimeMS returns the extrapolated execution time in milliseconds.
+func (h *HashRun) TimeMS() float64 { return h.Res.Seconds() * 1e3 }
+
+// HistGE returns the fraction of cycles in which at least n µops executed —
+// the "GE n" series of Figs. 11-14.
+func (h *HashRun) HistGE(n int) float64 {
+	if h.Res.Cycles == 0 {
+		return 0
+	}
+	var ge uint64
+	for i := n; i < uarch.HistBuckets; i++ {
+		ge += h.Res.Hist[i]
+	}
+	return float64(ge) / float64(h.Res.Cycles)
+}
+
+// HashBench is the result of one synthetic benchmark (Tables VI-IX plus the
+// µops-per-cycle distributions of Figs. 11-14).
+type HashBench struct {
+	Name   string
+	CPU    *isa.CPU
+	Scalar *HashRun
+	SIMD   *HashRun
+	Hybrid *HashRun
+	// Search is the HEF search that produced the hybrid node.
+	Search *hef.Result
+}
+
+// hashTemplate returns the named benchmark kernel.
+func hashTemplate(name string) (*hid.Template, error) {
+	switch name {
+	case "murmur":
+		return hashes.MurmurTemplate(), nil
+	case "crc64":
+		return hashes.CRC64Template(), nil
+	}
+	return nil, fmt.Errorf("experiments: unknown hash benchmark %q (want murmur or crc64)", name)
+}
+
+// RunHashBench measures the scalar and SIMD baselines and the HEF-found
+// hybrid optimum for one kernel on one CPU, extrapolated to HashElems.
+func RunHashBench(cpuName, benchName string, elems uint64) (*HashBench, error) {
+	cpu, err := isa.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := hashTemplate(benchName)
+	if err != nil {
+		return nil, err
+	}
+	if elems == 0 {
+		elems = HashElems
+	}
+	eval := hef.NewSimEvaluator(cpu, tmpl, 0, 1<<14)
+
+	measure := func(label string, node translator.Node) (*HashRun, error) {
+		res, err := eval.Run(node)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s %s: %w", benchName, label, err)
+		}
+		res.Scale(float64(elems) / float64(res.Elems))
+		return &HashRun{Label: label, Node: node, Res: res}, nil
+	}
+
+	bench := &HashBench{Name: benchName, CPU: cpu}
+	if bench.Scalar, err = measure("Scalar", translator.Node{V: 0, S: 1, P: 1}); err != nil {
+		return nil, err
+	}
+	if bench.SIMD, err = measure("SIMD", translator.Node{V: 1, S: 0, P: 1}); err != nil {
+		return nil, err
+	}
+
+	initial, err := hef.InitialNode(cpu, tmpl, 0)
+	if err != nil {
+		return nil, err
+	}
+	bench.Search, err = hef.Search(eval, initial, hef.DefaultBounds)
+	if err != nil {
+		return nil, err
+	}
+	if bench.Hybrid, err = measure("Hybrid", bench.Search.Best); err != nil {
+		return nil, err
+	}
+	return bench, nil
+}
+
+// Table renders the Table VI-IX layout: execution time and IPC per
+// implementation.
+func (b *HashBench) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s on %s (hybrid node %v, HEF tested %d of %d nodes)\n",
+		b.Name, b.CPU.Name, b.Hybrid.Node, b.Search.Tested, b.Search.SpaceSize)
+	fmt.Fprintf(&sb, "%-12s %12s %12s %12s\n", "Attributes", "Scalar", "SIMD", "Hybrid")
+	fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f\n", "Time (ms)",
+		b.Scalar.TimeMS(), b.SIMD.TimeMS(), b.Hybrid.TimeMS())
+	fmt.Fprintf(&sb, "%-12s %12.2f %12.2f %12.2f\n", "IPC",
+		b.Scalar.Res.IPC(), b.SIMD.Res.IPC(), b.Hybrid.Res.IPC())
+	return sb.String()
+}
+
+// Histogram renders the Figs. 11-14 series: for each implementation, the
+// fraction of cycles with >= 1..4 µops executed.
+func (b *HashBench) Histogram() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "µops executed per cycle, %s on %s (fraction of cycles)\n", b.Name, b.CPU.Name)
+	fmt.Fprintf(&sb, "%-8s %10s %10s %10s\n", "", "Scalar", "SIMD", "Hybrid")
+	for n := 1; n <= 4; n++ {
+		fmt.Fprintf(&sb, "GE%-6d %9.1f%% %9.1f%% %9.1f%%\n", n,
+			b.Scalar.HistGE(n)*100, b.SIMD.HistGE(n)*100, b.Hybrid.HistGE(n)*100)
+	}
+	return sb.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report emitters: the figure and table drivers render to plain text by
+// default; these produce CSV (for plotting the figures the paper shows as
+// bar charts) and Markdown (for EXPERIMENTS.md-style records).
+
+// CSV renders a figure as rows of query, engine, milliseconds, plus the
+// counter columns — one line per (query, engine) cell.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("sf,cpu,query,engine,time_ms,instructions,llc_misses,ipc,freq_ghz\n")
+	kinds := f.kinds()
+	for _, id := range f.Order {
+		for _, k := range kinds {
+			r := f.Runs[id][k]
+			fmt.Fprintf(&b, "%g,%s,%s,%s,%.3f,%d,%d,%.3f,%.3f\n",
+				f.NominalSF, f.CPU.Name, id, k,
+				r.Seconds*1e3, r.Total.Instructions,
+				r.Total.Cache.LLCMissesReported(), r.IPC(), r.FreqGHz)
+		}
+	}
+	return b.String()
+}
+
+// Markdown renders the figure as a Markdown table (times plus hybrid
+// speedups), the format EXPERIMENTS.md records.
+func (f *Figure) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n\n", f.Label)
+	kinds := f.kinds()
+	b.WriteString("| query |")
+	for _, k := range kinds {
+		fmt.Fprintf(&b, " %s |", k)
+	}
+	b.WriteString(" hyb/scalar | hyb/simd |\n|---|")
+	for range kinds {
+		b.WriteString("---:|")
+	}
+	b.WriteString("---:|---:|\n")
+	for _, id := range f.Order {
+		fmt.Fprintf(&b, "| %s |", id)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, " %.0fms |", f.Runs[id][k].Seconds*1e3)
+		}
+		sc, si := f.Speedups(id)
+		fmt.Fprintf(&b, " %.2fx | %.2fx |\n", sc, si)
+	}
+	return b.String()
+}
+
+// CSV renders the hash benchmark as one line per implementation.
+func (b *HashBench) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("bench,cpu,impl,node,time_ms,ipc,ge1,ge2,ge3,ge4\n")
+	for _, r := range []*HashRun{b.Scalar, b.SIMD, b.Hybrid} {
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+			b.Name, b.CPU.Name, r.Label, r.Node.String(),
+			r.TimeMS(), r.Res.IPC(), r.HistGE(1), r.HistGE(2), r.HistGE(3), r.HistGE(4))
+	}
+	return sb.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigureCSVAndMarkdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	fig := smallFigure(t, "silver", 10, "Q2.3")
+	csv := fig.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 1+4 { // header + 4 engines
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "sf,cpu,query,engine,time_ms") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if got := strings.Count(l, ","); got != 8 {
+			t.Errorf("CSV row has %d commas, want 8: %q", got, l)
+		}
+	}
+
+	md := fig.Markdown()
+	for _, want := range []string{"| query |", "| Q2.3 |", "hyb/scalar"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestHashBenchCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("searches are slow")
+	}
+	b, err := RunHashBench("silver", "murmur", HashElems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := b.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 4 { // header + scalar + simd + hybrid
+		t.Fatalf("hash CSV has %d lines:\n%s", len(lines), csv)
+	}
+	if !strings.Contains(lines[3], "Hybrid") {
+		t.Errorf("last row should be the hybrid: %q", lines[3])
+	}
+}

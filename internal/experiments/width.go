@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"hef/internal/hef"
+	"hef/internal/isa"
+	"hef/internal/translator"
+)
+
+// WidthRow is one (kernel, width) measurement of the ISA-portability study:
+// the paper claims HEF "could be applied to other ISAs with vector support";
+// the nearest in-model experiment is running the whole framework at AVX2
+// (256-bit, 4 lanes) next to AVX-512 and checking the hybrid win persists.
+type WidthRow struct {
+	Bench    string
+	Width    isa.Width
+	Node     translator.Node
+	Initial  translator.Node
+	ScalarNS float64
+	SIMDNS   float64
+	HybridNS float64
+}
+
+// SpeedupScalar and SpeedupSIMD are the hybrid's gains at this width.
+func (w WidthRow) SpeedupScalar() float64 { return safeDiv(w.ScalarNS, w.HybridNS) }
+func (w WidthRow) SpeedupSIMD() float64   { return safeDiv(w.SIMDNS, w.HybridNS) }
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// RunWidthStudy optimizes the named kernel at both SIMD widths on one CPU.
+func RunWidthStudy(cpuName, benchName string) ([]WidthRow, error) {
+	cpu, err := isa.ByName(cpuName)
+	if err != nil {
+		return nil, err
+	}
+	tmpl, err := hashTemplate(benchName)
+	if err != nil {
+		return nil, err
+	}
+	var rows []WidthRow
+	for _, width := range []isa.Width{isa.W512, isa.W256} {
+		eval := hef.NewSimEvaluator(cpu, tmpl, width, 1<<13)
+		initial, err := hef.InitialNode(cpu, tmpl, width)
+		if err != nil {
+			return nil, err
+		}
+		sr, err := hef.Search(eval, initial, hef.DefaultBounds)
+		if err != nil {
+			return nil, err
+		}
+		perElem := func(n translator.Node) (float64, error) {
+			res, err := eval.Run(n)
+			if err != nil {
+				return 0, err
+			}
+			return res.Seconds() / float64(res.Elems) * 1e9, nil
+		}
+		scalarNS, err := perElem(translator.Node{V: 0, S: 1, P: 1})
+		if err != nil {
+			return nil, err
+		}
+		simdNS, err := perElem(translator.Node{V: 1, S: 0, P: 1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, WidthRow{
+			Bench: benchName, Width: width,
+			Node: sr.Best, Initial: initial,
+			ScalarNS: scalarNS, SIMDNS: simdNS,
+			HybridNS: sr.BestSeconds * 1e9,
+		})
+	}
+	return rows, nil
+}
+
+// FormatWidthStudy renders the study as a table.
+func FormatWidthStudy(cpuName string, rows []WidthRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ISA width study on %s (ns/elem)\n", cpuName)
+	fmt.Fprintf(&b, "%-8s %-8s %-16s %10s %10s %10s %12s %10s\n",
+		"bench", "width", "optimum", "scalar", "SIMD", "hybrid", "hyb/scalar", "hyb/simd")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s AVX%-5d %-16s %10.3f %10.3f %10.3f %11.2fx %9.2fx\n",
+			r.Bench, widthLabel(r.Width), r.Node.String(),
+			r.ScalarNS, r.SIMDNS, r.HybridNS, r.SpeedupScalar(), r.SpeedupSIMD())
+	}
+	return b.String()
+}
+
+func widthLabel(w isa.Width) int {
+	if w == isa.W256 {
+		return 2
+	}
+	return 512
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hef/internal/isa"
+)
+
+// The ISA-portability claim: the hybrid execution wins at AVX2 too, with a
+// different optimal node than at AVX-512 (the framework re-derives it per
+// ISA rather than hard-coding one).
+func TestWidthStudyMurmur(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two searches are slow")
+	}
+	rows, err := RunWidthStudy("silver", "murmur")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want rows for both widths, got %d", len(rows))
+	}
+	byWidth := map[isa.Width]WidthRow{}
+	for _, r := range rows {
+		byWidth[r.Width] = r
+	}
+	for w, r := range byWidth {
+		if r.SpeedupScalar() <= 1 || r.SpeedupSIMD() <= 1 {
+			t.Errorf("width %d: hybrid should win (%.2fx scalar, %.2fx SIMD)",
+				w, r.SpeedupScalar(), r.SpeedupSIMD())
+		}
+	}
+	// On the Silver model the two widths deliver comparable SIMD
+	// throughput (two 256-bit FMA ports vs. one 512-bit unit), so only
+	// sanity-check the magnitudes rather than an ordering.
+	r256, r512 := byWidth[isa.W256].SIMDNS, byWidth[isa.W512].SIMDNS
+	if r256 <= 0 || r512 <= 0 || r256 > 3*r512 || r512 > 3*r256 {
+		t.Errorf("SIMD baselines diverge unreasonably: AVX2 %.3f ns vs AVX-512 %.3f ns", r256, r512)
+	}
+	// AVX2 has more vector pipes on this model (three 256-bit-capable
+	// ports), so the candidate generator starts from a different node.
+	if byWidth[isa.W256].Initial == byWidth[isa.W512].Initial {
+		t.Errorf("initial nodes should differ across widths, both %v", byWidth[isa.W256].Initial)
+	}
+	out := FormatWidthStudy("silver", rows)
+	if !strings.Contains(out, "AVX2") || !strings.Contains(out, "AVX512") {
+		t.Errorf("formatted study missing width labels:\n%s", out)
+	}
+}
+
+func TestRunWidthStudyErrors(t *testing.T) {
+	if _, err := RunWidthStudy("epyc", "murmur"); err == nil {
+		t.Error("unknown CPU should error")
+	}
+	if _, err := RunWidthStudy("silver", "sha"); err == nil {
+		t.Error("unknown bench should error")
+	}
+}

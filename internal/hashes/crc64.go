@@ -1,0 +1,99 @@
+package hashes
+
+import (
+	"fmt"
+
+	"hef/internal/hid"
+)
+
+// CRC64 (Jones polynomial, as used by Redis): table-driven, one byte per
+// round. The per-round table lookup depends on the previous round's CRC, so
+// the kernel is a dependent chain of loads — for the SIMD form a chain of
+// vpgatherqq whose latency (26 cycles) far exceeds its reciprocal throughput
+// (5 cycles). This is the paper's showcase for the pack optimisation.
+
+// jonesPoly is the reversed Jones polynomial.
+const jonesPoly = 0x95ac9329ac4bc9b5
+
+// crcTable is the 256-entry lookup table (2 KiB: always L1-resident, which
+// is why the paper calls CRC64's bottleneck "the L1 cache access").
+var crcTable = buildCRCTable()
+
+func buildCRCTable() *[256]uint64 {
+	var t [256]uint64
+	for i := 0; i < 256; i++ {
+		crc := uint64(i)
+		for j := 0; j < 8; j++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ jonesPoly
+			} else {
+				crc >>= 1
+			}
+		}
+		t[i] = crc
+	}
+	return &t
+}
+
+// CRC64 computes the table-driven CRC64 of a single 64-bit key, processing
+// its 8 bytes least-significant first.
+func CRC64(key uint64) uint64 {
+	crc := uint64(0)
+	for i := 0; i < 8; i++ {
+		b := (key >> (8 * i)) & 0xff
+		crc = crcTable[(crc^b)&0xff] ^ (crc >> 8)
+	}
+	return crc
+}
+
+// CRC64Batch computes CRC64 of src into dst element-wise.
+func CRC64Batch(dst, src []uint64) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = CRC64(src[i])
+	}
+}
+
+// CRC64TableBytes is the lookup-table footprint used when sizing the
+// simulated gather region.
+const CRC64TableBytes = 256 * 8
+
+// CRC64Template returns the CRC64 operator template. It uses the standard
+// linearity identity: XOR the eight message bytes into the (zero) initial
+// CRC, then run eight dependent rounds of
+//
+//	crc = T[crc & 0xff] ^ (crc >> 8)
+//
+// which equals the byte-at-a-time loop of CRC64 (asserted by the package
+// tests). Each round's gather depends on the previous round, forming the
+// latency-bound chain the pack optimisation breaks.
+func CRC64Template() *hid.Template {
+	b := hid.NewTemplate("crc64", hid.U64)
+	val := b.Stream("val", hid.ReadStream)
+	out := b.Stream("out", hid.WriteStream)
+	tab := b.Table("tab", CRC64TableBytes)
+	mask := b.Const("bmask", 0xff)
+
+	crc := b.Load("data", val) // crc0 = 0 ^ data
+	for i := 0; i < 8; i++ {
+		bIdx := b.And(fmt.Sprintf("b%d", i), crc, mask)
+		g := b.Gather(fmt.Sprintf("g%d", i), tab, bIdx)
+		s := b.Srl(fmt.Sprintf("s%d", i), crc, 8)
+		crc = b.Xor(fmt.Sprintf("crc%d", i+1), g, s)
+	}
+	b.Store(out, crc)
+	return b.MustBuild(knownOp)
+}
+
+// CRC64Merged computes CRC64 via the merged-initialisation identity used by
+// the HID template; the tests assert it equals CRC64.
+func CRC64Merged(key uint64) uint64 {
+	crc := key
+	for i := 0; i < 8; i++ {
+		crc = crcTable[crc&0xff] ^ (crc >> 8)
+	}
+	return crc
+}

@@ -1,0 +1,29 @@
+package hashes
+
+import "testing"
+
+func benchKeys() []uint64 {
+	keys := make([]uint64, 4096)
+	for i := range keys {
+		keys[i] = uint64(i) * 0x9e3779b97f4a7c15
+	}
+	return keys
+}
+
+func BenchmarkMurmur64Batch(b *testing.B) {
+	keys := benchKeys()
+	dst := make([]uint64, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	for i := 0; i < b.N; i++ {
+		Murmur64Batch(dst, keys)
+	}
+}
+
+func BenchmarkCRC64Batch(b *testing.B) {
+	keys := benchKeys()
+	dst := make([]uint64, len(keys))
+	b.SetBytes(int64(len(keys) * 8))
+	for i := 0; i < b.N; i++ {
+		CRC64Batch(dst, keys)
+	}
+}

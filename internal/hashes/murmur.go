@@ -1,0 +1,83 @@
+// Package hashes provides the two synthetic benchmark kernels of the paper's
+// Section V-C — MurmurHash (computation-bound: multiply/shift/xor) and CRC64
+// (L1-access-bound: a dependent table-lookup chain, the showcase for the
+// pack optimisation) — in two forms: functional Go implementations used for
+// correctness, and HID operator templates consumed by the HEF translator and
+// the microarchitecture simulator.
+package hashes
+
+import (
+	"hef/internal/hid"
+	"hef/internal/isa"
+)
+
+// Murmur constants (MurmurHash2 64A, the variant of the paper's Fig. 6).
+const (
+	murmurM    uint64 = 0xc6a4a7935bd1e995
+	murmurR           = 47
+	murmurSeed uint64 = 0x9747b28c
+)
+
+// murmurH0 is seed ^ (len*m) for 8-byte keys; computed at run time because
+// the product wraps modulo 2^64, which Go constant arithmetic rejects.
+var murmurH0 = murmurSeed ^ wrapMul8(murmurM)
+
+func wrapMul8(m uint64) uint64 { return m << 3 }
+
+// Murmur64 computes MurmurHash2-64A of a single 8-byte key, the per-element
+// kernel of the paper's MurmurHash benchmark.
+func Murmur64(key uint64) uint64 {
+	h := murmurH0
+	k := key
+	k *= murmurM
+	k ^= k >> murmurR
+	k *= murmurM
+	h ^= k
+	h *= murmurM
+	h ^= h >> murmurR
+	h *= murmurM
+	h ^= h >> murmurR
+	return h
+}
+
+// Murmur64Batch hashes src into dst element-wise.
+func Murmur64Batch(dst, src []uint64) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] = Murmur64(src[i])
+	}
+}
+
+// knownOp adapts the ISA description table as the template validator.
+func knownOp(op string) bool {
+	_, err := isa.Describe(op)
+	return err == nil
+}
+
+// MurmurTemplate returns the hash-value-computation operator template of
+// Fig. 6(a): hi_load, hi_mul, hi_srl, hi_xor chains ending in hi_store.
+func MurmurTemplate() *hid.Template {
+	b := hid.NewTemplate("murmur", hid.U64)
+	val := b.Stream("val", hid.ReadStream)
+	out := b.Stream("out", hid.WriteStream)
+	m := b.Const("m", murmurM)
+	h0 := b.Const("h0", murmurH0)
+
+	data := b.Load("data", val)
+	k1 := b.Mul("k1", data, m)
+	t1 := b.Srl("t1", k1, murmurR)
+	k2 := b.Xor("k2", k1, t1)
+	k3 := b.Mul("k3", k2, m)
+	h1 := b.Xor("h1", k3, h0)
+	h2 := b.Mul("h2", h1, m)
+	t2 := b.Srl("t2", h2, murmurR)
+	h3 := b.Xor("h3", h2, t2)
+	h4 := b.Mul("h4", h3, m)
+	t3 := b.Srl("t3", h4, murmurR)
+	h5 := b.Xor("h5", h4, t3)
+	b.Store(out, h5)
+	return b.MustBuild(knownOp)
+}

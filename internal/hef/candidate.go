@@ -1,0 +1,129 @@
+// Package hef implements the hybrid execution framework's offline search:
+// the candidate generator that derives an initial (v, s, p) node from
+// processor, instruction, and operator information (Section IV-A), and the
+// test-based pruning optimizer that walks the node space to the optimal
+// implementation (Section IV-C, Algorithm 2). The "test" step runs the
+// translated candidate on the microarchitecture simulator, standing in for
+// the paper's compile-and-measure loop.
+package hef
+
+import (
+	"fmt"
+
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+)
+
+// Node is re-exported from the translator for convenience.
+type Node = translator.Node
+
+// SearchSpaceSize evaluates the paper's Eq. 2, the size of the candidate
+// space for vector statements up to v, scalar statements up to s, and pack
+// values up to p:
+//
+//	space = v*s*(p-1) + v + s - 1,  v+s >= 1
+//
+// (The paper's Eq. 1 piecewise form sums to v*s*p + v + s before the
+// reduction; we implement the reduced Eq. 2 verbatim, as it is the form the
+// paper uses to bound the testing overhead.)
+func SearchSpaceSize(v, s, p int) int {
+	if v < 0 || s < 0 || p < 1 || v+s < 1 {
+		return 0
+	}
+	return v*s*(p-1) + v + s - 1
+}
+
+// EnumerateSpace lists every candidate node with at most vMax vector
+// statements, sMax scalar statements, and pack up to pMax. Pack only
+// multiplies the space when both kinds of statement are present, matching
+// Eq. 1's piecewise structure; pure-scalar and pure-SIMD implementations are
+// counted once per statement count.
+func EnumerateSpace(vMax, sMax, pMax int) []Node {
+	var nodes []Node
+	for v := 1; v <= vMax; v++ {
+		nodes = append(nodes, Node{V: v, S: 0, P: 1})
+	}
+	for s := 1; s <= sMax; s++ {
+		nodes = append(nodes, Node{V: 0, S: s, P: 1})
+	}
+	for v := 1; v <= vMax; v++ {
+		for s := 1; s <= sMax; s++ {
+			for p := 1; p <= pMax; p++ {
+				nodes = append(nodes, Node{V: v, S: s, P: p})
+			}
+		}
+	}
+	return nodes
+}
+
+// InitialNode implements the candidate generator's two-stage model:
+//
+// Stage 1 reads the processor description. The number of SIMD statements is
+// the number of SIMD pipes; the number of scalar statements is the number of
+// scalar ALU pipes that do not share an issue port with a SIMD unit (shared
+// pipes are treated as SIMD-exclusive, "because SIMD is more efficient than
+// scalar in most cases under the data analytics workload").
+//
+// Stage 2 reads the instruction tables. It finds the instruction with the
+// maximum latency/throughput ratio in the operator template, takes argc from
+// the SIMD instruction with the most register parameters, and sets
+//
+//	pack = min{ 32/throughput, 32/max(s*3, v*argc) }
+//
+// — the register budgets of Skylake (32 scalar, 32 vector) divided by the
+// per-pack register appetite, so execution intervals shrink as much as
+// possible without spilling registers to cache.
+func InitialNode(cpu *isa.CPU, tmpl *hid.Template, width isa.Width) (Node, error) {
+	if width == 0 {
+		width = isa.W512
+	}
+	v := cpu.NumSIMDPipes(width)
+	if v < 1 {
+		v = 1
+	}
+	s := cpu.NumExclusiveScalarPipes(width)
+
+	maxRatio := 0.0
+	throughput := 1
+	argc := 1
+	for _, stmt := range tmpl.Body {
+		desc, err := isa.Describe(stmt.Op)
+		if err != nil {
+			return Node{}, fmt.Errorf("hef: template %q: %w", tmpl.Name, err)
+		}
+		in := desc.VectorInstr(width)
+		if r := in.LatencyOverThroughput(); r > maxRatio {
+			maxRatio = r
+			throughput = in.Occupancy
+		}
+		if in.Argc > argc {
+			argc = in.Argc
+		}
+	}
+	if throughput < 1 {
+		throughput = 1
+	}
+
+	regs := cpu.GPRegs // 32 on both models, also equal to VecRegs
+	denom := s * 3
+	if va := v * argc; va > denom {
+		denom = va
+	}
+	if denom < 1 {
+		denom = 1
+	}
+	pack := regs / throughput
+	if byRegs := regs / denom; byRegs < pack {
+		pack = byRegs
+	}
+	if pack < 1 {
+		pack = 1
+	}
+
+	n := Node{V: v, S: s, P: pack}
+	if !n.Valid() {
+		return Node{}, fmt.Errorf("hef: candidate generator produced invalid node %v", n)
+	}
+	return n, nil
+}

@@ -1,0 +1,90 @@
+package hef
+
+import (
+	"fmt"
+
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// Evaluator measures one candidate node's execution time. The framework's
+// optimizer only compares times, so any monotone cost works; the production
+// implementation is SimEvaluator.
+type Evaluator interface {
+	// Evaluate returns the seconds-per-element cost of the node.
+	Evaluate(n Node) (float64, error)
+}
+
+// SimEvaluator translates the operator template at a node and times it on
+// the microarchitecture simulator — the analogue of the paper's
+// compile-and-run test step (Algorithm 2 lines 4-5).
+type SimEvaluator struct {
+	cpu   *isa.CPU
+	tmpl  *hid.Template
+	width isa.Width
+	elems int64
+	sim   *uarch.Sim
+
+	// Evaluations counts Evaluate calls, for pruning-savings reports.
+	Evaluations int
+}
+
+// DefaultTestElems is the synthetic test size for one evaluation: large
+// enough to reach steady state, small enough to keep the offline search
+// fast.
+const DefaultTestElems = 1 << 14
+
+// NewSimEvaluator builds an evaluator for tmpl on cpu at the given SIMD
+// width (0 selects AVX-512). elems <= 0 selects DefaultTestElems.
+func NewSimEvaluator(cpu *isa.CPU, tmpl *hid.Template, width isa.Width, elems int64) *SimEvaluator {
+	if width == 0 {
+		width = isa.W512
+	}
+	if elems <= 0 {
+		elems = DefaultTestElems
+	}
+	return &SimEvaluator{cpu: cpu, tmpl: tmpl, width: width, elems: elems, sim: uarch.NewSim(cpu)}
+}
+
+// Evaluate implements Evaluator.
+func (e *SimEvaluator) Evaluate(n Node) (float64, error) {
+	res, err := e.Run(n)
+	if err != nil {
+		return 0, err
+	}
+	if res.Elems == 0 {
+		return 0, fmt.Errorf("hef: node %v processed no elements", n)
+	}
+	return res.Seconds() / float64(res.Elems), nil
+}
+
+// Run translates and simulates the node, returning the full counter set
+// (used by the experiment harness for the paper's tables).
+func (e *SimEvaluator) Run(n Node) (*uarch.Result, error) {
+	out, err := translator.Translate(e.tmpl, n, translator.Options{Width: e.width, CPU: e.cpu})
+	if err != nil {
+		return nil, err
+	}
+	iters := e.elems / int64(out.ElemsPerIter)
+	if iters < 1 {
+		iters = 1
+	}
+	// Every node is measured under identical cache conditions: a reset
+	// hierarchy with LLC-fitting random regions (hash tables, lookup
+	// tables) warmed, then one throwaway run to settle the stream
+	// prefetcher. Without the reset, lines touched by earlier candidates
+	// would stay resident and bias later candidates.
+	e.sim.Hierarchy().Reset()
+	for _, p := range e.tmpl.Params {
+		if p.Pattern == hid.RandomRegion && p.Region > 0 && p.Region <= uint64(e.cpu.LLC.SizeBytes) {
+			e.sim.Hierarchy().Warm(translator.ParamBase(e.tmpl, p.Name), p.Region)
+		}
+	}
+	if _, err := e.sim.Run(out.Program, iters); err != nil {
+		return nil, err
+	}
+	e.Evaluations++
+	return e.sim.Run(out.Program, iters)
+}

@@ -1,0 +1,153 @@
+package hef
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Bounds caps the search space, mirroring the v, s, p upper limits of Eq. 1.
+type Bounds struct {
+	VMax, SMax, PMax int
+}
+
+// DefaultBounds allows up to 8 vector statements, 8 scalar statements, and
+// packs of 12 — comfortably containing every optimum the paper reports.
+var DefaultBounds = Bounds{VMax: 8, SMax: 8, PMax: 12}
+
+// contains reports whether n lies within the bounds.
+func (b Bounds) contains(n Node) bool {
+	return n.Valid() && n.V <= b.VMax && n.S <= b.SMax && n.P <= b.PMax
+}
+
+// Step records one evaluation during the search, for reporting and tests.
+type Step struct {
+	Node Node
+	// Seconds is the measured per-element time.
+	Seconds float64
+	// Parent is the node whose expansion produced this evaluation.
+	Parent Node
+	// Winner is true when the node beat its parent and joined the candidate
+	// list; false means it was pruned to the end list.
+	Winner bool
+}
+
+// Result is the outcome of a pruning search.
+type Result struct {
+	// Best is the optimal node found and BestSeconds its per-element time.
+	Best        Node
+	BestSeconds float64
+	// Initial is the candidate generator's starting node.
+	Initial Node
+	// Tested counts evaluator invocations (unique nodes evaluated).
+	Tested int
+	// SpaceSize is the full space per Eq. 2 at the search bounds, for
+	// pruning-savings reports.
+	SpaceSize int
+	// Trace lists every evaluation in order.
+	Trace []Step
+	// CandidateList holds the winners in discovery order; EndList holds the
+	// pruned nodes, mirroring Algorithm 2's two output lists.
+	CandidateList []Node
+	EndList       []Node
+}
+
+// PrunedFraction reports how much of the space the search avoided testing.
+func (r *Result) PrunedFraction() float64 {
+	if r.SpaceSize == 0 {
+		return 0
+	}
+	f := 1 - float64(r.Tested)/float64(r.SpaceSize)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// neighbors returns the one-step transformations of n: ±1 in each of v, s,
+// and p (the transformation set of Section IV-C).
+func neighbors(n Node) []Node {
+	return []Node{
+		{V: n.V + 1, S: n.S, P: n.P},
+		{V: n.V - 1, S: n.S, P: n.P},
+		{V: n.V, S: n.S + 1, P: n.P},
+		{V: n.V, S: n.S - 1, P: n.P},
+		{V: n.V, S: n.S, P: n.P + 1},
+		{V: n.V, S: n.S, P: n.P - 1},
+	}
+}
+
+// Search runs the pruning optimizer from the initial node: it evaluates the
+// neighbours of every candidate, appends those faster than their parent to
+// the candidate list, and prunes the rest — their variants are never
+// generated or tested (Algorithm 2). The relationship between nodes is a
+// strongly-connected graph, so the optimum stays reachable through some
+// monotonically improving path even when other paths to it are pruned.
+func Search(eval Evaluator, initial Node, bounds Bounds) (*Result, error) {
+	if !bounds.contains(initial) {
+		return nil, fmt.Errorf("hef: initial node %v outside bounds %+v", initial, bounds)
+	}
+	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
+
+	type scored struct {
+		node Node
+		sec  float64
+	}
+	initSec, err := eval.Evaluate(initial)
+	if err != nil {
+		return nil, fmt.Errorf("hef: evaluating initial node %v: %w", initial, err)
+	}
+	res.Tested++
+	res.Trace = append(res.Trace, Step{Node: initial, Seconds: initSec, Parent: initial, Winner: true})
+	res.Best, res.BestSeconds = initial, initSec
+	res.CandidateList = append(res.CandidateList, initial)
+
+	seen := map[Node]float64{initial: initSec}
+	queue := []scored{{initial, initSec}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range neighbors(cur.node) {
+			if !bounds.contains(nb) {
+				continue
+			}
+			sec, ok := seen[nb]
+			if !ok {
+				sec, err = eval.Evaluate(nb)
+				if err != nil {
+					return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
+				}
+				res.Tested++
+				seen[nb] = sec
+			} else {
+				// Already evaluated via another parent: reuse the time but
+				// still allow re-classification against this parent.
+				continue
+			}
+			win := sec < cur.sec
+			res.Trace = append(res.Trace, Step{Node: nb, Seconds: sec, Parent: cur.node, Winner: win})
+			if win {
+				res.CandidateList = append(res.CandidateList, nb)
+				queue = append(queue, scored{nb, sec})
+				if sec < res.BestSeconds {
+					res.Best, res.BestSeconds = nb, sec
+				}
+			} else {
+				res.EndList = append(res.EndList, nb)
+			}
+		}
+	}
+	sortNodes(res.EndList)
+	return res, nil
+}
+
+func sortNodes(ns []Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		if ns[i].V != ns[j].V {
+			return ns[i].V < ns[j].V
+		}
+		if ns[i].S != ns[j].S {
+			return ns[i].S < ns[j].S
+		}
+		return ns[i].P < ns[j].P
+	})
+}

@@ -1,0 +1,107 @@
+package hid
+
+import "fmt"
+
+// Builder constructs operator templates programmatically with
+// define-before-use enforced at Build time. It mirrors writing the operator
+// with hi_* intrinsic-style calls (Fig. 6(a)).
+type Builder struct {
+	t   *Template
+	err error
+}
+
+// NewTemplate starts a template for elements of type elem.
+func NewTemplate(name string, elem Type) *Builder {
+	return &Builder{t: &Template{Name: name, Elem: elem, Consts: map[string]uint64{}}}
+}
+
+// Stream declares a sequential pointer parameter and returns its operand.
+func (b *Builder) Stream(name string, pattern MemPattern) Operand {
+	b.t.Params = append(b.t.Params, Param{Name: name, Pattern: pattern})
+	return ParamOp(name)
+}
+
+// Table declares a randomly-accessed pointer parameter (e.g. a hash table or
+// lookup table) of the given byte size and returns its operand.
+func (b *Builder) Table(name string, regionBytes uint64) Operand {
+	b.t.Params = append(b.t.Params, Param{Name: name, Pattern: RandomRegion, Region: regionBytes})
+	return ParamOp(name)
+}
+
+// Acc declares an accumulator variable: a loop-carried value (such as an
+// aggregation sum or a CRC state) that may be read before it is written.
+func (b *Builder) Acc(name string) Operand {
+	b.t.Accs = append(b.t.Accs, name)
+	return Var(name)
+}
+
+// Const declares a named constant and returns its operand.
+func (b *Builder) Const(name string, value uint64) Operand {
+	b.t.Consts[name] = value
+	return ConstOp(name)
+}
+
+// Op appends dst = hi_<op>(args...) and returns the dst operand.
+func (b *Builder) Op(dst, op string, args ...Operand) Operand {
+	b.t.Body = append(b.t.Body, Stmt{Dst: dst, Op: op, Args: args})
+	return Var(dst)
+}
+
+// Load appends dst = hi_load(param).
+func (b *Builder) Load(dst string, param Operand) Operand { return b.Op(dst, "load", param) }
+
+// Gather appends dst = hi_gather(table, idx).
+func (b *Builder) Gather(dst string, table, idx Operand) Operand {
+	return b.Op(dst, "gather", table, idx)
+}
+
+// Store appends hi_store(param, v).
+func (b *Builder) Store(param, v Operand) {
+	b.t.Body = append(b.t.Body, Stmt{Op: "store", Args: []Operand{param, v}})
+}
+
+// Add, Sub, Mul, And, Or, Xor append the respective binary operations.
+func (b *Builder) Add(dst string, x, y Operand) Operand { return b.Op(dst, "add", x, y) }
+func (b *Builder) Sub(dst string, x, y Operand) Operand { return b.Op(dst, "sub", x, y) }
+func (b *Builder) Mul(dst string, x, y Operand) Operand { return b.Op(dst, "mul", x, y) }
+func (b *Builder) And(dst string, x, y Operand) Operand { return b.Op(dst, "and", x, y) }
+func (b *Builder) Or(dst string, x, y Operand) Operand  { return b.Op(dst, "or", x, y) }
+func (b *Builder) Xor(dst string, x, y Operand) Operand { return b.Op(dst, "xor", x, y) }
+
+// Srl and Sll append shifts by an immediate count.
+func (b *Builder) Srl(dst string, x Operand, count uint64) Operand {
+	return b.Op(dst, "srl", x, Imm(count))
+}
+func (b *Builder) Sll(dst string, x Operand, count uint64) Operand {
+	return b.Op(dst, "sll", x, Imm(count))
+}
+
+// CmpEq, CmpGt, CmpLt append comparisons producing a mask variable.
+func (b *Builder) CmpEq(dst string, x, y Operand) Operand { return b.Op(dst, "cmpeq", x, y) }
+func (b *Builder) CmpGt(dst string, x, y Operand) Operand { return b.Op(dst, "cmpgt", x, y) }
+func (b *Builder) CmpLt(dst string, x, y Operand) Operand { return b.Op(dst, "cmplt", x, y) }
+
+// Select appends dst = mask ? x : y.
+func (b *Builder) Select(dst string, mask, x, y Operand) Operand {
+	return b.Op(dst, "select", mask, x, y)
+}
+
+// Build validates and returns the template.
+func (b *Builder) Build(knownOps func(string) bool) (*Template, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.t.Validate(knownOps); err != nil {
+		return nil, err
+	}
+	return b.t, nil
+}
+
+// MustBuild is Build that panics on error, for statically-known templates.
+func (b *Builder) MustBuild(knownOps func(string) bool) *Template {
+	t, err := b.Build(knownOps)
+	if err != nil {
+		panic(fmt.Sprintf("hid: MustBuild(%s): %v", b.t.Name, err))
+	}
+	return t
+}

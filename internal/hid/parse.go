@@ -1,0 +1,224 @@
+package hid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// File is a parsed operator-template file: the paper stores templates as
+// strings with "an operator list and an operator dictionary" mapping names
+// to implementations.
+type File struct {
+	// List holds template names in file order.
+	List []string
+	// Dict maps names to templates.
+	Dict map[string]*Template
+}
+
+// Get returns a template by name.
+func (f *File) Get(name string) (*Template, error) {
+	t, ok := f.Dict[name]
+	if !ok {
+		return nil, fmt.Errorf("hid: no template named %q (have %v)", name, f.List)
+	}
+	return t, nil
+}
+
+// Parse reads operator templates from a textual description:
+//
+//	template murmur u64 (val:stream, out:wstream) {
+//	    const m = 0xc6a4a7935bd1e995;
+//	    data = load(val);
+//	    k    = mul(data, m);
+//	    kr   = srl(k, 47);
+//	    h    = xor(kr, k);
+//	    store(out, h);
+//	}
+//
+// Parameter patterns are stream, wstream, or random[<bytes>]. '#' starts a
+// comment. knownOps validates operation names against the description table.
+func Parse(src string, knownOps func(string) bool) (*File, error) {
+	f := &File{Dict: map[string]*Template{}}
+	lines := strings.Split(src, "\n")
+	var cur *Template
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		switch {
+		case strings.HasPrefix(line, "template "):
+			if cur != nil {
+				return nil, fmt.Errorf("hid: line %d: nested template (missing '}'?)", lineNo)
+			}
+			t, err := parseHeader(line, lineNo)
+			if err != nil {
+				return nil, err
+			}
+			cur = t
+		case line == "}":
+			if cur == nil {
+				return nil, fmt.Errorf("hid: line %d: '}' outside template", lineNo)
+			}
+			if err := cur.Validate(knownOps); err != nil {
+				return nil, fmt.Errorf("hid: line %d: %w", lineNo, err)
+			}
+			if _, dup := f.Dict[cur.Name]; dup {
+				return nil, fmt.Errorf("hid: line %d: duplicate template %q", lineNo, cur.Name)
+			}
+			f.List = append(f.List, cur.Name)
+			f.Dict[cur.Name] = cur
+			cur = nil
+		default:
+			if cur == nil {
+				return nil, fmt.Errorf("hid: line %d: statement outside template: %q", lineNo, line)
+			}
+			if err := parseStmt(cur, line, lineNo); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("hid: template %q not closed", cur.Name)
+	}
+	if len(f.List) == 0 {
+		return nil, fmt.Errorf("hid: no templates found")
+	}
+	return f, nil
+}
+
+func parseHeader(line string, ln int) (*Template, error) {
+	// template <name> <type> (<params>) {
+	rest := strings.TrimPrefix(line, "template ")
+	open := strings.IndexByte(rest, '(')
+	close_ := strings.LastIndexByte(rest, ')')
+	if open < 0 || close_ < open || !strings.HasSuffix(strings.TrimSpace(rest[close_+1:]), "{") {
+		return nil, fmt.Errorf("hid: line %d: malformed template header %q", ln, line)
+	}
+	head := strings.Fields(strings.TrimSpace(rest[:open]))
+	if len(head) != 2 {
+		return nil, fmt.Errorf("hid: line %d: template header needs '<name> <type>', got %q", ln, rest[:open])
+	}
+	elem, err := parseType(head[1])
+	if err != nil {
+		return nil, fmt.Errorf("hid: line %d: %w", ln, err)
+	}
+	t := &Template{Name: head[0], Elem: elem, Consts: map[string]uint64{}}
+	paramSrc := strings.TrimSpace(rest[open+1 : close_])
+	if paramSrc != "" {
+		for _, ps := range strings.Split(paramSrc, ",") {
+			p, err := parseParam(strings.TrimSpace(ps))
+			if err != nil {
+				return nil, fmt.Errorf("hid: line %d: %w", ln, err)
+			}
+			t.Params = append(t.Params, p)
+		}
+	}
+	return t, nil
+}
+
+func parseType(s string) (Type, error) {
+	switch s {
+	case "i16":
+		return I16, nil
+	case "u16":
+		return U16, nil
+	case "i32":
+		return I32, nil
+	case "u32":
+		return U32, nil
+	case "i64":
+		return I64, nil
+	case "u64":
+		return U64, nil
+	case "f32":
+		return F32, nil
+	case "f64":
+		return F64, nil
+	}
+	return 0, fmt.Errorf("unknown element type %q", s)
+}
+
+func parseParam(s string) (Param, error) {
+	name, spec, ok := strings.Cut(s, ":")
+	if !ok {
+		return Param{}, fmt.Errorf("parameter %q needs ':pattern'", s)
+	}
+	name, spec = strings.TrimSpace(name), strings.TrimSpace(spec)
+	switch {
+	case spec == "stream":
+		return Param{Name: name, Pattern: ReadStream}, nil
+	case spec == "wstream":
+		return Param{Name: name, Pattern: WriteStream}, nil
+	case strings.HasPrefix(spec, "random[") && strings.HasSuffix(spec, "]"):
+		n, err := strconv.ParseUint(spec[len("random["):len(spec)-1], 0, 64)
+		if err != nil {
+			return Param{}, fmt.Errorf("parameter %q: bad region: %v", s, err)
+		}
+		return Param{Name: name, Pattern: RandomRegion, Region: n}, nil
+	}
+	return Param{}, fmt.Errorf("parameter %q: unknown pattern %q", s, spec)
+}
+
+func parseStmt(t *Template, line string, ln int) error {
+	line = strings.TrimSuffix(line, ";")
+	if strings.HasPrefix(line, "const ") {
+		kv := strings.TrimPrefix(line, "const ")
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("hid: line %d: malformed const %q", ln, line)
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(val), 0, 64)
+		if err != nil {
+			return fmt.Errorf("hid: line %d: bad const value: %v", ln, err)
+		}
+		t.Consts[strings.TrimSpace(name)] = v
+		return nil
+	}
+	if strings.HasPrefix(line, "acc ") {
+		t.Accs = append(t.Accs, strings.TrimSpace(strings.TrimPrefix(line, "acc ")))
+		return nil
+	}
+	dst := ""
+	expr := line
+	if name, rhs, ok := strings.Cut(line, "="); ok {
+		dst = strings.TrimSpace(name)
+		expr = strings.TrimSpace(rhs)
+	}
+	open := strings.IndexByte(expr, '(')
+	if open < 0 || !strings.HasSuffix(expr, ")") {
+		return fmt.Errorf("hid: line %d: malformed statement %q", ln, line)
+	}
+	op := strings.TrimSpace(expr[:open])
+	op = strings.TrimPrefix(op, "hi_") // accept both load(...) and hi_load(...)
+	var args []Operand
+	argSrc := strings.TrimSpace(expr[open+1 : len(expr)-1])
+	if argSrc != "" {
+		for _, as := range strings.Split(argSrc, ",") {
+			args = append(args, resolveOperand(t, strings.TrimSpace(as)))
+		}
+	}
+	t.Body = append(t.Body, Stmt{Dst: dst, Op: op, Args: args})
+	return nil
+}
+
+// resolveOperand classifies a textual argument as immediate, parameter,
+// constant, or variable.
+func resolveOperand(t *Template, s string) Operand {
+	if v, err := strconv.ParseUint(s, 0, 64); err == nil {
+		return Imm(v)
+	}
+	if _, ok := t.Param(s); ok {
+		return ParamOp(s)
+	}
+	if _, ok := t.Consts[s]; ok {
+		return ConstOp(s)
+	}
+	return Var(s)
+}

@@ -1,0 +1,271 @@
+package isa
+
+import "fmt"
+
+// Port describes one issue port of the execution engine: the set of
+// micro-operation classes it accepts.
+type Port struct {
+	// Name is the conventional port label ("p0", "p1", ...).
+	Name string
+	// Accepts[c] is true when the port can execute micro-operations of
+	// class c at scalar/256-bit width.
+	Accepts [numClasses]bool
+}
+
+// CanRun reports whether the port accepts class c.
+func (p *Port) CanRun(c Class) bool { return p.Accepts[c] }
+
+// CacheGeom describes one cache level for the memory-subsystem simulator.
+type CacheGeom struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+	// LineBytes is the cache-line size.
+	LineBytes int
+	// Latency is the load-to-use latency in cycles when hitting this level.
+	Latency int
+}
+
+// FreqLevels models Intel's per-core frequency licenses: the clock the core
+// sustains under scalar-only, AVX2/light-AVX-512, and heavy AVX-512
+// (multiply-dense) instruction mixes. UncoreGovPenalty models the core-clock
+// reduction under sustained prefetch-driven bandwidth pressure (the regime
+// the paper measures for Voila); it is the fraction of the license frequency
+// removed per unit of prefetch micro-operation density, calibrated in
+// EXPERIMENTS.md.
+type FreqLevels struct {
+	ScalarGHz        float64
+	AVX2GHz          float64
+	AVX512GHz        float64
+	AVX512HeavyGHz   float64
+	UncoreGovPenalty float64
+	// MinGHz is the floor the governor may reach.
+	MinGHz float64
+}
+
+// CPU is the full machine description the simulator and HEF's candidate
+// generator consume.
+type CPU struct {
+	// Name identifies the part, e.g. "Xeon Silver 4110".
+	Name string
+
+	// Ports is the issue-port array.
+	Ports []Port
+	// Vec512Ports lists the ports driving a 512-bit execution unit. On
+	// Skylake-SP the port-0/port-1 FMA pair fuses into one 512-bit unit
+	// anchored at port 0 — port 1 stays available to scalar integer µops
+	// while 512-bit code runs (hence the paper's "one of the scalar
+	// pipelines shares the issue port with the AVX-512"). Gold and higher
+	// SKUs add a second full-width unit on port 5.
+	Vec512Ports []int
+
+	// DecodeWidth is the µops-per-cycle the front-end can deliver.
+	DecodeWidth int
+	// RetireWidth is the µops-per-cycle retirement bandwidth.
+	RetireWidth int
+	// ROBSize is the reorder-buffer capacity in µops.
+	ROBSize int
+	// RSSize is the scheduler (reservation-station) capacity in µops.
+	RSSize int
+	// LoadQueue and StoreQueue bound in-flight memory operations.
+	LoadQueue  int
+	StoreQueue int
+	// LineFillBuffers bounds concurrent outstanding L1 misses — the
+	// memory-level-parallelism limit that makes all engines converge in the
+	// DRAM-bound regime (Skylake has 12 per core, shared by demand misses
+	// and gather lanes).
+	LineFillBuffers int
+
+	// GPRegs and VecRegs are the register budgets the paper's pack equation
+	// uses ("Skylake has 32 general purpose scalar and vector registers
+	// respectively").
+	GPRegs  int
+	VecRegs int
+
+	// L1D, L2, LLC geometry plus main-memory latency.
+	L1D        CacheGeom
+	L2         CacheGeom
+	LLC        CacheGeom
+	MemLatency int
+
+	// VecWidth is the widest SIMD width the part executes natively
+	// (W512 for AVX-512 parts, W256 for Zen, W128 for Neon cores).
+	VecWidth Width
+
+	// Freq is the frequency-license model.
+	Freq FreqLevels
+}
+
+// NumSIMDPipes returns the number of execution units able to run a vector
+// µop at the given width — the quantity the candidate generator's first
+// stage reads.
+func (c *CPU) NumSIMDPipes(w Width) int {
+	if w == W512 {
+		return len(c.Vec512Ports)
+	}
+	n := 0
+	for i := range c.Ports {
+		if c.Ports[i].CanRun(VecALU) {
+			n++
+		}
+	}
+	return n
+}
+
+// NumScalarALUPipes returns the number of ports accepting scalar integer ALU
+// µops.
+func (c *CPU) NumScalarALUPipes() int {
+	n := 0
+	for i := range c.Ports {
+		if c.Ports[i].CanRun(IntALU) {
+			n++
+		}
+	}
+	return n
+}
+
+// NumExclusiveScalarPipes returns the scalar ALU pipes that do not share an
+// issue port with a 512-bit unit. The candidate generator treats shared
+// pipes as SIMD-exclusive ("for pipelines shared with SIMD and scalar, we
+// treat such pipelines as SIMD exclusive").
+func (c *CPU) NumExclusiveScalarPipes(w Width) int {
+	shared := make(map[int]bool)
+	if w == W512 {
+		for _, p := range c.Vec512Ports {
+			shared[p] = true
+		}
+	} else {
+		for i := range c.Ports {
+			if c.Ports[i].CanRun(VecALU) {
+				shared[i] = true
+			}
+		}
+	}
+	n := 0
+	for i := range c.Ports {
+		if c.Ports[i].CanRun(IntALU) && !shared[i] {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *CPU) String() string { return fmt.Sprintf("CPU(%s)", c.Name) }
+
+// NativeWidth returns the widest SIMD width the CPU executes natively,
+// defaulting to AVX-512 when unset.
+func (c *CPU) NativeWidth() Width {
+	if c.VecWidth == 0 {
+		return W512
+	}
+	return c.VecWidth
+}
+
+// skylakePorts builds the canonical Skylake-SP eight-port layout:
+//
+//	p0: scalar ALU + shift, vector ALU/mul/shift (FMA lane 0)
+//	p1: scalar ALU + multiply, vector ALU/mul/shift (FMA lane 1)
+//	p2: load
+//	p3: load
+//	p4: store data
+//	p5: scalar ALU, vector ALU + shuffle (512-bit unit on Gold+)
+//	p6: scalar ALU + shift, branch
+//	p7: store AGU (modelled as a second store slot)
+func skylakePorts() []Port {
+	mk := func(name string, classes ...Class) Port {
+		p := Port{Name: name}
+		for _, c := range classes {
+			p.Accepts[c] = true
+		}
+		return p
+	}
+	return []Port{
+		mk("p0", IntALU, IntShift, VecALU, VecMul, VecShift, Branch),
+		mk("p1", IntALU, IntMul, VecALU, VecMul, VecShift),
+		mk("p2", Load, Prefetch),
+		mk("p3", Load, Prefetch),
+		mk("p4", Store),
+		mk("p5", IntALU, VecALU, VecShuffle),
+		mk("p6", IntALU, IntShift, Branch),
+	}
+}
+
+// XeonSilver4110 returns the model of the paper's first testbed: one fused
+// AVX-512 unit per core (ports 0+1), four scalar ALU pipes of which two share
+// issue ports with the 512-bit unit.
+func XeonSilver4110() *CPU {
+	return &CPU{
+		Name:            "Intel Xeon Silver 4110",
+		Ports:           skylakePorts(),
+		Vec512Ports:     []int{0},
+		DecodeWidth:     5,
+		RetireWidth:     8,
+		ROBSize:         224,
+		RSSize:          97,
+		LoadQueue:       72,
+		StoreQueue:      56,
+		LineFillBuffers: 12,
+		GPRegs:          32,
+		VecRegs:         32,
+		L1D:             CacheGeom{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Latency: 4},
+		L2:              CacheGeom{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, Latency: 14},
+		LLC:             CacheGeom{SizeBytes: 11 << 20, Ways: 11, LineBytes: 64, Latency: 50},
+		MemLatency:      200,
+		Freq: FreqLevels{
+			ScalarGHz:        2.97,
+			AVX2GHz:          2.90,
+			AVX512GHz:        2.86,
+			AVX512HeavyGHz:   2.40,
+			UncoreGovPenalty: 0.65,
+			MinGHz:           1.60,
+		},
+	}
+}
+
+// XeonGold6240R returns the model of the paper's second testbed: two AVX-512
+// units per core (fused ports 0+1 plus a native unit on port 5).
+func XeonGold6240R() *CPU {
+	return &CPU{
+		Name:            "Intel Xeon Gold 6240R",
+		Ports:           skylakePorts(),
+		Vec512Ports:     []int{0, 5},
+		DecodeWidth:     5,
+		RetireWidth:     8,
+		ROBSize:         224,
+		RSSize:          97,
+		LoadQueue:       72,
+		StoreQueue:      56,
+		LineFillBuffers: 12,
+		GPRegs:          32,
+		VecRegs:         32,
+		L1D:             CacheGeom{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Latency: 4},
+		L2:              CacheGeom{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, Latency: 14},
+		LLC:             CacheGeom{SizeBytes: 32 << 20, Ways: 16, LineBytes: 64, Latency: 55},
+		MemLatency:      210,
+		Freq: FreqLevels{
+			ScalarGHz:        3.20,
+			AVX2GHz:          3.10,
+			AVX512GHz:        3.05,
+			AVX512HeavyGHz:   2.20,
+			UncoreGovPenalty: 0.31,
+			MinGHz:           2.00,
+		},
+	}
+}
+
+// ByName returns the CPU model with the given short name ("silver" or
+// "gold"), or an error for unknown names.
+func ByName(name string) (*CPU, error) {
+	switch name {
+	case "silver", "silver4110", "4110":
+		return XeonSilver4110(), nil
+	case "gold", "gold6240r", "6240r":
+		return XeonGold6240R(), nil
+	case "neoverse", "n1", "arm":
+		return NeoverseN1(), nil
+	case "zen", "zen2", "amd":
+		return AMDZen2(), nil
+	}
+	return nil, fmt.Errorf("isa: unknown CPU %q (want silver, gold, neoverse, or zen)", name)
+}

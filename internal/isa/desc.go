@@ -1,0 +1,105 @@
+package isa
+
+import "fmt"
+
+// DescEntry is one row of the paper's description tables (Table I): the
+// mapping from a hybrid-intermediate-description operation to its scalar,
+// AVX2, and AVX-512 realisations. When a target ISA lacks the instruction
+// (e.g. gather on a machine without it), the scalar form is substituted to
+// keep the interface consistent, exactly as the paper describes for Neon.
+type DescEntry struct {
+	// Op is the HID operation name, e.g. "add", "mul", "gather".
+	Op string
+	// Scalar, AVX2, AVX512, and Neon are mnemonics in the respective
+	// tables. An empty string means "not available on this ISA; fall back
+	// to scalar" — the paper's example is gather on Neon.
+	Scalar string
+	AVX2   string
+	AVX512 string
+	Neon   string
+	// Intrinsic is the C-intrinsic-style name used when rendering generated
+	// code for inspection (Fig. 6/7 analogue), with %w substituted by the
+	// vector width.
+	Intrinsic string
+}
+
+// descTable is the built-in description table covering the operations in the
+// paper's Table I plus the comparison/selection operations its SSB operators
+// need.
+var descTable = map[string]DescEntry{
+	"add":       {Op: "add", Scalar: "add", AVX2: "vpaddq.y", AVX512: "vpaddq", Neon: "add.v", Intrinsic: "_mm%w_add_epi64"},
+	"sub":       {Op: "sub", Scalar: "sub", AVX2: "vpsubq.y", AVX512: "vpsubq", Neon: "sub.v", Intrinsic: "_mm%w_sub_epi64"},
+	"mul":       {Op: "mul", Scalar: "imul", AVX2: "vpmullq.y", AVX512: "vpmullq", Neon: "mul.v", Intrinsic: "_mm%w_mullo_epi64"},
+	"and":       {Op: "and", Scalar: "and", AVX2: "vpandq.y", AVX512: "vpandq", Neon: "and.v", Intrinsic: "_mm%w_and_epi64"},
+	"or":        {Op: "or", Scalar: "or", AVX2: "vporq.y", AVX512: "vporq", Neon: "orr.v", Intrinsic: "_mm%w_or_epi64"},
+	"xor":       {Op: "xor", Scalar: "xor", AVX2: "vpxorq.y", AVX512: "vpxorq", Neon: "eor.v", Intrinsic: "_mm%w_xor_epi64"},
+	"srl":       {Op: "srl", Scalar: "shr", AVX2: "vpsrlq.y", AVX512: "vpsrlq", Neon: "ushr.v", Intrinsic: "_mm%w_srli_epi64"},
+	"srlv":      {Op: "srlv", Scalar: "shrx", AVX2: "vpsrlvq.y", AVX512: "vpsrlvq", Neon: "ushl.v", Intrinsic: "_mm%w_srlv_epi64"},
+	"sll":       {Op: "sll", Scalar: "shl", AVX2: "vpsllq.y", AVX512: "vpsllq", Neon: "ushl.v", Intrinsic: "_mm%w_slli_epi64"},
+	"cmpeq":     {Op: "cmpeq", Scalar: "cmp", AVX2: "vpcmpq.y", AVX512: "vpcmpq", Neon: "cmeq.v", Intrinsic: "_mm%w_cmpeq_epi64_mask"},
+	"cmpgt":     {Op: "cmpgt", Scalar: "cmp", AVX2: "vpcmpq.y", AVX512: "vpcmpq", Neon: "cmeq.v", Intrinsic: "_mm%w_cmpgt_epi64_mask"},
+	"cmplt":     {Op: "cmplt", Scalar: "cmp", AVX2: "vpcmpq.y", AVX512: "vpcmpq", Neon: "cmeq.v", Intrinsic: "_mm%w_cmplt_epi64_mask"},
+	"select":    {Op: "select", Scalar: "cmovcc", AVX2: "vpblendmq.y", AVX512: "vpblendmq", Neon: "bsl.v", Intrinsic: "_mm%w_mask_blend_epi64"},
+	"compress":  {Op: "compress", Scalar: "mov", AVX2: "vpcompressq.y", AVX512: "vpcompressq", Neon: "tbl.v", Intrinsic: "_mm%w_mask_compress_epi64"},
+	"broadcast": {Op: "broadcast", Scalar: "mov", AVX2: "vpbroadcastq.y", AVX512: "vpbroadcastq", Neon: "dup.v", Intrinsic: "_mm%w_set1_epi64"},
+	"load":      {Op: "load", Scalar: "movq", AVX2: "vmovdqu64.y", AVX512: "vmovdqu64", Neon: "ldr.q", Intrinsic: "_mm%w_loadu_epi64"},
+	"store":     {Op: "store", Scalar: "movq.st", AVX2: "vmovdqu64.y.st", AVX512: "vmovdqu64.st", Neon: "str.q", Intrinsic: "_mm%w_storeu_epi64"},
+	"gather":    {Op: "gather", Scalar: "movq", AVX2: "vpgatherqq.y", AVX512: "vpgatherqq", Intrinsic: "_mm%w_i64gather_epi64"},
+	// Software prefetch has no vector form; every ISA maps it to the scalar
+	// prefetch instruction (empty vector slots select the scalar fallback).
+	"prefetch": {Op: "prefetch", Scalar: "prefetch", Intrinsic: "_mm_prefetch"},
+}
+
+// Describe returns the description-table row for a HID operation.
+func Describe(op string) (DescEntry, error) {
+	e, ok := descTable[op]
+	if !ok {
+		return DescEntry{}, fmt.Errorf("isa: no description-table entry for HID op %q", op)
+	}
+	return e, nil
+}
+
+// MustDescribe is Describe for operations known to exist; it panics on
+// unknown operations.
+func MustDescribe(op string) DescEntry {
+	e, err := Describe(op)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// DescOps returns the HID operation names present in the description table.
+func DescOps() []string {
+	out := make([]string, 0, len(descTable))
+	for op := range descTable {
+		out = append(out, op)
+	}
+	return out
+}
+
+// ScalarInstr resolves the scalar realisation of a HID op. prefetch resolves
+// to the scalar prefetch on every ISA.
+func (e DescEntry) ScalarInstr() *Instr { return Scalar(e.Scalar) }
+
+// VectorInstr resolves the vector realisation of a HID op at width w,
+// falling back to the scalar form when the ISA lacks the instruction — the
+// rule the paper states for gather on Neon: "the underlying implementation
+// is scalar statements" to keep the interface consistent.
+func (e DescEntry) VectorInstr(w Width) *Instr {
+	switch w {
+	case W512:
+		if e.AVX512 != "" {
+			return AVX512(e.AVX512)
+		}
+	case W256:
+		if e.AVX2 != "" {
+			return AVX2(e.AVX2)
+		}
+	case W128:
+		if e.Neon != "" {
+			return Neon(e.Neon)
+		}
+	}
+	return e.ScalarInstr()
+}

@@ -1,0 +1,123 @@
+// Package isa models the instruction-set and execution-resource information
+// that HEF consumes: per-instruction latency and reciprocal throughput,
+// micro-operation counts, the execution-port classes an instruction may issue
+// to, and per-CPU port layouts for the two Skylake-SP parts evaluated in the
+// paper (Intel Xeon Silver 4110 and Gold 6240R).
+//
+// The numbers follow the Intel 64 and IA-32 Architectures Optimization
+// Reference Manual and published Skylake-SP measurements; they are the same
+// inputs the paper's candidate generator reads from the Intel intrinsics
+// guide (latency, throughput, pipe counts).
+package isa
+
+import "fmt"
+
+// Class identifies the kind of execution resource a micro-operation needs.
+type Class uint8
+
+const (
+	// IntALU covers scalar integer add/sub/logic/compare/mov.
+	IntALU Class = iota
+	// IntMul is scalar integer multiply (a single pipe on Skylake-SP).
+	IntMul
+	// IntShift is scalar shift/rotate (two pipes on Skylake-SP).
+	IntShift
+	// VecALU covers vector integer add/logic/compare.
+	VecALU
+	// VecMul covers vector integer multiply (vpmullq and friends).
+	VecMul
+	// VecShift covers vector shifts.
+	VecShift
+	// VecShuffle covers permutes, blends, compress/expand.
+	VecShuffle
+	// Load is a memory read (scalar or vector) through a load port.
+	Load
+	// Store is a memory write through the store port.
+	Store
+	// GatherOp is a vector gather; it monopolises the load ports.
+	GatherOp
+	// Branch is a taken/not-taken conditional jump.
+	Branch
+	// Prefetch is a software prefetch; it touches the cache hierarchy but
+	// produces no register result.
+	Prefetch
+	numClasses
+)
+
+var classNames = [numClasses]string{
+	"IntALU", "IntMul", "IntShift", "VecALU", "VecMul", "VecShift",
+	"VecShuffle", "Load", "Store", "Gather", "Branch", "Prefetch",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// IsMemory reports whether the class accesses the cache hierarchy.
+func (c Class) IsMemory() bool {
+	return c == Load || c == Store || c == GatherOp || c == Prefetch
+}
+
+// IsVector reports whether the class executes on vector resources.
+func (c Class) IsVector() bool {
+	switch c {
+	case VecALU, VecMul, VecShift, VecShuffle:
+		return true
+	}
+	return false
+}
+
+// Width is the operand width of an instruction in bits. Scalar integer
+// instructions are 64-bit; AVX2 is 256-bit; AVX-512 is 512-bit.
+type Width uint16
+
+const (
+	W64  Width = 64
+	W128 Width = 128
+	W256 Width = 256
+	W512 Width = 512
+)
+
+// Instr is the static description of one machine instruction: everything the
+// candidate generator and the timing model need to know about it.
+type Instr struct {
+	// Name is the assembly mnemonic, e.g. "vpmullq" or "imul".
+	Name string
+	// Class selects the execution resource.
+	Class Class
+	// Width is the operand width (W64 for scalar).
+	Width Width
+	// Latency is the result latency in cycles (L1-hit latency for loads,
+	// matching the convention of the Intel intrinsics guide that the paper
+	// cites: "the latency to access data from the L1 cache").
+	Latency int
+	// Occupancy is the number of cycles the chosen execution unit stays
+	// busy, i.e. the reciprocal throughput per unit. Fully pipelined
+	// instructions have Occupancy 1.
+	Occupancy int
+	// Uops is the number of micro-operations the instruction decodes into;
+	// it feeds the decode-bandwidth model and the instruction counters.
+	Uops int
+	// Lanes is the number of data elements the instruction processes
+	// (1 for scalar, 8 for 64-bit AVX-512 lanes, ...).
+	Lanes int
+	// Argc is the number of register arguments, used by the paper's pack
+	// equation (most scalar instructions use three registers at a time).
+	Argc int
+}
+
+// LatencyOverThroughput returns the latency/throughput ratio the candidate
+// generator maximises over when choosing the pack value (Section IV-A).
+func (in *Instr) LatencyOverThroughput() float64 {
+	if in.Occupancy <= 0 {
+		return float64(in.Latency)
+	}
+	return float64(in.Latency) / float64(in.Occupancy)
+}
+
+func (in *Instr) String() string {
+	return fmt.Sprintf("%s(w%d lat=%d occ=%d)", in.Name, in.Width, in.Latency, in.Occupancy)
+}

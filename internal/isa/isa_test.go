@@ -1,0 +1,162 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeCoversTableI(t *testing.T) {
+	// The operations listed in the paper's Table I must all be present.
+	for _, op := range []string{"add", "mul", "and", "store", "load", "gather"} {
+		e, err := Describe(op)
+		if err != nil {
+			t.Fatalf("Describe(%q): %v", op, err)
+		}
+		if e.Scalar == "" || e.AVX2 == "" || e.AVX512 == "" {
+			t.Errorf("Describe(%q) has empty realisations: %+v", op, e)
+		}
+	}
+}
+
+func TestDescribeUnknownOp(t *testing.T) {
+	if _, err := Describe("frobnicate"); err == nil {
+		t.Error("Describe should fail for unknown ops")
+	}
+}
+
+func TestDescEntryResolution(t *testing.T) {
+	e := MustDescribe("mul")
+	if got := e.ScalarInstr().Name; got != "imul" {
+		t.Errorf("scalar mul = %q, want imul", got)
+	}
+	if got := e.VectorInstr(W512).Name; got != "vpmullq" {
+		t.Errorf("512-bit mul = %q, want vpmullq", got)
+	}
+	if got := e.VectorInstr(W256).Name; got != "vpmullq.y" {
+		t.Errorf("256-bit mul = %q, want vpmullq.y", got)
+	}
+	// An unsupported width falls back to scalar (the paper's Neon-gather rule).
+	if got := e.VectorInstr(W64).Name; got != "imul" {
+		t.Errorf("64-bit 'vector' mul = %q, want scalar fallback imul", got)
+	}
+}
+
+func TestDescriptionTableConsistency(t *testing.T) {
+	// Every description-table row must reference real instructions, with
+	// coherent lane counts and classes between ISAs.
+	for _, op := range DescOps() {
+		e := MustDescribe(op)
+		s := e.ScalarInstr()
+		v512 := e.VectorInstr(W512)
+		v256 := e.VectorInstr(W256)
+		if s.Lanes != 1 {
+			t.Errorf("%s: scalar lanes = %d, want 1", op, s.Lanes)
+		}
+		if e.AVX512 != "" && op != "prefetch" {
+			if v512.Lanes != 8 {
+				t.Errorf("%s: avx512 lanes = %d, want 8", op, v512.Lanes)
+			}
+			if v256.Lanes != 4 {
+				t.Errorf("%s: avx2 lanes = %d, want 4", op, v256.Lanes)
+			}
+		}
+		if !strings.Contains(e.Intrinsic, "_mm") {
+			t.Errorf("%s: intrinsic name %q looks wrong", op, e.Intrinsic)
+		}
+	}
+}
+
+func TestGatherLatencyThroughputGap(t *testing.T) {
+	// The paper's motivating example: vpgatherqq latency 26, throughput 5.
+	g := AVX512("vpgatherqq")
+	if g.Latency != 26 || g.Occupancy != 4 {
+		t.Errorf("vpgatherqq lat/occ = %d/%d, want 26/4", g.Latency, g.Occupancy)
+	}
+	if r := g.LatencyOverThroughput(); r < 5 || r > 7 {
+		t.Errorf("latency/throughput = %.2f, want 6.5", r)
+	}
+}
+
+func TestCPUPipeCounts(t *testing.T) {
+	silver := XeonSilver4110()
+	gold := XeonGold6240R()
+
+	if got := silver.NumSIMDPipes(W512); got != 1 {
+		t.Errorf("Silver 4110 512-bit pipes = %d, want 1", got)
+	}
+	if got := gold.NumSIMDPipes(W512); got != 2 {
+		t.Errorf("Gold 6240R 512-bit pipes = %d, want 2", got)
+	}
+	if got := silver.NumScalarALUPipes(); got != 4 {
+		t.Errorf("Silver scalar ALU pipes = %d, want 4", got)
+	}
+	// The candidate generator counts scalar pipes not shared with a 512-bit
+	// unit: the paper's "four scalar pipelines, in which one shares the
+	// issue port with the AVX-512" gives three exclusive pipes on Silver.
+	if got := silver.NumExclusiveScalarPipes(W512); got != 3 {
+		t.Errorf("Silver exclusive scalar pipes = %d, want 3 (p1,p5,p6)", got)
+	}
+	if got := gold.NumExclusiveScalarPipes(W512); got != 2 {
+		t.Errorf("Gold exclusive scalar pipes = %d, want 2 (p1,p6)", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"silver": "Intel Xeon Silver 4110",
+		"gold":   "Intel Xeon Gold 6240R",
+	} {
+		cpu, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if cpu.Name != want {
+			t.Errorf("ByName(%q) = %q, want %q", name, cpu.Name, want)
+		}
+	}
+	if _, err := ByName("epyc"); err == nil {
+		t.Error("ByName should reject unknown CPUs")
+	}
+}
+
+func TestLookupTables(t *testing.T) {
+	if len(ScalarNames()) == 0 || len(AVX512Names()) == 0 || len(AVX2Names()) == 0 {
+		t.Fatal("instruction tables should not be empty")
+	}
+	if _, ok := LookupScalar("imul"); !ok {
+		t.Error("imul missing from scalar table")
+	}
+	if _, ok := LookupAVX512("vpgatherqq"); !ok {
+		t.Error("vpgatherqq missing from avx512 table")
+	}
+	if _, ok := LookupAVX2("vpgatherqq.y"); !ok {
+		t.Error("vpgatherqq.y missing from avx2 table")
+	}
+	if _, ok := LookupScalar("nosuch"); ok {
+		t.Error("LookupScalar should miss unknown names")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Scalar should panic on unknown mnemonic")
+		}
+	}()
+	Scalar("nosuch")
+}
+
+func TestClassProperties(t *testing.T) {
+	if !Load.IsMemory() || !Store.IsMemory() || !GatherOp.IsMemory() || !Prefetch.IsMemory() {
+		t.Error("memory classes misreported")
+	}
+	if IntALU.IsMemory() || VecMul.IsMemory() {
+		t.Error("compute classes misreported as memory")
+	}
+	if !VecALU.IsVector() || !VecMul.IsVector() || !VecShift.IsVector() || !VecShuffle.IsVector() {
+		t.Error("vector classes misreported")
+	}
+	if IntALU.IsVector() || Load.IsVector() {
+		t.Error("non-vector classes misreported as vector")
+	}
+	if IntMul.String() != "IntMul" {
+		t.Errorf("Class.String = %q", IntMul.String())
+	}
+}

@@ -1,0 +1,112 @@
+package isa
+
+// Models of the two non-Intel microarchitectures the paper's background
+// section discusses (Section II-A): ARM Neoverse N1 and AMD Zen 2. Both
+// differ from Skylake exactly the way the paper describes — "Zen and
+// Neoverse have separate issue ports for vector and scalar
+// micro-operations" — so their scalar pipes are all SIMD-exclusive for the
+// candidate generator, and neither has AVX-512 frequency licensing. The
+// Neoverse model runs the hybrid intermediate description at Neon width
+// (128-bit), where gather has no vector realisation and falls back to
+// scalar statements (Section III-B's example).
+
+// NeoverseN1 returns the ARM Neoverse N1 model: three scalar integer pipes
+// (one with multiply), two separate 128-bit Neon pipes, two load ports,
+// one store port, and a flat frequency (no vector licensing).
+func NeoverseN1() *CPU {
+	mk := func(name string, classes ...Class) Port {
+		p := Port{Name: name}
+		for _, c := range classes {
+			p.Accepts[c] = true
+		}
+		return p
+	}
+	return &CPU{
+		Name: "ARM Neoverse N1",
+		Ports: []Port{
+			mk("i0", IntALU, IntShift),
+			mk("i1", IntALU, IntShift, IntMul),
+			mk("i2", IntALU, Branch),
+			mk("v0", VecALU, VecMul, VecShift, VecShuffle),
+			mk("v1", VecALU, VecShift, VecShuffle),
+			mk("l0", Load, Prefetch),
+			mk("l1", Load, Prefetch),
+			mk("s0", Store),
+		},
+		Vec512Ports: nil, // no 512-bit units
+		VecWidth:    W128,
+		DecodeWidth: 4,
+		RetireWidth: 8,
+		ROBSize:     128,
+		RSSize:      72,
+		LoadQueue:   56,
+		StoreQueue:  44,
+		// AArch64: 31 general-purpose and 32 vector registers.
+		GPRegs:          31,
+		VecRegs:         32,
+		LineFillBuffers: 12,
+		L1D:             CacheGeom{SizeBytes: 64 << 10, Ways: 4, LineBytes: 64, Latency: 4},
+		L2:              CacheGeom{SizeBytes: 1 << 20, Ways: 8, LineBytes: 64, Latency: 11},
+		LLC:             CacheGeom{SizeBytes: 32 << 20, Ways: 16, LineBytes: 64, Latency: 60},
+		MemLatency:      220,
+		Freq: FreqLevels{
+			ScalarGHz:        2.60,
+			AVX2GHz:          2.60,
+			AVX512GHz:        2.60,
+			AVX512HeavyGHz:   2.60,
+			UncoreGovPenalty: 0.5,
+			MinGHz:           2.00,
+		},
+	}
+}
+
+// AMDZen2 returns the AMD Zen 2 model: four scalar integer ALUs (one
+// multiply pipe) and three separate 256-bit vector pipes behind a split
+// scheduler, with no 512-bit units and no AVX licensing downclock.
+func AMDZen2() *CPU {
+	mk := func(name string, classes ...Class) Port {
+		p := Port{Name: name}
+		for _, c := range classes {
+			p.Accepts[c] = true
+		}
+		return p
+	}
+	return &CPU{
+		Name: "AMD Zen 2",
+		Ports: []Port{
+			mk("alu0", IntALU, IntShift),
+			mk("alu1", IntALU, IntMul),
+			mk("alu2", IntALU, IntShift),
+			mk("alu3", IntALU, Branch),
+			mk("fp0", VecALU, VecMul, VecShift),
+			mk("fp1", VecALU, VecMul, VecShuffle),
+			mk("fp2", VecALU, VecShift, VecShuffle),
+			mk("ld0", Load, Prefetch),
+			mk("ld1", Load, Prefetch),
+			mk("st0", Store),
+		},
+		Vec512Ports:     nil,
+		VecWidth:        W256,
+		DecodeWidth:     5,
+		RetireWidth:     8,
+		ROBSize:         224,
+		RSSize:          92,
+		LoadQueue:       72,
+		StoreQueue:      48,
+		GPRegs:          32,
+		VecRegs:         32,
+		LineFillBuffers: 16,
+		L1D:             CacheGeom{SizeBytes: 32 << 10, Ways: 8, LineBytes: 64, Latency: 4},
+		L2:              CacheGeom{SizeBytes: 512 << 10, Ways: 8, LineBytes: 64, Latency: 12},
+		LLC:             CacheGeom{SizeBytes: 16 << 20, Ways: 16, LineBytes: 64, Latency: 40},
+		MemLatency:      210,
+		Freq: FreqLevels{
+			ScalarGHz:        3.35,
+			AVX2GHz:          3.35,
+			AVX512GHz:        3.35,
+			AVX512HeavyGHz:   3.35,
+			UncoreGovPenalty: 0.5,
+			MinGHz:           2.50,
+		},
+	}
+}

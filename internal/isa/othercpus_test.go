@@ -1,0 +1,96 @@
+package isa
+
+import "testing"
+
+func TestOtherCPUModels(t *testing.T) {
+	n1 := NeoverseN1()
+	zen := AMDZen2()
+
+	if n1.NativeWidth() != W128 {
+		t.Errorf("Neoverse width = %d, want 128 (Neon)", n1.NativeWidth())
+	}
+	if zen.NativeWidth() != W256 {
+		t.Errorf("Zen 2 width = %d, want 256", zen.NativeWidth())
+	}
+	if XeonSilver4110().NativeWidth() != W512 {
+		t.Error("Silver should be 512-bit native")
+	}
+	// A zero-value VecWidth defaults to AVX-512 (legacy models).
+	legacy := &CPU{}
+	if legacy.NativeWidth() != W512 {
+		t.Error("unset VecWidth should default to W512")
+	}
+
+	// The paper: "Zen and Neoverse have separate issue ports for vector and
+	// scalar micro-operations" — every scalar pipe is SIMD-exclusive.
+	if got := n1.NumExclusiveScalarPipes(W128); got != 3 {
+		t.Errorf("Neoverse exclusive scalar pipes = %d, want 3", got)
+	}
+	if got := zen.NumExclusiveScalarPipes(W256); got != 4 {
+		t.Errorf("Zen exclusive scalar pipes = %d, want 4", got)
+	}
+	// Two Neon pipes, three Zen vector pipes.
+	if got := n1.NumSIMDPipes(W128); got != 2 {
+		t.Errorf("Neoverse SIMD pipes = %d, want 2", got)
+	}
+	if got := zen.NumSIMDPipes(W256); got != 3 {
+		t.Errorf("Zen SIMD pipes = %d, want 3", got)
+	}
+	// Neither has 512-bit units.
+	if n1.NumSIMDPipes(W512) != 0 || zen.NumSIMDPipes(W512) != 0 {
+		t.Error("non-Intel models must have no 512-bit units")
+	}
+}
+
+func TestByNameNewModels(t *testing.T) {
+	for name, want := range map[string]string{
+		"neoverse": "ARM Neoverse N1",
+		"arm":      "ARM Neoverse N1",
+		"zen":      "AMD Zen 2",
+		"amd":      "AMD Zen 2",
+	} {
+		cpu, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if cpu.Name != want {
+			t.Errorf("ByName(%q) = %q, want %q", name, cpu.Name, want)
+		}
+	}
+}
+
+func TestNeonDescriptionTable(t *testing.T) {
+	// Compute operations have Neon realisations ...
+	for _, op := range []string{"add", "mul", "xor", "srl", "load", "store", "select"} {
+		e := MustDescribe(op)
+		in := e.VectorInstr(W128)
+		if in.Width != W128 {
+			t.Errorf("%s at Neon width resolves to %s (width %d), want a 128-bit form", op, in.Name, in.Width)
+		}
+		if in.Lanes != 2 {
+			t.Errorf("%s Neon lanes = %d, want 2", op, in.Lanes)
+		}
+	}
+	// ... but gather does not: the paper's example — "it is not supported
+	// by Neon currently, so the underlying implementation is scalar".
+	g := MustDescribe("gather").VectorInstr(W128)
+	if g.Width != W64 || g.Name != "movq" {
+		t.Errorf("gather at Neon width = %s (width %d), want the scalar fallback movq", g.Name, g.Width)
+	}
+	if _, ok := LookupNeon("mul.v"); !ok {
+		t.Error("mul.v missing from Neon table")
+	}
+	if len(NeonNames()) == 0 {
+		t.Error("Neon table empty")
+	}
+}
+
+func TestNeonFrequencyFlat(t *testing.T) {
+	// ARM and AMD parts have no AVX licensing: all levels equal.
+	for _, cpu := range []*CPU{NeoverseN1(), AMDZen2()} {
+		f := cpu.Freq
+		if f.ScalarGHz != f.AVX512GHz || f.ScalarGHz != f.AVX512HeavyGHz {
+			t.Errorf("%s should have a flat frequency model: %+v", cpu.Name, f)
+		}
+	}
+}

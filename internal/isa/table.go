@@ -1,0 +1,117 @@
+package isa
+
+import "fmt"
+
+// The instruction tables. Latency/occupancy values follow the Intel
+// optimization manual and Agner Fog's Skylake-SP measurements, which are the
+// public equivalents of the intrinsics-guide numbers the paper reads
+// (e.g. vpgatherqq: latency 26, reciprocal throughput 5).
+
+// Scalar 64-bit integer instructions.
+var scalarTable = map[string]*Instr{
+	"add":      {Name: "add", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"sub":      {Name: "sub", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"imul":     {Name: "imul", Class: IntMul, Width: W64, Latency: 3, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"and":      {Name: "and", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"or":       {Name: "or", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"xor":      {Name: "xor", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"shr":      {Name: "shr", Class: IntShift, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"shrx":     {Name: "shrx", Class: IntShift, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"shl":      {Name: "shl", Class: IntShift, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"cmp":      {Name: "cmp", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 2},
+	"cmovcc":   {Name: "cmovcc", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"mov":      {Name: "mov", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 2},
+	"movzx":    {Name: "movzx", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 2},
+	"lea":      {Name: "lea", Class: IntALU, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 3},
+	"movq":     {Name: "movq", Class: Load, Width: W64, Latency: 4, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 2},
+	"movq.st":  {Name: "movq.st", Class: Store, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 2},
+	"jcc":      {Name: "jcc", Class: Branch, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 1},
+	"prefetch": {Name: "prefetch", Class: Prefetch, Width: W64, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 1, Argc: 1},
+}
+
+// AVX-512 instructions operating on 8x64-bit lanes. vpmullq decodes to three
+// multiply passes on the FMA unit; vpgatherqq keeps both load ports busy for
+// its reciprocal-throughput window.
+var avx512Table = map[string]*Instr{
+	"vpaddq":       {Name: "vpaddq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpsubq":       {Name: "vpsubq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpmullq":      {Name: "vpmullq", Class: VecMul, Width: W512, Latency: 15, Occupancy: 3, Uops: 3, Lanes: 8, Argc: 3},
+	"vpandq":       {Name: "vpandq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vporq":        {Name: "vporq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpxorq":       {Name: "vpxorq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpsrlq":       {Name: "vpsrlq", Class: VecShift, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpsrlvq":      {Name: "vpsrlvq", Class: VecShift, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpsllq":       {Name: "vpsllq", Class: VecShift, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpcmpq":       {Name: "vpcmpq", Class: VecALU, Width: W512, Latency: 3, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpblendmq":    {Name: "vpblendmq", Class: VecALU, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 3},
+	"vpcompressq":  {Name: "vpcompressq", Class: VecShuffle, Width: W512, Latency: 3, Occupancy: 2, Uops: 2, Lanes: 8, Argc: 2},
+	"vpbroadcastq": {Name: "vpbroadcastq", Class: VecShuffle, Width: W512, Latency: 3, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 2},
+	"vmovdqu64":    {Name: "vmovdqu64", Class: Load, Width: W512, Latency: 7, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 2},
+	"vmovdqu64.st": {Name: "vmovdqu64.st", Class: Store, Width: W512, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 8, Argc: 2},
+	"vpgatherqq":   {Name: "vpgatherqq", Class: GatherOp, Width: W512, Latency: 26, Occupancy: 4, Uops: 10, Lanes: 8, Argc: 2},
+}
+
+// AVX2 instructions on 4x64-bit lanes. _mm256_mullo_epi64 needs AVX-512VL in
+// hardware, exactly as the paper's Table I lists it; latencies match the
+// 512-bit forms.
+var avx2Table = map[string]*Instr{
+	"vpaddq.y":       {Name: "vpaddq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpsubq.y":       {Name: "vpsubq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpmullq.y":      {Name: "vpmullq.y", Class: VecMul, Width: W256, Latency: 15, Occupancy: 3, Uops: 3, Lanes: 4, Argc: 3},
+	"vpandq.y":       {Name: "vpandq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vporq.y":        {Name: "vporq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpxorq.y":       {Name: "vpxorq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpsrlq.y":       {Name: "vpsrlq.y", Class: VecShift, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpsrlvq.y":      {Name: "vpsrlvq.y", Class: VecShift, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpsllq.y":       {Name: "vpsllq.y", Class: VecShift, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpcmpq.y":       {Name: "vpcmpq.y", Class: VecALU, Width: W256, Latency: 3, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpblendmq.y":    {Name: "vpblendmq.y", Class: VecALU, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 3},
+	"vpcompressq.y":  {Name: "vpcompressq.y", Class: VecShuffle, Width: W256, Latency: 3, Occupancy: 2, Uops: 2, Lanes: 4, Argc: 2},
+	"vpbroadcastq.y": {Name: "vpbroadcastq.y", Class: VecShuffle, Width: W256, Latency: 3, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 2},
+	"vmovdqu64.y":    {Name: "vmovdqu64.y", Class: Load, Width: W256, Latency: 7, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 2},
+	"vmovdqu64.y.st": {Name: "vmovdqu64.y.st", Class: Store, Width: W256, Latency: 1, Occupancy: 1, Uops: 1, Lanes: 4, Argc: 2},
+	"vpgatherqq.y":   {Name: "vpgatherqq.y", Class: GatherOp, Width: W256, Latency: 20, Occupancy: 4, Uops: 5, Lanes: 4, Argc: 2},
+}
+
+// Scalar returns the scalar instruction named name.
+func Scalar(name string) *Instr { return mustLookup(scalarTable, name, "scalar") }
+
+// AVX512 returns the AVX-512 instruction named name.
+func AVX512(name string) *Instr { return mustLookup(avx512Table, name, "avx512") }
+
+// AVX2 returns the AVX2 instruction named name.
+func AVX2(name string) *Instr { return mustLookup(avx2Table, name, "avx2") }
+
+// LookupScalar returns the scalar instruction and whether it exists.
+func LookupScalar(name string) (*Instr, bool) { in, ok := scalarTable[name]; return in, ok }
+
+// LookupAVX512 returns the AVX-512 instruction and whether it exists.
+func LookupAVX512(name string) (*Instr, bool) { in, ok := avx512Table[name]; return in, ok }
+
+// LookupAVX2 returns the AVX2 instruction and whether it exists.
+func LookupAVX2(name string) (*Instr, bool) { in, ok := avx2Table[name]; return in, ok }
+
+func mustLookup(t map[string]*Instr, name, table string) *Instr {
+	in, ok := t[name]
+	if !ok {
+		panic(fmt.Sprintf("isa: unknown %s instruction %q", table, name))
+	}
+	return in
+}
+
+// ScalarNames returns all scalar mnemonics (for tests and tooling).
+func ScalarNames() []string { return names(scalarTable) }
+
+// AVX512Names returns all AVX-512 mnemonics.
+func AVX512Names() []string { return names(avx512Table) }
+
+// AVX2Names returns all AVX2 mnemonics.
+func AVX2Names() []string { return names(avx2Table) }
+
+func names(t map[string]*Instr) []string {
+	out := make([]string, 0, len(t))
+	for n := range t {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package queries
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the query plan in the pipeline form the executor runs:
+// dimension filters feeding hash-table builds, the probe chain over the
+// fact table in order, and the final aggregation.
+func Explain(q Query) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", q.ID, q.Measure)
+	if len(q.FactPreds) > 0 {
+		preds := make([]string, len(q.FactPreds))
+		for i, p := range q.FactPreds {
+			preds[i] = p.String()
+		}
+		fmt.Fprintf(&b, "  scan lineorder where %s\n", strings.Join(preds, " and "))
+	} else {
+		fmt.Fprintf(&b, "  scan lineorder\n")
+	}
+	for i, j := range q.Joins {
+		var preds []string
+		for _, p := range j.Preds {
+			preds = append(preds, p.String())
+		}
+		where := ""
+		if len(preds) > 0 {
+			where = " where " + strings.Join(preds, " and ")
+		}
+		payload := ""
+		if j.Payload != "" {
+			payload = fmt.Sprintf(" -> %s.%s", j.Dim, j.Payload)
+		}
+		fmt.Fprintf(&b, "  probe %d: lineorder.%s = %s.%s%s%s\n",
+			i+1, j.FactFK, j.Dim, j.DimKey, where, payload)
+	}
+	if q.GroupBy() {
+		var keys []string
+		for _, j := range q.Joins {
+			if j.Payload != "" {
+				keys = append(keys, j.Dim+"."+j.Payload)
+			}
+		}
+		fmt.Fprintf(&b, "  group by %s\n", strings.Join(keys, ", "))
+	} else {
+		fmt.Fprintf(&b, "  aggregate to a single sum\n")
+	}
+	return b.String()
+}
+
+// ExplainStats renders the measured per-stage cardinalities of an executed
+// query (an EXPLAIN ANALYZE analogue).
+func ExplainStats(res *Result) string {
+	var b strings.Builder
+	b.WriteString(Explain(res.Query))
+	st := res.Stats
+	fmt.Fprintf(&b, "  -- fact rows %d, after fact predicates %d\n", st.FactRows, st.FactPassed)
+	for i, j := range res.Query.Joins {
+		fmt.Fprintf(&b, "  -- probe %d (%s): dim %d -> %d entries, ht %d KiB, rows %d -> %d (%.3f%%)\n",
+			i+1, j.Dim, st.DimRows[i], st.DimPassed[i], st.HTBytes[i]>>10,
+			st.ProbeIn[i], st.ProbeOut[i],
+			100*float64(st.ProbeOut[i])/float64(max(st.ProbeIn[i], 1)))
+	}
+	fmt.Fprintf(&b, "  -- result: %d group(s), total %d\n", st.GroupCount, res.Sum)
+	return b.String()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

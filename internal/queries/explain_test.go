@@ -1,0 +1,50 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/ssb"
+)
+
+func TestExplain(t *testing.T) {
+	q, _ := Get("Q2.1")
+	out := Explain(q)
+	for _, want := range []string{
+		"Q2.1: sum(revenue)",
+		"scan lineorder",
+		"probe 1: lineorder.partkey = part.partkey where category = 12 -> part.brand",
+		"probe 2: lineorder.suppkey = supplier.suppkey where region = 1",
+		"probe 3: lineorder.orderdate = date.datekey -> date.year",
+		"group by part.brand, date.year",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain(Q2.1) missing %q:\n%s", want, out)
+		}
+	}
+
+	q11, _ := Get("Q1.1")
+	out = Explain(q11)
+	if !strings.Contains(out, "scan lineorder where 1 <= discount <= 3") {
+		t.Errorf("Explain(Q1.1) missing fact predicates:\n%s", out)
+	}
+	if !strings.Contains(out, "aggregate to a single sum") {
+		t.Errorf("Explain(Q1.1) should not group:\n%s", out)
+	}
+}
+
+func TestExplainStats(t *testing.T) {
+	d := ssb.Generate(0.002, 5)
+	q, _ := Get("Q3.1")
+	res, err := Execute(q, d, engine.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ExplainStats(res)
+	for _, want := range []string{"probe 1 (customer)", "ht", "group(s)", "fact rows"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainStats missing %q:\n%s", want, out)
+		}
+	}
+}

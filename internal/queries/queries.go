@@ -1,0 +1,317 @@
+// Package queries defines the 13 SSB queries as operator pipelines over the
+// engine package — dimension filters feeding linear-probe hash-join builds,
+// a pipelined probe pass over the lineorder fact table, and a (grouped)
+// aggregation — and executes them functionally in any engine mode. The
+// executor also records per-stage cardinalities; the experiment harness
+// feeds those into the timing model.
+//
+// Categorical constants use the dictionary encodings of package ssb:
+// category "MFGR#12" is 12, brand "MFGR#2221" is 2221, regions are 0-4 in
+// alphabetical order. Named nations and cities (UNITED STATES, "UNITED KI1")
+// are fixed representatives within the right region, which preserves the
+// selectivities the paper's analysis depends on.
+package queries
+
+import (
+	"fmt"
+
+	"hef/internal/engine"
+	"hef/internal/ssb"
+)
+
+// Encoded constants for named SSB values.
+const (
+	// UnitedStates is a nation in the AMERICA region (nations 5-9).
+	UnitedStates = 5
+	// UnitedKingdom is a nation in the EUROPE region (nations 15-19).
+	UnitedKingdom = 15
+	// CityUK1 and CityUK5 are two cities of UnitedKingdom.
+	CityUK1 = UnitedKingdom*ssb.CitiesPerNation + 1
+	CityUK5 = UnitedKingdom*ssb.CitiesPerNation + 5
+)
+
+// Measure selects the aggregation of a query.
+type Measure int
+
+const (
+	// SumRevenue computes sum(lo_revenue).
+	SumRevenue Measure = iota
+	// SumRevMinusCost computes sum(lo_revenue - lo_supplycost).
+	SumRevMinusCost
+	// SumExtDisc computes sum(lo_extendedprice * lo_discount), the Q1.x
+	// measure.
+	SumExtDisc
+)
+
+func (m Measure) String() string {
+	switch m {
+	case SumRevenue:
+		return "sum(revenue)"
+	case SumRevMinusCost:
+		return "sum(revenue-supplycost)"
+	case SumExtDisc:
+		return "sum(extendedprice*discount)"
+	}
+	return fmt.Sprintf("Measure(%d)", int(m))
+}
+
+// DimJoin is one dimension join of a query: filter the dimension, build a
+// hash table keyed by DimKey, probe it with the fact's FactFK column, and
+// optionally carry Payload into the group-by key.
+type DimJoin struct {
+	// Dim names the dimension table: "date", "customer", "supplier", "part".
+	Dim string
+	// FactFK is the lineorder foreign-key column.
+	FactFK string
+	// DimKey is the dimension's key column.
+	DimKey string
+	// Preds filter the dimension before the build.
+	Preds []engine.Pred
+	// Payload names the dimension column carried as a group-by component;
+	// empty means the join only filters.
+	Payload string
+}
+
+// Query is one SSB query plan. Joins are listed in probe order (most
+// selective first, as in hand-optimised SSB implementations).
+type Query struct {
+	ID string
+	// FactPreds are predicates evaluated directly on lineorder columns
+	// (only the Q1.x flight queries use them).
+	FactPreds []engine.Pred
+	// Joins lists the dimension joins in probe order.
+	Joins []DimJoin
+	// Measure selects the aggregate.
+	Measure Measure
+}
+
+// NumJoins returns the number of dimension joins.
+func (q Query) NumJoins() int { return len(q.Joins) }
+
+// GroupBy reports whether the query aggregates per group (any join carries
+// a payload).
+func (q Query) GroupBy() bool {
+	for _, j := range q.Joins {
+		if j.Payload != "" {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the 13 SSB queries.
+func All() []Query {
+	return []Query{
+		{
+			ID: "Q1.1",
+			FactPreds: []engine.Pred{
+				engine.Between("discount", 1, 3),
+				engine.Between("quantity", 1, 24),
+			},
+			Joins: []DimJoin{
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds: []engine.Pred{engine.Eq("year", 1993)}},
+			},
+			Measure: SumExtDisc,
+		},
+		{
+			ID: "Q1.2",
+			FactPreds: []engine.Pred{
+				engine.Between("discount", 4, 6),
+				engine.Between("quantity", 26, 35),
+			},
+			Joins: []DimJoin{
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds: []engine.Pred{engine.Eq("yearmonthnum", 199401)}},
+			},
+			Measure: SumExtDisc,
+		},
+		{
+			ID: "Q1.3",
+			FactPreds: []engine.Pred{
+				engine.Between("discount", 5, 7),
+				engine.Between("quantity", 26, 35),
+			},
+			Joins: []DimJoin{
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds: []engine.Pred{
+						engine.Eq("weeknuminyear", 6),
+						engine.Eq("year", 1994),
+					}},
+			},
+			Measure: SumExtDisc,
+		},
+		{
+			ID: "Q2.1",
+			Joins: []DimJoin{
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds:   []engine.Pred{engine.Eq("category", 12)},
+					Payload: "brand"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.America)}},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q2.2",
+			Joins: []DimJoin{
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds:   []engine.Pred{engine.Between("brand", 2221, 2228)},
+					Payload: "brand"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.Asia)}},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q2.3",
+			Joins: []DimJoin{
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds:   []engine.Pred{engine.Eq("brand", 2239)},
+					Payload: "brand"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.Europe)}},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q3.1",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds:   []engine.Pred{engine.Eq("region", ssb.Asia)},
+					Payload: "nation"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.Eq("region", ssb.Asia)},
+					Payload: "nation"},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Between("year", 1992, 1997)},
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q3.2",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds:   []engine.Pred{engine.Eq("nation", UnitedStates)},
+					Payload: "city"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.Eq("nation", UnitedStates)},
+					Payload: "city"},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Between("year", 1992, 1997)},
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q3.3",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds:   []engine.Pred{engine.OneOf("city", CityUK1, CityUK5)},
+					Payload: "city"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.OneOf("city", CityUK1, CityUK5)},
+					Payload: "city"},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Between("year", 1992, 1997)},
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q3.4",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds:   []engine.Pred{engine.OneOf("city", CityUK1, CityUK5)},
+					Payload: "city"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.OneOf("city", CityUK1, CityUK5)},
+					Payload: "city"},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Eq("yearmonthnum", 199712)},
+					Payload: "year"},
+			},
+			Measure: SumRevenue,
+		},
+		{
+			ID: "Q4.1",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds:   []engine.Pred{engine.Eq("region", ssb.America)},
+					Payload: "nation"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.America)}},
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds: []engine.Pred{engine.Between("mfgr", 1, 2)}},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Payload: "year"},
+			},
+			Measure: SumRevMinusCost,
+		},
+		{
+			ID: "Q4.2",
+			Joins: []DimJoin{
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.America)}},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.Eq("region", ssb.America)},
+					Payload: "nation"},
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds:   []engine.Pred{engine.Between("mfgr", 1, 2)},
+					Payload: "category"},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Between("year", 1997, 1998)},
+					Payload: "year"},
+			},
+			Measure: SumRevMinusCost,
+		},
+		{
+			ID: "Q4.3",
+			Joins: []DimJoin{
+				{Dim: "part", FactFK: "partkey", DimKey: "partkey",
+					Preds:   []engine.Pred{engine.Eq("category", 14)},
+					Payload: "brand"},
+				{Dim: "supplier", FactFK: "suppkey", DimKey: "suppkey",
+					Preds:   []engine.Pred{engine.Eq("nation", UnitedStates)},
+					Payload: "city"},
+				{Dim: "customer", FactFK: "custkey", DimKey: "custkey",
+					Preds: []engine.Pred{engine.Eq("region", ssb.America)}},
+				{Dim: "date", FactFK: "orderdate", DimKey: "datekey",
+					Preds:   []engine.Pred{engine.Between("year", 1997, 1998)},
+					Payload: "year"},
+			},
+			Measure: SumRevMinusCost,
+		},
+	}
+}
+
+// Get returns the query with the given ID.
+func Get(id string) (Query, error) {
+	for _, q := range All() {
+		if q.ID == id {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("queries: unknown query %q", id)
+}
+
+// Evaluated returns the ten queries of the paper's evaluation (Q2.x, Q3.x,
+// Q4.x — the Q1.x flight queries are excluded as memory-bandwidth-bound,
+// matching "we do not select the queries which bottleneck lies in memory
+// bandwidth").
+func Evaluated() []Query {
+	var out []Query
+	for _, q := range All() {
+		if q.ID[1] != '1' {
+			out = append(out, q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,28 @@
+package queries
+
+import (
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/ssb"
+)
+
+func benchExec(b *testing.B, id string, mode engine.Mode) {
+	d := ssb.Generate(0.01, 99)
+	q, err := Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(d.Lineorder.N * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(q, d, mode); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQ21Scalar(b *testing.B) { benchExec(b, "Q2.1", engine.Scalar) }
+func BenchmarkQ21SIMD(b *testing.B)   { benchExec(b, "Q2.1", engine.SIMD) }
+func BenchmarkQ21Hybrid(b *testing.B) { benchExec(b, "Q2.1", engine.Hybrid) }
+func BenchmarkQ41Scalar(b *testing.B) { benchExec(b, "Q4.1", engine.Scalar) }

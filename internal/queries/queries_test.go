@@ -1,0 +1,269 @@
+package queries
+
+import (
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/ssb"
+)
+
+func testData(t *testing.T) *ssb.Data {
+	t.Helper()
+	return ssb.Generate(0.004, 12345) // 24k fact rows: fast but non-trivial
+}
+
+func TestAllQueriesDefined(t *testing.T) {
+	qs := All()
+	if len(qs) != 13 {
+		t.Fatalf("All() returned %d queries, want 13", len(qs))
+	}
+	ids := map[string]bool{}
+	for _, q := range qs {
+		ids[q.ID] = true
+	}
+	for _, id := range []string{"Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3",
+		"Q3.1", "Q3.2", "Q3.3", "Q3.4", "Q4.1", "Q4.2", "Q4.3"} {
+		if !ids[id] {
+			t.Errorf("missing query %s", id)
+		}
+	}
+	if len(Evaluated()) != 10 {
+		t.Errorf("Evaluated() returned %d queries, want 10 (Q2.x-Q4.x)", len(Evaluated()))
+	}
+	for _, q := range Evaluated() {
+		if q.ID[1] == '1' {
+			t.Errorf("Evaluated() includes flight query %s", q.ID)
+		}
+	}
+}
+
+func TestGet(t *testing.T) {
+	q, err := Get("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumJoins() != 3 {
+		t.Errorf("Q2.1 has %d joins, want 3", q.NumJoins())
+	}
+	if !q.GroupBy() {
+		t.Error("Q2.1 should group")
+	}
+	if _, err := Get("Q9.9"); err == nil {
+		t.Error("Get should fail for unknown IDs")
+	}
+}
+
+func TestJoinCountsMatchPaper(t *testing.T) {
+	// The paper: Q2.x and Q3.x have three joins, Q4.x four joins.
+	for _, q := range All() {
+		var want int
+		switch q.ID[1] {
+		case '1':
+			want = 1
+		case '2', '3':
+			want = 3
+		case '4':
+			want = 4
+		}
+		if q.NumJoins() != want {
+			t.Errorf("%s has %d joins, want %d", q.ID, q.NumJoins(), want)
+		}
+	}
+}
+
+// Q1.1 has a simple nested-loop oracle: verify the pipelined executor
+// against a direct scan.
+func TestQ11MatchesBruteForce(t *testing.T) {
+	d := testData(t)
+	q, _ := Get("Q1.1")
+	res, err := Execute(q, d, engine.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	year := map[uint64]uint64{}
+	for i, dk := range d.Date.Col("datekey") {
+		year[dk] = d.Date.Col("year")[i]
+	}
+	lo := d.Lineorder
+	var want uint64
+	for i := 0; i < lo.N; i++ {
+		disc := lo.Col("discount")[i]
+		qty := lo.Col("quantity")[i]
+		if year[lo.Col("orderdate")[i]] == 1993 && disc >= 1 && disc <= 3 && qty < 25 {
+			want += lo.Col("extendedprice")[i] * disc
+		}
+	}
+	if res.Sum != want {
+		t.Errorf("Q1.1 = %d, want %d (brute force)", res.Sum, want)
+	}
+	if res.Groups != nil {
+		t.Error("Q1.1 should not group")
+	}
+	if res.Sum == 0 {
+		t.Error("Q1.1 selected nothing; test data too small?")
+	}
+}
+
+// Q2.1 oracle: brute-force join via maps.
+func TestQ21MatchesBruteForce(t *testing.T) {
+	d := testData(t)
+	q, _ := Get("Q2.1")
+	res, err := Execute(q, d, engine.Scalar)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	brand := map[uint64]uint64{}
+	for i, pk := range d.Part.Col("partkey") {
+		if d.Part.Col("category")[i] == 12 {
+			brand[pk] = d.Part.Col("brand")[i]
+		}
+	}
+	amer := map[uint64]bool{}
+	for i, sk := range d.Supplier.Col("suppkey") {
+		if d.Supplier.Col("region")[i] == ssb.America {
+			amer[sk] = true
+		}
+	}
+	year := map[uint64]uint64{}
+	for i, dk := range d.Date.Col("datekey") {
+		year[dk] = d.Date.Col("year")[i]
+	}
+
+	wantGroups := map[uint64]uint64{}
+	var want uint64
+	lo := d.Lineorder
+	for i := 0; i < lo.N; i++ {
+		b, okP := brand[lo.Col("partkey")[i]]
+		if !okP || !amer[lo.Col("suppkey")[i]] {
+			continue
+		}
+		y := year[lo.Col("orderdate")[i]]
+		rev := lo.Col("revenue")[i]
+		want += rev
+		wantGroups[b<<16|y] += rev
+	}
+	if res.Sum != want {
+		t.Errorf("Q2.1 sum = %d, want %d", res.Sum, want)
+	}
+	if len(res.Groups) != len(wantGroups) {
+		t.Errorf("Q2.1 groups = %d, want %d", len(res.Groups), len(wantGroups))
+	}
+	for k, v := range wantGroups {
+		if res.Groups[k] != v {
+			t.Errorf("group %#x = %d, want %d", k, res.Groups[k], v)
+		}
+	}
+}
+
+// The central functional property: all three execution modes produce
+// identical sums and groups for every evaluated query.
+func TestModesAgreeOnAllQueries(t *testing.T) {
+	d := testData(t)
+	for _, q := range All() {
+		base, err := Execute(q, d, engine.Scalar)
+		if err != nil {
+			t.Fatalf("%s scalar: %v", q.ID, err)
+		}
+		for _, mode := range []engine.Mode{engine.SIMD, engine.Hybrid} {
+			got, err := Execute(q, d, mode)
+			if err != nil {
+				t.Fatalf("%s %v: %v", q.ID, mode, err)
+			}
+			if got.Sum != base.Sum {
+				t.Errorf("%s: %v sum %d != scalar sum %d", q.ID, mode, got.Sum, base.Sum)
+			}
+			if len(got.Groups) != len(base.Groups) {
+				t.Errorf("%s: %v group count %d != scalar %d", q.ID, mode, len(got.Groups), len(base.Groups))
+			}
+			for k, v := range base.Groups {
+				if got.Groups[k] != v {
+					t.Errorf("%s: %v group %#x = %d, want %d", q.ID, mode, k, got.Groups[k], v)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAreConsistent(t *testing.T) {
+	d := testData(t)
+	for _, q := range Evaluated() {
+		res, err := Execute(q, d, engine.Scalar)
+		if err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		st := res.Stats
+		if st.FactRows != d.Lineorder.N {
+			t.Errorf("%s: FactRows = %d", q.ID, st.FactRows)
+		}
+		if st.FactPassed != st.FactRows && len(q.FactPreds) == 0 {
+			t.Errorf("%s: no fact preds but FactPassed=%d of %d", q.ID, st.FactPassed, st.FactRows)
+		}
+		if len(st.ProbeIn) != q.NumJoins() {
+			t.Fatalf("%s: ProbeIn has %d stages", q.ID, len(st.ProbeIn))
+		}
+		prev := st.FactPassed
+		for i := range st.ProbeIn {
+			if st.ProbeIn[i] != prev {
+				t.Errorf("%s stage %d: ProbeIn=%d, want %d (pipeline continuity)", q.ID, i, st.ProbeIn[i], prev)
+			}
+			if st.ProbeOut[i] > st.ProbeIn[i] {
+				t.Errorf("%s stage %d: ProbeOut %d > ProbeIn %d", q.ID, i, st.ProbeOut[i], st.ProbeIn[i])
+			}
+			prev = st.ProbeOut[i]
+		}
+		for i := range st.DimRows {
+			if st.DimPassed[i] > st.DimRows[i] {
+				t.Errorf("%s dim %d: passed %d > rows %d", q.ID, i, st.DimPassed[i], st.DimRows[i])
+			}
+			if st.HTBytes[i] == 0 {
+				t.Errorf("%s dim %d: zero hash table", q.ID, i)
+			}
+		}
+		if q.GroupBy() && st.GroupCount == 0 && st.ProbeOut[len(st.ProbeOut)-1] > 0 {
+			t.Errorf("%s: rows survived but no groups", q.ID)
+		}
+	}
+}
+
+// Selectivity sanity against the paper's discussion: Q2.3 and Q3.3 are
+// highly selective (< 1% of fact rows survive), while Q2.1 passes more.
+func TestSelectivityOrdering(t *testing.T) {
+	d := ssb.Generate(0.02, 777)
+	frac := func(id string) float64 {
+		q, _ := Get(id)
+		res, err := Execute(q, d, engine.Scalar)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := res.Stats.ProbeOut[len(res.Stats.ProbeOut)-1]
+		return float64(out) / float64(res.Stats.FactRows)
+	}
+	q21, q23, q33 := frac("Q2.1"), frac("Q2.3"), frac("Q3.3")
+	if q23 >= q21 {
+		t.Errorf("Q2.3 final selectivity %.4f should be below Q2.1's %.4f", q23, q21)
+	}
+	if q33 >= 0.01 {
+		t.Errorf("Q3.3 selectivity %.4f should be under 1%% (paper)", q33)
+	}
+	if q23 >= 0.01 {
+		t.Errorf("Q2.3 selectivity %.4f should be under 1%%", q23)
+	}
+}
+
+func TestMeasureString(t *testing.T) {
+	if SumRevenue.String() != "sum(revenue)" ||
+		SumRevMinusCost.String() != "sum(revenue-supplycost)" ||
+		SumExtDisc.String() != "sum(extendedprice*discount)" {
+		t.Error("measure names wrong")
+	}
+}
+
+func TestExecuteUnknownDim(t *testing.T) {
+	d := testData(t)
+	bad := Query{ID: "X", Joins: []DimJoin{{Dim: "nope", FactFK: "custkey", DimKey: "custkey"}}}
+	if _, err := Execute(bad, d, engine.Scalar); err == nil {
+		t.Error("unknown dimension should error")
+	}
+}

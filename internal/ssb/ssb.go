@@ -1,0 +1,328 @@
+// Package ssb is a deterministic, self-contained generator for the Star
+// Schema Benchmark (O'Neil et al.): the lineorder fact table and the
+// customer, supplier, part, and date dimensions, stored columnar as uint64
+// (the paper works on 64-bit integers throughout). Categorical attributes
+// are dictionary-encoded with the conventional SSB numbering so query
+// constants read like the spec: category "MFGR#12" encodes as 12, brand
+// "MFGR#2221" as 2221, and so on.
+package ssb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Standard SSB cardinalities per scale factor.
+const (
+	LineorderPerSF = 6_000_000
+	CustomerPerSF  = 30_000
+	SupplierPerSF  = 2_000
+	PartBase       = 200_000 // parts scale with 1+log2(SF)
+
+	NumRegions      = 5
+	NumNations      = 25
+	CitiesPerNation = 10
+	NumCities       = NumNations * CitiesPerNation
+
+	FirstYear = 1992
+	LastYear  = 1998
+)
+
+// Region codes (alphabetical, as in the SSB data dictionary).
+const (
+	Africa = iota
+	America
+	Asia
+	Europe
+	MiddleEast
+)
+
+// Table is a columnar table of uint64 columns.
+type Table struct {
+	Name string
+	N    int
+	cols map[string][]uint64
+	// order preserves column declaration order for printing.
+	order []string
+}
+
+// NewTable creates an empty table with capacity n.
+func NewTable(name string, n int) *Table {
+	return &Table{Name: name, N: n, cols: map[string][]uint64{}}
+}
+
+// AddCol registers a column; the slice must have length N.
+func (t *Table) AddCol(name string, col []uint64) {
+	if len(col) != t.N {
+		panic(fmt.Sprintf("ssb: column %s.%s has %d rows, want %d", t.Name, name, len(col), t.N))
+	}
+	t.cols[name] = col
+	t.order = append(t.order, name)
+}
+
+// Col returns the named column, panicking on unknown names (generator bugs,
+// not user input).
+func (t *Table) Col(name string) []uint64 {
+	c, ok := t.cols[name]
+	if !ok {
+		panic(fmt.Sprintf("ssb: table %s has no column %q", t.Name, name))
+	}
+	return c
+}
+
+// HasCol reports whether the column exists.
+func (t *Table) HasCol(name string) bool {
+	_, ok := t.cols[name]
+	return ok
+}
+
+// Columns returns the column names in declaration order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// Bytes returns the in-memory footprint of the table's columns.
+func (t *Table) Bytes() uint64 { return uint64(len(t.cols)) * uint64(t.N) * 8 }
+
+// Data is one generated SSB database.
+type Data struct {
+	SF float64
+
+	Date      *Table
+	Customer  *Table
+	Supplier  *Table
+	Part      *Table
+	Lineorder *Table
+}
+
+// Sizes reports the row counts for a scale factor without generating data;
+// the experiment harness uses it to size hash tables for the nominal SF
+// while running the functional pipeline on a smaller sample.
+type Sizes struct {
+	Lineorder, Customer, Supplier, Part, Date int
+}
+
+// SizesFor returns the standard SSB cardinalities at sf (fractional sf
+// scales linearly; part count uses the 1+log2 rule above SF1).
+func SizesFor(sf float64) Sizes {
+	if sf <= 0 {
+		sf = 1.0 / 1024
+	}
+	part := float64(PartBase)
+	if sf >= 1 {
+		part = PartBase * (1 + math.Log2(sf))
+	} else {
+		part = PartBase * sf
+	}
+	clamp := func(x float64) int {
+		if x < 1 {
+			return 1
+		}
+		return int(x)
+	}
+	return Sizes{
+		Lineorder: clamp(LineorderPerSF * sf),
+		Customer:  clamp(CustomerPerSF * sf),
+		Supplier:  clamp(SupplierPerSF * sf),
+		Part:      clamp(part),
+		Date:      numDays(),
+	}
+}
+
+// rng is a splitmix64 stream, deterministic per seed.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	x := r.state
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// intn returns a uniform value in [0, n).
+func (r *rng) intn(n int) uint64 { return r.next() % uint64(n) }
+
+// rangeIncl returns a uniform value in [lo, hi].
+func (r *rng) rangeIncl(lo, hi int) uint64 { return uint64(lo) + r.intn(hi-lo+1) }
+
+var daysInMonth = [12]int{31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31}
+
+func isLeap(y int) bool { return y%4 == 0 && (y%100 != 0 || y%400 == 0) }
+
+func numDays() int {
+	n := 0
+	for y := FirstYear; y <= LastYear; y++ {
+		n += 365
+		if isLeap(y) {
+			n++
+		}
+	}
+	return n
+}
+
+// Generate builds a deterministic SSB database at scale factor sf. sf may be
+// fractional (e.g. 0.01) for test- and laptop-sized runs; cardinalities
+// scale linearly.
+func Generate(sf float64, seed uint64) *Data {
+	sz := SizesFor(sf)
+	d := &Data{SF: sf}
+	d.Date = genDate()
+	d.Customer = genCustomer(sz.Customer, seed^0xC057)
+	d.Supplier = genSupplier(sz.Supplier, seed^0x50FF)
+	d.Part = genPart(sz.Part, seed^0xBA27)
+	d.Lineorder = genLineorder(sz, d.Date, seed^0x11FE)
+	return d
+}
+
+// genDate builds the 2556-row date dimension for 1992-1998.
+func genDate() *Table {
+	n := numDays()
+	datekey := make([]uint64, 0, n)
+	year := make([]uint64, 0, n)
+	yearmonthnum := make([]uint64, 0, n)
+	weeknuminyear := make([]uint64, 0, n)
+
+	for y := FirstYear; y <= LastYear; y++ {
+		dayOfYear := 0
+		for m := 1; m <= 12; m++ {
+			dim := daysInMonth[m-1]
+			if m == 2 && isLeap(y) {
+				dim++
+			}
+			for day := 1; day <= dim; day++ {
+				dayOfYear++
+				datekey = append(datekey, uint64(y*10000+m*100+day))
+				year = append(year, uint64(y))
+				yearmonthnum = append(yearmonthnum, uint64(y*100+m))
+				weeknuminyear = append(weeknuminyear, uint64((dayOfYear-1)/7+1))
+			}
+		}
+	}
+	t := NewTable("date", len(datekey))
+	t.AddCol("datekey", datekey)
+	t.AddCol("year", year)
+	t.AddCol("yearmonthnum", yearmonthnum)
+	t.AddCol("weeknuminyear", weeknuminyear)
+	return t
+}
+
+func genCustomer(n int, seed uint64) *Table {
+	r := &rng{state: seed}
+	key := make([]uint64, n)
+	city := make([]uint64, n)
+	nation := make([]uint64, n)
+	region := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		key[i] = uint64(i + 1)
+		nat := r.intn(NumNations)
+		nation[i] = nat
+		region[i] = nat / (NumNations / NumRegions)
+		city[i] = nat*CitiesPerNation + r.intn(CitiesPerNation)
+	}
+	t := NewTable("customer", n)
+	t.AddCol("custkey", key)
+	t.AddCol("city", city)
+	t.AddCol("nation", nation)
+	t.AddCol("region", region)
+	return t
+}
+
+func genSupplier(n int, seed uint64) *Table {
+	r := &rng{state: seed}
+	key := make([]uint64, n)
+	city := make([]uint64, n)
+	nation := make([]uint64, n)
+	region := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		key[i] = uint64(i + 1)
+		nat := r.intn(NumNations)
+		nation[i] = nat
+		region[i] = nat / (NumNations / NumRegions)
+		city[i] = nat*CitiesPerNation + r.intn(CitiesPerNation)
+	}
+	t := NewTable("supplier", n)
+	t.AddCol("suppkey", key)
+	t.AddCol("city", city)
+	t.AddCol("nation", nation)
+	t.AddCol("region", region)
+	return t
+}
+
+func genPart(n int, seed uint64) *Table {
+	r := &rng{state: seed}
+	key := make([]uint64, n)
+	mfgr := make([]uint64, n)
+	category := make([]uint64, n)
+	brand := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		key[i] = uint64(i + 1)
+		m := r.rangeIncl(1, 5)
+		cat := m*10 + r.rangeIncl(1, 5) // MFGR#mc, 25 categories
+		mfgr[i] = m
+		category[i] = cat
+		brand[i] = cat*100 + r.rangeIncl(1, 40) // MFGR#mcbb, 1000 brands
+	}
+	t := NewTable("part", n)
+	t.AddCol("partkey", key)
+	t.AddCol("mfgr", mfgr)
+	t.AddCol("category", category)
+	t.AddCol("brand", brand)
+	return t
+}
+
+func genLineorder(sz Sizes, date *Table, seed uint64) *Table {
+	r := &rng{state: seed}
+	n := sz.Lineorder
+	datekeys := date.Col("datekey")
+
+	custkey := make([]uint64, n)
+	partkey := make([]uint64, n)
+	suppkey := make([]uint64, n)
+	orderdate := make([]uint64, n)
+	quantity := make([]uint64, n)
+	extendedprice := make([]uint64, n)
+	discount := make([]uint64, n)
+	revenue := make([]uint64, n)
+	supplycost := make([]uint64, n)
+
+	for i := 0; i < n; i++ {
+		custkey[i] = r.rangeIncl(1, sz.Customer)
+		partkey[i] = r.rangeIncl(1, sz.Part)
+		suppkey[i] = r.rangeIncl(1, sz.Supplier)
+		orderdate[i] = datekeys[r.intn(len(datekeys))]
+		q := r.rangeIncl(1, 50)
+		quantity[i] = q
+		price := r.rangeIncl(900, 104949)
+		extendedprice[i] = price
+		disc := r.intn(11) // 0..10 percent
+		discount[i] = disc
+		revenue[i] = price * (100 - disc) / 100
+		supplycost[i] = price * 6 / 10
+	}
+	t := NewTable("lineorder", n)
+	t.AddCol("custkey", custkey)
+	t.AddCol("partkey", partkey)
+	t.AddCol("suppkey", suppkey)
+	t.AddCol("orderdate", orderdate)
+	t.AddCol("quantity", quantity)
+	t.AddCol("extendedprice", extendedprice)
+	t.AddCol("discount", discount)
+	t.AddCol("revenue", revenue)
+	t.AddCol("supplycost", supplycost)
+	return t
+}
+
+// SortedUnique returns the sorted distinct values of col (used by tests and
+// the group-by reporting).
+func SortedUnique(col []uint64) []uint64 {
+	seen := map[uint64]struct{}{}
+	for _, v := range col {
+		seen[v] = struct{}{}
+	}
+	out := make([]uint64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

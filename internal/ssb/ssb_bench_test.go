@@ -1,0 +1,9 @@
+package ssb
+
+import "testing"
+
+func BenchmarkGenerateSF001(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Generate(0.01, uint64(i))
+	}
+}

@@ -1,0 +1,211 @@
+package ssb
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizesFor(t *testing.T) {
+	s1 := SizesFor(1)
+	if s1.Lineorder != LineorderPerSF || s1.Customer != CustomerPerSF ||
+		s1.Supplier != SupplierPerSF || s1.Part != PartBase {
+		t.Errorf("SF1 sizes = %+v", s1)
+	}
+	s10 := SizesFor(10)
+	if s10.Lineorder != 10*LineorderPerSF {
+		t.Errorf("SF10 lineorder = %d", s10.Lineorder)
+	}
+	// Part grows as 1+log2(SF) above SF1.
+	if s10.Part <= PartBase || s10.Part > 5*PartBase {
+		t.Errorf("SF10 part = %d", s10.Part)
+	}
+	small := SizesFor(0.001)
+	if small.Lineorder != 6000 || small.Customer != 30 {
+		t.Errorf("SF0.001 sizes = %+v", small)
+	}
+	if SizesFor(0).Lineorder < 1 {
+		t.Error("SF0 should clamp to at least one row")
+	}
+	// 7 years with two leap years (1992, 1996): 7*365+2 days. (The SSB
+	// spec quotes "2556"; the exact calendar count is 2557.)
+	if s1.Date != 2557 {
+		t.Errorf("date rows = %d, want 2557 (1992-1998)", s1.Date)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(0.002, 42)
+	b := Generate(0.002, 42)
+	for _, col := range []string{"custkey", "orderdate", "revenue"} {
+		ca, cb := a.Lineorder.Col(col), b.Lineorder.Col(col)
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("column %s differs at row %d with same seed", col, i)
+			}
+		}
+	}
+	c := Generate(0.002, 43)
+	diff := false
+	for i, v := range c.Lineorder.Col("custkey") {
+		if v != a.Lineorder.Col("custkey")[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds should produce different data")
+	}
+}
+
+func TestDateDimension(t *testing.T) {
+	d := Generate(0.001, 1).Date
+	if d.N != 2557 {
+		t.Fatalf("date rows = %d", d.N)
+	}
+	years := d.Col("year")
+	if years[0] != 1992 || years[d.N-1] != 1998 {
+		t.Errorf("year range = [%d, %d]", years[0], years[d.N-1])
+	}
+	dk := d.Col("datekey")
+	if dk[0] != 19920101 || dk[d.N-1] != 19981231 {
+		t.Errorf("datekey range = [%d, %d]", dk[0], dk[d.N-1])
+	}
+	// Datekeys are strictly increasing and unique.
+	for i := 1; i < d.N; i++ {
+		if dk[i] <= dk[i-1] {
+			t.Fatalf("datekey not increasing at %d: %d <= %d", i, dk[i], dk[i-1])
+		}
+	}
+	ymn := d.Col("yearmonthnum")
+	if ymn[0] != 199201 {
+		t.Errorf("yearmonthnum[0] = %d", ymn[0])
+	}
+	for _, w := range d.Col("weeknuminyear") {
+		if w < 1 || w > 53 {
+			t.Fatalf("weeknuminyear out of range: %d", w)
+		}
+	}
+}
+
+func TestDimensionEncodings(t *testing.T) {
+	d := Generate(0.01, 7)
+	for _, tab := range []*Table{d.Customer, d.Supplier} {
+		nations := tab.Col("nation")
+		regions := tab.Col("region")
+		cities := tab.Col("city")
+		for i := 0; i < tab.N; i++ {
+			if nations[i] >= NumNations {
+				t.Fatalf("%s nation out of range: %d", tab.Name, nations[i])
+			}
+			if regions[i] != nations[i]/5 {
+				t.Fatalf("%s region %d does not match nation %d", tab.Name, regions[i], nations[i])
+			}
+			if cities[i]/CitiesPerNation != nations[i] {
+				t.Fatalf("%s city %d not within nation %d", tab.Name, cities[i], nations[i])
+			}
+		}
+	}
+	p := d.Part
+	for i := 0; i < p.N; i++ {
+		m, c, b := p.Col("mfgr")[i], p.Col("category")[i], p.Col("brand")[i]
+		if m < 1 || m > 5 {
+			t.Fatalf("mfgr = %d", m)
+		}
+		if c/10 != m || c%10 < 1 || c%10 > 5 {
+			t.Fatalf("category %d inconsistent with mfgr %d", c, m)
+		}
+		if b/100 != c || b%100 < 1 || b%100 > 40 {
+			t.Fatalf("brand %d inconsistent with category %d", b, c)
+		}
+	}
+}
+
+func TestLineorderIntegrity(t *testing.T) {
+	d := Generate(0.005, 99)
+	lo := d.Lineorder
+	dateKeys := map[uint64]bool{}
+	for _, k := range d.Date.Col("datekey") {
+		dateKeys[k] = true
+	}
+	for i := 0; i < lo.N; i++ {
+		if ck := lo.Col("custkey")[i]; ck < 1 || ck > uint64(d.Customer.N) {
+			t.Fatalf("custkey %d out of range", ck)
+		}
+		if sk := lo.Col("suppkey")[i]; sk < 1 || sk > uint64(d.Supplier.N) {
+			t.Fatalf("suppkey %d out of range", sk)
+		}
+		if pk := lo.Col("partkey")[i]; pk < 1 || pk > uint64(d.Part.N) {
+			t.Fatalf("partkey %d out of range", pk)
+		}
+		if !dateKeys[lo.Col("orderdate")[i]] {
+			t.Fatalf("orderdate %d not in date dimension", lo.Col("orderdate")[i])
+		}
+		q := lo.Col("quantity")[i]
+		if q < 1 || q > 50 {
+			t.Fatalf("quantity %d out of range", q)
+		}
+		disc := lo.Col("discount")[i]
+		if disc > 10 {
+			t.Fatalf("discount %d out of range", disc)
+		}
+		price := lo.Col("extendedprice")[i]
+		if want := price * (100 - disc) / 100; lo.Col("revenue")[i] != want {
+			t.Fatalf("revenue inconsistent at row %d", i)
+		}
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := NewTable("t", 3)
+	tab.AddCol("a", []uint64{1, 2, 3})
+	if !tab.HasCol("a") || tab.HasCol("b") {
+		t.Error("HasCol wrong")
+	}
+	if got := tab.Columns(); len(got) != 1 || got[0] != "a" {
+		t.Errorf("Columns = %v", got)
+	}
+	if tab.Bytes() != 24 {
+		t.Errorf("Bytes = %d", tab.Bytes())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Col should panic on unknown column")
+			}
+		}()
+		tab.Col("nope")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddCol should panic on wrong length")
+			}
+		}()
+		tab.AddCol("bad", []uint64{1})
+	}()
+}
+
+func TestSortedUnique(t *testing.T) {
+	got := SortedUnique([]uint64{5, 1, 5, 3, 1})
+	if len(got) != 3 || got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("SortedUnique = %v", got)
+	}
+}
+
+// Property: region encoding always equals nation/5 across seeds.
+func TestRegionNationProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := Generate(0.0005, seed)
+		nat := d.Customer.Col("nation")
+		reg := d.Customer.Col("region")
+		for i := range nat {
+			if reg[i] != nat[i]/5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

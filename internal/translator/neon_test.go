@@ -1,0 +1,99 @@
+package translator
+
+import (
+	"testing"
+
+	"hef/internal/hashes"
+	"hef/internal/isa"
+	"hef/internal/uarch"
+)
+
+// The HID is ISA-portable: the murmur template translates unchanged to Neon
+// width on the Neoverse model, and the hybrid execution still wins there.
+func TestNeonTranslationAndHybridWin(t *testing.T) {
+	cpu := isa.NeoverseN1()
+	tmpl := hashes.MurmurTemplate()
+
+	out := MustTranslate(tmpl, Node{V: 1, S: 0, P: 1}, Options{Width: isa.W128, CPU: cpu})
+	if out.ElemsPerIter != 2 {
+		t.Errorf("Neon lanes: ElemsPerIter = %d, want 2", out.ElemsPerIter)
+	}
+	sawNeon := false
+	for _, u := range out.Program.Body {
+		if u.Instr.Width == isa.W128 {
+			sawNeon = true
+		}
+		if u.Instr.Width == isa.W256 || u.Instr.Width == isa.W512 {
+			t.Fatalf("Neon program contains %s (width %d)", u.Instr.Name, u.Instr.Width)
+		}
+	}
+	if !sawNeon {
+		t.Fatal("no 128-bit instructions emitted")
+	}
+
+	run := func(n Node) float64 {
+		o := MustTranslate(tmpl, n, Options{Width: isa.W128, CPU: cpu})
+		res := uarch.NewSim(cpu).MustRun(o.Program, 4000)
+		return res.Seconds() / float64(res.Elems)
+	}
+	scalar := run(Node{V: 0, S: 1, P: 1})
+	simd := run(Node{V: 1, S: 0, P: 1})
+	hybrid := run(Node{V: 2, S: 3, P: 2})
+	if hybrid >= scalar || hybrid >= simd {
+		t.Errorf("Neon hybrid (%.3g) should beat scalar (%.3g) and SIMD (%.3g)", hybrid, scalar, simd)
+	}
+}
+
+// Gather on Neon lowers to one scalar load per lane (the paper's interface-
+// consistency rule), so a "vector" CRC64 on Neoverse contains scalar loads
+// where the AVX-512 build has vpgatherqq.
+func TestNeonGatherFallback(t *testing.T) {
+	cpu := isa.NeoverseN1()
+	tmpl := hashes.CRC64Template()
+	out := MustTranslate(tmpl, Node{V: 1, S: 0, P: 1}, Options{Width: isa.W128, CPU: cpu})
+
+	gathers, scalarLoads := 0, 0
+	laneSels := map[uint8]bool{}
+	for _, u := range out.Program.Body {
+		switch u.Instr.Class {
+		case isa.GatherOp:
+			gathers++
+		case isa.Load:
+			if u.Instr.Width == isa.W64 && u.Addr.Kind == uarch.AddrRandom {
+				scalarLoads++
+				laneSels[u.Addr.LaneSel] = true
+			}
+		}
+	}
+	if gathers != 0 {
+		t.Errorf("Neon build contains %d gather instructions, want 0", gathers)
+	}
+	// 8 CRC rounds x 2 lanes of scalar fallback loads.
+	if scalarLoads != 16 {
+		t.Errorf("scalar fallback loads = %d, want 16 (8 rounds x 2 lanes)", scalarLoads)
+	}
+	if len(laneSels) != 2 {
+		t.Errorf("fallback loads should cover both lanes, got %v", laneSels)
+	}
+
+	// And the program still runs.
+	res := uarch.NewSim(cpu).MustRun(out.Program, 500)
+	if res.Instructions == 0 {
+		t.Error("Neon CRC64 produced no instructions")
+	}
+}
+
+// The candidate generator adapts to the Neoverse: two Neon pipes, three
+// exclusive scalar pipes.
+func TestZenTranslation(t *testing.T) {
+	cpu := isa.AMDZen2()
+	tmpl := hashes.MurmurTemplate()
+	out := MustTranslate(tmpl, Node{V: 1, S: 1, P: 2}, Options{Width: isa.W256, CPU: cpu})
+	if out.ElemsPerIter != 10 {
+		t.Errorf("Zen AVX2: ElemsPerIter = %d, want 2*(4+1)=10", out.ElemsPerIter)
+	}
+	res := uarch.NewSim(cpu).MustRun(out.Program, 1000)
+	if res.FreqGHz != cpu.Freq.ScalarGHz {
+		t.Errorf("Zen frequency = %.2f, want flat %.2f", res.FreqGHz, cpu.Freq.ScalarGHz)
+	}
+}

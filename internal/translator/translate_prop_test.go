@@ -1,0 +1,90 @@
+package translator
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hef/internal/hashes"
+	"hef/internal/isa"
+	"hef/internal/uarch"
+)
+
+// Properties that must hold for every valid candidate node.
+func TestTranslationInvariants(t *testing.T) {
+	tmpl := hashes.MurmurTemplate()
+	cpu := isa.XeonSilver4110()
+	f := func(v8, s8, p8 uint8) bool {
+		n := Node{V: int(v8 % 4), S: int(s8 % 5), P: int(p8%6) + 1}
+		if !n.Valid() {
+			_, err := Translate(tmpl, n, Options{CPU: cpu})
+			return err != nil // invalid nodes must be rejected
+		}
+		out, err := Translate(tmpl, n, Options{CPU: cpu})
+		if err != nil {
+			return false
+		}
+		// Invariant 1: elements per iteration follow the pack formula.
+		if out.ElemsPerIter != n.P*(n.V*8+n.S) {
+			return false
+		}
+		// Invariant 2: the program validates and runs.
+		if out.Program.Validate() != nil {
+			return false
+		}
+		// Invariant 3: instruction count = instances * statements
+		// + loop overhead + spill code.
+		want := 13*n.P*(n.V+n.S) + 3 + out.SpillStores + out.SpillLoads
+		if len(out.Program.Body) != want {
+			return false
+		}
+		// Invariant 4: vector statements appear iff v > 0.
+		hasVec := false
+		for _, u := range out.Program.Body {
+			if u.Instr.Class.IsVector() {
+				hasVec = true
+			}
+		}
+		return hasVec == (n.V > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Simulated work scales with iteration count: running 2k iterations retires
+// exactly twice the instructions of k iterations and takes proportionally
+// more cycles.
+func TestSimulationScalesWithIterations(t *testing.T) {
+	tmpl := hashes.MurmurTemplate()
+	cpu := isa.XeonSilver4110()
+	out := MustTranslate(tmpl, Node{V: 1, S: 2, P: 2}, Options{CPU: cpu})
+	sim := uarch.NewSim(cpu)
+	if _, err := sim.Run(out.Program, 500); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	r1 := sim.MustRun(out.Program, 2000)
+	r2 := sim.MustRun(out.Program, 4000)
+	if r2.Instructions != 2*r1.Instructions {
+		t.Errorf("instructions: %d vs %d, want exact 2x", r2.Instructions, r1.Instructions)
+	}
+	ratio := float64(r2.Cycles) / float64(r1.Cycles)
+	if ratio < 1.9 || ratio > 2.1 {
+		t.Errorf("cycles ratio = %.3f, want ~2", ratio)
+	}
+}
+
+// Determinism: translating and simulating the same node twice gives
+// identical counters.
+func TestSimulationDeterminism(t *testing.T) {
+	tmpl := hashes.CRC64Template()
+	cpu := isa.XeonGold6240R()
+	run := func() *uarch.Result {
+		out := MustTranslate(tmpl, Node{V: 2, S: 1, P: 2}, Options{CPU: cpu})
+		return uarch.NewSim(cpu).MustRun(out.Program, 300)
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions ||
+		a.Cache.LLCMisses != b.Cache.LLCMisses || a.Hist != b.Hist {
+		t.Errorf("simulation not deterministic:\n%+v\n%+v", a, b)
+	}
+}

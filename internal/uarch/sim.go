@@ -1,0 +1,699 @@
+package uarch
+
+import (
+	"fmt"
+	"math"
+
+	"hef/internal/cache"
+	"hef/internal/isa"
+)
+
+const (
+	// regRingSlots is the number of iterations whose register instances are
+	// tracked concurrently. It exceeds the maximum number of in-flight
+	// iterations (bounded by the ROB, 224 µops) with margin.
+	regRingSlots = 512
+	// notIssued marks a register instance whose producer has not issued.
+	notIssued = int64(-1)
+	// issueInstrCap bounds the instructions issued per cycle (port count).
+	issueInstrCap = 8
+	// HistBuckets is the size of the µops-per-cycle histogram; bucket i
+	// counts cycles in which exactly i µops were issued, with the last
+	// bucket collecting "or more".
+	HistBuckets = 9
+)
+
+// Result is the counter set of one simulation, mirroring what the paper
+// collects with perf_event.
+type Result struct {
+	Name string
+	// Cycles is the total core cycles the trace took.
+	Cycles uint64
+	// Instructions is the number of retired machine instructions.
+	Instructions uint64
+	// Uops is the number of retired micro-operations.
+	Uops uint64
+	// Hist[i] counts cycles with exactly i issued µops (last bucket: >=).
+	Hist [HistBuckets]uint64
+	// Cache is the hierarchy counter snapshot delta for this run.
+	Cache cache.Stats
+	// Vec512Uops counts µops executed on 512-bit units.
+	Vec512Uops uint64
+	// PrefetchUops counts software prefetches.
+	PrefetchUops uint64
+	// FreqGHz is the effective clock from the license/governor model.
+	FreqGHz float64
+	// Elems is the number of data elements processed.
+	Elems uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Seconds converts cycles to wall time at the effective frequency.
+func (r *Result) Seconds() float64 {
+	if r.FreqGHz <= 0 {
+		return 0
+	}
+	return float64(r.Cycles) / (r.FreqGHz * 1e9)
+}
+
+// CyclesPerElem is the per-element cost, the scale-free quantity used to
+// extrapolate sampled runs to full workload sizes.
+func (r *Result) CyclesPerElem() float64 {
+	if r.Elems == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Elems)
+}
+
+// Add accumulates another result into r (used when a query pipeline is the
+// concatenation of per-stage traces). Histograms and cache stats add;
+// frequency is recomputed by the caller.
+func (r *Result) Add(o *Result) {
+	r.Cycles += o.Cycles
+	r.Instructions += o.Instructions
+	r.Uops += o.Uops
+	for i := range r.Hist {
+		r.Hist[i] += o.Hist[i]
+	}
+	r.Cache.L1Hits += o.Cache.L1Hits
+	r.Cache.L1Misses += o.Cache.L1Misses
+	r.Cache.L2Hits += o.Cache.L2Hits
+	r.Cache.L2Misses += o.Cache.L2Misses
+	r.Cache.LLCHits += o.Cache.LLCHits
+	r.Cache.LLCMisses += o.Cache.LLCMisses
+	r.Cache.MemAccesses += o.Cache.MemAccesses
+	r.Cache.PrefetchFills += o.Cache.PrefetchFills
+	r.Cache.HWPrefetchFills += o.Cache.HWPrefetchFills
+	r.Cache.HWPrefetchMem += o.Cache.HWPrefetchMem
+	r.Cache.SWPrefetchMem += o.Cache.SWPrefetchMem
+	r.Vec512Uops += o.Vec512Uops
+	r.PrefetchUops += o.PrefetchUops
+	r.Elems += o.Elems
+}
+
+// Scale multiplies all extensive counters by f, used to extrapolate a
+// sampled batch to the nominal workload size.
+func (r *Result) Scale(f float64) {
+	r.Cycles = uint64(float64(r.Cycles) * f)
+	r.Instructions = uint64(float64(r.Instructions) * f)
+	r.Uops = uint64(float64(r.Uops) * f)
+	for i := range r.Hist {
+		r.Hist[i] = uint64(float64(r.Hist[i]) * f)
+	}
+	r.Cache.LLCMisses = uint64(float64(r.Cache.LLCMisses) * f)
+	r.Cache.LLCHits = uint64(float64(r.Cache.LLCHits) * f)
+	r.Cache.L2Misses = uint64(float64(r.Cache.L2Misses) * f)
+	r.Cache.L2Hits = uint64(float64(r.Cache.L2Hits) * f)
+	r.Cache.L1Misses = uint64(float64(r.Cache.L1Misses) * f)
+	r.Cache.L1Hits = uint64(float64(r.Cache.L1Hits) * f)
+	r.Cache.MemAccesses = uint64(float64(r.Cache.MemAccesses) * f)
+	r.Cache.PrefetchFills = uint64(float64(r.Cache.PrefetchFills) * f)
+	r.Cache.HWPrefetchFills = uint64(float64(r.Cache.HWPrefetchFills) * f)
+	r.Cache.HWPrefetchMem = uint64(float64(r.Cache.HWPrefetchMem) * f)
+	r.Cache.SWPrefetchMem = uint64(float64(r.Cache.SWPrefetchMem) * f)
+	r.Vec512Uops = uint64(float64(r.Vec512Uops) * f)
+	r.PrefetchUops = uint64(float64(r.PrefetchUops) * f)
+	r.Elems = uint64(float64(r.Elems) * f)
+}
+
+// entry is one in-flight instruction in the ROB.
+type entry struct {
+	bodyIdx    int32
+	iter       int64
+	issued     bool
+	completion int64
+}
+
+// minHeap is a small binary min-heap of completion cycles.
+type minHeap []int64
+
+func (h *minHeap) push(v int64) {
+	*h = append(*h, v)
+	i := len(*h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if (*h)[p] <= (*h)[i] {
+			break
+		}
+		(*h)[p], (*h)[i] = (*h)[i], (*h)[p]
+		i = p
+	}
+}
+
+func (h *minHeap) pop() int64 {
+	old := *h
+	v := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && (*h)[l] < (*h)[m] {
+			m = l
+		}
+		if r < n && (*h)[r] < (*h)[m] {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		(*h)[i], (*h)[m] = (*h)[m], (*h)[i]
+		i = m
+	}
+	return v
+}
+
+// drain removes all heap entries <= cycle and returns how many were removed.
+func (h *minHeap) drain(cycle int64) int {
+	n := 0
+	for len(*h) > 0 && (*h)[0] <= cycle {
+		h.pop()
+		n++
+	}
+	return n
+}
+
+func (h *minHeap) min() (int64, bool) {
+	if len(*h) == 0 {
+		return 0, false
+	}
+	return (*h)[0], true
+}
+
+// Sim runs programs on one CPU model, reusing internal buffers across runs.
+type Sim struct {
+	cpu  *isa.CPU
+	hier *cache.Hierarchy
+
+	rob       []entry
+	robHead   int
+	robTail   int
+	robCount  int
+	uopsInROB int
+
+	rs []int32 // indices into rob, age order, waiting to issue
+
+	regRing [][]int64 // [regRingSlots][NumRegs]
+
+	portFree []int64
+
+	loadQ, storeQ minHeap
+	lfb           minHeap
+	inflight      minHeap
+}
+
+// NewSim builds a simulator for a CPU with a fresh cache hierarchy.
+func NewSim(cpu *isa.CPU) *Sim {
+	return &Sim{cpu: cpu, hier: cache.MustNew(cpu)}
+}
+
+// Hierarchy exposes the cache hierarchy (for warming working sets).
+func (s *Sim) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// CPU returns the machine model.
+func (s *Sim) CPU() *isa.CPU { return s.cpu }
+
+// Run executes iters iterations of prog's loop body and returns the counter
+// set. The cache hierarchy retains its contents across calls (reset it
+// explicitly for a cold run); counters are deltas for this call.
+func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("uarch: iters must be positive, got %d", iters)
+	}
+	prog.prepare()
+	s.reset(prog)
+	statsBefore := s.hier.Stats()
+
+	res := &Result{Name: prog.Name}
+	body := prog.Body
+	deps := prog.deps
+	cpu := s.cpu
+
+	var cycle int64
+	var dispatchIter int64
+	var dispatchIdx int
+	traceDone := false
+
+	for !traceDone || s.robCount > 0 {
+		// Free memory-queue slots whose operations completed.
+		s.loadQ.drain(cycle)
+		s.storeQ.drain(cycle)
+		s.lfb.drain(cycle)
+		s.inflight.drain(cycle)
+
+		// Retire in order.
+		retiredUops := 0
+		for s.robCount > 0 {
+			head := &s.rob[s.robHead]
+			if !head.issued || head.completion > cycle {
+				break
+			}
+			u := &body[head.bodyIdx]
+			// Instructions wider than the retire bandwidth (e.g. gathers)
+			// retire alone; otherwise respect the per-cycle budget.
+			if retiredUops > 0 && retiredUops+u.Instr.Uops > cpu.RetireWidth {
+				break
+			}
+			retiredUops += u.Instr.Uops
+			res.Instructions++
+			res.Uops += uint64(u.Instr.Uops)
+			s.uopsInROB -= u.Instr.Uops
+			s.robHead = (s.robHead + 1) % len(s.rob)
+			s.robCount--
+		}
+
+		// Issue from the scheduler in age order.
+		issuedUops := 0
+		issuedInstrs := 0
+		if len(s.rs) > 0 {
+			w := 0
+			for ri := 0; ri < len(s.rs); ri++ {
+				ei := s.rs[ri]
+				if issuedInstrs >= issueInstrCap {
+					s.rs[w] = ei
+					w++
+					continue
+				}
+				e := &s.rob[ei]
+				u := &body[e.bodyIdx]
+				if !s.srcsReady(e, &deps[e.bodyIdx], body, cycle) {
+					s.rs[w] = ei
+					w++
+					continue
+				}
+				lat, ok := s.tryIssue(e, u, prog, cycle)
+				if !ok {
+					s.rs[w] = ei
+					w++
+					continue
+				}
+				e.issued = true
+				e.completion = cycle + int64(lat)
+				if u.Dst != NoReg {
+					s.regRing[e.iter%regRingSlots][u.Dst] = e.completion
+				}
+				s.inflight.push(e.completion)
+				issuedUops += u.Instr.Uops
+				issuedInstrs++
+				if u.Instr.Width == isa.W512 && u.Instr.Class.IsVector() {
+					res.Vec512Uops += uint64(u.Instr.Uops)
+				}
+				if u.Instr.Class == isa.Prefetch {
+					res.PrefetchUops++
+				}
+			}
+			s.rs = s.rs[:w]
+		}
+		if Debug && cycle < 300 {
+			fmt.Printf("c%3d: rob=%d rs=%d issued=%d retired=%d dispIter=%d portFree=%v\n",
+				cycle, s.robCount, len(s.rs), issuedInstrs, retiredUops, dispatchIter, s.portFree)
+		}
+		if issuedUops >= HistBuckets {
+			issuedUops = HistBuckets - 1
+		}
+		res.Hist[issuedUops]++
+
+		// Dispatch new instructions into ROB + scheduler.
+		dispatched := 0
+		budget := cpu.DecodeWidth
+		for !traceDone && budget > 0 {
+			u := &body[dispatchIdx]
+			if s.uopsInROB+u.Instr.Uops > cpu.ROBSize || len(s.rs) >= cpu.RSSize || s.robCount >= len(s.rob) {
+				break
+			}
+			if dispatchIdx == 0 {
+				slot := s.regRing[dispatchIter%regRingSlots]
+				for i := range slot {
+					slot[i] = notIssued
+				}
+			}
+			s.rob[s.robTail] = entry{bodyIdx: int32(dispatchIdx), iter: dispatchIter}
+			s.rs = append(s.rs, int32(s.robTail))
+			s.robTail = (s.robTail + 1) % len(s.rob)
+			s.robCount++
+			s.uopsInROB += u.Instr.Uops
+			budget -= u.Instr.Uops
+			dispatched++
+			dispatchIdx++
+			if dispatchIdx == len(body) {
+				dispatchIdx = 0
+				dispatchIter++
+				if dispatchIter == iters {
+					traceDone = true
+				}
+			}
+		}
+
+		// Fast-forward through stall cycles.
+		if issuedInstrs == 0 && dispatched == 0 && retiredUops == 0 {
+			next := s.nextEvent(cycle)
+			if next > cycle+1 {
+				res.Hist[0] += uint64(next - cycle - 1)
+				cycle = next
+				continue
+			}
+		}
+		cycle++
+	}
+
+	res.Cycles = uint64(cycle)
+	res.Elems = uint64(iters) * uint64(prog.ElemsPerIter)
+	res.Cache = statsDelta(s.hier.Stats(), statsBefore)
+	res.FreqGHz = EffectiveFreq(cpu, prog, res)
+	return res, nil
+}
+
+// MustRun is Run for known-good programs; it panics on error.
+func (s *Sim) MustRun(prog *Program, iters int64) *Result {
+	r, err := s.Run(prog, iters)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func statsDelta(a, b cache.Stats) cache.Stats {
+	return cache.Stats{
+		L1Hits: a.L1Hits - b.L1Hits, L1Misses: a.L1Misses - b.L1Misses,
+		L2Hits: a.L2Hits - b.L2Hits, L2Misses: a.L2Misses - b.L2Misses,
+		LLCHits: a.LLCHits - b.LLCHits, LLCMisses: a.LLCMisses - b.LLCMisses,
+		MemAccesses:     a.MemAccesses - b.MemAccesses,
+		PrefetchFills:   a.PrefetchFills - b.PrefetchFills,
+		HWPrefetchFills: a.HWPrefetchFills - b.HWPrefetchFills,
+		HWPrefetchMem:   a.HWPrefetchMem - b.HWPrefetchMem,
+		SWPrefetchMem:   a.SWPrefetchMem - b.SWPrefetchMem,
+	}
+}
+
+func (s *Sim) reset(prog *Program) {
+	robCap := s.cpu.ROBSize + 8
+	if cap(s.rob) < robCap {
+		s.rob = make([]entry, robCap)
+	}
+	s.rob = s.rob[:robCap]
+	s.robHead, s.robTail, s.robCount, s.uopsInROB = 0, 0, 0, 0
+	s.rs = s.rs[:0]
+	if len(s.regRing) != regRingSlots || len(s.regRing[0]) < prog.NumRegs {
+		s.regRing = make([][]int64, regRingSlots)
+		for i := range s.regRing {
+			s.regRing[i] = make([]int64, prog.NumRegs)
+		}
+	}
+	if len(s.portFree) != len(s.cpu.Ports) {
+		s.portFree = make([]int64, len(s.cpu.Ports))
+	}
+	for i := range s.portFree {
+		s.portFree[i] = 0
+	}
+	s.loadQ = s.loadQ[:0]
+	s.storeQ = s.storeQ[:0]
+	s.lfb = s.lfb[:0]
+	s.inflight = s.inflight[:0]
+}
+
+// srcsReady reports whether every source operand of e is available at cycle.
+func (s *Sim) srcsReady(e *entry, d *depInfo, body []UOp, cycle int64) bool {
+	for k := 0; k < 3; k++ {
+		src := body[e.bodyIdx].Srcs[k]
+		if src == NoReg {
+			continue
+		}
+		var ready int64
+		switch {
+		case d.producer[k] >= 0:
+			ready = s.regRing[e.iter%regRingSlots][body[d.producer[k]].Dst]
+		case d.carried[k] >= 0:
+			if e.iter == 0 {
+				continue // pre-loop value, ready at start
+			}
+			ready = s.regRing[(e.iter-1)%regRingSlots][body[d.carried[k]].Dst]
+		default:
+			continue // loop-invariant
+		}
+		if ready == notIssued || ready > cycle {
+			return false
+		}
+	}
+	return true
+}
+
+// tryIssue attempts to claim execution resources for u at cycle; on success
+// it returns the total result latency (including cache effects).
+func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency int, ok bool) {
+	in := u.Instr
+	occ := int64(in.Occupancy)
+	switch in.Class {
+	case isa.Load:
+		if len(s.loadQ) >= s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
+			return 0, false
+		}
+		port, found := s.freePort(in.Class, cycle)
+		if !found {
+			return 0, false
+		}
+		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
+		extra, _ := s.cacheExtra(addr)
+		lat := in.Latency + extra
+		s.portFree[port] = cycle + occ
+		s.loadQ.push(cycle + int64(lat))
+		if extra > 0 {
+			s.lfb.push(cycle + int64(lat))
+		}
+		return lat, true
+
+	case isa.GatherOp:
+		// A gather's lane loads coalesce into roughly lanes/2 load-buffer
+		// entries (line-combining in the fill buffers) and keep both load
+		// ports busy for the occupancy window.
+		lqSlots := in.Lanes / 2
+		if lqSlots < 1 {
+			lqSlots = 1
+		}
+		if len(s.loadQ)+lqSlots > s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
+			return 0, false
+		}
+		p2, ok2 := s.loadPorts(cycle)
+		if !ok2 {
+			return 0, false
+		}
+		maxExtra := 0
+		misses := 0
+		for lane := 0; lane < in.Lanes; lane++ {
+			addr := u.Addr.address(e.iter, lane, prog.ElemsPerIter)
+			extra, _ := s.cacheExtra(addr)
+			if extra > maxExtra {
+				maxExtra = extra
+			}
+			if extra > 0 {
+				misses++
+			}
+		}
+		lat := in.Latency + maxExtra
+		for _, p := range p2 {
+			s.portFree[p] = cycle + occ
+		}
+		done := cycle + int64(lat)
+		for i := 0; i < lqSlots; i++ {
+			s.loadQ.push(done)
+		}
+		for i := 0; i < misses; i++ {
+			s.lfb.push(done)
+		}
+		return lat, true
+
+	case isa.Store:
+		if len(s.storeQ) >= s.cpu.StoreQueue {
+			return 0, false
+		}
+		port, found := s.freePort(in.Class, cycle)
+		if !found {
+			return 0, false
+		}
+		addr := u.Addr.address(e.iter, 0, prog.ElemsPerIter)
+		s.hier.Access(addr)
+		s.portFree[port] = cycle + occ
+		s.storeQ.push(cycle + int64(in.Latency) + 4)
+		return in.Latency, true
+
+	case isa.Prefetch:
+		// Random-region prefetch fills consume line-fill buffers like
+		// demand misses; a full LFB array stalls further prefetching (the
+		// bandwidth bound that keeps prefetch-everything engines honest).
+		// Sequential-stream prefetches are serviced by the L2 streamer path
+		// and bypass the L1 fill buffers.
+		isStream := u.Addr.Kind == AddrStride
+		if !isStream && len(s.lfb) >= s.cpu.LineFillBuffers {
+			return 0, false
+		}
+		port, found := s.freePort(isa.Prefetch, cycle)
+		if !found {
+			return 0, false
+		}
+		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
+		if lvl := s.hier.Prefetch(addr); lvl > 0 && !isStream {
+			// Prefetch fills are fire-and-forget: the buffer frees when the
+			// line arrives, overlapping better than demand misses that hold
+			// their buffer until the consumer is satisfied.
+			s.lfb.push(cycle + int64(s.fillLatency(lvl))/2)
+		}
+		s.portFree[port] = cycle + occ
+		return in.Latency, true
+	}
+
+	// Arithmetic classes.
+	if in.Width == isa.W512 && in.Class.IsVector() {
+		return s.issue512(in, cycle)
+	}
+	port, found := s.freePort(in.Class, cycle)
+	if !found {
+		return 0, false
+	}
+	s.portFree[port] = cycle + occ
+	return in.Latency, true
+}
+
+// issue512 places a 512-bit vector µop on one of the 512-bit unit ports.
+// Shuffles run on the (always 512-bit-capable) shuffle unit instead.
+func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
+	occ := int64(in.Occupancy)
+	if in.Class == isa.VecShuffle {
+		for i := range s.cpu.Ports {
+			if s.cpu.Ports[i].CanRun(isa.VecShuffle) && s.portFree[i] <= cycle {
+				s.portFree[i] = cycle + occ
+				return in.Latency, true
+			}
+		}
+		return 0, false
+	}
+	for _, p := range s.cpu.Vec512Ports {
+		if s.portFree[p] <= cycle {
+			s.portFree[p] = cycle + occ
+			return in.Latency, true
+		}
+	}
+	return 0, false
+}
+
+// freePort finds a free port that accepts class c at cycle.
+func (s *Sim) freePort(c isa.Class, cycle int64) (int, bool) {
+	for i := range s.cpu.Ports {
+		if s.cpu.Ports[i].CanRun(c) && s.portFree[i] <= cycle {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// loadPorts claims both load ports for a gather.
+func (s *Sim) loadPorts(cycle int64) ([]int, bool) {
+	var ports []int
+	for i := range s.cpu.Ports {
+		if s.cpu.Ports[i].CanRun(isa.Load) {
+			if s.portFree[i] > cycle {
+				return nil, false
+			}
+			ports = append(ports, i)
+		}
+	}
+	return ports, len(ports) > 0
+}
+
+// fillLatency maps a fill-source level to its line-fill-buffer hold time.
+func (s *Sim) fillLatency(level int) int {
+	switch level {
+	case 2:
+		return s.cpu.L2.Latency
+	case 3:
+		return s.cpu.LLC.Latency
+	default:
+		return s.cpu.MemLatency
+	}
+}
+
+// cacheExtra returns the additional latency (beyond the L1-hit latency baked
+// into the instruction table) for accessing addr.
+func (s *Sim) cacheExtra(addr uint64) (extra, level int) {
+	lat, lvl := s.hier.Access(addr)
+	e := lat - s.cpu.L1D.Latency
+	if e < 0 {
+		e = 0
+	}
+	return e, lvl
+}
+
+// nextEvent returns the next cycle at which progress can occur.
+func (s *Sim) nextEvent(cycle int64) int64 {
+	next := int64(math.MaxInt64)
+	if m, ok := s.inflight.min(); ok && m < next {
+		next = m
+	}
+	for _, f := range s.portFree {
+		if f > cycle && f < next {
+			next = f
+		}
+	}
+	if m, ok := s.loadQ.min(); ok && m < next {
+		next = m
+	}
+	if m, ok := s.storeQ.min(); ok && m < next {
+		next = m
+	}
+	if m, ok := s.lfb.min(); ok && m < next {
+		next = m
+	}
+	if next == int64(math.MaxInt64) {
+		return cycle + 1
+	}
+	return next
+}
+
+// heavy512UtilThreshold is the sustained 512-bit-unit µop throughput (µops
+// per cycle) above which the core enters the heavy AVX-512 license. A single
+// 512-bit unit cannot exceed 1.0, so only parts with two units (and code
+// that keeps both busy — the paper's "two SIMD statements" case) downclock.
+const heavy512UtilThreshold = 1.5
+
+// EffectiveFreq applies the frequency-license model: scalar turbo for
+// scalar-only code, the AVX2/AVX-512 license for vector code, the heavy
+// AVX-512 license when sustained 512-bit utilisation keeps two 512-bit units
+// busy (the paper's observation that two SIMD statements downclock the
+// core), and an uncore governor penalty proportional to software-prefetch
+// density (the bandwidth-saturated regime measured for Voila).
+func EffectiveFreq(cpu *isa.CPU, prog *Program, res *Result) float64 {
+	fl := cpu.Freq
+	f := fl.ScalarGHz
+	switch {
+	case res.Vec512Uops > 0 && res.Cycles > 0:
+		util := float64(res.Vec512Uops) / float64(res.Cycles)
+		if util >= heavy512UtilThreshold && len(cpu.Vec512Ports) >= 2 {
+			f = fl.AVX512HeavyGHz
+		} else {
+			f = fl.AVX512GHz
+		}
+	case prog.VectorWidth == isa.W256 && prog.VectorStatements > 0:
+		f = fl.AVX2GHz
+	}
+	if res.Instructions > 0 && res.PrefetchUops > 0 {
+		density := float64(res.PrefetchUops) / float64(res.Instructions)
+		f *= 1 - fl.UncoreGovPenalty*density
+	}
+	if f < fl.MinGHz {
+		f = fl.MinGHz
+	}
+	return f
+}
+
+// Debug enables per-cycle tracing for development diagnostics.
+var Debug bool

@@ -1,0 +1,46 @@
+package uarch
+
+import (
+	"testing"
+
+	"hef/internal/isa"
+)
+
+// BenchmarkSimulatorThroughput measures simulated instructions per second —
+// the cost of the timing substrate itself.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cpu := isa.XeonSilver4110()
+	p := indepProg("bench", isa.Scalar("add"), 8)
+	s := NewSim(cpu)
+	const iters = 4096
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		res, err := s.Run(p, iters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func BenchmarkSimulatorGatherHeavy(b *testing.B) {
+	cpu := isa.XeonSilver4110()
+	g := isa.AVX512("vpgatherqq")
+	p := &Program{Name: "gb", NumRegs: 3, ElemsPerIter: 16,
+		VectorStatements: 1, VectorWidth: isa.W512,
+		Body: []UOp{
+			{Instr: g, Dst: 1, Srcs: [3]int16{0, NoReg, NoReg},
+				Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 33, Region: 1 << 22, Seed: 1}},
+			{Instr: g, Dst: 2, Srcs: [3]int16{0, NoReg, NoReg},
+				Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 34, Region: 1 << 22, Seed: 2}},
+		}}
+	s := NewSim(cpu)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Run(p, 2048); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+// Package vec is a small software vector library over 8 lanes of 64-bit
+// integers — the functional counterpart of the AVX-512 instruction forms in
+// the ISA description table. The runnable engines (scalar / SIMD / hybrid)
+// use it so that all three produce bit-identical results; the timing of the
+// corresponding hardware forms comes from the microarchitecture simulator.
+package vec
+
+// Lanes is the vector width in 64-bit elements (AVX-512).
+const Lanes = 8
+
+// U64x8 is one 512-bit vector of eight uint64 lanes.
+type U64x8 [Lanes]uint64
+
+// Mask is an 8-bit lane mask, one bit per lane (AVX-512 k-register).
+type Mask uint8
+
+// MaskAll has every lane set.
+const MaskAll Mask = 0xff
+
+// Load reads 8 consecutive elements from s.
+func Load(s []uint64) U64x8 {
+	var v U64x8
+	copy(v[:], s[:Lanes])
+	return v
+}
+
+// Store writes the 8 lanes to dst.
+func (v U64x8) Store(dst []uint64) {
+	copy(dst[:Lanes], v[:])
+}
+
+// Broadcast fills all lanes with x (hi_broadcast / set1).
+func Broadcast(x uint64) U64x8 {
+	var v U64x8
+	for i := range v {
+		v[i] = x
+	}
+	return v
+}
+
+// Iota returns {base, base+1, ..., base+7}.
+func Iota(base uint64) U64x8 {
+	var v U64x8
+	for i := range v {
+		v[i] = base + uint64(i)
+	}
+	return v
+}
+
+// Add returns lane-wise a+b.
+func Add(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// Sub returns lane-wise a-b.
+func Sub(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] -= b[i]
+	}
+	return a
+}
+
+// Mul returns lane-wise a*b (low 64 bits, vpmullq).
+func Mul(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] *= b[i]
+	}
+	return a
+}
+
+// And, Or, Xor return lane-wise bitwise operations.
+func And(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] &= b[i]
+	}
+	return a
+}
+
+func Or(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] |= b[i]
+	}
+	return a
+}
+
+func Xor(a, b U64x8) U64x8 {
+	for i := range a {
+		a[i] ^= b[i]
+	}
+	return a
+}
+
+// Srl and Sll return lane-wise logical shifts by a shared count.
+func Srl(a U64x8, n uint) U64x8 {
+	for i := range a {
+		a[i] >>= n
+	}
+	return a
+}
+
+func Sll(a U64x8, n uint) U64x8 {
+	for i := range a {
+		a[i] <<= n
+	}
+	return a
+}
+
+// Gather loads base[idx[i]] per lane (vpgatherqq).
+func Gather(base []uint64, idx U64x8) U64x8 {
+	var v U64x8
+	for i := range v {
+		v[i] = base[idx[i]]
+	}
+	return v
+}
+
+// MaskGather loads base[idx[i]] for set lanes, keeping def's lanes otherwise.
+func MaskGather(def U64x8, m Mask, base []uint64, idx U64x8) U64x8 {
+	for i := range def {
+		if m&(1<<i) != 0 {
+			def[i] = base[idx[i]]
+		}
+	}
+	return def
+}
+
+// CmpEq, CmpGt, CmpLt, CmpGe, CmpLe return lane masks (vpcmpq).
+func CmpEq(a, b U64x8) Mask { return cmp(a, b, func(x, y uint64) bool { return x == y }) }
+func CmpGt(a, b U64x8) Mask { return cmp(a, b, func(x, y uint64) bool { return x > y }) }
+func CmpLt(a, b U64x8) Mask { return cmp(a, b, func(x, y uint64) bool { return x < y }) }
+func CmpGe(a, b U64x8) Mask { return cmp(a, b, func(x, y uint64) bool { return x >= y }) }
+func CmpLe(a, b U64x8) Mask { return cmp(a, b, func(x, y uint64) bool { return x <= y }) }
+
+func cmp(a, b U64x8, f func(x, y uint64) bool) Mask {
+	var m Mask
+	for i := range a {
+		if f(a[i], b[i]) {
+			m |= 1 << i
+		}
+	}
+	return m
+}
+
+// Blend returns b's lanes where the mask is set, a's lanes otherwise
+// (vpblendmq).
+func Blend(m Mask, a, b U64x8) U64x8 {
+	for i := range a {
+		if m&(1<<i) != 0 {
+			a[i] = b[i]
+		}
+	}
+	return a
+}
+
+// Compress writes the lanes of v selected by m contiguously into dst and
+// returns how many lanes were written (vpcompressq). dst must have space
+// for m.Count() elements.
+func Compress(dst []uint64, m Mask, v U64x8) int {
+	n := 0
+	for i := range v {
+		if m&(1<<i) != 0 {
+			dst[n] = v[i]
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of set lanes (kpopcnt).
+func (m Mask) Count() int {
+	n := 0
+	for x := uint8(m); x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Test reports whether lane i is set.
+func (m Mask) Test(i int) bool { return m&(1<<i) != 0 }
+
+// ReduceAdd sums all lanes.
+func ReduceAdd(v U64x8) uint64 {
+	var s uint64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Srlv returns lane-wise a[i] >> n[i] (vpsrlvq, per-lane variable shift).
+func Srlv(a, n U64x8) U64x8 {
+	for i := range a {
+		a[i] >>= n[i] & 63
+	}
+	return a
+}

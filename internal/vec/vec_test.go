@@ -1,0 +1,126 @@
+package vec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	src := []uint64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	v := Load(src)
+	dst := make([]uint64, Lanes)
+	v.Store(dst)
+	for i := 0; i < Lanes; i++ {
+		if dst[i] != src[i] {
+			t.Errorf("lane %d: got %d, want %d", i, dst[i], src[i])
+		}
+	}
+}
+
+func TestBroadcastIota(t *testing.T) {
+	b := Broadcast(7)
+	for i := range b {
+		if b[i] != 7 {
+			t.Fatalf("broadcast lane %d = %d", i, b[i])
+		}
+	}
+	io := Iota(10)
+	for i := range io {
+		if io[i] != uint64(10+i) {
+			t.Fatalf("iota lane %d = %d", i, io[i])
+		}
+	}
+}
+
+// Property: every lane-wise arithmetic op equals the scalar op per lane.
+func TestLaneWiseOpsMatchScalar(t *testing.T) {
+	f := func(a, b U64x8, n8 uint8) bool {
+		n := uint(n8 % 64)
+		add, sub, mul := Add(a, b), Sub(a, b), Mul(a, b)
+		and, or, xor := And(a, b), Or(a, b), Xor(a, b)
+		srl, sll := Srl(a, n), Sll(a, n)
+		for i := 0; i < Lanes; i++ {
+			if add[i] != a[i]+b[i] || sub[i] != a[i]-b[i] || mul[i] != a[i]*b[i] {
+				return false
+			}
+			if and[i] != a[i]&b[i] || or[i] != a[i]|b[i] || xor[i] != a[i]^b[i] {
+				return false
+			}
+			if srl[i] != a[i]>>n || sll[i] != a[i]<<n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompares(t *testing.T) {
+	a := U64x8{1, 2, 3, 4, 5, 6, 7, 8}
+	b := Broadcast(4)
+	if m := CmpEq(a, b); m != 0b00001000 {
+		t.Errorf("CmpEq = %08b", m)
+	}
+	if m := CmpLt(a, b); m != 0b00000111 {
+		t.Errorf("CmpLt = %08b", m)
+	}
+	if m := CmpGt(a, b); m != 0b11110000 {
+		t.Errorf("CmpGt = %08b", m)
+	}
+	if m := CmpGe(a, b); m != 0b11111000 {
+		t.Errorf("CmpGe = %08b", m)
+	}
+	if m := CmpLe(a, b); m != 0b00001111 {
+		t.Errorf("CmpLe = %08b", m)
+	}
+}
+
+func TestGather(t *testing.T) {
+	base := []uint64{100, 101, 102, 103, 104, 105, 106, 107, 108, 109}
+	idx := U64x8{9, 0, 3, 3, 7, 1, 2, 8}
+	g := Gather(base, idx)
+	want := U64x8{109, 100, 103, 103, 107, 101, 102, 108}
+	if g != want {
+		t.Errorf("Gather = %v, want %v", g, want)
+	}
+	def := Broadcast(42)
+	mg := MaskGather(def, 0b00000101, base, idx)
+	if mg[0] != 109 || mg[1] != 42 || mg[2] != 103 || mg[3] != 42 {
+		t.Errorf("MaskGather = %v", mg)
+	}
+}
+
+func TestBlendCompress(t *testing.T) {
+	a, b := Iota(0), Iota(100)
+	bl := Blend(0b10100101, a, b)
+	want := U64x8{100, 1, 102, 3, 4, 105, 6, 107}
+	if bl != want {
+		t.Errorf("Blend = %v, want %v", bl, want)
+	}
+	dst := make([]uint64, Lanes)
+	n := Compress(dst, 0b10100101, a)
+	if n != 4 || dst[0] != 0 || dst[1] != 2 || dst[2] != 5 || dst[3] != 7 {
+		t.Errorf("Compress n=%d dst=%v", n, dst)
+	}
+}
+
+func TestMaskHelpers(t *testing.T) {
+	m := Mask(0b10110001)
+	if m.Count() != 4 {
+		t.Errorf("Count = %d", m.Count())
+	}
+	if !m.Test(0) || m.Test(1) || !m.Test(7) {
+		t.Error("Test bits wrong")
+	}
+	if MaskAll.Count() != Lanes {
+		t.Error("MaskAll should have all lanes")
+	}
+}
+
+func TestReduceAdd(t *testing.T) {
+	if got := ReduceAdd(Iota(1)); got != 36 {
+		t.Errorf("ReduceAdd(1..8) = %d, want 36", got)
+	}
+}

@@ -1,0 +1,135 @@
+package voila
+
+import (
+	"testing"
+
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+func TestTemplatesValidate(t *testing.T) {
+	for _, tmpl := range []interface {
+		Validate(func(string) bool) error
+	}{
+		ProbeTemplate(1 << 20), FilterTemplate(2), AggTemplate(4096),
+		FSMTemplate(), TupleTemplate(1 << 16),
+	} {
+		if err := tmpl.Validate(knownOp); err != nil {
+			t.Errorf("template failed validation: %v", err)
+		}
+	}
+}
+
+func TestProbeTemplatePrefetchesEverything(t *testing.T) {
+	tmpl := ProbeTemplate(1 << 20)
+	prefetches := 0
+	gathers := 0
+	for _, s := range tmpl.Body {
+		switch s.Op {
+		case "prefetch":
+			prefetches++
+		case "gather":
+			gathers++
+		}
+	}
+	if gathers != 2 {
+		t.Errorf("probe has %d gathers, want 2 (keys + values)", gathers)
+	}
+	// Four stream prefetches + one per hash-table array.
+	if prefetches != 6 {
+		t.Errorf("probe has %d prefetch statements, want 6", prefetches)
+	}
+}
+
+func TestRegionClamps(t *testing.T) {
+	p := ProbeTemplate(0)
+	if prm, ok := p.Param("htkeys"); !ok || prm.Region == 0 {
+		t.Error("ProbeTemplate should clamp tiny hash tables")
+	}
+	tt := TupleTemplate(1)
+	if prm, ok := tt.Param("buf"); !ok || prm.Region < 4096 {
+		t.Error("TupleTemplate should clamp to the FSM state size")
+	}
+	a := AggTemplate(0)
+	if prm, ok := a.Param("grp"); !ok || prm.Region == 0 {
+		t.Error("AggTemplate should clamp tiny group tables")
+	}
+	f := FilterTemplate(0)
+	if len(f.Body) == 0 {
+		t.Error("FilterTemplate should clamp to one predicate")
+	}
+}
+
+// The Voila probe's prefetches must cover the gather lanes: with a warmed
+// region the gathers hit L1 and demand LLC misses stay near zero even for a
+// memory-sized table.
+func TestProbePrefetchCoversGathers(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	tmpl := ProbeTemplate(256 << 20) // far beyond LLC
+	out, err := translator.Translate(tmpl, translator.Node{V: 1, S: 0, P: 1},
+		translator.Options{CPU: cpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uarch.NewSim(cpu)
+	res, err := sim.Run(out.Program, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Demand misses (excluding prefetch fills) should be tiny relative to
+	// the 2*8 gather lanes per iteration.
+	perIter := float64(res.Cache.MemAccesses) / 2000
+	if perIter > 1.0 {
+		t.Errorf("demand memory accesses per iteration = %.2f, want < 1 (prefetch should cover gathers)", perIter)
+	}
+	if res.Cache.PrefetchFills == 0 {
+		t.Error("expected software prefetch fills")
+	}
+	// The governor must pull the clock into the measured Voila regime.
+	if res.FreqGHz > 2.2 || res.FreqGHz < cpu.Freq.MinGHz {
+		t.Errorf("Voila effective frequency = %.2f, want ~1.8 (paper 1.77)", res.FreqGHz)
+	}
+}
+
+// The tuple-at-a-time FSM chain is serial: doubling the per-survivor steps
+// roughly doubles the cycles (no instruction-level overlap).
+func TestTupleChainIsSerial(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	tmpl := TupleTemplate(4096)
+	out, err := translator.Translate(tmpl, translator.Node{V: 0, S: 1, P: 1},
+		translator.Options{CPU: cpu})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := uarch.NewSim(cpu)
+	if _, err := sim.Run(out.Program, 500); err != nil { // cache warm-up
+		t.Fatal(err)
+	}
+	r1, err := sim.Run(out.Program, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sim.Run(out.Program, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(r2.Cycles) / float64(r1.Cycles)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("cycles should scale linearly with chain length, ratio = %.2f", ratio)
+	}
+	// A serial chain through an L1-resident table: at least the load-use
+	// latency per element.
+	if cpe := r1.CyclesPerElem(); cpe < 5 {
+		t.Errorf("tuple chain = %.1f cycles/elem, want >= 5 (dependent lookups)", cpe)
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if BatchSize != 1024 {
+		t.Errorf("BatchSize = %d, want the paper's vector(1024)", BatchSize)
+	}
+	if TupleFSMElems < 1 || BytesPerSurvivor < 1 {
+		t.Error("tuple model constants must be positive")
+	}
+}
