@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench figures tables hash ablate clean
+.PHONY: all build vet test test-short bench bench-json figures tables hash ablate clean
 
 all: build vet test
 
@@ -12,8 +12,8 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
-	$(GO) test ./...
+test: vet
+	$(GO) test -race ./...
 
 test-short:
 	$(GO) test -short ./...
@@ -21,6 +21,10 @@ test-short:
 # One benchmark per paper table and figure (plus ablations).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot (the BENCH_*.json series).
+bench-json:
+	$(GO) run ./cmd/uopshist -bench murmur -json > BENCH_1.json
 
 # Regenerate the paper's evaluation artifacts.
 figures:

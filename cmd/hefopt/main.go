@@ -19,6 +19,7 @@ import (
 	"hef/internal/engine"
 	"hef/internal/hashes"
 	"hef/internal/hid"
+	"hef/internal/obs"
 	"hef/internal/translator"
 )
 
@@ -29,6 +30,8 @@ func main() {
 	elems := flag.Int64("elems", 1<<14, "synthetic test size per evaluation")
 	showCode := flag.Bool("show-code", false, "print the generated code at the optimum (Fig. 6 analogue)")
 	trace := flag.Bool("trace", false, "print every tested node (the search trace)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON) instead of text")
+	dotOut := flag.String("dot", "", "write the pruning search as a Graphviz digraph to this file")
 	flag.Parse()
 
 	tmpl, err := selectTemplate(*op, *file)
@@ -42,6 +45,19 @@ func main() {
 	opt, err := fw.OptimizeOperator(tmpl)
 	if err != nil {
 		fail(err)
+	}
+
+	if *dotOut != "" {
+		if err := os.WriteFile(*dotOut, []byte(obs.SearchDOT(opt.Search)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hefopt: wrote search digraph to %s (render with dot -Tsvg)\n", *dotOut)
+	}
+	if *jsonOut {
+		if err := emitJSON(fw, tmpl, opt); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	fmt.Printf("operator %s on %s\n", tmpl.Name, fw.CPU().Name)
@@ -79,6 +95,36 @@ func main() {
 		fmt.Println("\ngenerated code at the optimum:")
 		fmt.Println(opt.Source)
 	}
+}
+
+// emitJSON measures the scalar and SIMD baselines plus the found optimum
+// and prints them as one run report with the pruning-search record.
+func emitJSON(fw *core.Framework, tmpl *hid.Template, opt *core.Optimized) error {
+	rep := obs.NewReport("hefopt")
+	rep.CPU = fw.CPU().Name
+	rep.Params["op"] = tmpl.Name
+	impls := []struct {
+		label string
+		node  translator.Node
+	}{
+		{"Scalar", translator.Node{V: 0, S: 1, P: 1}},
+		{"SIMD", translator.Node{V: 1, S: 0, P: 1}},
+		{"Optimum", opt.Node},
+	}
+	for _, im := range impls {
+		res, err := fw.Measure(tmpl, im.node)
+		if err != nil {
+			return err
+		}
+		rep.Runs = append(rep.Runs, obs.RunFromResult(tmpl.Name, im.label, im.node.String(), res, res.Seconds()))
+	}
+	rep.Search = obs.SearchFromResult(opt.Search)
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
 }
 
 func selectTemplate(op, file string) (*hid.Template, error) {

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"hef/internal/experiments"
+	"hef/internal/obs"
 	"hef/internal/queries"
 )
 
@@ -30,8 +31,16 @@ func main() {
 	all := flag.Bool("all", false, "run Figs. 8-10 on both CPUs")
 	stages := flag.Bool("stages", false, "print per-stage timing detail")
 	format := flag.String("format", "text", `output format: "text", "csv", or "markdown"`)
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON)")
+	csvOut := flag.Bool("csv", false, `shorthand for -format csv`)
 	flag.Parse()
 	outFormat = *format
+	if *csvOut {
+		outFormat = "csv"
+	}
+	if *jsonOut {
+		outFormat = "json"
+	}
 
 	if *table != 0 {
 		if err := printTable(*table, *sample, *seed); err != nil {
@@ -40,12 +49,24 @@ func main() {
 		return
 	}
 	if *all {
+		var reports []*obs.RunReport
 		for _, c := range []string{"silver", "gold"} {
 			for _, s := range []float64{10, 20, 50} {
+				if outFormat == "json" {
+					fig, err := runFigure(c, s, *sample, *seed, nil)
+					if err != nil {
+						fail(err)
+					}
+					reports = append(reports, fig.Report())
+					continue
+				}
 				if err := printFigure(c, s, *sample, *seed, nil, false); err != nil {
 					fail(err)
 				}
 			}
+		}
+		if outFormat == "json" {
+			emitJSON(experiments.MergeReports("ssbbench", reports...))
 		}
 		return
 	}
@@ -64,14 +85,20 @@ func main() {
 	}
 }
 
-func printFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query, stages bool) error {
-	fig, err := experiments.RunFigure(experiments.FigureConfig{
+func runFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query) (*experiments.Figure, error) {
+	return experiments.RunFigure(experiments.FigureConfig{
 		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed, Queries: qs,
 	})
+}
+
+func printFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query, stages bool) error {
+	fig, err := runFigure(cpu, sf, sample, seed, qs)
 	if err != nil {
 		return err
 	}
 	switch outFormat {
+	case "json":
+		emitJSON(fig.Report())
 	case "csv":
 		fmt.Print(fig.CSV())
 	case "markdown":
@@ -123,6 +150,16 @@ func printTable(n int, sample float64, seed uint64) error {
 	if err != nil {
 		return err
 	}
+	switch outFormat {
+	case "json":
+		rep := fig.Report()
+		rep.Params["table"] = fmt.Sprintf("%d", n)
+		emitJSON(rep)
+		return nil
+	case "csv":
+		fmt.Print(fig.CSV())
+		return nil
+	}
 	tbl, err := fig.CounterTable(query)
 	if err != nil {
 		return err
@@ -131,7 +168,16 @@ func printTable(n int, sample float64, seed uint64) error {
 	return nil
 }
 
-// outFormat selects the figure rendering ("text", "csv", "markdown").
+// emitJSON prints a run report as indented JSON on stdout.
+func emitJSON(rep *obs.RunReport) {
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		fail(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// outFormat selects the figure rendering ("text", "csv", "markdown", "json").
 var outFormat = "text"
 
 func fail(err error) {

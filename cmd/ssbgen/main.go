@@ -7,6 +7,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +23,19 @@ func main() {
 	seed := flag.Uint64("seed", 20230401, "generator seed")
 	preview := flag.Int("preview", 3, "rows to preview per table (0 disables)")
 	csvDir := flag.String("csv", "", "export tables as CSV files into this directory")
+	jsonOut := flag.Bool("json", false, "print the dataset summary as JSON instead of text")
 	flag.Parse()
 
 	data := ssb.Generate(*sf, *seed)
 	tables := []*ssb.Table{data.Date, data.Customer, data.Supplier, data.Part, data.Lineorder}
+
+	if *jsonOut {
+		if err := printJSON(tables, *sf, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "ssbgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	fmt.Printf("SSB SF%g (seed %d)\n", *sf, *seed)
 	var total uint64
@@ -62,6 +72,35 @@ func main() {
 		}
 		fmt.Printf("\nexported CSV files to %s\n", *csvDir)
 	}
+}
+
+// printJSON emits the generated dataset's shape (per-table row counts,
+// in-memory sizes, and column lists) as indented JSON.
+func printJSON(tables []*ssb.Table, sf float64, seed uint64) error {
+	type tableSummary struct {
+		Name    string   `json:"name"`
+		Rows    int      `json:"rows"`
+		Bytes   uint64   `json:"bytes"`
+		Columns []string `json:"columns"`
+	}
+	doc := struct {
+		SF         float64        `json:"sf"`
+		Seed       uint64         `json:"seed"`
+		TotalBytes uint64         `json:"total_bytes"`
+		Tables     []tableSummary `json:"tables"`
+	}{SF: sf, Seed: seed}
+	for _, t := range tables {
+		doc.TotalBytes += t.Bytes()
+		doc.Tables = append(doc.Tables, tableSummary{
+			Name: t.Name, Rows: t.N, Bytes: t.Bytes(), Columns: t.Columns(),
+		})
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(data))
+	return nil
 }
 
 func exportCSV(tables []*ssb.Table, dir string) error {

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"hef/internal/experiments"
+	"hef/internal/obs"
 )
 
 func main() {
@@ -25,7 +27,38 @@ func main() {
 	fig3 := flag.Bool("fig3", false, "print the Fig. 3 execution-mode comparison instead")
 	width := flag.Bool("width", false, "print the AVX2-vs-AVX-512 ISA width study instead")
 	ablate := flag.Bool("ablate", false, "print the pack-depth and line-fill-buffer ablation sweeps instead")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable run report (obs.RunReport JSON) for the benchmark tables")
+	csvOut := flag.Bool("csv", false, "emit the benchmark tables as CSV (one header, one row per implementation)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of short traced runs to this file (open in Perfetto) and exit")
+	traceIters := flag.Int64("trace-iters", 0, "loop iterations per traced run with -trace-out (<= 0 selects 64)")
 	flag.Parse()
+
+	if (*jsonOut || *csvOut || *traceOut != "") && (*fig3 || *width || *ablate) {
+		fail(fmt.Errorf("-json, -csv, and -trace-out apply to the benchmark tables only; drop -fig3/-width/-ablate"))
+	}
+
+	if *traceOut != "" {
+		cpuName, benchName := *cpu, *bench
+		if cpuName == "" {
+			cpuName = "silver"
+		}
+		if benchName == "" {
+			benchName = "murmur"
+		}
+		sections, err := experiments.TraceHashBench(cpuName, benchName, *traceIters)
+		if err != nil {
+			fail(err)
+		}
+		data, err := obs.ChromeTrace(sections)
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d trace sections to %s (open at https://ui.perfetto.dev)\n", len(sections), *traceOut)
+		return
+	}
 
 	if *fig3 {
 		cpuName := *cpu
@@ -88,11 +121,25 @@ func main() {
 		"murmur/silver": "11", "murmur/gold": "12",
 		"crc64/silver": "13", "crc64/gold": "14",
 	}
+	var reports []*obs.RunReport
+	var csvRows []string
 	for _, b := range benches {
 		for _, c := range cpus {
 			res, err := experiments.RunHashBench(c, b, *elems)
 			if err != nil {
 				fail(err)
+			}
+			if *jsonOut {
+				reports = append(reports, res.Report())
+				continue
+			}
+			if *csvOut {
+				lines := strings.SplitAfter(res.CSV(), "\n")
+				if len(csvRows) == 0 {
+					csvRows = append(csvRows, lines[0])
+				}
+				csvRows = append(csvRows, lines[1:]...)
+				continue
 			}
 			key := b + "/" + c
 			if t, ok := tableNo[key]; ok {
@@ -105,6 +152,16 @@ func main() {
 			fmt.Print(res.Histogram())
 			fmt.Println()
 		}
+	}
+	if *jsonOut {
+		data, err := experiments.MergeReports("uopshist", reports...).MarshalIndent()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(data)
+	}
+	if *csvOut {
+		fmt.Print(strings.Join(csvRows, ""))
 	}
 }
 

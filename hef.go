@@ -36,6 +36,7 @@ import (
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/obs"
 	"hef/internal/translator"
 	"hef/internal/uarch"
 )
@@ -63,6 +64,33 @@ type Result = uarch.Result
 // SearchResult records a pruning search (tested nodes, candidate and end
 // lists, pruning savings).
 type SearchResult = hef.Result
+
+// Stalls is the top-down attribution of a measurement's cycles: every cycle
+// lands in exactly one bucket (retiring, frontend-, backend-port-, memory-,
+// or dependency-bound), so the buckets sum to Result.Cycles.
+type Stalls = uarch.Stalls
+
+// OccHist is a coarse occupancy histogram (ROB and load-queue residency)
+// recorded per simulated cycle.
+type OccHist = uarch.OccHist
+
+// TraceLog records per-instruction lifecycle events (dispatch, issue,
+// complete, retire) when attached to a simulator; export it with
+// ChromeTrace.
+type TraceLog = uarch.TraceLog
+
+// TraceEvent is one recorded lifecycle event.
+type TraceEvent = uarch.TraceEvent
+
+// TraceSection names one run's events inside a Chrome trace export.
+type TraceSection = obs.TraceSection
+
+// RunReport is the versioned machine-readable report schema emitted by the
+// command-line tools behind -json.
+type RunReport = obs.RunReport
+
+// SearchReport is the machine-readable form of a pruning search.
+type SearchReport = obs.SearchReport
 
 // Option configures New.
 type Option = core.Option
@@ -125,6 +153,24 @@ func KnownOp(op string) bool {
 
 // SearchSpaceSize evaluates the paper's Eq. 2 for the candidate-space size.
 func SearchSpaceSize(v, s, p int) int { return hef.SearchSpaceSize(v, s, p) }
+
+// NewReport starts an empty run report for the named tool.
+func NewReport(tool string) *RunReport { return obs.NewReport(tool) }
+
+// RunFromResult converts one simulator measurement into a report run.
+func RunFromResult(name, engine, node string, res *Result, seconds float64) obs.Run {
+	return obs.RunFromResult(name, engine, node, res, seconds)
+}
+
+// ChromeTrace exports recorded lifecycle events as Chrome trace-event JSON
+// (open at https://ui.perfetto.dev or chrome://tracing).
+func ChromeTrace(sections []TraceSection) ([]byte, error) { return obs.ChromeTrace(sections) }
+
+// SearchDOT renders a pruning search as a Graphviz digraph.
+func SearchDOT(r *SearchResult) string { return obs.SearchDOT(r) }
+
+// SearchJSON renders a pruning search as an indented RunReport document.
+func SearchJSON(r *SearchResult) ([]byte, error) { return obs.SearchJSON(r) }
 
 // Version identifies the library release.
 const Version = core.Version

@@ -111,6 +111,23 @@ type Stats struct {
 	SWPrefetchMem uint64
 }
 
+// LevelName names a fill level as numbered by Hierarchy.Access and
+// Hierarchy.Prefetch: 1 → "L1", 2 → "L2", 3 → "LLC", 4 → "DRAM". Level 0
+// (non-memory operations, or a prefetch of an already-resident line) is "".
+func LevelName(level int) string {
+	switch level {
+	case 1:
+		return "L1"
+	case 2:
+		return "L2"
+	case 3:
+		return "LLC"
+	case 4:
+		return "DRAM"
+	}
+	return ""
+}
+
 // LLCMissesReported mirrors the perf LLC-misses event the paper collects:
 // demand misses plus hardware-prefetcher fills from memory. Software
 // prefetches are counted by a separate event and therefore excluded — the

@@ -10,18 +10,21 @@ import (
 // bar charts) and Markdown (for EXPERIMENTS.md-style records).
 
 // CSV renders a figure as rows of query, engine, milliseconds, plus the
-// counter columns — one line per (query, engine) cell.
+// counter columns — one line per (query, engine) cell. Rows follow the
+// figure's query order and the canonical engine order, so two runs of the
+// same configuration diff cleanly.
 func (f *Figure) CSV() string {
 	var b strings.Builder
-	b.WriteString("sf,cpu,query,engine,time_ms,instructions,llc_misses,ipc,freq_ghz\n")
+	b.WriteString("sf,cpu,query,engine,time_ms,instructions,llc_misses,ipc,freq_ghz,cycles_per_elem\n")
 	kinds := f.kinds()
 	for _, id := range f.Order {
 		for _, k := range kinds {
 			r := f.Runs[id][k]
-			fmt.Fprintf(&b, "%g,%s,%s,%s,%.3f,%d,%d,%.3f,%.3f\n",
+			fmt.Fprintf(&b, "%g,%s,%s,%s,%.3f,%d,%d,%.3f,%.3f,%.4f\n",
 				f.NominalSF, f.CPU.Name, id, k,
 				r.Seconds*1e3, r.Total.Instructions,
-				r.Total.Cache.LLCMissesReported(), r.IPC(), r.FreqGHz)
+				r.Total.Cache.LLCMissesReported(), r.IPC(), r.FreqGHz,
+				r.Total.CyclesPerElem())
 		}
 	}
 	return b.String()
@@ -53,14 +56,16 @@ func (f *Figure) Markdown() string {
 	return b.String()
 }
 
-// CSV renders the hash benchmark as one line per implementation.
+// CSV renders the hash benchmark as one line per implementation, in the
+// fixed Scalar, SIMD, Hybrid order.
 func (b *HashBench) CSV() string {
 	var sb strings.Builder
-	sb.WriteString("bench,cpu,impl,node,time_ms,ipc,ge1,ge2,ge3,ge4\n")
+	sb.WriteString("bench,cpu,impl,node,time_ms,ipc,cycles_per_elem,ge1,ge2,ge3,ge4\n")
 	for _, r := range []*HashRun{b.Scalar, b.SIMD, b.Hybrid} {
-		fmt.Fprintf(&sb, "%s,%s,%s,%s,%.2f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%s,%.2f,%.3f,%.4f,%.3f,%.3f,%.3f,%.3f\n",
 			b.Name, b.CPU.Name, r.Label, r.Node.String(),
-			r.TimeMS(), r.Res.IPC(), r.HistGE(1), r.HistGE(2), r.HistGE(3), r.HistGE(4))
+			r.TimeMS(), r.Res.IPC(), r.Res.CyclesPerElem(),
+			r.HistGE(1), r.HistGE(2), r.HistGE(3), r.HistGE(4))
 	}
 	return sb.String()
 }

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"hef/internal/obs"
 )
 
 func TestFigureCSVAndMarkdown(t *testing.T) {
@@ -18,9 +21,13 @@ func TestFigureCSVAndMarkdown(t *testing.T) {
 	if !strings.HasPrefix(lines[0], "sf,cpu,query,engine,time_ms") {
 		t.Errorf("CSV header = %q", lines[0])
 	}
+	if !strings.HasSuffix(lines[0], ",cycles_per_elem") {
+		t.Errorf("CSV header missing cycles_per_elem: %q", lines[0])
+	}
+	wantCommas := strings.Count(lines[0], ",")
 	for _, l := range lines[1:] {
-		if got := strings.Count(l, ","); got != 8 {
-			t.Errorf("CSV row has %d commas, want 8: %q", got, l)
+		if got := strings.Count(l, ","); got != wantCommas {
+			t.Errorf("CSV row has %d commas, want %d: %q", got, wantCommas, l)
 		}
 	}
 
@@ -28,6 +35,30 @@ func TestFigureCSVAndMarkdown(t *testing.T) {
 	for _, want := range []string{"| query |", "| Q2.3 |", "hyb/scalar"} {
 		if !strings.Contains(md, want) {
 			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+
+	// The run report must round-trip through encoding/json with one run
+	// per CSV data row and its stall buckets summing to the cycle count.
+	rep := fig.Report()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.RunReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != len(lines)-1 {
+		t.Fatalf("report has %d runs, want %d", len(got.Runs), len(lines)-1)
+	}
+	for _, r := range got.Runs {
+		if r.Stalls.Total() != r.Cycles {
+			t.Errorf("run %s/%s: stall buckets sum to %d, want %d",
+				r.Name, r.Engine, r.Stalls.Total(), r.Cycles)
 		}
 	}
 }
@@ -45,7 +76,36 @@ func TestHashBenchCSV(t *testing.T) {
 	if len(lines) != 4 { // header + scalar + simd + hybrid
 		t.Fatalf("hash CSV has %d lines:\n%s", len(lines), csv)
 	}
+	if !strings.Contains(lines[0], "cycles_per_elem") {
+		t.Errorf("hash CSV header missing cycles_per_elem: %q", lines[0])
+	}
 	if !strings.Contains(lines[3], "Hybrid") {
 		t.Errorf("last row should be the hybrid: %q", lines[3])
+	}
+
+	// The run report must round-trip and carry the pruning search.
+	rep := b.Report()
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got obs.RunReport
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Runs) != 3 {
+		t.Fatalf("report has %d runs, want 3", len(got.Runs))
+	}
+	if got.Search == nil || got.Search.Best != b.Hybrid.Node.String() {
+		t.Errorf("report search = %+v, want best %s", got.Search, b.Hybrid.Node)
+	}
+
+	merged := MergeReports("uopshist", rep, rep)
+	if len(merged.Runs) != 6 || merged.CPU != rep.CPU {
+		t.Errorf("merged report has %d runs on %q, want 6 on %q",
+			len(merged.Runs), merged.CPU, rep.CPU)
 	}
 }

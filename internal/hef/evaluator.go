@@ -48,6 +48,11 @@ func NewSimEvaluator(cpu *isa.CPU, tmpl *hid.Template, width isa.Width, elems in
 	return &SimEvaluator{cpu: cpu, tmpl: tmpl, width: width, elems: elems, sim: uarch.NewSim(cpu)}
 }
 
+// SetTraceLog attaches a per-instruction lifecycle recorder to the
+// evaluator's simulator (nil detaches). Note the warm-up run is recorded
+// too; bound the log with TraceLog.Limit when that matters.
+func (e *SimEvaluator) SetTraceLog(t *uarch.TraceLog) { e.sim.SetTraceLog(t) }
+
 // Evaluate implements Evaluator.
 func (e *SimEvaluator) Evaluate(n Node) (float64, error) {
 	res, err := e.Run(n)

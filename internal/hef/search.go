@@ -51,6 +51,33 @@ type Result struct {
 	EndList       []Node
 }
 
+// BestPath returns the chain of winning nodes from the initial node to the
+// optimum, following each step's Parent link backwards through the trace —
+// the monotonically improving path Algorithm 2's pruning rule guarantees.
+// Exporters highlight it when rendering the search walk.
+func (r *Result) BestPath() []Node {
+	parent := make(map[Node]Node, len(r.Trace))
+	for _, st := range r.Trace {
+		if st.Winner {
+			parent[st.Node] = st.Parent
+		}
+	}
+	var rev []Node
+	for n := r.Best; ; {
+		rev = append(rev, n)
+		p, ok := parent[n]
+		if !ok || p == n || len(rev) > len(r.Trace) { // initial node reached (or malformed trace)
+			break
+		}
+		n = p
+	}
+	path := make([]Node, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
 // PrunedFraction reports how much of the space the search avoided testing.
 func (r *Result) PrunedFraction() float64 {
 	if r.SpaceSize == 0 {

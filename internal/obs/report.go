@@ -1,0 +1,179 @@
+// Package obs is the observability layer of the reproduction: versioned
+// machine-readable run reports (RunReport), Chrome trace-event export of the
+// simulator's per-instruction lifecycle recorder, and DOT/JSON export of the
+// HEF pruning-search walk. Every experiment driver and command-line tool
+// emits its measurements through this package so runs are diffable over time
+// and feed the BENCH_*.json perf snapshots.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"hef/internal/hef"
+	"hef/internal/uarch"
+)
+
+const (
+	// Schema identifies RunReport documents.
+	Schema = "hef.obs.run-report"
+	// SchemaVersion is bumped on breaking changes to the RunReport layout.
+	// Policy: additive fields (new optional keys) do not bump the version;
+	// renaming, removing, or re-typing a field does.
+	SchemaVersion = 1
+)
+
+// RunReport is the machine-readable record of one tool invocation: a set of
+// measured runs plus, when a pruning search ran, its walk. It is the
+// document behind every -json flag and the BENCH_*.json snapshots.
+type RunReport struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Tool names the producing driver ("ssbbench", "uopshist", "hefopt").
+	Tool string `json:"tool"`
+	// CPU is the machine model all runs share (empty when mixed; then each
+	// run carries its own).
+	CPU string `json:"cpu,omitempty"`
+	// Params records the invocation configuration (scale factor, seed, ...).
+	Params map[string]string `json:"params,omitempty"`
+	Runs   []Run             `json:"runs"`
+	// Search is the HEF pruning walk when the tool ran one.
+	Search *SearchReport `json:"search,omitempty"`
+}
+
+// Run is one measured (workload, implementation) cell.
+type Run struct {
+	// Name identifies the workload (query ID, benchmark, stage).
+	Name string `json:"name"`
+	// Engine is the implementation label (Scalar, SIMD, Voila, Hybrid).
+	Engine string `json:"engine,omitempty"`
+	// Node is the candidate node string, e.g. "n(v=1,s=1,p=3)".
+	Node string `json:"node,omitempty"`
+	// CPU is the per-run machine model when the report mixes CPUs.
+	CPU string `json:"cpu,omitempty"`
+
+	Elems        uint64  `json:"elems"`
+	Cycles       uint64  `json:"cycles"`
+	Instructions uint64  `json:"instructions"`
+	Uops         uint64  `json:"uops"`
+	IPC          float64 `json:"ipc"`
+	// CyclesPerElem is the scale-free per-element cost.
+	CyclesPerElem float64 `json:"cycles_per_elem"`
+	TimeMS        float64 `json:"time_ms"`
+	FreqGHz       float64 `json:"freq_ghz"`
+	// LLCMisses mirrors the perf LLC-misses event (demand + HW prefetch
+	// fills from memory).
+	LLCMisses uint64 `json:"llc_misses"`
+
+	// UopsHist[i] counts cycles with exactly i issued µops (last: >=).
+	UopsHist []uint64 `json:"uops_hist,omitempty"`
+	// Stalls is the top-down cycle attribution (sums to Cycles).
+	Stalls uarch.Stalls `json:"stalls"`
+	// PortUtil[i] is issue-port i's utilization in [0, 1].
+	PortUtil []float64 `json:"port_util,omitempty"`
+	// ROBOcc and LoadQOcc are per-cycle occupancy histograms.
+	ROBOcc   uarch.OccHist `json:"rob_occ"`
+	LoadQOcc uarch.OccHist `json:"loadq_occ"`
+}
+
+// NewReport starts a report for the named tool.
+func NewReport(tool string) *RunReport {
+	return &RunReport{Schema: Schema, Version: SchemaVersion, Tool: tool, Params: map[string]string{}}
+}
+
+// RunFromResult flattens a simulator counter set into a report run. seconds
+// is the extrapolated wall time of the run (pass res.Seconds() when the run
+// is a single trace).
+func RunFromResult(name, engine, node string, res *uarch.Result, seconds float64) Run {
+	r := Run{
+		Name:          name,
+		Engine:        engine,
+		Node:          node,
+		Elems:         res.Elems,
+		Cycles:        res.Cycles,
+		Instructions:  res.Instructions,
+		Uops:          res.Uops,
+		IPC:           res.IPC(),
+		CyclesPerElem: res.CyclesPerElem(),
+		TimeMS:        seconds * 1e3,
+		FreqGHz:       res.FreqGHz,
+		LLCMisses:     res.Cache.LLCMissesReported(),
+		UopsHist:      make([]uint64, len(res.Hist)),
+		Stalls:        res.Stalls,
+		ROBOcc:        res.ROBOcc,
+		LoadQOcc:      res.LoadQOcc,
+	}
+	copy(r.UopsHist, res.Hist[:])
+	for i := range res.PortBusy {
+		r.PortUtil = append(r.PortUtil, res.PortUtil(i))
+	}
+	return r
+}
+
+// Validate checks the document identifies itself as a RunReport this code
+// understands.
+func (r *RunReport) Validate() error {
+	if r.Schema != Schema {
+		return fmt.Errorf("obs: schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Version != SchemaVersion {
+		return fmt.Errorf("obs: schema version %d, want %d", r.Version, SchemaVersion)
+	}
+	return nil
+}
+
+// MarshalIndent renders the report as indented JSON with a trailing newline.
+func (r *RunReport) MarshalIndent() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// SearchReport is the machine-readable record of one pruning search.
+type SearchReport struct {
+	Initial string `json:"initial"`
+	Best    string `json:"best"`
+	// BestNSPerElem is the per-element time at the optimum in nanoseconds.
+	BestNSPerElem float64 `json:"best_ns_per_elem"`
+	Tested        int     `json:"tested"`
+	SpaceSize     int     `json:"space_size"`
+	PrunedFrac    float64 `json:"pruned_fraction"`
+	// BestPath is the improving chain from initial to best.
+	BestPath []string     `json:"best_path"`
+	Steps    []SearchStep `json:"steps"`
+}
+
+// SearchStep is one evaluation of the walk.
+type SearchStep struct {
+	Node      string  `json:"node"`
+	Parent    string  `json:"parent"`
+	NSPerElem float64 `json:"ns_per_elem"`
+	// Winner is true when the node beat its parent and stayed a candidate.
+	Winner bool `json:"winner"`
+}
+
+// SearchFromResult converts a pruning-search record for a report.
+func SearchFromResult(r *hef.Result) *SearchReport {
+	sr := &SearchReport{
+		Initial:       r.Initial.String(),
+		Best:          r.Best.String(),
+		BestNSPerElem: r.BestSeconds * 1e9,
+		Tested:        r.Tested,
+		SpaceSize:     r.SpaceSize,
+		PrunedFrac:    r.PrunedFraction(),
+	}
+	for _, n := range r.BestPath() {
+		sr.BestPath = append(sr.BestPath, n.String())
+	}
+	for _, st := range r.Trace {
+		sr.Steps = append(sr.Steps, SearchStep{
+			Node:      st.Node.String(),
+			Parent:    st.Parent.String(),
+			NSPerElem: st.Seconds * 1e9,
+			Winner:    st.Winner,
+		})
+	}
+	return sr
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"hef/internal/hef"
+)
+
+// Exporters for the Algorithm-2 pruning walk recorded in hef.Result.Trace:
+// Graphviz DOT for visual inspection and JSON (SearchReport) for diffing.
+
+// nodeID is a DOT-safe identifier for a candidate node.
+func nodeID(n hef.Node) string {
+	return fmt.Sprintf("v%ds%dp%d", n.V, n.S, n.P)
+}
+
+// SearchDOT renders the pruning search as a Graphviz digraph: every
+// evaluation is an edge from its parent, winners (nodes that beat their
+// parent and stayed candidates) drawn solid and pruned nodes dashed. The
+// winner of the whole search is double-bordered and named in the graph
+// label. Render with `dot -Tsvg`.
+func SearchDOT(r *hef.Result) string {
+	var b strings.Builder
+	b.WriteString("digraph hef_search {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  label=\"HEF pruning search: winner %s (%.3f ns/elem), tested %d of %d\";\n",
+		r.Best.String(), r.BestSeconds*1e9, r.Tested, r.SpaceSize)
+
+	onPath := map[hef.Node]bool{}
+	for _, n := range r.BestPath() {
+		onPath[n] = true
+	}
+	for _, st := range r.Trace {
+		attrs := []string{fmt.Sprintf("label=\"%s\\n%.3f ns\"", st.Node.String(), st.Seconds*1e9)}
+		switch {
+		case st.Node == r.Best:
+			attrs = append(attrs, "peripheries=2", "style=filled", "fillcolor=\"#b7e1cd\"")
+		case st.Winner:
+			attrs = append(attrs, "style=filled", "fillcolor=\"#e8f0fe\"")
+		default:
+			attrs = append(attrs, "style=dashed")
+		}
+		fmt.Fprintf(&b, "  %s [%s];\n", nodeID(st.Node), strings.Join(attrs, ", "))
+		if st.Node == st.Parent {
+			continue // the initial node has no incoming edge
+		}
+		style := "dashed"
+		if st.Winner {
+			style = "solid"
+			if onPath[st.Node] && onPath[st.Parent] {
+				style = "bold"
+			}
+		}
+		fmt.Fprintf(&b, "  %s -> %s [style=%s];\n", nodeID(st.Parent), nodeID(st.Node), style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// SearchJSON renders the pruning search as indented JSON (the SearchReport
+// schema), with a trailing newline.
+func SearchJSON(r *hef.Result) ([]byte, error) {
+	rep := NewReport("hef-search")
+	rep.Search = SearchFromResult(r)
+	return rep.MarshalIndent()
+}

@@ -45,6 +45,16 @@ type Result struct {
 	FreqGHz float64
 	// Elems is the number of data elements processed.
 	Elems uint64
+	// Stalls attributes every cycle top-down: retiring, frontend-bound,
+	// backend-port-bound, memory-bound, or dependency-latency-bound.
+	// Invariant: Stalls.Total() == Cycles.
+	Stalls Stalls
+	// PortBusy[i] counts cycles issue port i was occupied.
+	PortBusy []uint64
+	// ROBOcc and LoadQOcc are per-cycle occupancy histograms of the reorder
+	// buffer (in µops) and the load queue (in slots).
+	ROBOcc   OccHist
+	LoadQOcc OccHist
 }
 
 // IPC returns retired instructions per cycle.
@@ -72,6 +82,14 @@ func (r *Result) CyclesPerElem() float64 {
 	return float64(r.Cycles) / float64(r.Elems)
 }
 
+// PortUtil returns the utilization of issue port i over the run, in [0, 1].
+func (r *Result) PortUtil(i int) float64 {
+	if r.Cycles == 0 || i < 0 || i >= len(r.PortBusy) {
+		return 0
+	}
+	return float64(r.PortBusy[i]) / float64(r.Cycles)
+}
+
 // Add accumulates another result into r (used when a query pipeline is the
 // concatenation of per-stage traces). Histograms and cache stats add;
 // frequency is recomputed by the caller.
@@ -96,6 +114,15 @@ func (r *Result) Add(o *Result) {
 	r.Vec512Uops += o.Vec512Uops
 	r.PrefetchUops += o.PrefetchUops
 	r.Elems += o.Elems
+	r.Stalls.addStalls(&o.Stalls)
+	if len(o.PortBusy) > len(r.PortBusy) {
+		r.PortBusy = append(r.PortBusy, make([]uint64, len(o.PortBusy)-len(r.PortBusy))...)
+	}
+	for i := range o.PortBusy {
+		r.PortBusy[i] += o.PortBusy[i]
+	}
+	r.ROBOcc.addHist(&o.ROBOcc)
+	r.LoadQOcc.addHist(&o.LoadQOcc)
 }
 
 // Scale multiplies all extensive counters by f, used to extrapolate a
@@ -121,6 +148,12 @@ func (r *Result) Scale(f float64) {
 	r.Vec512Uops = uint64(float64(r.Vec512Uops) * f)
 	r.PrefetchUops = uint64(float64(r.PrefetchUops) * f)
 	r.Elems = uint64(float64(r.Elems) * f)
+	r.Stalls.scale(f, r.Cycles)
+	for i := range r.PortBusy {
+		r.PortBusy[i] = uint64(float64(r.PortBusy[i]) * f)
+	}
+	r.ROBOcc.scale(f)
+	r.LoadQOcc.scale(f)
 }
 
 // entry is one in-flight instruction in the ROB.
@@ -209,6 +242,13 @@ type Sim struct {
 	loadQ, storeQ minHeap
 	lfb           minHeap
 	inflight      minHeap
+
+	// trace is the optional lifecycle recorder (SetTraceLog).
+	trace *TraceLog
+	// lastPort and lastLevel communicate the issue port and cache fill level
+	// chosen by the most recent successful tryIssue to the trace hooks.
+	lastPort  int8
+	lastLevel int8
 }
 
 // NewSim builds a simulator for a CPU with a fresh cache hierarchy.
@@ -236,10 +276,13 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 	s.reset(prog)
 	statsBefore := s.hier.Stats()
 
+	cpu := s.cpu
 	res := &Result{Name: prog.Name}
+	res.PortBusy = make([]uint64, len(cpu.Ports))
+	res.ROBOcc.Cap = cpu.ROBSize
+	res.LoadQOcc.Cap = cpu.LoadQueue
 	body := prog.Body
 	deps := prog.deps
-	cpu := s.cpu
 
 	var cycle int64
 	var dispatchIter int64
@@ -269,9 +312,21 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 			retiredUops += u.Instr.Uops
 			res.Instructions++
 			res.Uops += uint64(u.Instr.Uops)
+			if s.trace != nil {
+				s.trace.add(TraceEvent{Kind: TraceRetire, Cycle: cycle, Iter: head.iter, Body: head.bodyIdx, Name: u.Instr.Name, Port: -1})
+			}
 			s.uopsInROB -= u.Instr.Uops
 			s.robHead = (s.robHead + 1) % len(s.rob)
 			s.robCount--
+		}
+
+		// Top-down attribution: a cycle that retired µops is retiring; a
+		// non-retiring cycle is charged to whatever blocks the oldest
+		// in-flight instruction at this point (after retirement, before
+		// issue, so the classification sees the state that stalled it).
+		stall := stallRetiring
+		if retiredUops == 0 {
+			stall = s.classifyStall(body, deps, cycle)
 		}
 
 		// Issue from the scheduler in age order.
@@ -305,6 +360,10 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 					s.regRing[e.iter%regRingSlots][u.Dst] = e.completion
 				}
 				s.inflight.push(e.completion)
+				if s.trace != nil {
+					s.trace.add(TraceEvent{Kind: TraceIssue, Cycle: cycle, Dur: int64(lat), Iter: e.iter, Body: e.bodyIdx, Name: u.Instr.Name, Port: s.lastPort, Level: s.lastLevel})
+					s.trace.add(TraceEvent{Kind: TraceComplete, Cycle: e.completion, Iter: e.iter, Body: e.bodyIdx, Name: u.Instr.Name, Port: s.lastPort, Level: s.lastLevel})
+				}
 				issuedUops += u.Instr.Uops
 				issuedInstrs++
 				if u.Instr.Width == isa.W512 && u.Instr.Class.IsVector() {
@@ -341,6 +400,9 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 			}
 			s.rob[s.robTail] = entry{bodyIdx: int32(dispatchIdx), iter: dispatchIter}
 			s.rs = append(s.rs, int32(s.robTail))
+			if s.trace != nil {
+				s.trace.add(TraceEvent{Kind: TraceDispatch, Cycle: cycle, Iter: dispatchIter, Body: int32(dispatchIdx), Name: u.Instr.Name, Port: -1})
+			}
 			s.robTail = (s.robTail + 1) % len(s.rob)
 			s.robCount++
 			s.uopsInROB += u.Instr.Uops
@@ -356,11 +418,33 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 			}
 		}
 
+		// Per-cycle observability accounting: stall bucket, structure
+		// occupancy, port busyness.
+		res.Stalls.add(stall, 1)
+		res.ROBOcc.Record(s.uopsInROB, 1)
+		res.LoadQOcc.Record(len(s.loadQ), 1)
+		for i, f := range s.portFree {
+			if f > cycle {
+				res.PortBusy[i]++
+			}
+		}
+
 		// Fast-forward through stall cycles.
 		if issuedInstrs == 0 && dispatched == 0 && retiredUops == 0 {
 			next := s.nextEvent(cycle)
 			if next > cycle+1 {
-				res.Hist[0] += uint64(next - cycle - 1)
+				skipped := uint64(next - cycle - 1)
+				res.Hist[0] += skipped
+				// The skipped cycles stall for the same reason and at the
+				// same occupancies as the current one.
+				res.Stalls.add(stall, skipped)
+				res.ROBOcc.Record(s.uopsInROB, skipped)
+				res.LoadQOcc.Record(len(s.loadQ), skipped)
+				for i, f := range s.portFree {
+					if b := min(f, next) - cycle - 1; b > 0 {
+						res.PortBusy[i] += uint64(b)
+					}
+				}
 				cycle = next
 				continue
 			}
@@ -454,6 +538,7 @@ func (s *Sim) srcsReady(e *entry, d *depInfo, body []UOp, cycle int64) bool {
 func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency int, ok bool) {
 	in := u.Instr
 	occ := int64(in.Occupancy)
+	s.lastPort, s.lastLevel = -1, 0
 	switch in.Class {
 	case isa.Load:
 		if len(s.loadQ) >= s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
@@ -464,8 +549,9 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 			return 0, false
 		}
 		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
-		extra, _ := s.cacheExtra(addr)
+		extra, lvl := s.cacheExtra(addr)
 		lat := in.Latency + extra
+		s.lastPort, s.lastLevel = int8(port), int8(lvl)
 		s.portFree[port] = cycle + occ
 		s.loadQ.push(cycle + int64(lat))
 		if extra > 0 {
@@ -490,17 +576,20 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		}
 		maxExtra := 0
 		misses := 0
+		s.lastLevel = 1
 		for lane := 0; lane < in.Lanes; lane++ {
 			addr := u.Addr.address(e.iter, lane, prog.ElemsPerIter)
-			extra, _ := s.cacheExtra(addr)
+			extra, lvl := s.cacheExtra(addr)
 			if extra > maxExtra {
 				maxExtra = extra
+				s.lastLevel = int8(lvl)
 			}
 			if extra > 0 {
 				misses++
 			}
 		}
 		lat := in.Latency + maxExtra
+		s.lastPort = int8(p2[0])
 		for _, p := range p2 {
 			s.portFree[p] = cycle + occ
 		}
@@ -522,7 +611,8 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 			return 0, false
 		}
 		addr := u.Addr.address(e.iter, 0, prog.ElemsPerIter)
-		s.hier.Access(addr)
+		_, lvl := s.hier.Access(addr)
+		s.lastPort, s.lastLevel = int8(port), int8(lvl)
 		s.portFree[port] = cycle + occ
 		s.storeQ.push(cycle + int64(in.Latency) + 4)
 		return in.Latency, true
@@ -542,12 +632,16 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 			return 0, false
 		}
 		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
-		if lvl := s.hier.Prefetch(addr); lvl > 0 && !isStream {
-			// Prefetch fills are fire-and-forget: the buffer frees when the
-			// line arrives, overlapping better than demand misses that hold
-			// their buffer until the consumer is satisfied.
-			s.lfb.push(cycle + int64(s.fillLatency(lvl))/2)
+		if lvl := s.hier.Prefetch(addr); lvl > 0 {
+			s.lastLevel = int8(lvl)
+			if !isStream {
+				// Prefetch fills are fire-and-forget: the buffer frees when
+				// the line arrives, overlapping better than demand misses
+				// that hold their buffer until the consumer is satisfied.
+				s.lfb.push(cycle + int64(s.fillLatency(lvl))/2)
+			}
 		}
+		s.lastPort = int8(port)
 		s.portFree[port] = cycle + occ
 		return in.Latency, true
 	}
@@ -560,6 +654,7 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 	if !found {
 		return 0, false
 	}
+	s.lastPort = int8(port)
 	s.portFree[port] = cycle + occ
 	return in.Latency, true
 }
@@ -571,6 +666,7 @@ func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
 	if in.Class == isa.VecShuffle {
 		for i := range s.cpu.Ports {
 			if s.cpu.Ports[i].CanRun(isa.VecShuffle) && s.portFree[i] <= cycle {
+				s.lastPort = int8(i)
 				s.portFree[i] = cycle + occ
 				return in.Latency, true
 			}
@@ -579,6 +675,7 @@ func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
 	}
 	for _, p := range s.cpu.Vec512Ports {
 		if s.portFree[p] <= cycle {
+			s.lastPort = int8(p)
 			s.portFree[p] = cycle + occ
 			return in.Latency, true
 		}
