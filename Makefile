@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench bench-json figures tables hash ablate clean
+.PHONY: all build vet lint test test-short fuzz bench bench-json figures tables hash ablate clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -12,11 +12,25 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint enforces the error-handling contract: no panic() in non-test library
+# code outside Must*-prefixed functions.
+lint: vet
+	sh scripts/nopanic.sh
+
+# internal/experiments exceeds the default 10m per-package limit under -race.
 test: vet
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 40m ./...
 
 test-short:
 	$(GO) test -short ./...
+
+# fuzz gives each native fuzz target a short smoke budget (~30s total);
+# CI runs this on every push, longer campaigns run the same targets with
+# a bigger -fuzztime.
+fuzz:
+	$(GO) test ./internal/hid/ -run TestNone -fuzz FuzzBuilderBuild -fuzztime 10s
+	$(GO) test ./internal/hid/ -run TestNone -fuzz FuzzParse -fuzztime 10s
+	$(GO) test ./internal/translator/ -run TestNone -fuzz FuzzTranslate -fuzztime 10s
 
 # One benchmark per paper table and figure (plus ablations).
 bench:

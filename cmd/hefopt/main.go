@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +33,8 @@ func main() {
 	trace := flag.Bool("trace", false, "print every tested node (the search trace)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON) instead of text")
 	dotOut := flag.String("dot", "", "write the pruning search as a Graphviz digraph to this file")
+	timeout := flag.Duration("timeout", 0, "search deadline; on expiry the best-so-far node is reported as partial (0 disables)")
+	budget := flag.Int("budget", 0, "cap on node evaluations; on exhaustion the best-so-far node is reported as partial (0 = unlimited)")
 	flag.Parse()
 
 	tmpl, err := selectTemplate(*op, *file)
@@ -42,9 +45,20 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	opt, err := fw.OptimizeOperator(tmpl)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt, err := fw.OptimizeOperatorContext(ctx, tmpl, core.OptimizeOptions{Budget: *budget})
 	if err != nil {
-		fail(err)
+		// Graceful degradation: a deadline or budget stop still carries the
+		// best-so-far optimum; report it, marked partial, and exit clean.
+		if opt == nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "hefopt: search stopped early (%v); reporting best-so-far\n", err)
 	}
 
 	if *dotOut != "" {
@@ -62,7 +76,11 @@ func main() {
 
 	fmt.Printf("operator %s on %s\n", tmpl.Name, fw.CPU().Name)
 	fmt.Printf("initial candidate (two-stage model): %v\n", opt.Initial)
-	fmt.Printf("optimal implementation:              %v\n", opt.Node)
+	optLabel := ""
+	if opt.Partial {
+		optLabel = "  (partial: best-so-far)"
+	}
+	fmt.Printf("optimal implementation:              %v%s\n", opt.Node, optLabel)
 	fmt.Printf("per-element cost at optimum:         %.3f ns\n", opt.SecondsPerElem()*1e9)
 	fmt.Printf("nodes tested: %d of %d (pruned %.0f%%)\n",
 		opt.Search.Tested, opt.Search.SpaceSize, opt.Search.PrunedFraction()*100)

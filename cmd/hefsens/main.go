@@ -1,0 +1,166 @@
+// Command hefsens measures how robust HEF's discovered optima are to machine
+// model error: it re-runs the pruning search across an ensemble of
+// deterministically perturbed CPU models (jittered instruction latencies and
+// throughputs, cache latencies, AVX-license frequencies, transient port
+// faults) and reports optimum stability, the regret of shipping the
+// unperturbed pick, and candidate rank churn.
+//
+// The output is deterministic byte-for-byte for fixed flags: the report
+// carries no timestamps and every perturbation draw hashes from -seed.
+//
+// Usage:
+//
+//	hefsens -seed 1 -trials 20 -jitter 0.05 [-cpu silver,gold] [-op murmur,probe] [-json]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hef/internal/engine"
+	"hef/internal/hashes"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/robust"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "perturbation ensemble seed")
+	trials := flag.Int("trials", 20, "number of perturbed models per (op, cpu) pair")
+	jitter := flag.Float64("jitter", 0.05, "relative jitter half-width for latencies, throughputs, cache, and frequencies (0.05 = ±5%)")
+	portFault := flag.Float64("portfault", 0, "transient port-unavailable probability per (port, cycle)")
+	cpus := flag.String("cpu", "silver,gold", "comma-separated CPU models to analyze")
+	ops := flag.String("op", "murmur,probe", "comma-separated operators (murmur, crc64, probe, filter, agg, bloom)")
+	elems := flag.Int64("elems", 1<<12, "synthetic elements per candidate evaluation")
+	budget := flag.Int("budget", 0, "cap on node evaluations per search (0 = unlimited)")
+	jsonOut := flag.Bool("json", false, "emit the versioned sensitivity report as JSON")
+	timeout := flag.Duration("timeout", 0, "overall deadline; the analysis aborts cleanly when exceeded (0 disables)")
+	flag.Parse()
+
+	if err := validate(*trials, *jitter, *portFault, *elems, *budget); err != nil {
+		fmt.Fprintf(os.Stderr, "hefsens: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	report := robust.NewReport(*seed, *trials, *jitter, *portFault)
+	for _, cpuName := range splitList(*cpus) {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			fail(err)
+		}
+		for _, opName := range splitList(*ops) {
+			tmpl, err := selectTemplate(opName)
+			if err != nil {
+				fail(err)
+			}
+			sens, err := robust.Analyze(ctx, robust.SensConfig{
+				CPU:           cpu,
+				Template:      tmpl,
+				Elems:         *elems,
+				Seed:          *seed,
+				Trials:        *trials,
+				Jitter:        *jitter,
+				PortFaultRate: *portFault,
+				Budget:        *budget,
+			})
+			if err != nil {
+				fail(fmt.Errorf("%s on %s: %w", opName, cpuName, err))
+			}
+			report.Add(sens)
+		}
+	}
+
+	if *jsonOut {
+		data, err := report.JSON()
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	printText(report)
+}
+
+// validate rejects nonsensical flag combinations before any simulation.
+func validate(trials int, jitter, portFault float64, elems int64, budget int) error {
+	if trials <= 0 {
+		return fmt.Errorf("-trials must be positive, got %d", trials)
+	}
+	if jitter != jitter || jitter < 0 || jitter >= 1 {
+		return fmt.Errorf("-jitter must be in [0, 1), got %g", jitter)
+	}
+	if portFault != portFault || portFault < 0 || portFault >= 1 {
+		return fmt.Errorf("-portfault must be in [0, 1), got %g", portFault)
+	}
+	if elems <= 0 {
+		return fmt.Errorf("-elems must be positive, got %d", elems)
+	}
+	if budget < 0 {
+		return fmt.Errorf("-budget must be non-negative, got %d", budget)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// selectTemplate maps an operator name to its built-in template, matching
+// hefopt's operator list.
+func selectTemplate(op string) (*hid.Template, error) {
+	switch op {
+	case "murmur":
+		return hashes.MurmurTemplate(), nil
+	case "crc64":
+		return hashes.CRC64Template(), nil
+	case "probe":
+		return engine.ProbeTemplate(32 << 20), nil
+	case "filter":
+		return engine.FilterTemplate(2), nil
+	case "agg":
+		return engine.GroupAggTemplate(64 << 10), nil
+	case "bloom":
+		return engine.BloomTemplate(1 << 20), nil
+	}
+	return nil, fmt.Errorf("unknown operator %q (want murmur, crc64, probe, filter, agg, bloom)", op)
+}
+
+func printText(r *robust.Report) {
+	fmt.Printf("sensitivity: seed=%d trials=%d jitter=±%g%%", r.Seed, r.Trials, r.Jitter*100)
+	if r.PortFaultRate > 0 {
+		fmt.Printf(" portfault=%g", r.PortFaultRate)
+	}
+	fmt.Println()
+	fmt.Printf("%-10s %-22s %-14s %9s %11s %11s %10s\n",
+		"op", "cpu", "baseline", "stability", "mean regret", "max regret", "rank churn")
+	for _, s := range r.Analyses {
+		fmt.Printf("%-10s %-22s %-14s %8.0f%% %10.2f%% %10.2f%% %10.3f\n",
+			s.Op, s.CPU, s.Baseline, s.Stability*100, s.MeanRegretPct, s.MaxRegretPct, s.MeanRankChurn)
+	}
+	fmt.Println()
+	fmt.Println("stability:   fraction of perturbed models whose optimum (v,s,p) matches the baseline pick")
+	fmt.Println("regret:      extra per-element cost of shipping the baseline pick onto a perturbed machine")
+	fmt.Println("rank churn:  normalized Spearman footrule distance between candidate rankings (0 = stable)")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hefsens:", err)
+	os.Exit(1)
+}

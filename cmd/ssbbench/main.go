@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hef/internal/experiments"
 	"hef/internal/obs"
@@ -33,7 +34,18 @@ func main() {
 	format := flag.String("format", "text", `output format: "text", "csv", or "markdown"`)
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON)")
 	csvOut := flag.Bool("csv", false, `shorthand for -format csv`)
+	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables)")
 	flag.Parse()
+	if *timeout > 0 {
+		// The experiment drivers are straight-line simulation loops with no
+		// cancellation points, so the timeout is a watchdog: exceed it and the
+		// process exits non-zero instead of stalling a batch pipeline.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", "ssbbench", *timeout)
+			os.Exit(1)
+		}()
+	}
 	outFormat = *format
 	if *csvOut {
 		outFormat = "csv"

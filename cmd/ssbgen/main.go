@@ -14,9 +14,15 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"hef/internal/ssb"
 )
+
+// maxSF caps the scale factor so a typo ("-sf 1e6") fails fast with a usage
+// message instead of attempting a multi-terabyte in-memory dataset. SF 30 is
+// the largest configuration the paper measures.
+const maxSF = 100
 
 func main() {
 	sf := flag.Float64("sf", 0.01, "scale factor (fractional values scale linearly)")
@@ -24,7 +30,24 @@ func main() {
 	preview := flag.Int("preview", 3, "rows to preview per table (0 disables)")
 	csvDir := flag.String("csv", "", "export tables as CSV files into this directory")
 	jsonOut := flag.Bool("json", false, "print the dataset summary as JSON instead of text")
+	timeout := flag.Duration("timeout", 0, "abort if generation and export exceed this duration (0 disables)")
 	flag.Parse()
+
+	if err := validate(*sf, *preview); err != nil {
+		fmt.Fprintf(os.Stderr, "ssbgen: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *timeout > 0 {
+		// Generation is a straight-line loop with no cancellation points, so
+		// the timeout is a watchdog: exceed it and the process exits non-zero
+		// rather than holding a batch pipeline hostage.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "ssbgen: timed out after %v\n", *timeout)
+			os.Exit(1)
+		}()
+	}
 
 	data := ssb.Generate(*sf, *seed)
 	tables := []*ssb.Table{data.Date, data.Customer, data.Supplier, data.Part, data.Lineorder}
@@ -58,7 +81,12 @@ func main() {
 			for r := 0; r < n; r++ {
 				row := make([]string, len(cols))
 				for i, c := range cols {
-					row[i] = strconv.FormatUint(t.Col(c)[r], 10)
+					col, err := t.Column(c)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "ssbgen:", err)
+						os.Exit(1)
+					}
+					row[i] = strconv.FormatUint(col[r], 10)
 				}
 				fmt.Println("  " + strings.Join(row, "\t"))
 			}
@@ -72,6 +100,22 @@ func main() {
 		}
 		fmt.Printf("\nexported CSV files to %s\n", *csvDir)
 	}
+}
+
+// validate rejects nonsensical flag values with a descriptive error; main
+// turns that into usage output and a non-zero exit.
+func validate(sf float64, preview int) error {
+	if sf != sf || sf <= 0 {
+		return fmt.Errorf("-sf must be a positive number, got %g", sf)
+	}
+	if sf > maxSF {
+		return fmt.Errorf("-sf %g exceeds the maximum %d (%.0f M lineorder rows)",
+			sf, maxSF, float64(maxSF*ssb.LineorderPerSF)/1e6)
+	}
+	if preview < 0 {
+		return fmt.Errorf("-preview must be non-negative, got %d", preview)
+	}
+	return nil
 }
 
 // printJSON emits the generated dataset's shape (per-table row counts,
@@ -113,6 +157,13 @@ func exportCSV(tables []*ssb.Table, dir string) error {
 			return err
 		}
 		cols := t.Columns()
+		colData := make([][]uint64, len(cols))
+		for i, c := range cols {
+			if colData[i], err = t.Column(c); err != nil {
+				f.Close()
+				return err
+			}
+		}
 		if _, err := fmt.Fprintln(f, strings.Join(cols, ",")); err != nil {
 			f.Close()
 			return err
@@ -120,11 +171,11 @@ func exportCSV(tables []*ssb.Table, dir string) error {
 		var sb strings.Builder
 		for r := 0; r < t.N; r++ {
 			sb.Reset()
-			for i, c := range cols {
+			for i := range cols {
 				if i > 0 {
 					sb.WriteByte(',')
 				}
-				sb.WriteString(strconv.FormatUint(t.Col(c)[r], 10))
+				sb.WriteString(strconv.FormatUint(colData[i][r], 10))
 			}
 			if _, err := fmt.Fprintln(f, sb.String()); err != nil {
 				f.Close()

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hef/internal/experiments"
 	"hef/internal/obs"
@@ -31,7 +32,18 @@ func main() {
 	csvOut := flag.Bool("csv", false, "emit the benchmark tables as CSV (one header, one row per implementation)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of short traced runs to this file (open in Perfetto) and exit")
 	traceIters := flag.Int64("trace-iters", 0, "loop iterations per traced run with -trace-out (<= 0 selects 64)")
+	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables)")
 	flag.Parse()
+	if *timeout > 0 {
+		// The experiment drivers are straight-line simulation loops with no
+		// cancellation points, so the timeout is a watchdog: exceed it and the
+		// process exits non-zero instead of stalling a batch pipeline.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", "uopshist", *timeout)
+			os.Exit(1)
+		}()
+	}
 
 	if (*jsonOut || *csvOut || *traceOut != "") && (*fig3 || *width || *ablate) {
 		fail(fmt.Errorf("-json, -csv, and -trace-out apply to the benchmark tables only; drop -fig3/-width/-ablate"))

@@ -32,11 +32,14 @@
 package hef
 
 import (
+	"context"
+
 	"hef/internal/core"
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
 	"hef/internal/obs"
+	"hef/internal/robust"
 	"hef/internal/translator"
 	"hef/internal/uarch"
 )
@@ -94,6 +97,40 @@ type SearchReport = obs.SearchReport
 
 // Option configures New.
 type Option = core.Option
+
+// OptimizeOptions tunes Framework.OptimizeOperatorContext: an optional
+// node-evaluation budget for graceful degradation.
+type OptimizeOptions = core.OptimizeOptions
+
+// SearchOpts configures the low-level SearchContext degradation behaviour.
+type SearchOpts = hef.SearchOpts
+
+// ErrBudgetExhausted marks a search stopped by its node-evaluation budget;
+// test with errors.Is. The accompanying result holds the best node found
+// within the budget and has Partial set.
+var ErrBudgetExhausted = hef.ErrBudgetExhausted
+
+// PanicError is a translator or simulator panic recovered inside the search
+// and surfaced as an error; match with errors.As.
+type PanicError = hef.PanicError
+
+// Perturb is the seeded, deterministic fault-injection model for
+// sensitivity analysis: relative jitter on instruction latencies and
+// occupancies, cache hit latencies, and AVX-license frequencies, plus
+// transient port-unavailable cycles.
+type Perturb = uarch.Perturb
+
+// SensConfig configures a sensitivity analysis (Sensitivity driver).
+type SensConfig = robust.SensConfig
+
+// Sensitivity reports how stable an operator's optimum is across an
+// ensemble of perturbed machine models: optimum stability, the cycle-cost
+// regret of the unperturbed pick, and candidate rank churn.
+type Sensitivity = robust.Sensitivity
+
+// SensitivityReport is the versioned, byte-deterministic JSON document the
+// hefsens tool emits (schema "hef.robust.sensitivity-report").
+type SensitivityReport = robust.Report
 
 // Element types of the hybrid intermediate description (Table II).
 const (
@@ -153,6 +190,13 @@ func KnownOp(op string) bool {
 
 // SearchSpaceSize evaluates the paper's Eq. 2 for the candidate-space size.
 func SearchSpaceSize(v, s, p int) int { return hef.SearchSpaceSize(v, s, p) }
+
+// Analyze runs a sensitivity analysis: a baseline pruning search plus
+// cfg.Trials searches on perturbed machine models, scored against the
+// baseline. Deterministic for a fixed SensConfig.
+func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
+	return robust.Analyze(ctx, cfg)
+}
 
 // NewReport starts an empty run report for the named tool.
 func NewReport(tool string) *RunReport { return obs.NewReport(tool) }

@@ -188,15 +188,6 @@ func New(cpu *isa.CPU) (*Hierarchy, error) {
 	return &Hierarchy{l1: l1, l2: l2, llc: llc, memLatency: cpu.MemLatency, lineShift: shift}, nil
 }
 
-// MustNew is New for known-good CPU models.
-func MustNew(cpu *isa.CPU) *Hierarchy {
-	h, err := New(cpu)
-	if err != nil {
-		panic(err)
-	}
-	return h
-}
-
 // Access simulates a demand load or store of the byte at addr and returns
 // the load-to-use latency in cycles. Stores are modelled as accesses too
 // (write-allocate). Level returned: 1, 2, 3, or 4 for memory. Sequential

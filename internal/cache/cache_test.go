@@ -9,7 +9,7 @@ import (
 
 func TestAccessLevels(t *testing.T) {
 	cpu := isa.XeonSilver4110()
-	h := MustNew(cpu)
+	h := mustNew(cpu)
 
 	lat, lvl := h.Access(0x1000)
 	if lvl != 4 || lat != cpu.MemLatency {
@@ -28,7 +28,7 @@ func TestAccessLevels(t *testing.T) {
 
 func TestL1EvictionFallsToL2(t *testing.T) {
 	cpu := isa.XeonSilver4110()
-	h := MustNew(cpu)
+	h := mustNew(cpu)
 	// Touch 9 lines mapping to the same L1 set (8-way): set stride is
 	// 64 sets * 64B = 4KB.
 	for i := uint64(0); i < 9; i++ {
@@ -43,7 +43,7 @@ func TestL1EvictionFallsToL2(t *testing.T) {
 
 func TestPrefetchHidesMiss(t *testing.T) {
 	cpu := isa.XeonSilver4110()
-	h := MustNew(cpu)
+	h := mustNew(cpu)
 	before := h.Stats()
 	h.Prefetch(0x9000)
 	_, lvl := h.Access(0x9000)
@@ -64,7 +64,7 @@ func TestPrefetchHidesMiss(t *testing.T) {
 
 func TestWarmMakesRegionResident(t *testing.T) {
 	cpu := isa.XeonSilver4110()
-	h := MustNew(cpu)
+	h := mustNew(cpu)
 	h.Warm(1<<20, 16<<10)
 	_, lvl := h.Access(1 << 20)
 	if lvl != 1 {
@@ -76,7 +76,7 @@ func TestWarmMakesRegionResident(t *testing.T) {
 }
 
 func TestResetStatsKeepsContents(t *testing.T) {
-	h := MustNew(isa.XeonSilver4110())
+	h := mustNew(isa.XeonSilver4110())
 	h.Access(0x4000)
 	h.ResetStats()
 	_, lvl := h.Access(0x4000)
@@ -89,7 +89,7 @@ func TestResetStatsKeepsContents(t *testing.T) {
 }
 
 func TestResetClearsContents(t *testing.T) {
-	h := MustNew(isa.XeonSilver4110())
+	h := mustNew(isa.XeonSilver4110())
 	h.Access(0x4000)
 	h.Reset()
 	_, lvl := h.Access(0x4000)
@@ -114,7 +114,7 @@ func TestInvalidGeometry(t *testing.T) {
 // Property: hit+miss counters per level always equal the number of lookups
 // reaching that level, and a second access to any address hits L1.
 func TestAccessIdempotentProperty(t *testing.T) {
-	h := MustNew(isa.XeonSilver4110())
+	h := mustNew(isa.XeonSilver4110())
 	f := func(addr uint64) bool {
 		addr %= 1 << 40
 		h.Access(addr)
@@ -129,7 +129,7 @@ func TestAccessIdempotentProperty(t *testing.T) {
 // Property: demand LLC misses equal demand memory accesses when no
 // prefetches are issued.
 func TestLLCMissEqualsMemAccess(t *testing.T) {
-	h := MustNew(isa.XeonSilver4110())
+	h := mustNew(isa.XeonSilver4110())
 	f := func(seeds []uint64) bool {
 		h.Reset()
 		for _, s := range seeds {
@@ -141,4 +141,13 @@ func TestLLCMissEqualsMemAccess(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
 	}
+}
+
+// mustNew is the test-side replacement for the removed production MustNew.
+func mustNew(cpu *isa.CPU) *Hierarchy {
+	h, err := New(cpu)
+	if err != nil {
+		panic(err)
+	}
+	return h
 }

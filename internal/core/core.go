@@ -8,6 +8,8 @@
 package core
 
 import (
+	"context"
+
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
@@ -69,15 +71,42 @@ type Optimized struct {
 	// Search records every tested node, the candidate and end lists, and
 	// the pruning savings.
 	Search *hef.Result
+	// Partial is true when the search was cut short (context done or
+	// budget exhausted) and Node is only the best candidate found so far.
+	Partial bool
 }
 
 // SecondsPerElem is the measured per-element cost of the optimum.
 func (o *Optimized) SecondsPerElem() float64 { return o.Search.BestSeconds }
 
+// OptimizeOptions tunes OptimizeOperatorContext's degradation behaviour.
+type OptimizeOptions struct {
+	// Budget caps the number of candidate evaluations (0 = unlimited).
+	// When exhausted, the best-so-far optimum is returned together with an
+	// error matching errors.Is(err, hef.ErrBudgetExhausted).
+	Budget int
+}
+
 // OptimizeOperator runs HEF's offline phase on one operator template:
 // candidate generation from processor and instruction information, then the
 // pruning search over translated-and-tested implementations.
 func (f *Framework) OptimizeOperator(tmpl *hid.Template) (*Optimized, error) {
+	opt, err := f.OptimizeOperatorContext(context.Background(), tmpl, OptimizeOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return opt, nil
+}
+
+// OptimizeOperatorContext is OptimizeOperator with graceful degradation: the
+// search honours ctx cancellation/deadlines and an optional evaluation
+// budget. When stopped early it still returns an Optimized for the best node
+// found so far — with Partial set on it and on its Search — alongside the
+// non-nil reason (ctx.Err(), hef.ErrBudgetExhausted, or a *hef.PanicError
+// for a recovered evaluator panic). An already-cancelled context returns
+// within at most one node evaluation. Both return values are nil only when
+// no candidate could be evaluated at all.
+func (f *Framework) OptimizeOperatorContext(ctx context.Context, tmpl *hid.Template, opts OptimizeOptions) (*Optimized, error) {
 	initial, err := hef.InitialNode(f.cpu, tmpl, f.width)
 	if err != nil {
 		return nil, err
@@ -86,9 +115,15 @@ func (f *Framework) OptimizeOperator(tmpl *hid.Template) (*Optimized, error) {
 		initial = clampNode(initial, f.bounds)
 	}
 	eval := hef.NewSimEvaluator(f.cpu, tmpl, f.width, f.elems)
-	res, err := hef.Search(eval, initial, f.bounds)
-	if err != nil {
-		return nil, err
+	res, serr := hef.SearchContext(ctx, eval, initial, f.bounds, hef.SearchOpts{MaxEvaluations: opts.Budget})
+	if res == nil {
+		return nil, serr
+	}
+	if res.Tested == 0 {
+		// Stopped before the very first evaluation (pre-cancelled context):
+		// nothing was measured, so fall back to the candidate generator's
+		// initial node as the degraded answer.
+		res.Best = initial
 	}
 	out, err := translator.Translate(tmpl, res.Best, translator.Options{Width: f.width, CPU: f.cpu})
 	if err != nil {
@@ -101,7 +136,8 @@ func (f *Framework) OptimizeOperator(tmpl *hid.Template) (*Optimized, error) {
 		Source:   out.Source,
 		Program:  out.Program,
 		Search:   res,
-	}, nil
+		Partial:  res.Partial,
+	}, serr
 }
 
 // Translate generates code for an explicit candidate node without searching

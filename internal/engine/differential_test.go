@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/ssb"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// The differential tests pin down the robustness contract the optimizer
+// relies on: every functional flavour (scalar, SIMD, hybrid) of every engine
+// kernel is bit-identical on the same inputs, and every engine template
+// translates and simulates cleanly at scalar-only, SIMD-only, and hybrid
+// nodes on all four machine models. A flavour that diverges would let the
+// search trade correctness for speed without anyone noticing.
+
+const diffElems = 1000
+
+// TestDifferentialFilter checks the three filter flavours select identical
+// row sets on 1k random rows across predicate shapes.
+func TestDifferentialFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tbl := ssb.NewTable("diff", diffElems)
+	a := make([]uint64, diffElems)
+	b := make([]uint64, diffElems)
+	for i := range a {
+		a[i] = uint64(rng.Intn(100))
+		b[i] = uint64(rng.Intn(1000))
+	}
+	tbl.MustAddCol("a", a)
+	tbl.MustAddCol("b", b)
+
+	predSets := map[string][]Pred{
+		"eq":       {Eq("a", 7)},
+		"between":  {Between("b", 100, 500)},
+		"conjunct": {Between("a", 10, 60), Between("b", 200, 800)},
+		"oneof":    {OneOf("a", 1, 2, 3, 5, 8, 13)},
+		"empty":    {},
+	}
+	for name, preds := range predSets {
+		ref, err := FilterTable(tbl, preds, Scalar)
+		if err != nil {
+			t.Fatalf("%s: scalar: %v", name, err)
+		}
+		for _, mode := range []Mode{SIMD, Hybrid} {
+			got, err := FilterTable(tbl, preds, mode)
+			if err != nil {
+				t.Fatalf("%s: %v: %v", name, mode, err)
+			}
+			if len(got) != len(ref) {
+				t.Fatalf("%s: %v selected %d rows, scalar %d", name, mode, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("%s: %v diverges at selection %d: %d != %d", name, mode, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialHashLookup checks the three probe flavours agree on hits,
+// misses, and payloads for 1k random probes (half present, half absent).
+func TestDifferentialHashLookup(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	ht := NewLinearTable(diffElems)
+	present := make([]uint64, 0, diffElems/2)
+	for len(present) < diffElems/2 {
+		k := rng.Uint64()%1e9 + 1
+		if err := ht.Insert(k, k*3); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		present = append(present, k)
+	}
+	keys := make([]uint64, diffElems)
+	for i := range keys {
+		if i%2 == 0 {
+			keys[i] = present[rng.Intn(len(present))]
+		} else {
+			keys[i] = rng.Uint64()%1e9 + 2e9 // disjoint from the inserted range
+		}
+	}
+
+	refV, refF := make([]uint64, diffElems), make([]bool, diffElems)
+	ht.LookupBatch(keys, refV, refF)
+	check := func(label string, vals []uint64, found []bool) {
+		t.Helper()
+		for i := range keys {
+			if found[i] != refF[i] || (found[i] && vals[i] != refV[i]) {
+				t.Fatalf("%s diverges at key %d (#%d): got (%d,%v) want (%d,%v)",
+					label, keys[i], i, vals[i], found[i], refV[i], refF[i])
+			}
+		}
+	}
+
+	v, f := make([]uint64, diffElems), make([]bool, diffElems)
+	ht.LookupBatchSIMD(keys, v, f)
+	check("simd", v, f)
+	for _, s := range []int{1, 3, 7} {
+		v, f = make([]uint64, diffElems), make([]bool, diffElems)
+		ht.LookupBatchHybrid(keys, v, f, s)
+		check("hybrid", v, f)
+	}
+}
+
+// TestDifferentialBloom checks the three bloom-probe flavours return the
+// same membership bits for 1k random probes.
+func TestDifferentialBloom(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	bl := NewBloom(diffElems / 2)
+	for i := 0; i < diffElems/2; i++ {
+		bl.Add(rng.Uint64())
+	}
+	keys := make([]uint64, diffElems)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+
+	ref := make([]bool, diffElems)
+	bl.TestBatch(keys, ref)
+	simd := make([]bool, diffElems)
+	bl.TestBatchSIMD(keys, simd)
+	for _, s := range []int{1, 2, 5} {
+		hyb := make([]bool, diffElems)
+		bl.TestBatchHybrid(keys, hyb, s)
+		for i := range ref {
+			if simd[i] != ref[i] {
+				t.Fatalf("simd diverges at probe %d", i)
+			}
+			if hyb[i] != ref[i] {
+				t.Fatalf("hybrid(s=%d) diverges at probe %d", s, i)
+			}
+		}
+	}
+}
+
+// TestDifferentialTemplatesAcrossCPUs translates and simulates every engine
+// template at a scalar-only, a SIMD-only, and a hybrid node on all four CPU
+// models. Each combination must produce a valid program and a clean,
+// element-processing simulation — no panics, no errors, no zero-work runs.
+func TestDifferentialTemplatesAcrossCPUs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many translate+simulate combinations")
+	}
+	templates := []struct {
+		label string
+		tmpl  *hid.Template
+	}{
+		{"filter", FilterTemplate(2)},
+		{"probe", ProbeTemplate(1 << 20)},
+		{"agg", GroupAggTemplate(64 << 10)},
+		{"bloom", BloomTemplate(1 << 18)},
+	}
+	nodes := []translator.Node{
+		{V: 0, S: 1, P: 1}, // purely scalar
+		{V: 1, S: 0, P: 1}, // purely SIMD
+		{V: 1, S: 1, P: 2}, // hybrid
+	}
+	for _, cpuName := range []string{"silver", "gold", "neoverse", "zen"} {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			t.Fatalf("cpu %q: %v", cpuName, err)
+		}
+		for _, tc := range templates {
+			for _, node := range nodes {
+				out, err := translator.Translate(tc.tmpl, node,
+					translator.Options{Width: cpu.NativeWidth(), CPU: cpu})
+				if err != nil {
+					t.Errorf("%s/%s at %v: translate: %v", cpuName, tc.label, node, err)
+					continue
+				}
+				if err := out.Program.Validate(); err != nil {
+					t.Errorf("%s/%s at %v: invalid program: %v", cpuName, tc.label, node, err)
+					continue
+				}
+				sim := uarch.NewSim(cpu)
+				if err := sim.Err(); err != nil {
+					t.Fatalf("%s: %v", cpuName, err)
+				}
+				res, err := sim.Run(out.Program, 64)
+				if err != nil {
+					t.Errorf("%s/%s at %v: simulate: %v", cpuName, tc.label, node, err)
+					continue
+				}
+				if res.Elems <= 0 || res.Cycles <= 0 {
+					t.Errorf("%s/%s at %v: degenerate run (elems=%d cycles=%d)",
+						cpuName, tc.label, node, res.Elems, res.Cycles)
+				}
+			}
+		}
+	}
+}

@@ -63,8 +63,8 @@ func benchFilterTable() *ssb.Table {
 		a[i] = uint64(i % 1000)
 		c[i] = uint64(i % 17)
 	}
-	t.AddCol("a", a)
-	t.AddCol("b", c)
+	t.MustAddCol("a", a)
+	t.MustAddCol("b", c)
 	return t
 }
 

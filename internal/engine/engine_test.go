@@ -107,8 +107,8 @@ func makeTestTable(n int) *ssb.Table {
 		a[i] = uint64(i % 100)
 		b[i] = uint64(i % 7)
 	}
-	t.AddCol("a", a)
-	t.AddCol("b", b)
+	t.MustAddCol("a", a)
+	t.MustAddCol("b", b)
 	return t
 }
 
@@ -149,12 +149,12 @@ func TestFilterOneOf(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, r := range sel {
-			if b := tab.Col("b")[r]; b != 2 && b != 5 {
+			if b := tab.MustCol("b")[r]; b != 2 && b != 5 {
 				t.Fatalf("%v selected row with b=%d", mode, b)
 			}
 		}
 		want := 0
-		for _, b := range tab.Col("b") {
+		for _, b := range tab.MustCol("b") {
 			if b == 2 || b == 5 {
 				want++
 			}

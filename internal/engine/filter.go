@@ -94,10 +94,11 @@ func FilterRange(t *ssb.Table, preds []Pred, lo, hi int, mode Mode) ([]uint32, e
 	}
 	cols := make([][]uint64, len(preds))
 	for i, p := range preds {
-		if !t.HasCol(p.Col) {
-			return nil, fmt.Errorf("engine: table %s has no column %q", t.Name, p.Col)
+		c, err := t.Column(p.Col)
+		if err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
 		}
-		cols[i] = t.Col(p.Col)
+		cols[i] = c
 	}
 	sel := make([]uint32, 0, (hi-lo)/4+8)
 	if len(preds) == 0 {

@@ -271,6 +271,9 @@ func runStage(cpu *isa.CPU, stage Stage, kind EngineKind) (*uarch.Result, error)
 		iters = 1
 	}
 	sim := uarch.NewSim(cpu)
+	if err := sim.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: stage %s: %w", stage.Name, err)
+	}
 	for _, p := range stage.Template.Params {
 		if p.Pattern == hid.RandomRegion && p.Region <= uint64(cpu.LLC.SizeBytes) {
 			sim.Hierarchy().Warm(translator.ParamBase(stage.Template, p.Name), p.Region)

@@ -101,6 +101,9 @@ func TraceHashRun(cpuName, benchName string, node translator.Node, iters int64) 
 		iters = 64
 	}
 	sim := uarch.NewSim(cpu)
+	if err := sim.Err(); err != nil {
+		return nil, nil, err
+	}
 	log := &uarch.TraceLog{}
 	sim.SetTraceLog(log)
 	res, err := sim.Run(out.Program, iters)

@@ -92,7 +92,10 @@ func InitialNode(cpu *isa.CPU, tmpl *hid.Template, width isa.Width) (Node, error
 		if err != nil {
 			return Node{}, fmt.Errorf("hef: template %q: %w", tmpl.Name, err)
 		}
-		in := desc.VectorInstr(width)
+		in, err := desc.VectorInstr(width)
+		if err != nil {
+			return Node{}, fmt.Errorf("hef: template %q: %w", tmpl.Name, err)
+		}
 		if r := in.LatencyOverThroughput(); r > maxRatio {
 			maxRatio = r
 			throughput = in.Occupancy

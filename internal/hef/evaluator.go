@@ -53,6 +53,11 @@ func NewSimEvaluator(cpu *isa.CPU, tmpl *hid.Template, width isa.Width, elems in
 // too; bound the log with TraceLog.Limit when that matters.
 func (e *SimEvaluator) SetTraceLog(t *uarch.TraceLog) { e.sim.SetTraceLog(t) }
 
+// SetPerturb installs a fault-injection model on the evaluator's simulator
+// (nil removes it); see uarch.Sim.SetPerturb. The sensitivity driver uses
+// this to re-run the search on perturbed machines.
+func (e *SimEvaluator) SetPerturb(p *uarch.Perturb) { e.sim.SetPerturb(p) }
+
 // Evaluate implements Evaluator.
 func (e *SimEvaluator) Evaluate(n Node) (float64, error) {
 	res, err := e.Run(n)
@@ -68,6 +73,9 @@ func (e *SimEvaluator) Evaluate(n Node) (float64, error) {
 // Run translates and simulates the node, returning the full counter set
 // (used by the experiment harness for the paper's tables).
 func (e *SimEvaluator) Run(n Node) (*uarch.Result, error) {
+	if err := e.sim.Err(); err != nil {
+		return nil, err
+	}
 	out, err := translator.Translate(e.tmpl, n, translator.Options{Width: e.width, CPU: e.cpu})
 	if err != nil {
 		return nil, err

@@ -1,6 +1,8 @@
 package hef
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 )
@@ -49,6 +51,10 @@ type Result struct {
 	// pruned nodes, mirroring Algorithm 2's two output lists.
 	CandidateList []Node
 	EndList       []Node
+	// Partial is true when the search stopped early — context cancellation,
+	// deadline, evaluation budget, or a recovered panic — and Best is only
+	// the best node found so far rather than the search's fixed point.
+	Partial bool
 }
 
 // BestPath returns the chain of winning nodes from the initial node to the
@@ -109,18 +115,63 @@ func neighbors(n Node) []Node {
 // generated or tested (Algorithm 2). The relationship between nodes is a
 // strongly-connected graph, so the optimum stays reachable through some
 // monotonically improving path even when other paths to it are pruned.
+//
+// Search runs to completion; SearchContext adds cancellation and budgets.
 func Search(eval Evaluator, initial Node, bounds Bounds) (*Result, error) {
+	return SearchContext(context.Background(), eval, initial, bounds, SearchOpts{})
+}
+
+// SearchContext is Search with graceful degradation: it honours ctx
+// cancellation and deadlines, an optional node-evaluation budget, and
+// recovers evaluator panics into typed errors.
+//
+// When the search is cut short — ctx done, budget exhausted, or a panic
+// recovered — it returns the best-so-far Result with Partial set alongside a
+// non-nil error: ctx.Err() (via errors.Is(err, context.Canceled) or
+// context.DeadlineExceeded), ErrBudgetExhausted, or a *PanicError. Only
+// evaluator errors (a broken template or machine model) return a nil Result.
+func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bounds, opts SearchOpts) (*Result, error) {
 	if !bounds.contains(initial) {
 		return nil, fmt.Errorf("hef: initial node %v outside bounds %+v", initial, bounds)
 	}
 	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
 
+	// partial finalizes an early exit: the result so far plus the reason.
+	partial := func(err error) (*Result, error) {
+		res.Partial = true
+		sortNodes(res.EndList)
+		return res, err
+	}
+	// checkCtx and checkBudget gate every evaluation, so an already-expired
+	// context or a zero budget stops the search within one node evaluation.
+	checkCtx := func() error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("hef: search interrupted after %d evaluations: %w", res.Tested, ctx.Err())
+		default:
+			return nil
+		}
+	}
+	budget := opts.MaxEvaluations
+	checkBudget := func() error {
+		if budget > 0 && res.Tested >= budget {
+			return fmt.Errorf("hef: %w after %d evaluations", ErrBudgetExhausted, res.Tested)
+		}
+		return nil
+	}
+
 	type scored struct {
 		node Node
 		sec  float64
 	}
-	initSec, err := eval.Evaluate(initial)
+	if err := checkCtx(); err != nil {
+		return partial(err)
+	}
+	initSec, err := safeEvaluate(eval, initial)
 	if err != nil {
+		if pe := (*PanicError)(nil); errors.As(err, &pe) {
+			return partial(err)
+		}
 		return nil, fmt.Errorf("hef: evaluating initial node %v: %w", initial, err)
 	}
 	res.Tested++
@@ -137,19 +188,26 @@ func Search(eval Evaluator, initial Node, bounds Bounds) (*Result, error) {
 			if !bounds.contains(nb) {
 				continue
 			}
-			sec, ok := seen[nb]
-			if !ok {
-				sec, err = eval.Evaluate(nb)
-				if err != nil {
-					return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
-				}
-				res.Tested++
-				seen[nb] = sec
-			} else {
-				// Already evaluated via another parent: reuse the time but
-				// still allow re-classification against this parent.
+			if _, ok := seen[nb]; ok {
+				// Already evaluated via another parent; Algorithm 2 tests
+				// each node once.
 				continue
 			}
+			if err := checkCtx(); err != nil {
+				return partial(err)
+			}
+			if err := checkBudget(); err != nil {
+				return partial(err)
+			}
+			sec, err := safeEvaluate(eval, nb)
+			if err != nil {
+				if pe := (*PanicError)(nil); errors.As(err, &pe) {
+					return partial(err)
+				}
+				return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
+			}
+			res.Tested++
+			seen[nb] = sec
 			win := sec < cur.sec
 			res.Trace = append(res.Trace, Step{Node: nb, Seconds: sec, Parent: cur.node, Winner: win})
 			if win {

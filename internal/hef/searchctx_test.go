@@ -1,0 +1,112 @@
+package hef
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// countingEval is a deterministic synthetic cost surface with a known
+// optimum, counting evaluations.
+type countingEval struct {
+	calls   int
+	panicAt *Node
+}
+
+func (e *countingEval) Evaluate(n Node) (float64, error) {
+	e.calls++
+	if e.panicAt != nil && n == *e.panicAt {
+		panic(fmt.Sprintf("synthetic fault at %v", n))
+	}
+	// Bowl-shaped: optimum at (2, 3, 4).
+	d := func(a, b int) float64 { x := float64(a - b); return x * x }
+	return 1 + d(n.V, 2) + d(n.S, 3) + d(n.P, 4), nil
+}
+
+var testBounds = Bounds{VMax: 6, SMax: 6, PMax: 8}
+
+func TestSearchContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eval := &countingEval{}
+	res, err := SearchContext(ctx, eval, Node{V: 1, S: 1, P: 1}, testBounds, SearchOpts{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("res = %+v, want non-nil partial result", res)
+	}
+	if eval.calls != 0 {
+		t.Errorf("pre-cancelled context still ran %d evaluations", eval.calls)
+	}
+}
+
+func TestSearchContextBudget(t *testing.T) {
+	const budget = 5
+	eval := &countingEval{}
+	res, err := SearchContext(context.Background(), eval, Node{V: 1, S: 1, P: 1}, testBounds,
+		SearchOpts{MaxEvaluations: budget})
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("res = %+v, want non-nil partial result", res)
+	}
+	if res.Tested != budget || eval.calls != budget {
+		t.Errorf("tested %d / called %d, want exactly %d", res.Tested, eval.calls, budget)
+	}
+	if res.Best == (Node{}) || res.BestSeconds <= 0 {
+		t.Error("partial result must still carry the best-so-far node")
+	}
+}
+
+func TestSearchContextPanicRecovery(t *testing.T) {
+	bad := Node{V: 2, S: 1, P: 1}
+	eval := &countingEval{panicAt: &bad}
+	res, err := SearchContext(context.Background(), eval, Node{V: 1, S: 1, P: 1}, testBounds, SearchOpts{})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Node != bad {
+		t.Errorf("PanicError.Node = %v, want %v", pe.Node, bad)
+	}
+	if pe.Value != fmt.Sprintf("synthetic fault at %v", bad) {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError should capture the stack")
+	}
+	if res == nil || !res.Partial {
+		t.Fatalf("res = %+v, want partial best-so-far result", res)
+	}
+}
+
+func TestSearchContextUnlimitedMatchesSearch(t *testing.T) {
+	e1, e2 := &countingEval{}, &countingEval{}
+	r1, err1 := Search(e1, Node{V: 1, S: 1, P: 1}, testBounds)
+	r2, err2 := SearchContext(context.Background(), e2, Node{V: 1, S: 1, P: 1}, testBounds, SearchOpts{})
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if r1.Best != r2.Best || r1.Tested != r2.Tested || r1.Partial || r2.Partial {
+		t.Errorf("Search and SearchContext diverge: %+v vs %+v", r1, r2)
+	}
+	want := Node{V: 2, S: 3, P: 4}
+	if r1.Best != want {
+		t.Errorf("found %v, want the bowl minimum %v", r1.Best, want)
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	sentinel := errors.New("inner")
+	pe := &PanicError{Node: Node{V: 1, S: 1, P: 1}, Value: sentinel}
+	if !errors.Is(pe, sentinel) {
+		t.Error("PanicError should unwrap to an error panic value")
+	}
+	pe2 := &PanicError{Node: Node{V: 1, S: 1, P: 1}, Value: "just a string"}
+	if errors.Unwrap(pe2) != nil {
+		t.Error("non-error panic values should not unwrap")
+	}
+}

@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // DescEntry is one row of the paper's description tables (Table I): the
 // mapping from a hybrid-intermediate-description operation to its scalar,
@@ -50,23 +53,17 @@ var descTable = map[string]DescEntry{
 	"prefetch": {Op: "prefetch", Scalar: "prefetch", Intrinsic: "_mm_prefetch"},
 }
 
+// ErrUnknownOp is wrapped by Describe for operations missing from the
+// description table.
+var ErrUnknownOp = errors.New("unknown HID op")
+
 // Describe returns the description-table row for a HID operation.
 func Describe(op string) (DescEntry, error) {
 	e, ok := descTable[op]
 	if !ok {
-		return DescEntry{}, fmt.Errorf("isa: no description-table entry for HID op %q", op)
+		return DescEntry{}, fmt.Errorf("isa: %w: no description-table entry for %q", ErrUnknownOp, op)
 	}
 	return e, nil
-}
-
-// MustDescribe is Describe for operations known to exist; it panics on
-// unknown operations.
-func MustDescribe(op string) DescEntry {
-	e, err := Describe(op)
-	if err != nil {
-		panic(err)
-	}
-	return e
 }
 
 // DescOps returns the HID operation names present in the description table.
@@ -79,14 +76,16 @@ func DescOps() []string {
 }
 
 // ScalarInstr resolves the scalar realisation of a HID op. prefetch resolves
-// to the scalar prefetch on every ISA.
-func (e DescEntry) ScalarInstr() *Instr { return Scalar(e.Scalar) }
+// to the scalar prefetch on every ISA. A failed lookup wraps
+// ErrUnknownInstr: the description table references a mnemonic the
+// instruction tables do not define.
+func (e DescEntry) ScalarInstr() (*Instr, error) { return Scalar(e.Scalar) }
 
 // VectorInstr resolves the vector realisation of a HID op at width w,
 // falling back to the scalar form when the ISA lacks the instruction — the
 // rule the paper states for gather on Neon: "the underlying implementation
 // is scalar statements" to keep the interface consistent.
-func (e DescEntry) VectorInstr(w Width) *Instr {
+func (e DescEntry) VectorInstr(w Width) (*Instr, error) {
 	switch w {
 	case W512:
 		if e.AVX512 != "" {

@@ -1,6 +1,7 @@
 package isa
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -25,18 +26,18 @@ func TestDescribeUnknownOp(t *testing.T) {
 }
 
 func TestDescEntryResolution(t *testing.T) {
-	e := MustDescribe("mul")
-	if got := e.ScalarInstr().Name; got != "imul" {
+	e := mustDescribe("mul")
+	if got := mustScalarInstr(e).Name; got != "imul" {
 		t.Errorf("scalar mul = %q, want imul", got)
 	}
-	if got := e.VectorInstr(W512).Name; got != "vpmullq" {
+	if got := mustVectorInstr(e, W512).Name; got != "vpmullq" {
 		t.Errorf("512-bit mul = %q, want vpmullq", got)
 	}
-	if got := e.VectorInstr(W256).Name; got != "vpmullq.y" {
+	if got := mustVectorInstr(e, W256).Name; got != "vpmullq.y" {
 		t.Errorf("256-bit mul = %q, want vpmullq.y", got)
 	}
 	// An unsupported width falls back to scalar (the paper's Neon-gather rule).
-	if got := e.VectorInstr(W64).Name; got != "imul" {
+	if got := mustVectorInstr(e, W64).Name; got != "imul" {
 		t.Errorf("64-bit 'vector' mul = %q, want scalar fallback imul", got)
 	}
 }
@@ -45,10 +46,10 @@ func TestDescriptionTableConsistency(t *testing.T) {
 	// Every description-table row must reference real instructions, with
 	// coherent lane counts and classes between ISAs.
 	for _, op := range DescOps() {
-		e := MustDescribe(op)
-		s := e.ScalarInstr()
-		v512 := e.VectorInstr(W512)
-		v256 := e.VectorInstr(W256)
+		e := mustDescribe(op)
+		s := mustScalarInstr(e)
+		v512 := mustVectorInstr(e, W512)
+		v256 := mustVectorInstr(e, W256)
 		if s.Lanes != 1 {
 			t.Errorf("%s: scalar lanes = %d, want 1", op, s.Lanes)
 		}
@@ -68,7 +69,7 @@ func TestDescriptionTableConsistency(t *testing.T) {
 
 func TestGatherLatencyThroughputGap(t *testing.T) {
 	// The paper's motivating example: vpgatherqq latency 26, throughput 5.
-	g := AVX512("vpgatherqq")
+	g := MustAVX512("vpgatherqq")
 	if g.Latency != 26 || g.Occupancy != 4 {
 		t.Errorf("vpgatherqq lat/occ = %d/%d, want 26/4", g.Latency, g.Occupancy)
 	}
@@ -135,12 +136,15 @@ func TestLookupTables(t *testing.T) {
 	if _, ok := LookupScalar("nosuch"); ok {
 		t.Error("LookupScalar should miss unknown names")
 	}
+	if _, err := Scalar("nosuch"); !errors.Is(err, ErrUnknownInstr) {
+		t.Errorf("Scalar(nosuch) err = %v, want ErrUnknownInstr", err)
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("Scalar should panic on unknown mnemonic")
+			t.Error("MustScalar should panic on unknown mnemonic")
 		}
 	}()
-	Scalar("nosuch")
+	MustScalar("nosuch")
 }
 
 func TestClassProperties(t *testing.T) {
@@ -159,4 +163,30 @@ func TestClassProperties(t *testing.T) {
 	if IntMul.String() != "IntMul" {
 		t.Errorf("Class.String = %q", IntMul.String())
 	}
+}
+
+// mustDescribe, mustScalarInstr, and mustVectorInstr are test shorthands for
+// description-table rows the test knows are present.
+func mustDescribe(op string) DescEntry {
+	e, err := Describe(op)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func mustScalarInstr(e DescEntry) *Instr {
+	in, err := e.ScalarInstr()
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+func mustVectorInstr(e DescEntry, w Width) *Instr {
+	in, err := e.VectorInstr(w)
+	if err != nil {
+		panic(err)
+	}
+	return in
 }

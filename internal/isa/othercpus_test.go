@@ -62,8 +62,8 @@ func TestByNameNewModels(t *testing.T) {
 func TestNeonDescriptionTable(t *testing.T) {
 	// Compute operations have Neon realisations ...
 	for _, op := range []string{"add", "mul", "xor", "srl", "load", "store", "select"} {
-		e := MustDescribe(op)
-		in := e.VectorInstr(W128)
+		e := mustDescribe(op)
+		in := mustVectorInstr(e, W128)
 		if in.Width != W128 {
 			t.Errorf("%s at Neon width resolves to %s (width %d), want a 128-bit form", op, in.Name, in.Width)
 		}
@@ -73,7 +73,7 @@ func TestNeonDescriptionTable(t *testing.T) {
 	}
 	// ... but gather does not: the paper's example — "it is not supported
 	// by Neon currently, so the underlying implementation is scalar".
-	g := MustDescribe("gather").VectorInstr(W128)
+	g := mustVectorInstr(mustDescribe("gather"), W128)
 	if g.Width != W64 || g.Name != "movq" {
 		t.Errorf("gather at Neon width = %s (width %d), want the scalar fallback movq", g.Name, g.Width)
 	}

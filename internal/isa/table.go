@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // The instruction tables. Latency/occupancy values follow the Intel
 // optimization manual and Agner Fog's Skylake-SP measurements, which are the
@@ -73,14 +76,28 @@ var avx2Table = map[string]*Instr{
 	"vpgatherqq.y":   {Name: "vpgatherqq.y", Class: GatherOp, Width: W256, Latency: 20, Occupancy: 4, Uops: 5, Lanes: 4, Argc: 2},
 }
 
+// ErrUnknownInstr is wrapped by every failed instruction-table lookup, so
+// callers can classify table-consistency failures with errors.Is.
+var ErrUnknownInstr = errors.New("unknown instruction")
+
 // Scalar returns the scalar instruction named name.
-func Scalar(name string) *Instr { return mustLookup(scalarTable, name, "scalar") }
+func Scalar(name string) (*Instr, error) { return lookup(scalarTable, name, "scalar") }
 
 // AVX512 returns the AVX-512 instruction named name.
-func AVX512(name string) *Instr { return mustLookup(avx512Table, name, "avx512") }
+func AVX512(name string) (*Instr, error) { return lookup(avx512Table, name, "avx512") }
 
 // AVX2 returns the AVX2 instruction named name.
-func AVX2(name string) *Instr { return mustLookup(avx2Table, name, "avx2") }
+func AVX2(name string) (*Instr, error) { return lookup(avx2Table, name, "avx2") }
+
+// MustScalar is Scalar for statically-known mnemonics; it panics on unknown
+// names.
+func MustScalar(name string) *Instr { return mustLookup(scalarTable, name, "scalar") }
+
+// MustAVX512 is AVX512 for statically-known mnemonics.
+func MustAVX512(name string) *Instr { return mustLookup(avx512Table, name, "avx512") }
+
+// MustAVX2 is AVX2 for statically-known mnemonics.
+func MustAVX2(name string) *Instr { return mustLookup(avx2Table, name, "avx2") }
 
 // LookupScalar returns the scalar instruction and whether it exists.
 func LookupScalar(name string) (*Instr, bool) { in, ok := scalarTable[name]; return in, ok }
@@ -91,10 +108,18 @@ func LookupAVX512(name string) (*Instr, bool) { in, ok := avx512Table[name]; ret
 // LookupAVX2 returns the AVX2 instruction and whether it exists.
 func LookupAVX2(name string) (*Instr, bool) { in, ok := avx2Table[name]; return in, ok }
 
-func mustLookup(t map[string]*Instr, name, table string) *Instr {
+func lookup(t map[string]*Instr, name, table string) (*Instr, error) {
 	in, ok := t[name]
 	if !ok {
-		panic(fmt.Sprintf("isa: unknown %s instruction %q", table, name))
+		return nil, fmt.Errorf("isa: %w: no %s instruction %q", ErrUnknownInstr, table, name)
+	}
+	return in, nil
+}
+
+func mustLookup(t map[string]*Instr, name, table string) *Instr {
+	in, err := lookup(t, name, table)
+	if err != nil {
+		panic(err)
 	}
 	return in
 }

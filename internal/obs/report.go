@@ -140,6 +140,9 @@ type SearchReport struct {
 	Tested        int     `json:"tested"`
 	SpaceSize     int     `json:"space_size"`
 	PrunedFrac    float64 `json:"pruned_fraction"`
+	// Partial is true when the search stopped early (cancellation or
+	// budget) and Best is only the best node found so far.
+	Partial bool `json:"partial,omitempty"`
 	// BestPath is the improving chain from initial to best.
 	BestPath []string     `json:"best_path"`
 	Steps    []SearchStep `json:"steps"`
@@ -163,6 +166,7 @@ func SearchFromResult(r *hef.Result) *SearchReport {
 		Tested:        r.Tested,
 		SpaceSize:     r.SpaceSize,
 		PrunedFrac:    r.PrunedFraction(),
+		Partial:       r.Partial,
 	}
 	for _, n := range r.BestPath() {
 		sr.BestPath = append(sr.BestPath, n.String())

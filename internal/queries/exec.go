@@ -78,10 +78,16 @@ func Execute(q Query, d *ssb.Data, mode engine.Mode) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("queries: %s: dim %s: %w", q.ID, j.Dim, err)
 		}
-		keys := dim.Col(j.DimKey)
+		keys, err := dim.Column(j.DimKey)
+		if err != nil {
+			return nil, fmt.Errorf("queries: %s: dim %s: %w", q.ID, j.Dim, err)
+		}
 		var payload []uint64
 		if j.Payload != "" {
-			payload = dim.Col(j.Payload)
+			payload, err = dim.Column(j.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("queries: %s: dim %s: %w", q.ID, j.Dim, err)
+			}
 		}
 		// The paper applies "a large linear hash table for hash join to
 		// reduce the conflicts": the table is sized for the full dimension
@@ -111,15 +117,47 @@ func Execute(q Query, d *ssb.Data, mode engine.Mode) (*Result, error) {
 	groups := map[uint64]uint64{}
 	var total uint64
 
+	// Resolve every fact column the probe and aggregate phases reference up
+	// front, so a bad query fails with a wrapped ssb.ErrNoColumn before any
+	// batch work starts.
 	fkCache := make(map[string][]uint64, 4)
-	factCol := func(name string) []uint64 {
-		c, ok := fkCache[name]
-		if !ok {
-			c = fact.Col(name)
-			fkCache[name] = c
+	resolveFact := func(name string) error {
+		if _, ok := fkCache[name]; ok {
+			return nil
 		}
-		return c
+		c, err := fact.Column(name)
+		if err != nil {
+			return fmt.Errorf("queries: %s: %w", q.ID, err)
+		}
+		fkCache[name] = c
+		return nil
 	}
+	for _, b := range builds {
+		if err := resolveFact(b.join.FactFK); err != nil {
+			return nil, err
+		}
+	}
+	switch q.Measure {
+	case SumRevenue:
+		if err := resolveFact("revenue"); err != nil {
+			return nil, err
+		}
+	case SumRevMinusCost:
+		if err := resolveFact("revenue"); err != nil {
+			return nil, err
+		}
+		if err := resolveFact("supplycost"); err != nil {
+			return nil, err
+		}
+	case SumExtDisc:
+		if err := resolveFact("extendedprice"); err != nil {
+			return nil, err
+		}
+		if err := resolveFact("discount"); err != nil {
+			return nil, err
+		}
+	}
+	factCol := func(name string) []uint64 { return fkCache[name] }
 
 	keysBuf := make([]uint64, BatchSize)
 	valsBuf := make([]uint64, BatchSize)

@@ -82,16 +82,16 @@ func TestQ11MatchesBruteForce(t *testing.T) {
 	}
 
 	year := map[uint64]uint64{}
-	for i, dk := range d.Date.Col("datekey") {
-		year[dk] = d.Date.Col("year")[i]
+	for i, dk := range d.Date.MustCol("datekey") {
+		year[dk] = d.Date.MustCol("year")[i]
 	}
 	lo := d.Lineorder
 	var want uint64
 	for i := 0; i < lo.N; i++ {
-		disc := lo.Col("discount")[i]
-		qty := lo.Col("quantity")[i]
-		if year[lo.Col("orderdate")[i]] == 1993 && disc >= 1 && disc <= 3 && qty < 25 {
-			want += lo.Col("extendedprice")[i] * disc
+		disc := lo.MustCol("discount")[i]
+		qty := lo.MustCol("quantity")[i]
+		if year[lo.MustCol("orderdate")[i]] == 1993 && disc >= 1 && disc <= 3 && qty < 25 {
+			want += lo.MustCol("extendedprice")[i] * disc
 		}
 	}
 	if res.Sum != want {
@@ -115,32 +115,32 @@ func TestQ21MatchesBruteForce(t *testing.T) {
 	}
 
 	brand := map[uint64]uint64{}
-	for i, pk := range d.Part.Col("partkey") {
-		if d.Part.Col("category")[i] == 12 {
-			brand[pk] = d.Part.Col("brand")[i]
+	for i, pk := range d.Part.MustCol("partkey") {
+		if d.Part.MustCol("category")[i] == 12 {
+			brand[pk] = d.Part.MustCol("brand")[i]
 		}
 	}
 	amer := map[uint64]bool{}
-	for i, sk := range d.Supplier.Col("suppkey") {
-		if d.Supplier.Col("region")[i] == ssb.America {
+	for i, sk := range d.Supplier.MustCol("suppkey") {
+		if d.Supplier.MustCol("region")[i] == ssb.America {
 			amer[sk] = true
 		}
 	}
 	year := map[uint64]uint64{}
-	for i, dk := range d.Date.Col("datekey") {
-		year[dk] = d.Date.Col("year")[i]
+	for i, dk := range d.Date.MustCol("datekey") {
+		year[dk] = d.Date.MustCol("year")[i]
 	}
 
 	wantGroups := map[uint64]uint64{}
 	var want uint64
 	lo := d.Lineorder
 	for i := 0; i < lo.N; i++ {
-		b, okP := brand[lo.Col("partkey")[i]]
-		if !okP || !amer[lo.Col("suppkey")[i]] {
+		b, okP := brand[lo.MustCol("partkey")[i]]
+		if !okP || !amer[lo.MustCol("suppkey")[i]] {
 			continue
 		}
-		y := year[lo.Col("orderdate")[i]]
-		rev := lo.Col("revenue")[i]
+		y := year[lo.MustCol("orderdate")[i]]
+		rev := lo.MustCol("revenue")[i]
 		want += rev
 		wantGroups[b<<16|y] += rev
 	}

@@ -1,0 +1,59 @@
+package robust
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+const (
+	// Schema identifies sensitivity-report documents, the robustness
+	// companion to the obs run-report schema.
+	Schema = "hef.robust.sensitivity-report"
+	// SchemaVersion follows the obs policy: additive fields (new optional
+	// keys) do not bump the version; renaming, removing, or re-typing a
+	// field does.
+	SchemaVersion = 1
+)
+
+// Report is the versioned JSON document hefsens emits: one Sensitivity per
+// (operator, CPU) pair, plus the ensemble configuration. It contains no
+// timestamps or other run-varying state, so identical inputs marshal to
+// identical bytes — the determinism contract the sensitivity tooling is
+// tested against.
+type Report struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Seed, Trials, Jitter, and PortFaultRate record the ensemble the
+	// analyses share.
+	Seed          uint64  `json:"seed"`
+	Trials        int     `json:"trials"`
+	Jitter        float64 `json:"jitter"`
+	PortFaultRate float64 `json:"port_fault_rate,omitempty"`
+
+	Analyses []*Sensitivity `json:"analyses"`
+}
+
+// NewReport starts a report for one perturbation ensemble.
+func NewReport(seed uint64, trials int, jitter, portFaultRate float64) *Report {
+	return &Report{
+		Schema: Schema, Version: SchemaVersion,
+		Seed: seed, Trials: trials, Jitter: jitter, PortFaultRate: portFaultRate,
+	}
+}
+
+// Add appends one analysis. Callers add analyses in a fixed order (the
+// order is part of the byte-for-byte determinism contract).
+func (r *Report) Add(s *Sensitivity) { r.Analyses = append(r.Analyses, s) }
+
+// JSON marshals the report indented, without HTML escaping, trailing in a
+// newline — the exact bytes hefsens writes.
+func (r *Report) JSON() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,27 @@
+// Package robust is the robustness layer of the reproduction: seeded fault
+// injection over the machine model (uarch.Perturb), a sensitivity driver
+// that re-runs the HEF pruning search across an ensemble of perturbed
+// models and reports how stable the discovered optimum is, and the typed
+// errors behind the framework's graceful-degradation paths.
+//
+// The motivating question is the one any simulator-backed auto-tuner must
+// answer: the paper's optima (v, s, p) come out of a model with exact
+// latencies and cache parameters — do those optima survive when the model
+// is wrong by a few percent? Sensitivity quantifies that: optimum stability
+// across perturbation draws, the cycle-cost regret of shipping the
+// unperturbed pick onto a perturbed machine, and how much the candidate
+// ranking churns.
+package robust
+
+import (
+	"hef/internal/hef"
+)
+
+// ErrBudgetExhausted marks a search stopped by its node-evaluation budget;
+// test with errors.Is. It aliases the sentinel in the search package so both
+// spellings match the same errors.
+var ErrBudgetExhausted = hef.ErrBudgetExhausted
+
+// PanicError is an evaluator panic recovered by the search and surfaced as
+// an error (alias of the search package's type, for errors.As).
+type PanicError = hef.PanicError

@@ -1,0 +1,160 @@
+package robust
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"hef/internal/hashes"
+	"hef/internal/hef"
+	"hef/internal/isa"
+)
+
+func silverMurmurConfig() SensConfig {
+	return SensConfig{
+		CPU:      isa.XeonSilver4110(),
+		Template: hashes.MurmurTemplate(),
+		Elems:    1 << 9,
+		Seed:     1,
+		Trials:   3,
+		Jitter:   0.05,
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	a, err := Analyze(context.Background(), silverMurmurConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(context.Background(), silverMurmurConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if !bytes.Equal(ja, jb) {
+		t.Errorf("two identical analyses differ:\n%s\n%s", ja, jb)
+	}
+}
+
+func TestAnalyzeShape(t *testing.T) {
+	s, err := Analyze(context.Background(), silverMurmurConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Op != "murmur" || s.CPU == "" {
+		t.Errorf("identity fields: op=%q cpu=%q", s.Op, s.CPU)
+	}
+	if len(s.Trials) != 3 {
+		t.Fatalf("got %d trials, want 3", len(s.Trials))
+	}
+	if s.Baseline == "" || s.BaselineNSPerElem <= 0 || s.BaselineTested <= 0 {
+		t.Errorf("baseline not recorded: %+v", s)
+	}
+	seeds := map[uint64]bool{}
+	for i, tr := range s.Trials {
+		if tr.Best == "" || tr.BestNSPerElem <= 0 || tr.Tested <= 0 {
+			t.Errorf("trial %d incomplete: %+v", i, tr)
+		}
+		if tr.RegretPct < 0 || tr.RankChurn < 0 || tr.RankChurn > 1 {
+			t.Errorf("trial %d metrics out of range: %+v", i, tr)
+		}
+		if tr.Moved != (tr.Best != s.Baseline) {
+			t.Errorf("trial %d Moved inconsistent with Best", i)
+		}
+		seeds[tr.Seed] = true
+	}
+	if len(seeds) != 3 {
+		t.Error("per-trial seeds should be distinct")
+	}
+	if s.Stability < 0 || s.Stability > 1 {
+		t.Errorf("stability %v out of [0,1]", s.Stability)
+	}
+}
+
+func TestAnalyzeSeedMatters(t *testing.T) {
+	cfg := silverMurmurConfig()
+	cfg.Jitter = 0.3 // large enough that the ensembles must differ
+	a, err := Analyze(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Seed = 2
+	b, err := Analyze(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Trials {
+		if a.Trials[i].BestNSPerElem != b.Trials[i].BestNSPerElem {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different ensemble seeds produced identical trial costs at 30% jitter")
+	}
+}
+
+func TestAnalyzeCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Analyze(ctx, silverMurmurConfig()); err == nil {
+		t.Fatal("cancelled analysis should fail")
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(context.Background(), SensConfig{}); err == nil {
+		t.Error("empty config should be rejected")
+	}
+}
+
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		s, err := Analyze(context.Background(), silverMurmurConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewReport(1, 3, 0.05, 0)
+		r.Add(s)
+		data, err := r.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a, b) {
+		t.Error("report JSON is not byte-deterministic")
+	}
+
+	var decoded Report
+	if err := json.Unmarshal(a, &decoded); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if decoded.Schema != Schema || decoded.Version != SchemaVersion {
+		t.Errorf("schema header %q v%d, want %q v%d", decoded.Schema, decoded.Version, Schema, SchemaVersion)
+	}
+	if len(decoded.Analyses) != 1 {
+		t.Errorf("got %d analyses after round-trip", len(decoded.Analyses))
+	}
+}
+
+func TestRankChurnProperties(t *testing.T) {
+	type nodeCost = map[hef.Node]float64
+	n := func(v, s, p int) hef.Node { return hef.Node{V: v, S: s, P: p} }
+	a := nodeCost{n(1, 1, 1): 1, n(1, 2, 1): 2, n(2, 1, 1): 3, n(1, 1, 2): 4}
+	if got := rankChurn(a, a); got != 0 {
+		t.Errorf("identical rankings churn %v, want 0", got)
+	}
+	// Full reversal hits the footrule maximum.
+	b := nodeCost{n(1, 1, 1): 4, n(1, 2, 1): 3, n(2, 1, 1): 2, n(1, 1, 2): 1}
+	if got := rankChurn(a, b); got != 1 {
+		t.Errorf("reversed rankings churn %v, want 1", got)
+	}
+	// Fewer than two common nodes: no churn measurable.
+	if got := rankChurn(a, nodeCost{n(9, 9, 9): 1}); got != 0 {
+		t.Errorf("disjoint rankings churn %v, want 0", got)
+	}
+}

@@ -8,6 +8,7 @@
 package ssb
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -52,21 +53,43 @@ func NewTable(name string, n int) *Table {
 	return &Table{Name: name, N: n, cols: map[string][]uint64{}}
 }
 
+// ErrNoColumn is wrapped by Column for unknown column names.
+var ErrNoColumn = errors.New("no such column")
+
 // AddCol registers a column; the slice must have length N.
-func (t *Table) AddCol(name string, col []uint64) {
+func (t *Table) AddCol(name string, col []uint64) error {
 	if len(col) != t.N {
-		panic(fmt.Sprintf("ssb: column %s.%s has %d rows, want %d", t.Name, name, len(col), t.N))
+		return fmt.Errorf("ssb: column %s.%s has %d rows, want %d", t.Name, name, len(col), t.N)
 	}
 	t.cols[name] = col
 	t.order = append(t.order, name)
+	return nil
 }
 
-// Col returns the named column, panicking on unknown names (generator bugs,
-// not user input).
-func (t *Table) Col(name string) []uint64 {
+// MustAddCol is AddCol for statically-correct generator code; it panics on
+// mis-sized columns.
+func (t *Table) MustAddCol(name string, col []uint64) {
+	if err := t.AddCol(name, col); err != nil {
+		panic(err)
+	}
+}
+
+// Column returns the named column, or a wrapped ErrNoColumn error.
+func (t *Table) Column(name string) ([]uint64, error) {
 	c, ok := t.cols[name]
 	if !ok {
-		panic(fmt.Sprintf("ssb: table %s has no column %q", t.Name, name))
+		return nil, fmt.Errorf("ssb: table %s: %w: %q", t.Name, ErrNoColumn, name)
+	}
+	return c, nil
+}
+
+// MustCol returns the named column, panicking on unknown names. It is the
+// accessor for generator-internal and test code where the column is known to
+// exist; library edges handling external names use Column instead.
+func (t *Table) MustCol(name string) []uint64 {
+	c, err := t.Column(name)
+	if err != nil {
+		panic(err)
 	}
 	return c
 }
@@ -199,10 +222,10 @@ func genDate() *Table {
 		}
 	}
 	t := NewTable("date", len(datekey))
-	t.AddCol("datekey", datekey)
-	t.AddCol("year", year)
-	t.AddCol("yearmonthnum", yearmonthnum)
-	t.AddCol("weeknuminyear", weeknuminyear)
+	t.MustAddCol("datekey", datekey)
+	t.MustAddCol("year", year)
+	t.MustAddCol("yearmonthnum", yearmonthnum)
+	t.MustAddCol("weeknuminyear", weeknuminyear)
 	return t
 }
 
@@ -220,10 +243,10 @@ func genCustomer(n int, seed uint64) *Table {
 		city[i] = nat*CitiesPerNation + r.intn(CitiesPerNation)
 	}
 	t := NewTable("customer", n)
-	t.AddCol("custkey", key)
-	t.AddCol("city", city)
-	t.AddCol("nation", nation)
-	t.AddCol("region", region)
+	t.MustAddCol("custkey", key)
+	t.MustAddCol("city", city)
+	t.MustAddCol("nation", nation)
+	t.MustAddCol("region", region)
 	return t
 }
 
@@ -241,10 +264,10 @@ func genSupplier(n int, seed uint64) *Table {
 		city[i] = nat*CitiesPerNation + r.intn(CitiesPerNation)
 	}
 	t := NewTable("supplier", n)
-	t.AddCol("suppkey", key)
-	t.AddCol("city", city)
-	t.AddCol("nation", nation)
-	t.AddCol("region", region)
+	t.MustAddCol("suppkey", key)
+	t.MustAddCol("city", city)
+	t.MustAddCol("nation", nation)
+	t.MustAddCol("region", region)
 	return t
 }
 
@@ -263,17 +286,17 @@ func genPart(n int, seed uint64) *Table {
 		brand[i] = cat*100 + r.rangeIncl(1, 40) // MFGR#mcbb, 1000 brands
 	}
 	t := NewTable("part", n)
-	t.AddCol("partkey", key)
-	t.AddCol("mfgr", mfgr)
-	t.AddCol("category", category)
-	t.AddCol("brand", brand)
+	t.MustAddCol("partkey", key)
+	t.MustAddCol("mfgr", mfgr)
+	t.MustAddCol("category", category)
+	t.MustAddCol("brand", brand)
 	return t
 }
 
 func genLineorder(sz Sizes, date *Table, seed uint64) *Table {
 	r := &rng{state: seed}
 	n := sz.Lineorder
-	datekeys := date.Col("datekey")
+	datekeys := date.MustCol("datekey")
 
 	custkey := make([]uint64, n)
 	partkey := make([]uint64, n)
@@ -300,15 +323,15 @@ func genLineorder(sz Sizes, date *Table, seed uint64) *Table {
 		supplycost[i] = price * 6 / 10
 	}
 	t := NewTable("lineorder", n)
-	t.AddCol("custkey", custkey)
-	t.AddCol("partkey", partkey)
-	t.AddCol("suppkey", suppkey)
-	t.AddCol("orderdate", orderdate)
-	t.AddCol("quantity", quantity)
-	t.AddCol("extendedprice", extendedprice)
-	t.AddCol("discount", discount)
-	t.AddCol("revenue", revenue)
-	t.AddCol("supplycost", supplycost)
+	t.MustAddCol("custkey", custkey)
+	t.MustAddCol("partkey", partkey)
+	t.MustAddCol("suppkey", suppkey)
+	t.MustAddCol("orderdate", orderdate)
+	t.MustAddCol("quantity", quantity)
+	t.MustAddCol("extendedprice", extendedprice)
+	t.MustAddCol("discount", discount)
+	t.MustAddCol("revenue", revenue)
+	t.MustAddCol("supplycost", supplycost)
 	return t
 }
 

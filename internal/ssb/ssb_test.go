@@ -1,6 +1,7 @@
 package ssb
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -37,7 +38,7 @@ func TestGenerateDeterministic(t *testing.T) {
 	a := Generate(0.002, 42)
 	b := Generate(0.002, 42)
 	for _, col := range []string{"custkey", "orderdate", "revenue"} {
-		ca, cb := a.Lineorder.Col(col), b.Lineorder.Col(col)
+		ca, cb := a.Lineorder.MustCol(col), b.Lineorder.MustCol(col)
 		for i := range ca {
 			if ca[i] != cb[i] {
 				t.Fatalf("column %s differs at row %d with same seed", col, i)
@@ -46,8 +47,8 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 	c := Generate(0.002, 43)
 	diff := false
-	for i, v := range c.Lineorder.Col("custkey") {
-		if v != a.Lineorder.Col("custkey")[i] {
+	for i, v := range c.Lineorder.MustCol("custkey") {
+		if v != a.Lineorder.MustCol("custkey")[i] {
 			diff = true
 			break
 		}
@@ -62,11 +63,11 @@ func TestDateDimension(t *testing.T) {
 	if d.N != 2557 {
 		t.Fatalf("date rows = %d", d.N)
 	}
-	years := d.Col("year")
+	years := d.MustCol("year")
 	if years[0] != 1992 || years[d.N-1] != 1998 {
 		t.Errorf("year range = [%d, %d]", years[0], years[d.N-1])
 	}
-	dk := d.Col("datekey")
+	dk := d.MustCol("datekey")
 	if dk[0] != 19920101 || dk[d.N-1] != 19981231 {
 		t.Errorf("datekey range = [%d, %d]", dk[0], dk[d.N-1])
 	}
@@ -76,11 +77,11 @@ func TestDateDimension(t *testing.T) {
 			t.Fatalf("datekey not increasing at %d: %d <= %d", i, dk[i], dk[i-1])
 		}
 	}
-	ymn := d.Col("yearmonthnum")
+	ymn := d.MustCol("yearmonthnum")
 	if ymn[0] != 199201 {
 		t.Errorf("yearmonthnum[0] = %d", ymn[0])
 	}
-	for _, w := range d.Col("weeknuminyear") {
+	for _, w := range d.MustCol("weeknuminyear") {
 		if w < 1 || w > 53 {
 			t.Fatalf("weeknuminyear out of range: %d", w)
 		}
@@ -90,9 +91,9 @@ func TestDateDimension(t *testing.T) {
 func TestDimensionEncodings(t *testing.T) {
 	d := Generate(0.01, 7)
 	for _, tab := range []*Table{d.Customer, d.Supplier} {
-		nations := tab.Col("nation")
-		regions := tab.Col("region")
-		cities := tab.Col("city")
+		nations := tab.MustCol("nation")
+		regions := tab.MustCol("region")
+		cities := tab.MustCol("city")
 		for i := 0; i < tab.N; i++ {
 			if nations[i] >= NumNations {
 				t.Fatalf("%s nation out of range: %d", tab.Name, nations[i])
@@ -107,7 +108,7 @@ func TestDimensionEncodings(t *testing.T) {
 	}
 	p := d.Part
 	for i := 0; i < p.N; i++ {
-		m, c, b := p.Col("mfgr")[i], p.Col("category")[i], p.Col("brand")[i]
+		m, c, b := p.MustCol("mfgr")[i], p.MustCol("category")[i], p.MustCol("brand")[i]
 		if m < 1 || m > 5 {
 			t.Fatalf("mfgr = %d", m)
 		}
@@ -124,32 +125,32 @@ func TestLineorderIntegrity(t *testing.T) {
 	d := Generate(0.005, 99)
 	lo := d.Lineorder
 	dateKeys := map[uint64]bool{}
-	for _, k := range d.Date.Col("datekey") {
+	for _, k := range d.Date.MustCol("datekey") {
 		dateKeys[k] = true
 	}
 	for i := 0; i < lo.N; i++ {
-		if ck := lo.Col("custkey")[i]; ck < 1 || ck > uint64(d.Customer.N) {
+		if ck := lo.MustCol("custkey")[i]; ck < 1 || ck > uint64(d.Customer.N) {
 			t.Fatalf("custkey %d out of range", ck)
 		}
-		if sk := lo.Col("suppkey")[i]; sk < 1 || sk > uint64(d.Supplier.N) {
+		if sk := lo.MustCol("suppkey")[i]; sk < 1 || sk > uint64(d.Supplier.N) {
 			t.Fatalf("suppkey %d out of range", sk)
 		}
-		if pk := lo.Col("partkey")[i]; pk < 1 || pk > uint64(d.Part.N) {
+		if pk := lo.MustCol("partkey")[i]; pk < 1 || pk > uint64(d.Part.N) {
 			t.Fatalf("partkey %d out of range", pk)
 		}
-		if !dateKeys[lo.Col("orderdate")[i]] {
-			t.Fatalf("orderdate %d not in date dimension", lo.Col("orderdate")[i])
+		if !dateKeys[lo.MustCol("orderdate")[i]] {
+			t.Fatalf("orderdate %d not in date dimension", lo.MustCol("orderdate")[i])
 		}
-		q := lo.Col("quantity")[i]
+		q := lo.MustCol("quantity")[i]
 		if q < 1 || q > 50 {
 			t.Fatalf("quantity %d out of range", q)
 		}
-		disc := lo.Col("discount")[i]
+		disc := lo.MustCol("discount")[i]
 		if disc > 10 {
 			t.Fatalf("discount %d out of range", disc)
 		}
-		price := lo.Col("extendedprice")[i]
-		if want := price * (100 - disc) / 100; lo.Col("revenue")[i] != want {
+		price := lo.MustCol("extendedprice")[i]
+		if want := price * (100 - disc) / 100; lo.MustCol("revenue")[i] != want {
 			t.Fatalf("revenue inconsistent at row %d", i)
 		}
 	}
@@ -157,7 +158,7 @@ func TestLineorderIntegrity(t *testing.T) {
 
 func TestTableAccessors(t *testing.T) {
 	tab := NewTable("t", 3)
-	tab.AddCol("a", []uint64{1, 2, 3})
+	tab.MustAddCol("a", []uint64{1, 2, 3})
 	if !tab.HasCol("a") || tab.HasCol("b") {
 		t.Error("HasCol wrong")
 	}
@@ -173,7 +174,7 @@ func TestTableAccessors(t *testing.T) {
 				t.Error("Col should panic on unknown column")
 			}
 		}()
-		tab.Col("nope")
+		tab.MustCol("nope")
 	}()
 	func() {
 		defer func() {
@@ -181,8 +182,17 @@ func TestTableAccessors(t *testing.T) {
 				t.Error("AddCol should panic on wrong length")
 			}
 		}()
-		tab.AddCol("bad", []uint64{1})
+		tab.MustAddCol("bad", []uint64{1})
 	}()
+	if _, err := tab.Column("nope"); !errors.Is(err, ErrNoColumn) {
+		t.Errorf("Column(nope) err = %v, want ErrNoColumn", err)
+	}
+	if c, err := tab.Column("a"); err != nil || len(c) != 3 {
+		t.Errorf("Column(a) = %v, %v", c, err)
+	}
+	if err := tab.AddCol("bad", []uint64{1}); err == nil {
+		t.Error("AddCol should error on wrong length")
+	}
 }
 
 func TestSortedUnique(t *testing.T) {
@@ -196,8 +206,8 @@ func TestSortedUnique(t *testing.T) {
 func TestRegionNationProperty(t *testing.T) {
 	f := func(seed uint64) bool {
 		d := Generate(0.0005, seed)
-		nat := d.Customer.Col("nation")
-		reg := d.Customer.Col("region")
+		nat := d.Customer.MustCol("nation")
+		reg := d.Customer.MustCol("region")
 		for i := range nat {
 			if reg[i] != nat[i]/5 {
 				return false

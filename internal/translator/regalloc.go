@@ -1,6 +1,8 @@
 package translator
 
 import (
+	"sort"
+
 	"hef/internal/isa"
 	"hef/internal/uarch"
 )
@@ -60,9 +62,9 @@ func insertSpills(em *emitter, scalarBudget, vectorBudget int) (out []absOp, sto
 	}
 
 	emitStore := func(id int) {
-		in := isa.Scalar("movq.st")
+		in := isa.MustScalar("movq.st")
 		if em.isVector[id] {
-			in = isa.AVX512("vmovdqu64.st")
+			in = isa.MustAVX512("vmovdqu64.st")
 		}
 		out = append(out, absOp{instr: in, dst: noVal, srcs: [3]int{id, noVal, noVal},
 			addr: spillAddr(id), vector: em.isVector[id], comment: "spill"})
@@ -71,9 +73,9 @@ func insertSpills(em *emitter, scalarBudget, vectorBudget int) (out []absOp, sto
 	}
 
 	emitReload := func(id int) {
-		in := isa.Scalar("movq")
+		in := isa.MustScalar("movq")
 		if em.isVector[id] {
-			in = isa.AVX512("vmovdqu64")
+			in = isa.MustAVX512("vmovdqu64")
 		}
 		out = append(out, absOp{instr: in, dst: id, srcs: [3]int{noVal, noVal, noVal},
 			addr: spillAddr(id), vector: em.isVector[id], comment: "reload"})
@@ -82,9 +84,17 @@ func insertSpills(em *emitter, scalarBudget, vectorBudget int) (out []absOp, sto
 
 	// evictOne frees a register of class c, preferring the value whose next
 	// use is furthest away; keep lists the values that must stay resident.
+	// Residents are visited in id order: the victim choice (and with it the
+	// emitted spill code) must not depend on map iteration order, or repeated
+	// translations of the same node produce different programs.
 	evictOne := func(c, pos int, keep [3]int) bool {
-		victim, victimNext := -1, int32(-2)
+		resident := make([]int, 0, len(inReg[c]))
 		for id := range inReg[c] {
+			resident = append(resident, id)
+		}
+		sort.Ints(resident)
+		victim, victimNext := -1, int32(-2)
+		for _, id := range resident {
 			if id == keep[0] || id == keep[1] || id == keep[2] {
 				continue
 			}

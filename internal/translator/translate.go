@@ -191,9 +191,9 @@ func Translate(tmpl *hid.Template, node Node, opt Options) (*Output, error) {
 	if !opt.NoLoopOverhead {
 		ofs := em.newVal(false, true)
 		em.ops = append(em.ops,
-			absOp{instr: isa.Scalar("add"), dst: ofs, srcs: [3]int{ofs, noVal, noVal}, comment: "ofs += elems"},
-			absOp{instr: isa.Scalar("cmp"), dst: noVal, srcs: [3]int{ofs, noVal, noVal}, comment: "ofs < n"},
-			absOp{instr: isa.Scalar("jcc"), dst: noVal, srcs: [3]int{noVal, noVal, noVal}, comment: "loop"},
+			absOp{instr: isa.MustScalar("add"), dst: ofs, srcs: [3]int{ofs, noVal, noVal}, comment: "ofs += elems"},
+			absOp{instr: isa.MustScalar("cmp"), dst: noVal, srcs: [3]int{ofs, noVal, noVal}, comment: "ofs < n"},
+			absOp{instr: isa.MustScalar("jcc"), dst: noVal, srcs: [3]int{noVal, noVal, noVal}, comment: "loop"},
 		)
 	}
 
@@ -322,9 +322,12 @@ func emitInstance(
 	}
 	var in *isa.Instr
 	if k.vec {
-		in = desc.VectorInstr(opt.Width)
+		in, err = desc.VectorInstr(opt.Width)
 	} else {
-		in = desc.ScalarInstr()
+		in, err = desc.ScalarInstr()
+	}
+	if err != nil {
+		return fmt.Errorf("translator: %s: lowering %q: %w", tmpl.Name, stmt.Op, err)
 	}
 
 	// Resolve register sources.

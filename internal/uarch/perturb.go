@@ -1,0 +1,148 @@
+package uarch
+
+import (
+	"math"
+
+	"hef/internal/isa"
+)
+
+// Perturb is a seeded, deterministic fault-injection model for sensitivity
+// analysis. Every decision is a pure function of (Seed, inputs): two
+// simulators configured with equal Perturb values make identical choices, so
+// perturbed runs replay bit-for-bit. The jitter fields are half-widths of
+// uniform relative perturbations: LatJitter = 0.05 draws each instruction's
+// latency multiplier from [0.95, 1.05].
+//
+// Instruction latency/occupancy jitter and port faults act through
+// Sim.SetPerturb; cache latencies and frequency licenses live in the CPU
+// model, so those are perturbed by cloning the model with Perturb.CPU and
+// building a simulator from the clone.
+type Perturb struct {
+	// Seed selects the perturbation draw. The same seed always produces
+	// the same perturbed machine.
+	Seed uint64
+
+	// LatJitter perturbs each instruction's result latency by a relative
+	// factor in [1-LatJitter, 1+LatJitter], fixed per instruction name.
+	LatJitter float64
+	// OccJitter perturbs each instruction's port occupancy (reciprocal
+	// throughput) the same way.
+	OccJitter float64
+	// CacheJitter perturbs the L1/L2/LLC hit latencies and the memory
+	// latency of a CPU model cloned with CPU.
+	CacheJitter float64
+	// FreqJitter perturbs the AVX-license frequency levels of a cloned
+	// CPU model, moving the scalar/AVX2/AVX-512 transition points.
+	FreqJitter float64
+	// PortFaultRate is the probability that a given (port, cycle) pair is
+	// transiently unavailable for issue. Faults last one cycle; the
+	// scheduler simply retries, modelling contention from outside the
+	// simulated loop (SMT sibling, interrupts).
+	PortFaultRate float64
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, statistically solid hash used
+// to derive all perturbation draws.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a short string into the hash state (FNV-1a style, then
+// finalized by mix64 at the call sites).
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// unit maps a hash to a uniform float64 in [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+// factor returns a deterministic multiplier in [1-jitter, 1+jitter] for the
+// given domain-separated key.
+func (p *Perturb) factor(key uint64, jitter float64) float64 {
+	if jitter <= 0 {
+		return 1
+	}
+	u := unit(mix64(p.Seed ^ key))
+	return 1 + jitter*(2*u-1)
+}
+
+// scaleInt applies a relative factor to an integer cycle count, rounding to
+// nearest and never dropping a positive value below 1 (a zero-latency table
+// entry stays zero: the jitter models timing noise, not structural change).
+func scaleInt(v int, f float64) int {
+	if v <= 0 || f == 1 {
+		return v
+	}
+	s := int(math.Round(float64(v) * f))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// latKey and occKey domain-separate the per-instruction draws.
+const (
+	latKey  = 0x4c41544a49545452 // "LATJITTR"
+	occKey  = 0x4f43434a49545452 // "OCCJITTR"
+	portKey = 0x504f52544641554c // "PORTFAUL"
+)
+
+// Latency returns the perturbed result latency for in. The draw is fixed
+// per instruction name, modelling a mis-estimated table entry rather than
+// cycle-to-cycle noise.
+func (p *Perturb) Latency(in *isa.Instr) int {
+	return scaleInt(in.Latency, p.factor(mix64(hashString(latKey, in.Name)), p.LatJitter))
+}
+
+// Occupancy returns the perturbed port occupancy for in.
+func (p *Perturb) Occupancy(in *isa.Instr) int {
+	return scaleInt(in.Occupancy, p.factor(mix64(hashString(occKey, in.Name)), p.OccJitter))
+}
+
+// PortFault reports whether port is transiently unavailable at cycle.
+func (p *Perturb) PortFault(port int, cycle int64) bool {
+	if p.PortFaultRate <= 0 {
+		return false
+	}
+	h := mix64(p.Seed ^ portKey ^ uint64(cycle)<<8 ^ uint64(port))
+	return unit(h) < p.PortFaultRate
+}
+
+// CPU returns a deep-enough clone of cpu with cache hit latencies, memory
+// latency, and AVX-license frequencies jittered. The clone shares the
+// (immutable) port descriptors; geometry fields other than latency are left
+// intact so the cache contents model is unchanged.
+func (p *Perturb) CPU(cpu *isa.CPU) *isa.CPU {
+	c := *cpu
+	c.Ports = append([]isa.Port(nil), cpu.Ports...)
+	c.Vec512Ports = append([]int(nil), cpu.Vec512Ports...)
+
+	if p.CacheJitter > 0 {
+		c.L1D.Latency = scaleInt(c.L1D.Latency, p.factor(mix64(hashString(latKey, "L1D")), p.CacheJitter))
+		c.L2.Latency = scaleInt(c.L2.Latency, p.factor(mix64(hashString(latKey, "L2")), p.CacheJitter))
+		c.LLC.Latency = scaleInt(c.LLC.Latency, p.factor(mix64(hashString(latKey, "LLC")), p.CacheJitter))
+		c.MemLatency = scaleInt(c.MemLatency, p.factor(mix64(hashString(latKey, "MEM")), p.CacheJitter))
+	}
+	if p.FreqJitter > 0 {
+		fj := func(name string, ghz float64) float64 {
+			if ghz <= 0 {
+				return ghz
+			}
+			return ghz * p.factor(mix64(hashString(latKey, "FREQ:"+name)), p.FreqJitter)
+		}
+		c.Freq.ScalarGHz = fj("scalar", c.Freq.ScalarGHz)
+		c.Freq.AVX2GHz = fj("avx2", c.Freq.AVX2GHz)
+		c.Freq.AVX512GHz = fj("avx512", c.Freq.AVX512GHz)
+		c.Freq.AVX512HeavyGHz = fj("avx512h", c.Freq.AVX512HeavyGHz)
+		c.Freq.MinGHz = fj("min", c.Freq.MinGHz)
+	}
+	return &c
+}

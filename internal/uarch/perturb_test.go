@@ -1,0 +1,171 @@
+package uarch
+
+import (
+	"math"
+	"testing"
+
+	"hef/internal/isa"
+)
+
+func TestPerturbDeterministic(t *testing.T) {
+	in := isa.MustScalar("imul")
+	a := &Perturb{Seed: 7, LatJitter: 0.1, OccJitter: 0.1}
+	b := &Perturb{Seed: 7, LatJitter: 0.1, OccJitter: 0.1}
+	for i := 0; i < 100; i++ {
+		if a.Latency(in) != b.Latency(in) || a.Occupancy(in) != b.Occupancy(in) {
+			t.Fatal("same seed must give identical draws")
+		}
+	}
+	// Latencies of 1 can't move at small jitter, so check seed divergence on
+	// the long-latency vector instructions across several seeds.
+	a = &Perturb{Seed: 7, LatJitter: 0.3}
+	diff := false
+	for seed := uint64(8); seed < 16 && !diff; seed++ {
+		c := &Perturb{Seed: seed, LatJitter: 0.3}
+		for _, name := range []string{"vpmullq", "vpgatherqq", "vmovdqu64", "vpcmpq"} {
+			in := isa.MustAVX512(name)
+			if a.Latency(in) != c.Latency(in) {
+				diff = true
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds should perturb at least one instruction differently")
+	}
+}
+
+func TestPerturbBounds(t *testing.T) {
+	const jitter = 0.25
+	p := &Perturb{Seed: 3, LatJitter: jitter, OccJitter: jitter}
+	for _, name := range []string{"imul", "add", "xor", "shr", "lea", "movq", "cmp"} {
+		in := isa.MustScalar(name)
+		lat := p.Latency(in)
+		lo := int(math.Floor(float64(in.Latency) * (1 - jitter)))
+		hi := int(math.Ceil(float64(in.Latency) * (1 + jitter)))
+		if lat < lo || lat > hi {
+			t.Errorf("%s: perturbed latency %d outside [%d,%d] of base %d", name, lat, lo, hi, in.Latency)
+		}
+		if in.Latency > 0 && lat < 1 {
+			t.Errorf("%s: perturbation drove latency to %d", name, lat)
+		}
+	}
+}
+
+func TestPerturbZeroJitterIsIdentity(t *testing.T) {
+	p := &Perturb{Seed: 99}
+	for _, name := range []string{"imul", "add", "movq"} {
+		in := isa.MustScalar(name)
+		if p.Latency(in) != in.Latency {
+			t.Errorf("%s: zero jitter changed latency %d -> %d", name, in.Latency, p.Latency(in))
+		}
+	}
+	if p.PortFault(0, 123) {
+		t.Error("zero fault rate must never fault a port")
+	}
+	cpu := isa.XeonSilver4110()
+	clone := p.CPU(cpu)
+	if clone.L1D.Latency != cpu.L1D.Latency || clone.MemLatency != cpu.MemLatency ||
+		clone.Freq.ScalarGHz != cpu.Freq.ScalarGHz {
+		t.Error("zero jitter must clone the CPU unchanged")
+	}
+}
+
+func TestPerturbCPUDoesNotMutateOriginal(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	l1 := cpu.L1D.Latency
+	freq := cpu.Freq.AVX512GHz
+	p := &Perturb{Seed: 5, CacheJitter: 0.3, FreqJitter: 0.3}
+	clone := p.CPU(cpu)
+	if cpu.L1D.Latency != l1 || cpu.Freq.AVX512GHz != freq {
+		t.Fatal("Perturb.CPU mutated the shared model")
+	}
+	if clone == cpu {
+		t.Fatal("Perturb.CPU must return a clone")
+	}
+	// With 30% jitter across five frequencies and four latencies, at least
+	// one field should move.
+	if clone.L1D.Latency == cpu.L1D.Latency && clone.L2.Latency == cpu.L2.Latency &&
+		clone.LLC.Latency == cpu.LLC.Latency && clone.MemLatency == cpu.MemLatency &&
+		clone.Freq == cpu.Freq {
+		t.Error("30% jitter perturbed nothing")
+	}
+}
+
+func TestPerturbPortFaultRate(t *testing.T) {
+	p := &Perturb{Seed: 11, PortFaultRate: 0.2}
+	faults := 0
+	const n = 20000
+	for cyc := int64(0); cyc < n/4; cyc++ {
+		for port := 0; port < 4; port++ {
+			if p.PortFault(port, cyc) {
+				faults++
+			}
+		}
+	}
+	got := float64(faults) / n
+	if got < 0.15 || got > 0.25 {
+		t.Errorf("empirical fault rate %.3f far from configured 0.2", got)
+	}
+}
+
+// TestSimWithPerturbRuns checks the simulator stays well-formed under heavy
+// perturbation and port faults: it completes, processes every element, and
+// the perturbed cycle count differs from the pristine one.
+func TestSimWithPerturbRuns(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	prog := testProgramMul(t, cpu)
+
+	base := NewSim(cpu)
+	ref, err := base.Run(prog, 256)
+	if err != nil {
+		t.Fatalf("baseline run: %v", err)
+	}
+
+	p := &Perturb{Seed: 21, LatJitter: 0.3, OccJitter: 0.3, PortFaultRate: 0.1}
+	sim := NewSim(cpu)
+	sim.SetPerturb(p)
+	res, err := sim.Run(prog, 256)
+	if err != nil {
+		t.Fatalf("perturbed run: %v", err)
+	}
+	if res.Elems != ref.Elems {
+		t.Fatalf("perturbation changed work: %d != %d elems", res.Elems, ref.Elems)
+	}
+	if res.Cycles == ref.Cycles {
+		t.Error("30% jitter + 10% port faults left the cycle count unchanged")
+	}
+
+	// Identical perturbed runs must agree cycle for cycle.
+	sim2 := NewSim(cpu)
+	sim2.SetPerturb(&Perturb{Seed: 21, LatJitter: 0.3, OccJitter: 0.3, PortFaultRate: 0.1})
+	res2, err := sim2.Run(prog, 256)
+	if err != nil {
+		t.Fatalf("perturbed rerun: %v", err)
+	}
+	if res2.Cycles != res.Cycles {
+		t.Errorf("same perturbation seed gave %d then %d cycles", res.Cycles, res2.Cycles)
+	}
+}
+
+// testProgramMul builds a small dependent-multiply program.
+func testProgramMul(t *testing.T, cpu *isa.CPU) *Program {
+	t.Helper()
+	imul := isa.MustScalar("imul")
+	mov := isa.MustScalar("movq")
+	prog := &Program{
+		Name:         "perturb-test",
+		NumRegs:      4,
+		ElemsPerIter: 1,
+		Body: []UOp{
+			{Instr: mov, Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg},
+				Addr: AddrSpec{Kind: AddrStride, Stride: 8}},
+			{Instr: imul, Dst: 1, Srcs: [3]int16{0, NoReg, NoReg}},
+			{Instr: imul, Dst: 2, Srcs: [3]int16{1, NoReg, NoReg}},
+			{Instr: imul, Dst: 3, Srcs: [3]int16{2, NoReg, NoReg}},
+		},
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatalf("test program: %v", err)
+	}
+	return prog
+}

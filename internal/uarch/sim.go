@@ -249,15 +249,40 @@ type Sim struct {
 	// chosen by the most recent successful tryIssue to the trace hooks.
 	lastPort  int8
 	lastLevel int8
+
+	// perturb, when non-nil, is the fault-injection model (SetPerturb).
+	perturb *Perturb
+	// hierErr records a cache-hierarchy construction failure; NewSim keeps
+	// its infallible signature and Run surfaces the error instead.
+	hierErr error
 }
 
-// NewSim builds a simulator for a CPU with a fresh cache hierarchy.
+// NewSim builds a simulator for a CPU with a fresh cache hierarchy. An
+// invalid cache geometry does not fail here: the error is deferred and
+// returned by the first Run (and exposed by Err), so call sites that
+// construct simulators for the built-in CPU models stay non-fallible.
 func NewSim(cpu *isa.CPU) *Sim {
-	return &Sim{cpu: cpu, hier: cache.MustNew(cpu)}
+	hier, err := cache.New(cpu)
+	if err != nil {
+		return &Sim{cpu: cpu, hierErr: fmt.Errorf("uarch: building cache hierarchy: %w", err)}
+	}
+	return &Sim{cpu: cpu, hier: hier}
 }
 
-// Hierarchy exposes the cache hierarchy (for warming working sets).
+// Err reports a deferred construction error (an invalid cache geometry in
+// the CPU model). When non-nil, Hierarchy returns nil and Run fails.
+func (s *Sim) Err() error { return s.hierErr }
+
+// Hierarchy exposes the cache hierarchy (for warming working sets). It is
+// nil when Err is non-nil.
 func (s *Sim) Hierarchy() *cache.Hierarchy { return s.hier }
+
+// SetPerturb installs (or, with nil, removes) a fault-injection model that
+// jitters instruction latency/occupancy and injects transient
+// port-unavailable cycles on every subsequent Run. Cache-latency and
+// frequency-license jitter act through the CPU model instead: see
+// Perturb.CPU.
+func (s *Sim) SetPerturb(p *Perturb) { s.perturb = p }
 
 // CPU returns the machine model.
 func (s *Sim) CPU() *isa.CPU { return s.cpu }
@@ -266,6 +291,9 @@ func (s *Sim) CPU() *isa.CPU { return s.cpu }
 // set. The cache hierarchy retains its contents across calls (reset it
 // explicitly for a cold run); counters are deltas for this call.
 func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
+	if s.hierErr != nil {
+		return nil, s.hierErr
+	}
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
@@ -537,7 +565,8 @@ func (s *Sim) srcsReady(e *entry, d *depInfo, body []UOp, cycle int64) bool {
 // it returns the total result latency (including cache effects).
 func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency int, ok bool) {
 	in := u.Instr
-	occ := int64(in.Occupancy)
+	baseLat := s.instrLatency(in)
+	occ := int64(s.instrOccupancy(in))
 	s.lastPort, s.lastLevel = -1, 0
 	switch in.Class {
 	case isa.Load:
@@ -550,7 +579,7 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		}
 		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
 		extra, lvl := s.cacheExtra(addr)
-		lat := in.Latency + extra
+		lat := baseLat + extra
 		s.lastPort, s.lastLevel = int8(port), int8(lvl)
 		s.portFree[port] = cycle + occ
 		s.loadQ.push(cycle + int64(lat))
@@ -588,7 +617,7 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 				misses++
 			}
 		}
-		lat := in.Latency + maxExtra
+		lat := baseLat + maxExtra
 		s.lastPort = int8(p2[0])
 		for _, p := range p2 {
 			s.portFree[p] = cycle + occ
@@ -614,8 +643,8 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		_, lvl := s.hier.Access(addr)
 		s.lastPort, s.lastLevel = int8(port), int8(lvl)
 		s.portFree[port] = cycle + occ
-		s.storeQ.push(cycle + int64(in.Latency) + 4)
-		return in.Latency, true
+		s.storeQ.push(cycle + int64(baseLat) + 4)
+		return baseLat, true
 
 	case isa.Prefetch:
 		// Random-region prefetch fills consume line-fill buffers like
@@ -643,7 +672,7 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		}
 		s.lastPort = int8(port)
 		s.portFree[port] = cycle + occ
-		return in.Latency, true
+		return baseLat, true
 	}
 
 	// Arithmetic classes.
@@ -656,28 +685,29 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 	}
 	s.lastPort = int8(port)
 	s.portFree[port] = cycle + occ
-	return in.Latency, true
+	return baseLat, true
 }
 
 // issue512 places a 512-bit vector µop on one of the 512-bit unit ports.
 // Shuffles run on the (always 512-bit-capable) shuffle unit instead.
 func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
-	occ := int64(in.Occupancy)
+	lat := s.instrLatency(in)
+	occ := int64(s.instrOccupancy(in))
 	if in.Class == isa.VecShuffle {
 		for i := range s.cpu.Ports {
-			if s.cpu.Ports[i].CanRun(isa.VecShuffle) && s.portFree[i] <= cycle {
+			if s.cpu.Ports[i].CanRun(isa.VecShuffle) && s.portFree[i] <= cycle && !s.portFaulted(i, cycle) {
 				s.lastPort = int8(i)
 				s.portFree[i] = cycle + occ
-				return in.Latency, true
+				return lat, true
 			}
 		}
 		return 0, false
 	}
 	for _, p := range s.cpu.Vec512Ports {
-		if s.portFree[p] <= cycle {
+		if s.portFree[p] <= cycle && !s.portFaulted(p, cycle) {
 			s.lastPort = int8(p)
 			s.portFree[p] = cycle + occ
-			return in.Latency, true
+			return lat, true
 		}
 	}
 	return 0, false
@@ -686,7 +716,7 @@ func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
 // freePort finds a free port that accepts class c at cycle.
 func (s *Sim) freePort(c isa.Class, cycle int64) (int, bool) {
 	for i := range s.cpu.Ports {
-		if s.cpu.Ports[i].CanRun(c) && s.portFree[i] <= cycle {
+		if s.cpu.Ports[i].CanRun(c) && s.portFree[i] <= cycle && !s.portFaulted(i, cycle) {
 			return i, true
 		}
 	}
@@ -698,13 +728,38 @@ func (s *Sim) loadPorts(cycle int64) ([]int, bool) {
 	var ports []int
 	for i := range s.cpu.Ports {
 		if s.cpu.Ports[i].CanRun(isa.Load) {
-			if s.portFree[i] > cycle {
+			if s.portFree[i] > cycle || s.portFaulted(i, cycle) {
 				return nil, false
 			}
 			ports = append(ports, i)
 		}
 	}
 	return ports, len(ports) > 0
+}
+
+// instrLatency is the instruction's result latency under the active
+// perturbation (the table value when none is installed).
+func (s *Sim) instrLatency(in *isa.Instr) int {
+	if s.perturb == nil {
+		return in.Latency
+	}
+	return s.perturb.Latency(in)
+}
+
+// instrOccupancy is the instruction's port-occupancy (reciprocal
+// throughput) under the active perturbation.
+func (s *Sim) instrOccupancy(in *isa.Instr) int {
+	if s.perturb == nil {
+		return in.Occupancy
+	}
+	return s.perturb.Occupancy(in)
+}
+
+// portFaulted reports whether fault injection holds port unavailable at
+// cycle. A faulted port stays claimable on later cycles, so the scheduler
+// retries and the fast-forward loop in nextEvent cannot live-lock.
+func (s *Sim) portFaulted(port int, cycle int64) bool {
+	return s.perturb != nil && s.perturb.PortFault(port, cycle)
 }
 
 // fillLatency maps a fill-source level to its line-fill-buffer hold time.

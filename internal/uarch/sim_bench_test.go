@@ -10,7 +10,7 @@ import (
 // the cost of the timing substrate itself.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	cpu := isa.XeonSilver4110()
-	p := indepProg("bench", isa.Scalar("add"), 8)
+	p := indepProg("bench", isa.MustScalar("add"), 8)
 	s := NewSim(cpu)
 	const iters = 4096
 	b.ResetTimer()
@@ -27,7 +27,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 
 func BenchmarkSimulatorGatherHeavy(b *testing.B) {
 	cpu := isa.XeonSilver4110()
-	g := isa.AVX512("vpgatherqq")
+	g := isa.MustAVX512("vpgatherqq")
 	p := &Program{Name: "gb", NumRegs: 3, ElemsPerIter: 16,
 		VectorStatements: 1, VectorWidth: isa.W512,
 		Body: []UOp{

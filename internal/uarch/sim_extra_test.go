@@ -11,7 +11,7 @@ func TestLoopCarriedAccumulator(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	// r0 = r0 * r1 each iteration: a serial imul chain at latency 3.
 	p := &Program{Name: "acc", NumRegs: 2, ElemsPerIter: 1,
-		Body: []UOp{{Instr: isa.Scalar("imul"), Dst: 0, Srcs: [3]int16{0, 1, NoReg}}}}
+		Body: []UOp{{Instr: isa.MustScalar("imul"), Dst: 0, Srcs: [3]int16{0, 1, NoReg}}}}
 	res := NewSim(cpu).MustRun(p, 3000)
 	cpi := float64(res.Cycles) / 3000
 	if cpi < 2.8 || cpi > 3.4 {
@@ -24,9 +24,9 @@ func TestStackAccessesAreCheap(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	p := &Program{Name: "spills", NumRegs: 2, ElemsPerIter: 1,
 		Body: []UOp{
-			{Instr: isa.Scalar("movq.st"), Dst: NoReg, Srcs: [3]int16{1, NoReg, NoReg},
+			{Instr: isa.MustScalar("movq.st"), Dst: NoReg, Srcs: [3]int16{1, NoReg, NoReg},
 				Addr: AddrSpec{Kind: AddrStack, Base: 1 << 40, Offset: 0}},
-			{Instr: isa.Scalar("movq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg},
+			{Instr: isa.MustScalar("movq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg},
 				Addr: AddrSpec{Kind: AddrStack, Base: 1 << 40, Offset: 0}},
 		}}
 	res := NewSim(cpu).MustRun(p, 4000)
@@ -80,8 +80,8 @@ func TestResultDerivedMetrics(t *testing.T) {
 func TestUopsPerIterHelpers(t *testing.T) {
 	p := &Program{Name: "h", NumRegs: 1, ElemsPerIter: 8,
 		Body: []UOp{
-			{Instr: isa.AVX512("vpmullq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}},
-			{Instr: isa.AVX512("vpaddq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}},
+			{Instr: isa.MustAVX512("vpmullq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}},
+			{Instr: isa.MustAVX512("vpaddq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}},
 		}}
 	if p.InstructionsPerIter() != 2 {
 		t.Errorf("InstructionsPerIter = %d", p.InstructionsPerIter())
@@ -129,8 +129,8 @@ func TestAVX2UsesAllVectorPorts(t *testing.T) {
 		return &Program{Name: in.Name, NumRegs: 7, ElemsPerIter: in.Lanes * 6,
 			VectorStatements: 1, VectorWidth: in.Width, Body: body}
 	}
-	r256 := NewSim(cpu).MustRun(mk(isa.AVX2("vpaddq.y")), 3000)
-	r512 := NewSim(cpu).MustRun(mk(isa.AVX512("vpaddq")), 3000)
+	r256 := NewSim(cpu).MustRun(mk(isa.MustAVX2("vpaddq.y")), 3000)
+	r512 := NewSim(cpu).MustRun(mk(isa.MustAVX512("vpaddq")), 3000)
 	c256 := float64(r256.Cycles) / 3000
 	c512 := float64(r512.Cycles) / 3000
 	// 6 x 256-bit adds spread over p0/p1/p5 (~2 cycles); 6 x 512-bit adds

@@ -37,7 +37,7 @@ func cyclesPerIter(t *testing.T, cpu *isa.CPU, p *Program, iters int64) float64 
 func TestDependentAddChainIsLatencyBound(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	// Each iteration has 4 adds all chained through r0: 4 cycles/iter.
-	got := cyclesPerIter(t, cpu, chainProg("chain-add", isa.Scalar("add"), 4), 2000)
+	got := cyclesPerIter(t, cpu, chainProg("chain-add", isa.MustScalar("add"), 4), 2000)
 	if got < 3.9 || got > 4.6 {
 		t.Errorf("dependent add chain: got %.2f cycles/iter, want ~4", got)
 	}
@@ -47,7 +47,7 @@ func TestIndependentAddsAreThroughputBound(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	// 8 independent adds per iteration, 4 scalar ALU ports, decode width 5:
 	// the front-end is the limit (8 uops / 5 per cycle = 1.6 cycles/iter).
-	got := cyclesPerIter(t, cpu, indepProg("indep-add", isa.Scalar("add"), 8), 2000)
+	got := cyclesPerIter(t, cpu, indepProg("indep-add", isa.MustScalar("add"), 8), 2000)
 	if got < 1.5 || got > 2.2 {
 		t.Errorf("independent adds: got %.2f cycles/iter, want ~1.6", got)
 	}
@@ -56,7 +56,7 @@ func TestIndependentAddsAreThroughputBound(t *testing.T) {
 func TestScalarMulSinglePipe(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	// 4 independent imuls per iteration on a single multiply pipe: 4 cycles.
-	got := cyclesPerIter(t, cpu, indepProg("indep-mul", isa.Scalar("imul"), 4), 2000)
+	got := cyclesPerIter(t, cpu, indepProg("indep-mul", isa.MustScalar("imul"), 4), 2000)
 	if got < 3.8 || got > 4.6 {
 		t.Errorf("independent imuls: got %.2f cycles/iter, want ~4", got)
 	}
@@ -65,7 +65,7 @@ func TestScalarMulSinglePipe(t *testing.T) {
 func TestDependentMulChainLatencyBound(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	// Chain of 4 imuls at latency 3: 12 cycles/iter.
-	got := cyclesPerIter(t, cpu, chainProg("chain-mul", isa.Scalar("imul"), 4), 2000)
+	got := cyclesPerIter(t, cpu, chainProg("chain-mul", isa.MustScalar("imul"), 4), 2000)
 	if got < 11.5 || got > 13.0 {
 		t.Errorf("dependent imul chain: got %.2f cycles/iter, want ~12", got)
 	}
@@ -73,7 +73,7 @@ func TestDependentMulChainLatencyBound(t *testing.T) {
 
 func TestVecMulOccupancySilverVsGold(t *testing.T) {
 	p := func() *Program {
-		pr := indepProg("indep-vpmullq", isa.AVX512("vpmullq"), 4)
+		pr := indepProg("indep-vpmullq", isa.MustAVX512("vpmullq"), 4)
 		pr.VectorStatements = 1
 		pr.VectorWidth = isa.W512
 		return pr
@@ -95,11 +95,11 @@ func TestFused512BlocksSharedScalarPorts(t *testing.T) {
 	// One 512-bit ALU op + four scalar adds per iteration: the 512-bit op
 	// occupies p0 (the fused unit's anchor), leaving p1/p5/p6 for scalar.
 	body := []UOp{
-		{Instr: isa.AVX512("vpaddq"), Dst: 2, Srcs: [3]int16{0, 1, NoReg}},
-		{Instr: isa.Scalar("add"), Dst: 3, Srcs: [3]int16{0, 1, NoReg}},
-		{Instr: isa.Scalar("add"), Dst: 4, Srcs: [3]int16{0, 1, NoReg}},
-		{Instr: isa.Scalar("add"), Dst: 5, Srcs: [3]int16{0, 1, NoReg}},
-		{Instr: isa.Scalar("add"), Dst: 6, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustAVX512("vpaddq"), Dst: 2, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustScalar("add"), Dst: 3, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustScalar("add"), Dst: 4, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustScalar("add"), Dst: 5, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustScalar("add"), Dst: 6, Srcs: [3]int16{0, 1, NoReg}},
 	}
 	p := &Program{Name: "fused-512", Body: body, NumRegs: 7, ElemsPerIter: 12,
 		VectorStatements: 1, VectorWidth: isa.W512}
@@ -113,7 +113,7 @@ func TestFused512BlocksSharedScalarPorts(t *testing.T) {
 
 func TestGatherDependentVsIndependent(t *testing.T) {
 	cpu := isa.XeonSilver4110()
-	g := isa.AVX512("vpgatherqq")
+	g := isa.MustAVX512("vpgatherqq")
 	small := uint64(2048) // an L1-resident lookup table, like CRC64's
 
 	dep := &Program{Name: "gather-dep", NumRegs: 2, ElemsPerIter: 8 * 4,
@@ -145,7 +145,7 @@ func TestCacheRegionAffectsLoadCost(t *testing.T) {
 	mk := func(region uint64) *Program {
 		return &Program{
 			Name: "load-region", NumRegs: 2, ElemsPerIter: 1,
-			Body: []UOp{{Instr: isa.Scalar("movq"), Dst: 0, Srcs: [3]int16{1, NoReg, NoReg},
+			Body: []UOp{{Instr: isa.MustScalar("movq"), Dst: 0, Srcs: [3]int16{1, NoReg, NoReg},
 				Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 31, Region: region, Seed: 7}}},
 		}
 	}
@@ -159,7 +159,7 @@ func TestCacheRegionAffectsLoadCost(t *testing.T) {
 func TestHistogramAccountsForAllCycles(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	s := NewSim(cpu)
-	p := indepProg("hist", isa.Scalar("add"), 6)
+	p := indepProg("hist", isa.MustScalar("add"), 6)
 	res, err := s.Run(p, 1000)
 	if err != nil {
 		t.Fatal(err)
@@ -182,16 +182,16 @@ func TestRunValidates(t *testing.T) {
 		t.Error("empty program should fail validation")
 	}
 	bad := &Program{Name: "bad-reg", ElemsPerIter: 1, NumRegs: 1,
-		Body: []UOp{{Instr: isa.Scalar("add"), Dst: 5, Srcs: [3]int16{NoReg, NoReg, NoReg}}}}
+		Body: []UOp{{Instr: isa.MustScalar("add"), Dst: 5, Srcs: [3]int16{NoReg, NoReg, NoReg}}}}
 	if _, err := s.Run(bad, 10); err == nil {
 		t.Error("out-of-range register should fail validation")
 	}
 	memless := &Program{Name: "memless", ElemsPerIter: 1, NumRegs: 1,
-		Body: []UOp{{Instr: isa.Scalar("movq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}}}}
+		Body: []UOp{{Instr: isa.MustScalar("movq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg}}}}
 	if _, err := s.Run(memless, 10); err == nil {
 		t.Error("memory op without AddrSpec should fail validation")
 	}
-	good := indepProg("good", isa.Scalar("add"), 1)
+	good := indepProg("good", isa.MustScalar("add"), 1)
 	if _, err := s.Run(good, 0); err == nil {
 		t.Error("zero iterations should be rejected")
 	}
@@ -201,13 +201,13 @@ func TestFrequencyLicense(t *testing.T) {
 	silver := isa.XeonSilver4110()
 	gold := isa.XeonGold6240R()
 
-	scalarProg := indepProg("s", isa.Scalar("add"), 4)
+	scalarProg := indepProg("s", isa.MustScalar("add"), 4)
 	res := NewSim(silver).MustRun(scalarProg, 100)
 	if res.FreqGHz != silver.Freq.ScalarGHz {
 		t.Errorf("scalar-only freq = %.2f, want %.2f", res.FreqGHz, silver.Freq.ScalarGHz)
 	}
 
-	v1 := indepProg("v1", isa.AVX512("vpmullq"), 2)
+	v1 := indepProg("v1", isa.MustAVX512("vpmullq"), 2)
 	v1.VectorStatements = 1
 	v1.VectorWidth = isa.W512
 	res = NewSim(silver).MustRun(v1, 100)
@@ -216,7 +216,7 @@ func TestFrequencyLicense(t *testing.T) {
 	}
 
 	// Two 512-bit statements only downclock parts with two 512-bit units.
-	v2 := indepProg("v2", isa.AVX512("vpmullq"), 2)
+	v2 := indepProg("v2", isa.MustAVX512("vpmullq"), 2)
 	v2.VectorStatements = 2
 	v2.VectorWidth = isa.W512
 	res = NewSim(silver).MustRun(v2, 100)

@@ -1,0 +1,44 @@
+#!/bin/sh
+# nopanic.sh — fail if non-test library code panics outside Must*-prefixed
+# functions.
+#
+# The repo's error-handling contract: library edges return wrapped sentinel
+# errors; the only panicking entry points are explicitly opt-in Must*
+# helpers (MustScalar, MustRun, MustTranslate, ...). This check walks every
+# non-test .go file under internal/ and cmd/, tracks which top-level
+# function each line belongs to, and flags any `panic(` outside a function
+# whose name starts with "Must" or "must".
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for f in $(find internal cmd -name '*.go' ! -name '*_test.go'); do
+    out=$(awk '
+        # Track the enclosing top-level function name. Methods count too:
+        # "func (t *T) MustCol(" has the name after the receiver.
+        /^func / {
+            line = $0
+            sub(/^func +/, "", line)
+            sub(/^\([^)]*\) */, "", line)   # drop a receiver
+            sub(/[(\[].*/, "", line)        # drop params / type params
+            fn = line
+        }
+        /panic\(/ {
+            # Allow panics inside Must*-prefixed functions only.
+            if (fn !~ /^[Mm]ust/) {
+                printf "%s:%d: panic in %s(): %s\n", FILENAME, FNR, (fn == "" ? "<toplevel>" : fn), $0
+            }
+        }
+    ' "$f")
+    if [ -n "$out" ]; then
+        echo "$out"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "nopanic: panic() found outside Must*-prefixed functions (see above)" >&2
+    echo "nopanic: convert it to a wrapped error, or move it behind a Must* entry point" >&2
+fi
+exit "$status"
