@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short fuzz bench bench-json figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos fuzz bench bench-json figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -23,6 +23,13 @@ test: vet
 
 test-short:
 	$(GO) test -short ./...
+
+# chaos runs the seeded fault-injection harness for the supervised job
+# runner: worker panics, slow workers, mid-run kills, and checkpoint/resume
+# byte-equivalence. CHAOS_SEED overrides the seed; CHAOS_ARTIFACT_DIR keeps
+# the checkpoints and reports for post-mortem (CI uploads them on failure).
+chaos:
+	$(GO) test ./internal/sched/ -race -count=1 -run 'Chaos|Drain' -v -timeout 15m
 
 # fuzz gives each native fuzz target a short smoke budget (~30s total);
 # CI runs this on every push, longer campaigns run the same targets with

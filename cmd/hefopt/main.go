@@ -3,146 +3,314 @@
 // search, printing the optimal (v, s, p) node, the generated code, and the
 // search trace.
 //
+// -op accepts a comma-separated list; a multi-operator batch runs on a
+// supervised worker pool with retry and checkpoint support, so an
+// interrupted batch (Ctrl-C, SIGTERM, -timeout) drains cleanly, flushes
+// -checkpoint, and a later -resume run re-does only the missing operators —
+// emitting the same report an uninterrupted batch would have.
+//
 // Usage:
 //
 //	hefopt -cpu silver -op murmur -show-code
 //	hefopt -cpu gold -op crc64 -trace
 //	hefopt -cpu silver -file ops.hid -op myop
+//	hefopt -op murmur,crc64,probe,filter,agg,bloom -json -checkpoint opt.ckpt
 package main
 
 import (
 	"context"
+	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"hef/internal/core"
-	"hef/internal/engine"
-	"hef/internal/hashes"
+	"hef/internal/experiments"
+	"hef/internal/hef"
 	"hef/internal/hid"
+	"hef/internal/isa"
 	"hef/internal/obs"
+	"hef/internal/sched"
 	"hef/internal/translator"
 )
 
 func main() {
 	cpuName := flag.String("cpu", "silver", `CPU model: "silver" or "gold"`)
-	op := flag.String("op", "murmur", "built-in operator (murmur, crc64, probe, filter, agg, bloom) or a template name with -file")
+	op := flag.String("op", "murmur", "comma-separated operators (murmur, crc64, probe, filter, agg, bloom) or template names with -file")
 	file := flag.String("file", "", "operator template file to load instead of the built-ins")
 	elems := flag.Int64("elems", 1<<14, "synthetic test size per evaluation")
 	showCode := flag.Bool("show-code", false, "print the generated code at the optimum (Fig. 6 analogue)")
 	trace := flag.Bool("trace", false, "print every tested node (the search trace)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON) instead of text")
-	dotOut := flag.String("dot", "", "write the pruning search as a Graphviz digraph to this file")
-	timeout := flag.Duration("timeout", 0, "search deadline; on expiry the best-so-far node is reported as partial (0 disables)")
+	dotOut := flag.String("dot", "", "write the pruning search as a Graphviz digraph to this file (single operator only)")
+	timeout := flag.Duration("timeout", 0, "overall deadline; the batch drains cleanly when exceeded (0 disables)")
 	budget := flag.Int("budget", 0, "cap on node evaluations; on exhaustion the best-so-far node is reported as partial (0 = unlimited)")
+	workers := flag.Int("workers", 1, "concurrent operator optimizations (1 keeps the classic sequential run)")
+	retries := flag.Int("retries", 2, "retry attempts per operator after a failure or panic")
+	checkpoint := flag.String("checkpoint", "", "persist completed optimizations to this file as the batch progresses")
+	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed optimizations")
 	flag.Parse()
 
-	tmpl, err := selectTemplate(*op, *file)
-	if err != nil {
-		fail(err)
+	ops := splitList(*op)
+	if err := validate(ops, *cpuName, *file, *dotOut, *elems, *budget, *workers, *retries); err != nil {
+		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
 	}
-	fw, err := core.New(*cpuName, core.WithTestElems(*elems))
-	if err != nil {
-		fail(err)
-	}
-	ctx := context.Background()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opt, err := fw.OptimizeOperatorContext(ctx, tmpl, core.OptimizeOptions{Budget: *budget})
-	if err != nil {
-		// Graceful degradation: a deadline or budget stop still carries the
-		// best-so-far optimum; report it, marked partial, and exit clean.
-		if opt == nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "hefopt: search stopped early (%v); reporting best-so-far\n", err)
+
+	fingerprint := fmt.Sprintf("cpu=%s op=%s file=%s elems=%d budget=%d code=%t trace=%t dot=%t",
+		*cpuName, strings.Join(ops, ","), fileDigest(*file), *elems, *budget, *showCode, *trace, *dotOut != "")
+
+	var tasks []sched.Task[*opResult]
+	for _, name := range ops {
+		name := name
+		tasks = append(tasks, sched.Task[*opResult]{
+			ID:  name,
+			Key: *cpuName,
+			Run: func(jctx context.Context) (*opResult, error) {
+				return runOne(jctx, *cpuName, name, *file, *elems, *budget, *showCode, *trace, *dotOut != "")
+			},
+		})
 	}
 
+	res, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool:           "hefopt",
+		Fingerprint:    fingerprint,
+		CheckpointPath: *checkpoint,
+		ResumePath:     *resume,
+		Runner: sched.Config{
+			Workers:    *workers,
+			MaxRetries: *retries,
+		},
+	}, tasks)
+	if err != nil {
+		if res != nil && res.Interrupted {
+			hint := ""
+			if *checkpoint != "" {
+				hint = fmt.Sprintf("; resume with -resume %s", *checkpoint)
+			}
+			fmt.Fprintf(os.Stderr, "hefopt: interrupted with %d/%d operators done (%v)%s\n",
+				len(res.Results), len(tasks), err, hint)
+			os.Exit(1)
+		}
+		if errors.Is(err, sched.ErrJobsFailed) {
+			for _, o := range res.Failed {
+				fmt.Fprintf(os.Stderr, "hefopt: %s failed after %d attempts: %v\n", o.ID, o.Attempts, o.Err)
+			}
+		}
+		fail(err)
+	}
+
+	// Emit in task order, not completion order, so the output is identical
+	// however the pool interleaved (or resumed) the work.
+	for _, t := range tasks {
+		if note := res.Results[t.ID].Note; note != "" {
+			fmt.Fprintf(os.Stderr, "hefopt: %s: %s\n", t.ID, note)
+		}
+	}
 	if *dotOut != "" {
-		if err := os.WriteFile(*dotOut, []byte(obs.SearchDOT(opt.Search)), 0o644); err != nil {
+		if err := os.WriteFile(*dotOut, []byte(res.Results[tasks[0].ID].Dot), 0o644); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "hefopt: wrote search digraph to %s (render with dot -Tsvg)\n", *dotOut)
 	}
 	if *jsonOut {
-		if err := emitJSON(fw, tmpl, opt); err != nil {
+		// A single operator keeps the classic single-report shape; a batch
+		// merges the per-operator reports into one document.
+		var rep *obs.RunReport
+		if len(tasks) == 1 {
+			rep = res.Results[tasks[0].ID].Report
+		} else {
+			var reports []*obs.RunReport
+			for _, t := range tasks {
+				reports = append(reports, res.Results[t.ID].Report)
+			}
+			rep = experiments.MergeReports("hefopt", reports...)
+		}
+		data, err := rep.MarshalIndent()
+		if err != nil {
 			fail(err)
 		}
+		os.Stdout.Write(data)
 		return
 	}
+	for i, t := range tasks {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(res.Results[t.ID].Text)
+	}
+}
 
-	fmt.Printf("operator %s on %s\n", tmpl.Name, fw.CPU().Name)
-	fmt.Printf("initial candidate (two-stage model): %v\n", opt.Initial)
+// opResult is the checkpointable outcome of one operator's optimization:
+// everything the CLI prints, pre-rendered, so a resumed batch emits the
+// same bytes without re-running the search.
+type opResult struct {
+	Op string `json:"op"`
+	// Text is the rendered text-mode output (including trace/code when
+	// those flags are set — they are part of the checkpoint fingerprint).
+	Text string `json:"text"`
+	// Note is a non-fatal degradation notice (budget exhausted), printed to
+	// stderr.
+	Note string `json:"note,omitempty"`
+	// Dot is the Graphviz digraph of the search when -dot was requested.
+	Dot    string         `json:"dot,omitempty"`
+	Report *obs.RunReport `json:"report"`
+}
+
+// runOne optimizes a single operator and renders every output form. A
+// budget stop degrades gracefully to a deterministic best-so-far partial
+// result; a cancellation fails the job so a resumed run re-does it in full.
+func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budget int, showCode, trace, wantDot bool) (*opResult, error) {
+	tmpl, err := selectTemplate(opName, file)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := core.New(cpuName, core.WithTestElems(elems))
+	if err != nil {
+		return nil, err
+	}
+	opt, err := fw.OptimizeOperatorContext(ctx, tmpl, core.OptimizeOptions{Budget: budget})
+	out := &opResult{Op: tmpl.Name}
+	if err != nil {
+		// Budget exhaustion is deterministic, so its best-so-far partial
+		// result is safe to checkpoint; any other stop (cancellation, a
+		// broken model) fails the job instead.
+		if opt == nil || !errors.Is(err, hef.ErrBudgetExhausted) {
+			return nil, err
+		}
+		out.Note = fmt.Sprintf("search stopped early (%v); reporting best-so-far", err)
+	}
+
+	measureNS := func(label string, n translator.Node) (float64, obs.Run, error) {
+		res, err := fw.Measure(tmpl, n)
+		if err != nil {
+			return 0, obs.Run{}, err
+		}
+		run := obs.RunFromResult(tmpl.Name, label, n.String(), res, res.Seconds())
+		return res.Seconds() / float64(res.Elems) * 1e9, run, nil
+	}
+	scalarNS, scalarRun, err := measureNS("Scalar", translator.Node{V: 0, S: 1, P: 1})
+	if err != nil {
+		return nil, err
+	}
+	simdNS, simdRun, err := measureNS("SIMD", translator.Node{V: 1, S: 0, P: 1})
+	if err != nil {
+		return nil, err
+	}
+	_, optRun, err := measureNS("Optimum", opt.Node)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := obs.NewReport("hefopt")
+	rep.CPU = fw.CPU().Name
+	rep.Params["op"] = tmpl.Name
+	rep.Runs = append(rep.Runs, scalarRun, simdRun, optRun)
+	rep.Search = obs.SearchFromResult(opt.Search)
+	out.Report = rep
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "operator %s on %s\n", tmpl.Name, fw.CPU().Name)
+	fmt.Fprintf(&b, "initial candidate (two-stage model): %v\n", opt.Initial)
 	optLabel := ""
 	if opt.Partial {
 		optLabel = "  (partial: best-so-far)"
 	}
-	fmt.Printf("optimal implementation:              %v%s\n", opt.Node, optLabel)
-	fmt.Printf("per-element cost at optimum:         %.3f ns\n", opt.SecondsPerElem()*1e9)
-	fmt.Printf("nodes tested: %d of %d (pruned %.0f%%)\n",
+	fmt.Fprintf(&b, "optimal implementation:              %v%s\n", opt.Node, optLabel)
+	fmt.Fprintf(&b, "per-element cost at optimum:         %.3f ns\n", opt.SecondsPerElem()*1e9)
+	fmt.Fprintf(&b, "nodes tested: %d of %d (pruned %.0f%%)\n",
 		opt.Search.Tested, opt.Search.SpaceSize, opt.Search.PrunedFraction()*100)
-
-	baselineNS := func(n translator.Node) float64 {
-		res, err := fw.Measure(tmpl, n)
-		if err != nil {
-			fail(err)
-		}
-		return res.Seconds() / float64(res.Elems) * 1e9
-	}
-	scalarNS := baselineNS(translator.Node{V: 0, S: 1, P: 1})
-	simdNS := baselineNS(translator.Node{V: 1, S: 0, P: 1})
 	optNS := opt.SecondsPerElem() * 1e9
-	fmt.Printf("speedup over purely scalar: %.2fx   over purely SIMD: %.2fx\n",
+	fmt.Fprintf(&b, "speedup over purely scalar: %.2fx   over purely SIMD: %.2fx\n",
 		scalarNS/optNS, simdNS/optNS)
-
-	if *trace {
-		fmt.Println("\nsearch trace:")
+	if trace {
+		fmt.Fprintf(&b, "\nsearch trace:\n")
 		for _, st := range opt.Search.Trace {
 			verdict := "pruned"
 			if st.Winner {
 				verdict = "candidate"
 			}
-			fmt.Printf("  %-16s %8.3f ns/elem  parent %-16s %s\n",
+			fmt.Fprintf(&b, "  %-16s %8.3f ns/elem  parent %-16s %s\n",
 				st.Node.String(), st.Seconds*1e9, st.Parent.String(), verdict)
 		}
 	}
-	if *showCode {
-		fmt.Println("\ngenerated code at the optimum:")
-		fmt.Println(opt.Source)
+	if showCode {
+		fmt.Fprintf(&b, "\ngenerated code at the optimum:\n%s\n", opt.Source)
 	}
+	out.Text = b.String()
+	if wantDot {
+		out.Dot = obs.SearchDOT(opt.Search)
+	}
+	return out, nil
 }
 
-// emitJSON measures the scalar and SIMD baselines plus the found optimum
-// and prints them as one run report with the pruning-search record.
-func emitJSON(fw *core.Framework, tmpl *hid.Template, opt *core.Optimized) error {
-	rep := obs.NewReport("hefopt")
-	rep.CPU = fw.CPU().Name
-	rep.Params["op"] = tmpl.Name
-	impls := []struct {
-		label string
-		node  translator.Node
-	}{
-		{"Scalar", translator.Node{V: 0, S: 1, P: 1}},
-		{"SIMD", translator.Node{V: 1, S: 0, P: 1}},
-		{"Optimum", opt.Node},
+// validate rejects bad flag combinations before any simulation, exit 2.
+func validate(ops []string, cpuName, file, dotOut string, elems int64, budget, workers, retries int) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("-op selects no operators")
 	}
-	for _, im := range impls {
-		res, err := fw.Measure(tmpl, im.node)
-		if err != nil {
-			return err
+	if _, err := isa.ByName(cpuName); err != nil {
+		return fmt.Errorf("-cpu: %w", err)
+	}
+	if file == "" {
+		for _, name := range ops {
+			if _, err := experiments.OpTemplate(name); err != nil {
+				return fmt.Errorf("-op: %w", err)
+			}
 		}
-		rep.Runs = append(rep.Runs, obs.RunFromResult(tmpl.Name, im.label, im.node.String(), res, res.Seconds()))
 	}
-	rep.Search = obs.SearchFromResult(opt.Search)
-	data, err := rep.MarshalIndent()
+	if dotOut != "" && len(ops) > 1 {
+		return fmt.Errorf("-dot writes one search digraph; use a single -op operator")
+	}
+	if elems <= 0 {
+		return fmt.Errorf("-elems must be positive, got %d", elems)
+	}
+	if budget < 0 {
+		return fmt.Errorf("-budget must be non-negative, got %d", budget)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", retries)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// fileDigest fingerprints a -file template source so a checkpoint taken
+// against one version of the file is refused against another.
+func fileDigest(path string) string {
+	if path == "" {
+		return ""
+	}
+	src, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return path // resolution fails later with a clear error
 	}
-	_, err = os.Stdout.Write(data)
-	return err
+	return fmt.Sprintf("%s@%x", path, sha256.Sum256(src))
 }
 
 func selectTemplate(op, file string) (*hid.Template, error) {
@@ -157,21 +325,7 @@ func selectTemplate(op, file string) (*hid.Template, error) {
 		}
 		return f.Get(op)
 	}
-	switch op {
-	case "murmur":
-		return hashes.MurmurTemplate(), nil
-	case "crc64":
-		return hashes.CRC64Template(), nil
-	case "probe":
-		return engine.ProbeTemplate(32 << 20), nil
-	case "filter":
-		return engine.FilterTemplate(2), nil
-	case "agg":
-		return engine.GroupAggTemplate(64 << 10), nil
-	case "bloom":
-		return engine.BloomTemplate(1 << 20), nil
-	}
-	return nil, fmt.Errorf("hefopt: unknown built-in operator %q (want murmur, crc64, probe, filter, agg, bloom)", op)
+	return experiments.OpTemplate(op)
 }
 
 func fail(err error) {

@@ -6,25 +6,34 @@
 // unperturbed pick, and candidate rank churn.
 //
 // The output is deterministic byte-for-byte for fixed flags: the report
-// carries no timestamps and every perturbation draw hashes from -seed.
+// carries no timestamps and every perturbation draw hashes from -seed. The
+// (op, cpu) analyses run on a supervised worker pool with retry and
+// checkpoint support, so a long sweep survives interruption: Ctrl-C (or
+// SIGTERM, or -timeout) drains cleanly, flushes -checkpoint, and a later
+// -resume run re-does only the missing pairs — producing the same bytes an
+// uninterrupted run would have.
 //
 // Usage:
 //
 //	hefsens -seed 1 -trials 20 -jitter 0.05 [-cpu silver,gold] [-op murmur,probe] [-json]
+//	hefsens -trials 50 -op murmur,crc64,probe,filter,agg,bloom -checkpoint sens.ckpt
+//	hefsens ... -resume sens.ckpt -checkpoint sens.ckpt   # continue after an interrupt
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
-	"hef/internal/engine"
-	"hef/internal/hashes"
-	"hef/internal/hid"
+	"hef/internal/experiments"
 	"hef/internal/isa"
 	"hef/internal/robust"
+	"hef/internal/sched"
 )
 
 func main() {
@@ -37,48 +46,112 @@ func main() {
 	elems := flag.Int64("elems", 1<<12, "synthetic elements per candidate evaluation")
 	budget := flag.Int("budget", 0, "cap on node evaluations per search (0 = unlimited)")
 	jsonOut := flag.Bool("json", false, "emit the versioned sensitivity report as JSON")
-	timeout := flag.Duration("timeout", 0, "overall deadline; the analysis aborts cleanly when exceeded (0 disables)")
+	timeout := flag.Duration("timeout", 0, "overall deadline; the analysis drains cleanly when exceeded (0 disables)")
+	workers := flag.Int("workers", 1, "concurrent (op, cpu) analyses (1 keeps the classic sequential run)")
+	retries := flag.Int("retries", 2, "retry attempts per analysis after a failure or panic")
+	checkpoint := flag.String("checkpoint", "", "persist completed analyses to this file as the sweep progresses")
+	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed analyses")
 	flag.Parse()
 
-	if err := validate(*trials, *jitter, *portFault, *elems, *budget); err != nil {
-		fmt.Fprintf(os.Stderr, "hefsens: %v\n\n", err)
-		flag.Usage()
-		os.Exit(2)
+	if err := validate(*trials, *jitter, *portFault, *elems, *budget, *workers, *retries); err != nil {
+		usageErr(err)
+	}
+	// Resolve every CPU and operator up front so a typo is a usage error
+	// before any simulation starts, not a mid-sweep failure.
+	type pair struct {
+		cpuName, opName string
+		cpu             *isa.CPU
+	}
+	var pairs []pair
+	for _, cpuName := range splitList(*cpus) {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			usageErr(fmt.Errorf("-cpu: %w", err))
+		}
+		for _, opName := range splitList(*ops) {
+			if _, err := experiments.OpTemplate(opName); err != nil {
+				usageErr(fmt.Errorf("-op: %w", err))
+			}
+			pairs = append(pairs, pair{cpuName, opName, cpu})
+		}
+	}
+	if len(pairs) == 0 {
+		usageErr(fmt.Errorf("no (op, cpu) pairs selected: -cpu %q -op %q", *cpus, *ops))
 	}
 
-	ctx := context.Background()
+	// Ctrl-C / SIGTERM and -timeout all drain through the same context; the
+	// sweep flushes its checkpoint before returning either way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
 
+	// The fingerprint covers every flag that shapes an analysis value, so a
+	// checkpoint from a different configuration is refused, not mixed in.
+	fingerprint := fmt.Sprintf("seed=%d trials=%d jitter=%g portfault=%g elems=%d budget=%d cpu=%s op=%s",
+		*seed, *trials, *jitter, *portFault, *elems, *budget, *cpus, *ops)
+
+	var tasks []sched.Task[*robust.Sensitivity]
+	for _, p := range pairs {
+		p := p
+		tasks = append(tasks, sched.Task[*robust.Sensitivity]{
+			ID:  p.cpuName + "/" + p.opName,
+			Key: p.cpuName,
+			Run: func(jctx context.Context) (*robust.Sensitivity, error) {
+				tmpl, err := experiments.OpTemplate(p.opName)
+				if err != nil {
+					return nil, err
+				}
+				return robust.Analyze(jctx, robust.SensConfig{
+					CPU:           p.cpu,
+					Template:      tmpl,
+					Elems:         *elems,
+					Seed:          *seed,
+					Trials:        *trials,
+					Jitter:        *jitter,
+					PortFaultRate: *portFault,
+					Budget:        *budget,
+				})
+			},
+		})
+	}
+
+	res, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool:           "hefsens",
+		Fingerprint:    fingerprint,
+		CheckpointPath: *checkpoint,
+		ResumePath:     *resume,
+		Runner: sched.Config{
+			Workers:    *workers,
+			MaxRetries: *retries,
+		},
+	}, tasks)
+	if err != nil {
+		if res != nil && res.Interrupted {
+			hint := ""
+			if *checkpoint != "" {
+				hint = fmt.Sprintf("; resume with -resume %s", *checkpoint)
+			}
+			fmt.Fprintf(os.Stderr, "hefsens: interrupted with %d/%d analyses done (%v)%s\n",
+				len(res.Results), len(tasks), err, hint)
+			os.Exit(1)
+		}
+		if errors.Is(err, sched.ErrJobsFailed) {
+			for _, o := range res.Failed {
+				fmt.Fprintf(os.Stderr, "hefsens: %s failed after %d attempts: %v\n", o.ID, o.Attempts, o.Err)
+			}
+		}
+		fail(err)
+	}
+
+	// Assemble the report in task order, not completion order, so the bytes
+	// are identical however the pool interleaved (or resumed) the work.
 	report := robust.NewReport(*seed, *trials, *jitter, *portFault)
-	for _, cpuName := range splitList(*cpus) {
-		cpu, err := isa.ByName(cpuName)
-		if err != nil {
-			fail(err)
-		}
-		for _, opName := range splitList(*ops) {
-			tmpl, err := selectTemplate(opName)
-			if err != nil {
-				fail(err)
-			}
-			sens, err := robust.Analyze(ctx, robust.SensConfig{
-				CPU:           cpu,
-				Template:      tmpl,
-				Elems:         *elems,
-				Seed:          *seed,
-				Trials:        *trials,
-				Jitter:        *jitter,
-				PortFaultRate: *portFault,
-				Budget:        *budget,
-			})
-			if err != nil {
-				fail(fmt.Errorf("%s on %s: %w", opName, cpuName, err))
-			}
-			report.Add(sens)
-		}
+	for _, t := range tasks {
+		report.Add(res.Results[t.ID])
 	}
 
 	if *jsonOut {
@@ -93,7 +166,7 @@ func main() {
 }
 
 // validate rejects nonsensical flag combinations before any simulation.
-func validate(trials int, jitter, portFault float64, elems int64, budget int) error {
+func validate(trials int, jitter, portFault float64, elems int64, budget, workers, retries int) error {
 	if trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", trials)
 	}
@@ -109,6 +182,12 @@ func validate(trials int, jitter, portFault float64, elems int64, budget int) er
 	if budget < 0 {
 		return fmt.Errorf("-budget must be non-negative, got %d", budget)
 	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	if retries < 0 {
+		return fmt.Errorf("-retries must be non-negative, got %d", retries)
+	}
 	return nil
 }
 
@@ -120,26 +199,6 @@ func splitList(s string) []string {
 		}
 	}
 	return out
-}
-
-// selectTemplate maps an operator name to its built-in template, matching
-// hefopt's operator list.
-func selectTemplate(op string) (*hid.Template, error) {
-	switch op {
-	case "murmur":
-		return hashes.MurmurTemplate(), nil
-	case "crc64":
-		return hashes.CRC64Template(), nil
-	case "probe":
-		return engine.ProbeTemplate(32 << 20), nil
-	case "filter":
-		return engine.FilterTemplate(2), nil
-	case "agg":
-		return engine.GroupAggTemplate(64 << 10), nil
-	case "bloom":
-		return engine.BloomTemplate(1 << 20), nil
-	}
-	return nil, fmt.Errorf("unknown operator %q (want murmur, crc64, probe, filter, agg, bloom)", op)
 }
 
 func printText(r *robust.Report) {
@@ -158,6 +217,12 @@ func printText(r *robust.Report) {
 	fmt.Println("stability:   fraction of perturbed models whose optimum (v,s,p) matches the baseline pick")
 	fmt.Println("regret:      extra per-element cost of shipping the baseline pick onto a perturbed machine")
 	fmt.Println("rank churn:  normalized Spearman footrule distance between candidate rankings (0 = stable)")
+}
+
+func usageErr(err error) {
+	fmt.Fprintf(os.Stderr, "hefsens: %v\n\n", err)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

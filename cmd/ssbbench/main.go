@@ -2,24 +2,37 @@
 // per-query execution times of Figs. 8-10 and the perf-counter breakdowns
 // of Tables III-V.
 //
+// The -all sweep (six figures: both CPUs at SF 10/20/50) runs on a
+// supervised worker pool with retry and checkpoint support: Ctrl-C, SIGTERM,
+// or -timeout drains cleanly between figures, flushes -checkpoint, and a
+// later -resume run re-computes only the missing figures — emitting output
+// byte-identical to an uninterrupted sweep.
+//
 // Usage:
 //
 //	ssbbench -cpu silver -sf 10                # one figure
 //	ssbbench -all                              # Figs. 8, 9, 10 on both CPUs
+//	ssbbench -all -checkpoint ssb.ckpt         # interruptible sweep
 //	ssbbench -table 3                          # Table III (Q3.3, SF10, Silver)
 //	ssbbench -cpu gold -sf 50 -queries Q2.1 -stages
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"hef/internal/experiments"
+	"hef/internal/isa"
 	"hef/internal/obs"
 	"hef/internal/queries"
+	"hef/internal/sched"
 )
 
 func main() {
@@ -34,18 +47,13 @@ func main() {
 	format := flag.String("format", "text", `output format: "text", "csv", or "markdown"`)
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON)")
 	csvOut := flag.Bool("csv", false, `shorthand for -format csv`)
-	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables)")
+	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables); with -all the sweep drains cleanly between figures")
+	workers := flag.Int("workers", 1, "concurrent figures with -all (1 keeps the classic sequential run)")
+	retries := flag.Int("retries", 2, "retry attempts per figure after a failure or panic (with -all)")
+	checkpoint := flag.String("checkpoint", "", "with -all: persist completed figures to this file as the sweep progresses")
+	resume := flag.String("resume", "", "with -all: load a prior -checkpoint file and skip its completed figures")
 	flag.Parse()
-	if *timeout > 0 {
-		// The experiment drivers are straight-line simulation loops with no
-		// cancellation points, so the timeout is a watchdog: exceed it and the
-		// process exits non-zero instead of stalling a batch pipeline.
-		go func() {
-			time.Sleep(*timeout)
-			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", "ssbbench", *timeout)
-			os.Exit(1)
-		}()
-	}
+
 	outFormat = *format
 	if *csvOut {
 		outFormat = "csv"
@@ -54,46 +62,173 @@ func main() {
 		outFormat = "json"
 	}
 
+	qs, err := validate(*cpu, *sf, *sample, *table, *queryList, outFormat, *workers, *retries, *all, *checkpoint, *resume)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *all {
+		runAll(*sample, *seed, *timeout, *workers, *retries, *checkpoint, *resume)
+		return
+	}
+
+	if *timeout > 0 {
+		// The single-figure and table drivers are straight-line simulation
+		// loops with no cancellation points, so the timeout is a watchdog:
+		// exceed it and the process exits non-zero instead of stalling a
+		// batch pipeline.
+		go func() {
+			time.Sleep(*timeout)
+			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", "ssbbench", *timeout)
+			os.Exit(1)
+		}()
+	}
+
 	if *table != 0 {
 		if err := printTable(*table, *sample, *seed); err != nil {
 			fail(err)
 		}
 		return
 	}
-	if *all {
-		var reports []*obs.RunReport
-		for _, c := range []string{"silver", "gold"} {
-			for _, s := range []float64{10, 20, 50} {
-				if outFormat == "json" {
-					fig, err := runFigure(c, s, *sample, *seed, nil)
-					if err != nil {
-						fail(err)
-					}
-					reports = append(reports, fig.Report())
-					continue
-				}
-				if err := printFigure(c, s, *sample, *seed, nil, false); err != nil {
-					fail(err)
-				}
-			}
-		}
-		if outFormat == "json" {
-			emitJSON(experiments.MergeReports("ssbbench", reports...))
-		}
-		return
+	if err := printFigure(*cpu, *sf, *sample, *seed, qs, *stages); err != nil {
+		fail(err)
+	}
+}
+
+// validate rejects bad flag combinations before any simulation, exit 2. It
+// returns the resolved query restriction so a typo in -queries is a usage
+// error, not a mid-run failure.
+func validate(cpu string, sf, sample float64, table int, queryList, format string, workers, retries int, all bool, checkpoint, resume string) ([]queries.Query, error) {
+	if _, err := isa.ByName(cpu); err != nil {
+		return nil, fmt.Errorf("-cpu: %w", err)
+	}
+	if sf != sf || sf <= 0 {
+		return nil, fmt.Errorf("-sf must be positive, got %g", sf)
+	}
+	if sample != sample || sample <= 0 || sample > 1 {
+		return nil, fmt.Errorf("-sample must be in (0, 1], got %g", sample)
+	}
+	if table != 0 && table != 3 && table != 4 && table != 5 {
+		return nil, fmt.Errorf("-table must be 3, 4, or 5, got %d", table)
+	}
+	switch format {
+	case "text", "csv", "markdown", "json":
+	default:
+		return nil, fmt.Errorf("-format must be text, csv, markdown, or json, got %q", format)
+	}
+	if workers <= 0 {
+		return nil, fmt.Errorf("-workers must be positive, got %d", workers)
+	}
+	if retries < 0 {
+		return nil, fmt.Errorf("-retries must be non-negative, got %d", retries)
+	}
+	if !all && (checkpoint != "" || resume != "") {
+		return nil, fmt.Errorf("-checkpoint/-resume apply to the -all sweep only")
 	}
 	var qs []queries.Query
-	if *queryList != "" {
-		for _, id := range strings.Split(*queryList, ",") {
+	if queryList != "" {
+		for _, id := range strings.Split(queryList, ",") {
 			q, err := queries.Get(strings.TrimSpace(id))
 			if err != nil {
-				fail(err)
+				return nil, fmt.Errorf("-queries: %w", err)
 			}
 			qs = append(qs, q)
 		}
 	}
-	if err := printFigure(*cpu, *sf, *sample, *seed, qs, *stages); err != nil {
+	return qs, nil
+}
+
+// figCell is the checkpointable outcome of one figure of the -all sweep:
+// either the pre-rendered text/csv/markdown output or the machine-readable
+// report, depending on the (fingerprinted) output format.
+type figCell struct {
+	Text   string         `json:"text,omitempty"`
+	Report *obs.RunReport `json:"report,omitempty"`
+}
+
+// runAll executes the six-figure sweep on a supervised runner with graceful
+// drain and checkpoint/resume.
+func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries int, checkpoint, resume string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	fingerprint := fmt.Sprintf("all sample=%g seed=%d format=%s", sample, seed, outFormat)
+	var tasks []sched.Task[*figCell]
+	for _, c := range []string{"silver", "gold"} {
+		for _, s := range []float64{10, 20, 50} {
+			c, s := c, s
+			tasks = append(tasks, sched.Task[*figCell]{
+				ID:  fmt.Sprintf("%s/sf%g", c, s),
+				Key: c,
+				Run: func(context.Context) (*figCell, error) {
+					fig, err := runFigure(c, s, sample, seed, nil)
+					if err != nil {
+						return nil, err
+					}
+					cell := &figCell{}
+					switch outFormat {
+					case "json":
+						cell.Report = fig.Report()
+					case "csv":
+						cell.Text = fig.CSV()
+					case "markdown":
+						cell.Text = fig.Markdown()
+					default:
+						cell.Text = fig.String() + "\n"
+					}
+					return cell, nil
+				},
+			})
+		}
+	}
+
+	res, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool:           "ssbbench",
+		Fingerprint:    fingerprint,
+		CheckpointPath: checkpoint,
+		ResumePath:     resume,
+		Runner: sched.Config{
+			Workers:    workers,
+			MaxRetries: retries,
+		},
+	}, tasks)
+	if err != nil {
+		if res != nil && res.Interrupted {
+			hint := ""
+			if checkpoint != "" {
+				hint = fmt.Sprintf("; resume with -resume %s", checkpoint)
+			}
+			fmt.Fprintf(os.Stderr, "ssbbench: interrupted with %d/%d figures done (%v)%s\n",
+				len(res.Results), len(tasks), err, hint)
+			os.Exit(1)
+		}
+		if errors.Is(err, sched.ErrJobsFailed) {
+			for _, o := range res.Failed {
+				fmt.Fprintf(os.Stderr, "ssbbench: %s failed after %d attempts: %v\n", o.ID, o.Attempts, o.Err)
+			}
+		}
 		fail(err)
+	}
+
+	// Emit in task order, not completion order, so the output is identical
+	// however the pool interleaved (or resumed) the work.
+	if outFormat == "json" {
+		var reports []*obs.RunReport
+		for _, t := range tasks {
+			reports = append(reports, res.Results[t.ID].Report)
+		}
+		emitJSON(experiments.MergeReports("ssbbench", reports...))
+		return
+	}
+	for _, t := range tasks {
+		fmt.Print(res.Results[t.ID].Text)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"hef/internal/experiments"
+	"hef/internal/isa"
 	"hef/internal/obs"
 )
 
@@ -34,6 +35,11 @@ func main() {
 	traceIters := flag.Int64("trace-iters", 0, "loop iterations per traced run with -trace-out (<= 0 selects 64)")
 	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables)")
 	flag.Parse()
+	if err := validate(*cpu, *bench, *elems); err != nil {
+		fmt.Fprintf(os.Stderr, "uopshist: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	if *timeout > 0 {
 		// The experiment drivers are straight-line simulation loops with no
 		// cancellation points, so the timeout is a watchdog: exceed it and the
@@ -175,6 +181,22 @@ func main() {
 	if *csvOut {
 		fmt.Print(strings.Join(csvRows, ""))
 	}
+}
+
+// validate rejects bad flag values before any simulation, exit 2.
+func validate(cpu, bench string, elems uint64) error {
+	if cpu != "" {
+		if _, err := isa.ByName(cpu); err != nil {
+			return fmt.Errorf("-cpu: %w", err)
+		}
+	}
+	if bench != "" && bench != "murmur" && bench != "crc64" {
+		return fmt.Errorf(`-bench must be "murmur" or "crc64", got %q`, bench)
+	}
+	if elems == 0 {
+		return fmt.Errorf("-elems must be positive")
+	}
+	return nil
 }
 
 func fail(err error) {

@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"hef/internal/engine"
+	"hef/internal/hashes"
+	"hef/internal/hid"
+)
+
+// opTemplates maps the built-in operator names shared by hefopt and hefsens
+// to their template constructors. The sizes match the paper's evaluation
+// regime: a 32 MB probe table, selectivity-2 filter, 64K-group aggregation,
+// and a 1M-bit Bloom filter.
+var opTemplates = map[string]func() *hid.Template{
+	"murmur": hashes.MurmurTemplate,
+	"crc64":  hashes.CRC64Template,
+	"probe":  func() *hid.Template { return engine.ProbeTemplate(32 << 20) },
+	"filter": func() *hid.Template { return engine.FilterTemplate(2) },
+	"agg":    func() *hid.Template { return engine.GroupAggTemplate(64 << 10) },
+	"bloom":  func() *hid.Template { return engine.BloomTemplate(1 << 20) },
+}
+
+// OpNames lists the built-in operator names in canonical order.
+func OpNames() []string {
+	names := make([]string, 0, len(opTemplates))
+	for name := range opTemplates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// OpTemplate returns the built-in operator template by name — the single
+// source of the operator list the CLI tools and sweeps share.
+func OpTemplate(name string) (*hid.Template, error) {
+	mk, ok := opTemplates[name]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown operator %q (want murmur, crc64, probe, filter, agg, bloom)", name)
+	}
+	return mk(), nil
+}

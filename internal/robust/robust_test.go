@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 
 	"hef/internal/hashes"
@@ -101,6 +104,33 @@ func TestAnalyzeCancelled(t *testing.T) {
 	cancel()
 	if _, err := Analyze(ctx, silverMurmurConfig()); err == nil {
 		t.Fatal("cancelled analysis should fail")
+	}
+}
+
+// countdownCtx reports cancellation from its Nth Err() check onward, which
+// pins the cancellation deterministically to one of Analyze's explicit
+// per-trial checks (the search's own gate polls Done(), not Err()).
+type countdownCtx struct {
+	context.Context
+	calls atomic.Int32
+}
+
+func (c *countdownCtx) Err() error {
+	if c.calls.Add(-1) < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestAnalyzeCancelsBetweenTrials(t *testing.T) {
+	ctx := &countdownCtx{Context: context.Background()}
+	ctx.calls.Store(1) // trial 0's check passes, trial 1's trips
+	_, err := Analyze(ctx, silverMurmurConfig())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Analyze returned %v, want a context.Canceled wrap", err)
+	}
+	if !strings.Contains(err.Error(), "before trial 1") {
+		t.Errorf("cancellation did not land between trials: %v", err)
 	}
 }
 

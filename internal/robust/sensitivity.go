@@ -105,7 +105,11 @@ func trialSeed(seed uint64, k int) uint64 {
 
 // Analyze runs the full sensitivity analysis: one baseline search on the
 // unperturbed model, then cfg.Trials searches on perturbed clones, scoring
-// each against the baseline. ctx cancels between (not inside) evaluations.
+// each against the baseline. ctx is threaded through the whole analysis:
+// it cancels inside each trial's search (checked before every node
+// evaluation), between trials, and before the per-trial regret
+// measurement, so a deadline set at the CLI edge (hefsens -timeout) stops
+// the analysis within one evaluation wherever it lands.
 func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 	if cfg.CPU == nil || cfg.Template == nil {
 		return nil, fmt.Errorf("robust: SensConfig needs CPU and Template")
@@ -150,6 +154,11 @@ func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 	baseCosts := traceCosts(baseRes)
 
 	for k := 0; k < trials; k++ {
+		// The search checks ctx per evaluation; this check covers the gap
+		// between trials (and a pre-cancelled context before the first).
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("robust: cancelled before trial %d: %w", k, err)
+		}
 		p := &uarch.Perturb{
 			Seed:          trialSeed(cfg.Seed, k),
 			LatJitter:     cfg.Jitter,
@@ -178,10 +187,14 @@ func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 		}
 
 		// Regret: cost of the baseline pick on this perturbed machine. The
-		// search may not have visited it, so measure it directly.
+		// search may not have visited it, so measure it directly — another
+		// full simulation, so it too sits behind a cancellation point.
 		costs := traceCosts(res)
 		baseOnPerturbed, ok := costs[baseRes.Best]
 		if !ok {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("robust: trial %d: cancelled before measuring baseline pick: %w", k, err)
+			}
 			baseOnPerturbed, err = eval.Evaluate(baseRes.Best)
 			if err != nil {
 				return nil, fmt.Errorf("robust: trial %d: measuring baseline pick: %w", k, err)

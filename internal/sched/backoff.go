@@ -1,0 +1,50 @@
+package sched
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// backoffState carries the previous delay of one job's retry chain, the
+// input the decorrelated-jitter rule feeds forward.
+type backoffState struct {
+	prev time.Duration
+}
+
+// next draws the delay before the given attempt's retry using decorrelated
+// jitter (Brooker, "Exponential Backoff And Jitter"): uniform in
+// [base, 3*prev], capped at max. The draw is deterministic — it hashes
+// (seed, jobID, attempt) — so retry schedules reproduce exactly under a
+// fixed JitterSeed, which the chaos harness relies on.
+func (b *backoffState) next(base, max time.Duration, seed uint64, jobID string, attempt int) time.Duration {
+	if b.prev < base {
+		b.prev = base
+	}
+	hi := 3 * b.prev
+	if hi > max {
+		hi = max
+	}
+	d := base
+	if hi > base {
+		span := uint64(hi - base)
+		d = base + time.Duration(splitmix64(seed^hashID(jobID)+uint64(attempt))%(span+1))
+	}
+	b.prev = d
+	return d
+}
+
+// hashID folds a job ID into the jitter seed.
+func hashID(id string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return h.Sum64()
+}
+
+// splitmix64 scrambles x into an unrelated draw (same finalizer the
+// sensitivity driver uses for trial seeds).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-key circuit breaker. The zero value disables
+// it.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// open (<= 0 disables the breaker entirely).
+	Threshold int
+	// Cooldown is how long the breaker stays open before half-opening to
+	// admit a single probe attempt (<= 0 selects 1s).
+	Cooldown time.Duration
+}
+
+// breaker is a three-state circuit breaker: closed (normal), open (all
+// attempts denied), half-open (one probe admitted after the cooldown). A
+// probe success closes the circuit; a probe failure re-opens it for
+// another cooldown.
+type breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func newBreaker(cfg BreakerConfig) *breaker {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = time.Second
+	}
+	return &breaker{cfg: cfg}
+}
+
+// Allow reports whether an attempt may proceed at the given time,
+// transitioning open → half-open once the cooldown has elapsed.
+func (b *breaker) Allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: one probe at a time
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a successful attempt: a half-open probe (or any success)
+// closes the circuit and resets the failure count.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// Failure records a failed attempt: it re-opens a half-open circuit
+// immediately and trips a closed one once the consecutive-failure count
+// reaches the threshold.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = now
+		b.probing = false
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.Threshold {
+			b.state = breakerOpen
+			b.openedAt = now
+		}
+	}
+}

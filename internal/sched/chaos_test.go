@@ -1,0 +1,427 @@
+// Chaos harness: deterministic fault injection against the supervised
+// runner and the checkpoint/resume sweep. Seeded worker panics, slow
+// workers, and mid-run cancellations are injected into real HEF workloads
+// (sensitivity analyses, SSB figure runs), and the tests assert the
+// supervision contract: zero lost or duplicated jobs, every retry bounded
+// by the configured maximum, and a killed-and-resumed sweep producing a
+// report byte-identical to an uninterrupted run.
+//
+// `make chaos` runs this file (plus the drain tests) with -race; the
+// CHAOS_SEED environment variable reseeds the injected faults, and
+// CHAOS_ARTIFACT_DIR redirects checkpoint files somewhere CI can upload on
+// failure.
+package sched_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hef/internal/experiments"
+	"hef/internal/isa"
+	"hef/internal/obs"
+	"hef/internal/queries"
+	"hef/internal/robust"
+	"hef/internal/sched"
+)
+
+// chaosSeed seeds every injected fault; override with CHAOS_SEED.
+func chaosSeed(t *testing.T) uint64 {
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 20230401
+}
+
+// artifactDir places checkpoints under CHAOS_ARTIFACT_DIR when set (so CI
+// uploads them on failure), else in the test's temp dir.
+func artifactDir(t *testing.T) string {
+	if dir := os.Getenv("CHAOS_ARTIFACT_DIR"); dir != "" {
+		sub := filepath.Join(dir, t.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return t.TempDir()
+}
+
+// chaosRand is the same splitmix64 draw the backoff jitter uses, so the
+// fault plan is a pure function of the seed.
+func chaosRand(seed uint64, k int) uint64 {
+	x := seed + 0x9e3779b97f4a7c15*uint64(k+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// TestChaosSupervisedPool floods a small pool with jobs whose first
+// attempts panic or stall per a seeded plan and asserts the supervision
+// invariants: every job reaches exactly one terminal outcome, every job
+// eventually succeeds within the retry bound, and the retry count matches
+// the injected-fault plan exactly.
+func TestChaosSupervisedPool(t *testing.T) {
+	const jobs = 60
+	const maxRetries = 2
+	seed := chaosSeed(t)
+
+	// Fault plan: panicsFor[i] first attempts of job i panic; slow jobs
+	// stall a worker for a few hundred microseconds before succeeding.
+	panicsFor := make([]int, jobs)
+	slow := make([]time.Duration, jobs)
+	wantRetries := 0
+	for i := range panicsFor {
+		panicsFor[i] = int(chaosRand(seed, i) % (maxRetries + 1)) // 0..2
+		wantRetries += panicsFor[i]
+		slow[i] = time.Duration(chaosRand(seed, i+jobs)%300) * time.Microsecond
+	}
+
+	r := sched.New(sched.Config{
+		Workers:     8,
+		QueueSize:   4, // force backpressure through SubmitWait
+		MaxRetries:  maxRetries,
+		BaseBackoff: 50 * time.Microsecond,
+		MaxBackoff:  500 * time.Microsecond,
+		JitterSeed:  seed,
+	})
+	defer r.Stop()
+
+	attempts := make([]atomic.Int32, jobs)
+	for i := 0; i < jobs; i++ {
+		i := i
+		err := r.SubmitWait(context.Background(), sched.Job{
+			ID: fmt.Sprintf("chaos-%02d", i),
+			Run: func(context.Context) (any, error) {
+				n := int(attempts[i].Add(1))
+				time.Sleep(slow[i])
+				if n <= panicsFor[i] {
+					panic(fmt.Sprintf("chaos panic %d/%d", n, panicsFor[i]))
+				}
+				return i * i, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	outs := r.Drain()
+	if len(outs) != jobs {
+		t.Fatalf("lost jobs: %d outcomes, want %d", len(outs), jobs)
+	}
+	seen := map[string]bool{}
+	for _, o := range outs {
+		if seen[o.ID] {
+			t.Errorf("%s: duplicate outcome", o.ID)
+		}
+		seen[o.ID] = true
+		if o.State != sched.StateDone {
+			t.Errorf("%s: %v (err %v), want done within the retry budget", o.ID, o.State, o.Err)
+		}
+		if o.Attempts > 1+maxRetries {
+			t.Errorf("%s: %d attempts, exceeds bound %d", o.ID, o.Attempts, 1+maxRetries)
+		}
+	}
+	st := r.Stats()
+	if st.Retries != wantRetries {
+		t.Errorf("retries = %d, want %d from the seeded fault plan", st.Retries, wantRetries)
+	}
+	if st.Done != jobs || st.Failed != 0 || st.Shed != 0 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+// chaosify wraps a sweep task so its first attempt panics when the seeded
+// plan selects it, counting invocations per job in calls.
+func chaosify[T any](tasks []sched.Task[T], seed uint64, calls *sync.Map) []sched.Task[T] {
+	out := make([]sched.Task[T], len(tasks))
+	for i, task := range tasks {
+		i, task := i, task
+		shouldPanic := chaosRand(seed, 1000+i)%2 == 0
+		out[i] = sched.Task[T]{ID: task.ID, Key: task.Key, Run: func(ctx context.Context) (T, error) {
+			c, _ := calls.LoadOrStore(task.ID, new(atomic.Int32))
+			if n := c.(*atomic.Int32).Add(1); n == 1 && shouldPanic {
+				panic("chaos: injected evaluator panic in " + task.ID)
+			}
+			return task.Run(ctx)
+		}}
+	}
+	return out
+}
+
+// hefsensTasks builds the same (cpu, op) sensitivity jobs cmd/hefsens
+// sweeps, at a budget small enough for a fast test.
+func hefsensTasks(t *testing.T, cpus, ops []string, seed uint64) []sched.Task[*robust.Sensitivity] {
+	var tasks []sched.Task[*robust.Sensitivity]
+	for _, cpuName := range cpus {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, opName := range ops {
+			tmpl, err := experiments.OpTemplate(opName)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := robust.SensConfig{
+				CPU: cpu, Template: tmpl,
+				Elems: 256, Seed: seed, Trials: 2, Jitter: 0.05, Budget: 3,
+			}
+			tasks = append(tasks, sched.Task[*robust.Sensitivity]{
+				ID:  cpuName + "/" + opName,
+				Key: cpuName,
+				Run: func(ctx context.Context) (*robust.Sensitivity, error) {
+					return robust.Analyze(ctx, cfg)
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// hefsensReport assembles the byte-deterministic sensitivity report from a
+// sweep's results in task order, as cmd/hefsens does.
+func hefsensReport(t *testing.T, tasks []sched.Task[*robust.Sensitivity], results map[string]*robust.Sensitivity, seed uint64) []byte {
+	rep := robust.NewReport(seed, 2, 0.05, 0)
+	for _, task := range tasks {
+		s, ok := results[task.ID]
+		if !ok {
+			t.Fatalf("missing result for %s", task.ID)
+		}
+		rep.Add(s)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosKillResumeHefsens runs a sensitivity sweep three ways — clean,
+// and killed-mid-run-then-resumed with injected first-attempt panics — and
+// asserts the resumed run's final report is byte-identical to the clean
+// run's, with no job executed twice after checkpointing.
+func TestChaosKillResumeHefsens(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos equivalence runs real searches")
+	}
+	seed := chaosSeed(t)
+	cpus, ops := []string{"silver", "gold"}, []string{"murmur", "probe"}
+	tasks := hefsensTasks(t, cpus, ops, seed)
+
+	// Uninterrupted baseline, no supervision chaos.
+	base, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "hefsens", Fingerprint: "chaos", Runner: sched.Config{Workers: 2},
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hefsensReport(t, tasks, base.Results, seed)
+
+	// Chaotic run: first attempts panic per the seeded plan, and the run
+	// is cancelled after two completions (a mid-run kill).
+	cp := filepath.Join(artifactDir(t), "hefsens.checkpoint.json")
+	var calls sync.Map
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	killed, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool: "hefsens", Fingerprint: "chaos",
+		CheckpointPath: cp,
+		Runner: sched.Config{
+			Workers: 2, MaxRetries: 2,
+			BaseBackoff: 50 * time.Microsecond, MaxBackoff: 500 * time.Microsecond,
+			JitterSeed: seed,
+			OnOutcome: func(o sched.Outcome) {
+				if o.State == sched.StateDone && done.Add(1) == 2 {
+					cancel()
+				}
+			},
+		},
+	}, chaosify(tasks, seed, &calls))
+	if err == nil || !killed.Interrupted {
+		t.Fatalf("killed run: err=%v interrupted=%v, want interrupted", err, killed.Interrupted)
+	}
+	if len(killed.Results) == 0 || len(killed.Results) == len(tasks) {
+		t.Fatalf("killed run completed %d/%d jobs; the kill should land mid-run", len(killed.Results), len(tasks))
+	}
+
+	// Resume continues exactly where the kill stopped.
+	resumed, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "hefsens", Fingerprint: "chaos",
+		CheckpointPath: cp, ResumePath: cp,
+		Runner: sched.Config{
+			Workers: 2, MaxRetries: 2,
+			BaseBackoff: 50 * time.Microsecond, MaxBackoff: 500 * time.Microsecond,
+			JitterSeed: seed,
+		},
+	}, chaosify(tasks, seed, &calls))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.Resumed != len(killed.Results) {
+		t.Errorf("resumed %d jobs from checkpoint, want %d", resumed.Resumed, len(killed.Results))
+	}
+	if resumed.Resumed+resumed.Executed != len(tasks) {
+		t.Errorf("resumed %d + executed %d != %d tasks", resumed.Resumed, resumed.Executed, len(tasks))
+	}
+	// No duplicated work: a job checkpointed before the kill never ran in
+	// the resume (its call count stays at what the killed run recorded,
+	// and every count respects the retry bound).
+	calls.Range(func(k, v any) bool {
+		id, n := k.(string), v.(*atomic.Int32).Load()
+		if _, wasDone := killed.Results[id]; wasDone && n > 1+2 {
+			t.Errorf("%s: %d attempts across both runs, exceeds one run's retry bound — duplicated work", id, n)
+		}
+		return true
+	})
+
+	got := hefsensReport(t, tasks, resumed.Results, seed)
+	if !bytes.Equal(want, got) {
+		t.Errorf("resumed report differs from uninterrupted baseline:\nbaseline %d bytes, resumed %d bytes", len(want), len(got))
+	}
+}
+
+// ssbTasks builds per-(cpu, figure) SSB jobs as cmd/ssbbench -all sweeps
+// them, restricted to one query and two engines for speed.
+func ssbTasks(t *testing.T) []sched.Task[*obs.RunReport] {
+	q, err := queries.Get("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tasks []sched.Task[*obs.RunReport]
+	for _, cpu := range []string{"silver", "gold"} {
+		for _, sf := range []float64{10, 20} {
+			cfg := experiments.FigureConfig{
+				CPUName: cpu, NominalSF: sf, SampleSF: 0.01, Seed: 20230401,
+				Queries: []queries.Query{q},
+				Engines: []experiments.EngineKind{experiments.KindScalar, experiments.KindHybrid},
+			}
+			tasks = append(tasks, sched.Task[*obs.RunReport]{
+				ID:  fmt.Sprintf("%s/sf%g", cpu, sf),
+				Key: cpu,
+				Run: func(ctx context.Context) (*obs.RunReport, error) {
+					fig, err := experiments.RunFigure(cfg)
+					if err != nil {
+						return nil, err
+					}
+					return fig.Report(), nil
+				},
+			})
+		}
+	}
+	return tasks
+}
+
+// ssbReport merges per-figure reports in task order, as cmd/ssbbench -all
+// -json does.
+func ssbReport(t *testing.T, tasks []sched.Task[*obs.RunReport], results map[string]*obs.RunReport) []byte {
+	reports := make([]*obs.RunReport, 0, len(tasks))
+	for _, task := range tasks {
+		rep, ok := results[task.ID]
+		if !ok {
+			t.Fatalf("missing result for %s", task.ID)
+		}
+		reports = append(reports, rep)
+	}
+	data, err := experiments.MergeReports("ssbbench", reports...).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestChaosKillResumeSSB is the SSB-figure analogue of the hefsens
+// equivalence test: kill after the first completed figure, resume, and
+// require the merged -all report to match the uninterrupted run's bytes.
+func TestChaosKillResumeSSB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos equivalence runs real figure simulations")
+	}
+	seed := chaosSeed(t)
+
+	tasks := ssbTasks(t)
+	base, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "ssbbench", Fingerprint: "chaos", Runner: sched.Config{Workers: 1},
+	}, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ssbReport(t, tasks, base.Results)
+
+	cp := filepath.Join(artifactDir(t), "ssbbench.checkpoint.json")
+	var calls sync.Map
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done atomic.Int32
+	killed, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool: "ssbbench", Fingerprint: "chaos",
+		CheckpointPath: cp,
+		Runner: sched.Config{
+			Workers: 1, MaxRetries: 1,
+			BaseBackoff: 50 * time.Microsecond,
+			JitterSeed:  seed,
+			OnOutcome: func(o sched.Outcome) {
+				if o.State == sched.StateDone && done.Add(1) == 1 {
+					cancel()
+				}
+			},
+		},
+	}, chaosify(tasks, seed, &calls))
+	if err == nil || !killed.Interrupted {
+		t.Fatalf("killed run: err=%v interrupted=%v", err, killed.Interrupted)
+	}
+	if len(killed.Results) == 0 || len(killed.Results) == len(tasks) {
+		t.Fatalf("killed run completed %d/%d figures; the kill should land mid-run", len(killed.Results), len(tasks))
+	}
+
+	resumed, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "ssbbench", Fingerprint: "chaos",
+		CheckpointPath: cp, ResumePath: cp,
+		Runner: sched.Config{
+			Workers: 1, MaxRetries: 1,
+			BaseBackoff: 50 * time.Microsecond,
+			JitterSeed:  seed,
+		},
+	}, chaosify(tasks, seed, &calls))
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if resumed.Resumed != len(killed.Results) {
+		t.Errorf("resumed %d, want %d", resumed.Resumed, len(killed.Results))
+	}
+	got := ssbReport(t, tasks, resumed.Results)
+	if !bytes.Equal(want, got) {
+		t.Errorf("resumed -all report differs from uninterrupted baseline (%d vs %d bytes)", len(got), len(want))
+	}
+}
+
+// TestChaosResumeRefusesMismatchedConfig guards the checkpoint identity
+// contract: a checkpoint taken under one configuration must not silently
+// seed a sweep with different flags.
+func TestChaosResumeRefusesMismatchedConfig(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "cp.json")
+	tasks := []sched.Task[int]{{ID: "a", Run: func(context.Context) (int, error) { return 1, nil }}}
+	if _, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "tool", Fingerprint: "seed=1", CheckpointPath: cp,
+	}, tasks); err != nil {
+		t.Fatal(err)
+	}
+	_, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "tool", Fingerprint: "seed=2", ResumePath: cp,
+	}, tasks)
+	if err == nil {
+		t.Fatal("sweep resumed a checkpoint with a different fingerprint")
+	}
+}

@@ -1,0 +1,153 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+const (
+	// CheckpointSchema identifies sweep checkpoint documents.
+	CheckpointSchema = "hef.sched.checkpoint"
+	// CheckpointVersion follows the repo's schema policy: additive fields
+	// (new optional keys) do not bump the version; renaming, removing, or
+	// re-typing a field does. Load rejects other versions.
+	CheckpointVersion = 1
+)
+
+// ErrCheckpointMismatch marks a checkpoint whose tool or fingerprint does
+// not match the resuming sweep — resuming it would silently mix results
+// from different configurations.
+var ErrCheckpointMismatch = errors.New("sched: checkpoint does not match this sweep")
+
+// Checkpoint is the crash-safe persistence format of a sweep: the results
+// of every completed job, keyed by job ID, plus enough identity to refuse a
+// resume under a different configuration. It contains no timestamps or
+// other run-varying state, and encoding/json sorts the Done map's keys, so
+// the same set of completed jobs always marshals to identical bytes.
+type Checkpoint struct {
+	Schema  string `json:"schema"`
+	Version int    `json:"version"`
+	// Tool names the producing sweep ("ssbbench", "hefsens", "hefopt").
+	Tool string `json:"tool"`
+	// Fingerprint encodes every flag that shapes job identity and results;
+	// Match refuses a checkpoint whose fingerprint differs.
+	Fingerprint string `json:"fingerprint"`
+	// Done maps job ID to that job's marshalled result.
+	Done map[string]json.RawMessage `json:"done"`
+}
+
+// NewCheckpoint starts an empty checkpoint for one sweep configuration.
+func NewCheckpoint(tool, fingerprint string) *Checkpoint {
+	return &Checkpoint{
+		Schema: CheckpointSchema, Version: CheckpointVersion,
+		Tool: tool, Fingerprint: fingerprint,
+		Done: map[string]json.RawMessage{},
+	}
+}
+
+// Put records a completed job's result.
+func (c *Checkpoint) Put(id string, result any) error {
+	data, err := json.Marshal(result)
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint result %q: %w", id, err)
+	}
+	c.Done[id] = data
+	return nil
+}
+
+// Get unmarshals the stored result of a job into out, reporting whether the
+// job was present.
+func (c *Checkpoint) Get(id string, out any) (bool, error) {
+	raw, ok := c.Done[id]
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("sched: checkpoint result %q: %w", id, err)
+	}
+	return true, nil
+}
+
+// Match verifies the checkpoint belongs to the given sweep configuration.
+func (c *Checkpoint) Match(tool, fingerprint string) error {
+	if c.Tool != tool {
+		return fmt.Errorf("%w: tool %q, want %q", ErrCheckpointMismatch, c.Tool, tool)
+	}
+	if c.Fingerprint != fingerprint {
+		return fmt.Errorf("%w: fingerprint %q, want %q", ErrCheckpointMismatch, c.Fingerprint, fingerprint)
+	}
+	return nil
+}
+
+// Marshal renders the checkpoint as indented JSON with sorted keys and a
+// trailing newline — byte-deterministic for a fixed result set.
+func (c *Checkpoint) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(c); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Save writes the checkpoint atomically: a temp file in the target
+// directory, fsynced, then renamed over path, so a crash mid-write leaves
+// either the old checkpoint or the new one, never a torn file.
+func (c *Checkpoint) Save(path string) error {
+	data, err := c.Marshal()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint save: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sched: checkpoint save: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sched: checkpoint save: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sched: checkpoint save: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sched: checkpoint save: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a checkpoint file: the schema and
+// version must be ones this code understands. Configuration matching is
+// separate (Match), so callers can distinguish a corrupt file from a
+// mismatched one.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sched: checkpoint load: %w", err)
+	}
+	var c Checkpoint
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil, fmt.Errorf("sched: checkpoint load %s: %w", path, err)
+	}
+	if c.Schema != CheckpointSchema {
+		return nil, fmt.Errorf("sched: checkpoint %s: schema %q, want %q", path, c.Schema, CheckpointSchema)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("sched: checkpoint %s: version %d, want %d", path, c.Version, CheckpointVersion)
+	}
+	if c.Done == nil {
+		c.Done = map[string]json.RawMessage{}
+	}
+	return &c, nil
+}

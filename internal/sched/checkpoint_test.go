@@ -1,0 +1,136 @@
+package sched
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp := NewCheckpoint("hefsens", "seed=1 trials=2")
+	type result struct {
+		Name  string  `json:"name"`
+		Score float64 `json:"score"`
+	}
+	if err := cp.Put("silver/murmur", result{"n(v=1,s=3,p=3)", 1.25}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put("gold/murmur", result{"n(v=2,s=1,p=2)", 0.75}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Match("hefsens", "seed=1 trials=2"); err != nil {
+		t.Fatal(err)
+	}
+	var r result
+	ok, err := got.Get("silver/murmur", &r)
+	if err != nil || !ok {
+		t.Fatalf("Get: ok=%v err=%v", ok, err)
+	}
+	if r.Name != "n(v=1,s=3,p=3)" || r.Score != 1.25 {
+		t.Errorf("round-tripped result %+v", r)
+	}
+	if ok, _ := got.Get("missing", &r); ok {
+		t.Error("Get reported a missing job as present")
+	}
+}
+
+func TestCheckpointByteDeterministic(t *testing.T) {
+	build := func(order []string) []byte {
+		cp := NewCheckpoint("tool", "fp")
+		for _, id := range order {
+			if err := cp.Put(id, map[string]int{"v": len(id)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := cp.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := build([]string{"a", "b", "c"})
+	b := build([]string{"c", "a", "b"})
+	if !bytes.Equal(a, b) {
+		t.Fatalf("insertion order leaked into checkpoint bytes:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestCheckpointMismatchRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cp.json")
+	cp := NewCheckpoint("ssbbench", "sf=10")
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Match("ssbbench", "sf=20"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("fingerprint mismatch: %v, want ErrCheckpointMismatch", err)
+	}
+	if err := got.Match("hefsens", "sf=10"); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("tool mismatch: %v, want ErrCheckpointMismatch", err)
+	}
+}
+
+func TestCheckpointRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		"schema.json":  `{"schema":"hef.obs.run-report","version":1,"done":{}}`,
+		"version.json": `{"schema":"hef.sched.checkpoint","version":99,"done":{}}`,
+		"corrupt.json": `{"schema":`,
+	}
+	for name, content := range cases {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(p); err == nil {
+			t.Errorf("%s: LoadCheckpoint accepted a bad document", name)
+		}
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("LoadCheckpoint accepted a missing file")
+	}
+}
+
+func TestCheckpointSaveAtomic(t *testing.T) {
+	// Save over an existing file must not leave temp debris behind.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	cp := NewCheckpoint("tool", "fp")
+	for i := 0; i < 3; i++ {
+		if err := cp.Put("job", i); err != nil {
+			t.Fatal(err)
+		}
+		if err := cp.Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "cp.json" {
+		t.Errorf("directory has %d entries after repeated saves: %v", len(entries), entries)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if ok, _ := got.Get("job", &v); !ok || v != 2 {
+		t.Errorf("final checkpoint holds %d (present=%v), want 2", v, ok)
+	}
+}

@@ -1,0 +1,87 @@
+package sched
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the runner's backoff timers and breaker cooldowns
+// are testable without real sleeps. The zero Config selects RealClock.
+type Clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+// RealClock delegates to the time package.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (RealClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// FakeClock is a manually advanced Clock for tests: time moves only through
+// Advance, which fires every timer that has come due.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// NewFakeClock starts a fake clock at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now implements Clock.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// After implements Clock. A non-positive d fires on the next Advance (or
+// immediately relative to the current time).
+func (c *FakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	if d <= 0 {
+		t.ch <- c.now
+		return t.ch
+	}
+	c.timers = append(c.timers, t)
+	return t.ch
+}
+
+// Advance moves the clock forward and fires due timers in deadline order.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	sort.SliceStable(c.timers, func(i, j int) bool { return c.timers[i].at.Before(c.timers[j].at) })
+	var keep []*fakeTimer
+	for _, t := range c.timers {
+		if !t.at.After(c.now) {
+			t.ch <- c.now
+		} else {
+			keep = append(keep, t)
+		}
+	}
+	c.timers = keep
+}
+
+// Waiting reports how many timers are pending, so tests can synchronize
+// with a goroutine that is about to block on After.
+func (c *FakeClock) Waiting() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.timers)
+}

@@ -1,0 +1,171 @@
+package sched_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"hef/internal/sched"
+)
+
+// TestGracefulDrainOnSignal exercises the shutdown path the CLI tools wire
+// up: a SIGTERM mid-sweep (delivered to this process, caught by
+// signal.NotifyContext exactly as cmd/hefsens and cmd/ssbbench catch it)
+// must stop submission, interrupt the in-flight jobs, flush the checkpoint
+// with every completed result, leak no goroutines, and return cleanly with
+// the interruption reported.
+func TestGracefulDrainOnSignal(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
+	defer stop()
+
+	cp := filepath.Join(t.TempDir(), "drain.checkpoint.json")
+	const total = 8
+	var tasks []sched.Task[string]
+	for i := 0; i < total; i++ {
+		i := i
+		tasks = append(tasks, sched.Task[string]{
+			ID: fmt.Sprintf("drain-%d", i),
+			Run: func(jctx context.Context) (string, error) {
+				select {
+				case <-jctx.Done():
+					return "", jctx.Err()
+				case <-time.After(time.Duration(i) * 2 * time.Millisecond):
+					return fmt.Sprintf("value-%d", i), nil
+				}
+			},
+		})
+	}
+
+	// The first completion sends the shutdown signal to our own process —
+	// the real delivery path, not a synthetic cancel.
+	var done atomic.Int32
+	res, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool: "drain-test", Fingerprint: "fp",
+		CheckpointPath: cp,
+		Runner: sched.Config{
+			Workers: 2,
+			OnOutcome: func(o sched.Outcome) {
+				if o.State == sched.StateDone && done.Add(1) == 1 {
+					if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+						t.Errorf("self-SIGTERM: %v", err)
+					}
+				}
+			},
+		},
+	}, tasks)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("sweep returned %v, want context.Canceled from the signal", err)
+	}
+	if !res.Interrupted {
+		t.Fatal("sweep did not report the interruption")
+	}
+	if len(res.Results) == 0 || len(res.Results) == total {
+		t.Fatalf("drain landed with %d/%d results; the signal should stop a mid-sweep run", len(res.Results), total)
+	}
+	// Interrupted jobs surface as failures, so nothing is silently lost.
+	if got := len(res.Results) + len(res.Failed); got != total {
+		t.Errorf("results %d + interrupted %d = %d, want %d — jobs lost in the drain",
+			len(res.Results), len(res.Failed), got, total)
+	}
+
+	// The checkpoint was flushed and holds exactly the completed results.
+	saved, err := sched.LoadCheckpoint(cp)
+	if err != nil {
+		t.Fatalf("checkpoint not flushed on drain: %v", err)
+	}
+	if err := saved.Match("drain-test", "fp"); err != nil {
+		t.Fatal(err)
+	}
+	if len(saved.Done) != len(res.Results) {
+		t.Errorf("checkpoint has %d jobs, sweep completed %d", len(saved.Done), len(res.Results))
+	}
+	for id, want := range res.Results {
+		var got string
+		if ok, err := saved.Get(id, &got); err != nil || !ok || got != want {
+			t.Errorf("checkpoint %s: got %q ok=%v err=%v, want %q", id, got, ok, err, want)
+		}
+	}
+
+	// A resumed sweep (fresh context — the old one stays cancelled) picks
+	// up the remainder and completes.
+	res2, err := sched.RunSweep(context.Background(), sched.SweepConfig{
+		Tool: "drain-test", Fingerprint: "fp",
+		CheckpointPath: cp, ResumePath: cp,
+		Runner: sched.Config{Workers: 2},
+	}, tasks)
+	if err != nil {
+		t.Fatalf("resume after drain: %v", err)
+	}
+	if len(res2.Results) != total {
+		t.Fatalf("resume completed %d/%d", len(res2.Results), total)
+	}
+
+	// No goroutine leaks: the worker pools, retry timers, and watchers of
+	// both sweeps must all have exited. Allow a little slack for runtime
+	// and test-framework goroutines, and give stragglers time to unwind.
+	stop()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak: %d before, %d after\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainWithoutCheckpointStillClean covers the drain path when no
+// checkpoint is configured: the sweep must still interrupt cleanly and
+// account for every job.
+func TestDrainWithoutCheckpointStillClean(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tasks []sched.Task[int]
+	for i := 0; i < 6; i++ {
+		i := i
+		tasks = append(tasks, sched.Task[int]{
+			ID: fmt.Sprintf("nc-%d", i),
+			Run: func(jctx context.Context) (int, error) {
+				select {
+				case <-jctx.Done():
+					return 0, jctx.Err()
+				case <-time.After(time.Duration(i) * time.Millisecond):
+					return i, nil
+				}
+			},
+		})
+	}
+	var done atomic.Int32
+	res, err := sched.RunSweep(ctx, sched.SweepConfig{
+		Tool: "nc", Fingerprint: "fp",
+		Runner: sched.Config{
+			Workers: 2,
+			OnOutcome: func(o sched.Outcome) {
+				if o.State == sched.StateDone && done.Add(1) == 1 {
+					cancel()
+				}
+			},
+		},
+	}, tasks)
+	if !errors.Is(err, context.Canceled) || !res.Interrupted {
+		t.Fatalf("err=%v interrupted=%v", err, res.Interrupted)
+	}
+	if got := len(res.Results) + len(res.Failed); got != len(tasks) {
+		t.Errorf("accounted %d/%d jobs", got, len(tasks))
+	}
+}

@@ -1,0 +1,212 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrJobsFailed marks a sweep that completed its drain but left jobs in
+// StateFailed after exhausting their retries.
+var ErrJobsFailed = errors.New("sched: sweep jobs failed")
+
+// Task is one typed unit of a sweep. ID must be unique within the sweep
+// and deterministic across runs (it keys the checkpoint); Key selects the
+// circuit breaker; Run must be deterministic for checkpoint/resume to
+// reproduce an uninterrupted run byte-for-byte.
+type Task[T any] struct {
+	ID  string
+	Key string
+	Run func(ctx context.Context) (T, error)
+}
+
+// SweepConfig parameterises RunSweep.
+type SweepConfig struct {
+	// Tool and Fingerprint identify the sweep configuration; a resumed
+	// checkpoint must carry the same pair.
+	Tool        string
+	Fingerprint string
+	// CheckpointPath enables periodic and final checkpointing ("" disables).
+	CheckpointPath string
+	// ResumePath loads a prior checkpoint and skips its completed jobs
+	// ("" starts fresh).
+	ResumePath string
+	// CheckpointEvery flushes the checkpoint after every N completions
+	// (<= 0 selects 1, i.e. after every job).
+	CheckpointEvery int
+	// Runner tunes the worker pool; its OnOutcome is invoked after the
+	// sweep's own bookkeeping.
+	Runner Config
+}
+
+// SweepResult is the outcome of RunSweep.
+type SweepResult[T any] struct {
+	// Results holds every completed job's value, resumed or executed.
+	Results map[string]T
+	// Resumed counts jobs satisfied from the resume checkpoint; Executed
+	// counts jobs that ran (to completion) in this process.
+	Resumed  int
+	Executed int
+	// Failed lists terminal failures (retries exhausted), and, after an
+	// interrupted drain, jobs cut short by the shutdown.
+	Failed []Outcome
+	// Interrupted is true when ctx was cancelled before the sweep
+	// completed; the checkpoint (if configured) was still flushed.
+	Interrupted bool
+	// Stats snapshots the runner's counters at the end of the sweep.
+	Stats Stats
+}
+
+// RunSweep executes tasks on a supervised runner with crash-safe
+// checkpoint/resume and graceful drain:
+//
+//   - With cfg.ResumePath, completed jobs are loaded from the checkpoint
+//     and not re-submitted — no job runs twice.
+//   - With cfg.CheckpointPath, the set of completed results is persisted
+//     after every CheckpointEvery completions and once more before
+//     returning, whatever the reason for returning.
+//   - When ctx is cancelled mid-sweep (deadline, SIGINT/SIGTERM via
+//     signal.NotifyContext), submission stops, in-flight jobs are
+//     cancelled, queued jobs resolve as interrupted failures, the
+//     checkpoint is flushed, and the result reports Interrupted — so a
+//     later -resume run continues exactly where this one stopped.
+//
+// Tasks must be deterministic: a resumed sweep's Results map is then
+// value-identical to an uninterrupted run's, and a report assembled from
+// it in task order is byte-identical. RunSweep returns the result plus
+// ctx.Err() when interrupted, an ErrJobsFailed wrap when jobs failed
+// terminally, or nil when every task completed.
+func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*SweepResult[T], error) {
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
+	}
+	res := &SweepResult[T]{Results: make(map[string]T, len(tasks))}
+
+	// skip records the jobs satisfied from the resume checkpoint; the
+	// submit loop consults it (not Results, which workers mutate).
+	skip := make(map[string]bool, len(tasks))
+	cp := NewCheckpoint(cfg.Tool, cfg.Fingerprint)
+	if cfg.ResumePath != "" {
+		prior, err := LoadCheckpoint(cfg.ResumePath)
+		if err != nil {
+			return nil, err
+		}
+		if err := prior.Match(cfg.Tool, cfg.Fingerprint); err != nil {
+			return nil, err
+		}
+		for _, t := range tasks {
+			var v T
+			ok, err := prior.Get(t.ID, &v)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				res.Results[t.ID] = v
+				if err := cp.Put(t.ID, v); err != nil {
+					return nil, err
+				}
+				skip[t.ID] = true
+				res.Resumed++
+			}
+		}
+	}
+
+	// The sweep's bookkeeping hooks every outcome; results are recorded
+	// and checkpointed as they complete so an abrupt kill -9 loses at most
+	// CheckpointEvery-1 finished jobs.
+	var (
+		mu         sync.Mutex
+		sinceFlush int
+		saveErr    error
+	)
+	flush := func() {
+		if cfg.CheckpointPath == "" {
+			return
+		}
+		if err := cp.Save(cfg.CheckpointPath); err != nil && saveErr == nil {
+			saveErr = err
+		}
+		sinceFlush = 0
+	}
+	userHook := cfg.Runner.OnOutcome
+	rcfg := cfg.Runner
+	rcfg.OnOutcome = func(o Outcome) {
+		if o.State == StateDone {
+			mu.Lock()
+			res.Results[o.ID] = o.Value.(T)
+			res.Executed++
+			if err := cp.Put(o.ID, o.Value); err != nil && saveErr == nil {
+				saveErr = err
+			}
+			sinceFlush++
+			if sinceFlush >= cfg.CheckpointEvery {
+				flush()
+			}
+			mu.Unlock()
+		}
+		if userHook != nil {
+			userHook(o)
+		}
+	}
+
+	r := New(rcfg)
+	// A cancelled context stops the runner: in-flight attempts see their
+	// job context close, queued and retrying work resolves as interrupted.
+	stopOnce := sync.OnceFunc(r.Stop)
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			stopOnce()
+		case <-watchDone:
+		}
+	}()
+
+	for _, t := range tasks {
+		if skip[t.ID] {
+			continue
+		}
+		t := t
+		err := r.SubmitWait(ctx, Job{ID: t.ID, Key: t.Key, Run: func(jctx context.Context) (any, error) {
+			return t.Run(jctx)
+		}})
+		if err != nil {
+			break // cancelled or runner stopped; drain below
+		}
+	}
+
+	outcomes := r.Drain()
+	close(watchDone)
+	stopOnce()
+
+	res.Interrupted = ctx.Err() != nil
+	res.Stats = r.Stats()
+	for _, o := range outcomes {
+		if o.State != StateDone {
+			res.Failed = append(res.Failed, o)
+		}
+	}
+	sort.Slice(res.Failed, func(i, j int) bool { return res.Failed[i].ID < res.Failed[j].ID })
+
+	mu.Lock()
+	flush()
+	err := saveErr
+	mu.Unlock()
+	if err != nil {
+		return res, err
+	}
+	if res.Interrupted {
+		return res, ctx.Err()
+	}
+	if len(res.Failed) > 0 {
+		ids := make([]string, len(res.Failed))
+		for i, o := range res.Failed {
+			ids[i] = o.ID
+		}
+		return res, fmt.Errorf("%w: %s", ErrJobsFailed, strings.Join(ids, ", "))
+	}
+	return res, nil
+}
