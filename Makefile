@@ -38,14 +38,20 @@ fuzz:
 	$(GO) test ./internal/hid/ -run TestNone -fuzz FuzzBuilderBuild -fuzztime 10s
 	$(GO) test ./internal/hid/ -run TestNone -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/translator/ -run TestNone -fuzz FuzzTranslate -fuzztime 10s
+	$(GO) test ./internal/memo/ -run TestNone -fuzz FuzzFingerprint -fuzztime 10s
 
 # One benchmark per paper table and figure (plus ablations).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable benchmark snapshot (the BENCH_*.json series).
+# Machine-readable benchmark snapshots (the BENCH_*.json series).
+# BENCH_1: the µop-histogram microbenchmark. BENCH_2: the evaluation
+# pipeline — simulator throughput, the search layer serial vs parallel,
+# and the memoized offline phase — as a go-test JSON event stream.
 bench-json:
 	$(GO) run ./cmd/uopshist -bench murmur -json > BENCH_1.json
+	$(GO) test -json -run TestNone -bench 'BenchmarkSimulatorThroughput|BenchmarkSearchParallel|BenchmarkOptimizeOperator' \
+		-benchtime 1x -count=1 ./internal/uarch/ ./internal/hef/ ./internal/core/ > BENCH_2.json
 
 # Regenerate the paper's evaluation artifacts.
 figures:

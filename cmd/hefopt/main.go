@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -33,6 +34,7 @@ import (
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/obs"
 	"hef/internal/sched"
 	"hef/internal/translator"
@@ -49,6 +51,7 @@ func main() {
 	dotOut := flag.String("dot", "", "write the pruning search as a Graphviz digraph to this file (single operator only)")
 	timeout := flag.Duration("timeout", 0, "overall deadline; the batch drains cleanly when exceeded (0 disables)")
 	budget := flag.Int("budget", 0, "cap on node evaluations; on exhaustion the best-so-far node is reported as partial (0 = unlimited)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluator workers per search (wave engine); the report is byte-identical for every setting")
 	workers := flag.Int("workers", 1, "concurrent operator optimizations (1 keeps the classic sequential run)")
 	retries := flag.Int("retries", 2, "retry attempts per operator after a failure or panic")
 	checkpoint := flag.String("checkpoint", "", "persist completed optimizations to this file as the batch progresses")
@@ -56,7 +59,7 @@ func main() {
 	flag.Parse()
 
 	ops := splitList(*op)
-	if err := validate(ops, *cpuName, *file, *dotOut, *elems, *budget, *workers, *retries); err != nil {
+	if err := validate(ops, *cpuName, *file, *dotOut, *elems, *budget, *parallel, *workers, *retries); err != nil {
 		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -70,9 +73,17 @@ func main() {
 		defer cancel()
 	}
 
+	// -parallel is deliberately NOT part of the fingerprint: the wave search
+	// and the memo cache are byte-identical to the serial run, so checkpoints
+	// transfer across worker counts.
 	fingerprint := fmt.Sprintf("cpu=%s op=%s file=%s elems=%d budget=%d code=%t trace=%t dot=%t",
 		*cpuName, strings.Join(ops, ","), fileDigest(*file), *elems, *budget, *showCode, *trace, *dotOut != "")
 
+	// One measurement memo for the whole batch: the search populates it and
+	// the per-flavour re-measurements (and any operator sharing a translated
+	// program) hit it. Shared live state, so its counters are reported to
+	// stderr only — the checkpointed reports stay resume-invariant.
+	cache := memo.NewCache()
 	var tasks []sched.Task[*opResult]
 	for _, name := range ops {
 		name := name
@@ -80,7 +91,7 @@ func main() {
 			ID:  name,
 			Key: *cpuName,
 			Run: func(jctx context.Context) (*opResult, error) {
-				return runOne(jctx, *cpuName, name, *file, *elems, *budget, *showCode, *trace, *dotOut != "")
+				return runOne(jctx, *cpuName, name, *file, *elems, *budget, *parallel, *showCode, *trace, *dotOut != "", cache)
 			},
 		})
 	}
@@ -119,6 +130,10 @@ func main() {
 		if note := res.Results[t.ID].Note; note != "" {
 			fmt.Fprintf(os.Stderr, "hefopt: %s: %s\n", t.ID, note)
 		}
+	}
+	if st := cache.Stats(); st.Hits+st.Misses > 0 {
+		fmt.Fprintf(os.Stderr, "hefopt: memo cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
+			st.Hits, st.Misses, st.HitRate()*100, st.Entries)
 	}
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(res.Results[tasks[0].ID].Dot), 0o644); err != nil {
@@ -173,7 +188,7 @@ type opResult struct {
 // runOne optimizes a single operator and renders every output form. A
 // budget stop degrades gracefully to a deterministic best-so-far partial
 // result; a cancellation fails the job so a resumed run re-does it in full.
-func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budget int, showCode, trace, wantDot bool) (*opResult, error) {
+func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budget, parallel int, showCode, trace, wantDot bool, cache *memo.Cache) (*opResult, error) {
 	tmpl, err := selectTemplate(opName, file)
 	if err != nil {
 		return nil, err
@@ -182,7 +197,7 @@ func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budg
 	if err != nil {
 		return nil, err
 	}
-	opt, err := fw.OptimizeOperatorContext(ctx, tmpl, core.OptimizeOptions{Budget: budget})
+	opt, err := fw.OptimizeOperatorContext(ctx, tmpl, core.OptimizeOptions{Budget: budget, Parallel: parallel, Memo: cache})
 	out := &opResult{Op: tmpl.Name}
 	if err != nil {
 		// Budget exhaustion is deterministic, so its best-so-far partial
@@ -195,7 +210,7 @@ func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budg
 	}
 
 	measureNS := func(label string, n translator.Node) (float64, obs.Run, error) {
-		res, err := fw.Measure(tmpl, n)
+		res, err := fw.MeasureWith(tmpl, n, cache)
 		if err != nil {
 			return 0, obs.Run{}, err
 		}
@@ -258,7 +273,7 @@ func runOne(ctx context.Context, cpuName, opName, file string, elems int64, budg
 }
 
 // validate rejects bad flag combinations before any simulation, exit 2.
-func validate(ops []string, cpuName, file, dotOut string, elems int64, budget, workers, retries int) error {
+func validate(ops []string, cpuName, file, dotOut string, elems int64, budget, parallel, workers, retries int) error {
 	if len(ops) == 0 {
 		return fmt.Errorf("-op selects no operators")
 	}
@@ -280,6 +295,9 @@ func validate(ops []string, cpuName, file, dotOut string, elems int64, budget, w
 	}
 	if budget < 0 {
 		return fmt.Errorf("-budget must be non-negative, got %d", budget)
+	}
+	if parallel <= 0 {
+		return fmt.Errorf("-parallel must be positive, got %d", parallel)
 	}
 	if workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d", workers)

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 
@@ -45,6 +46,7 @@ func main() {
 	ops := flag.String("op", "murmur,probe", "comma-separated operators (murmur, crc64, probe, filter, agg, bloom)")
 	elems := flag.Int64("elems", 1<<12, "synthetic elements per candidate evaluation")
 	budget := flag.Int("budget", 0, "cap on node evaluations per search (0 = unlimited)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "evaluator workers per search; the report is byte-identical for every setting")
 	jsonOut := flag.Bool("json", false, "emit the versioned sensitivity report as JSON")
 	timeout := flag.Duration("timeout", 0, "overall deadline; the analysis drains cleanly when exceeded (0 disables)")
 	workers := flag.Int("workers", 1, "concurrent (op, cpu) analyses (1 keeps the classic sequential run)")
@@ -53,7 +55,7 @@ func main() {
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed analyses")
 	flag.Parse()
 
-	if err := validate(*trials, *jitter, *portFault, *elems, *budget, *workers, *retries); err != nil {
+	if err := validate(*trials, *jitter, *portFault, *elems, *budget, *parallel, *workers, *retries); err != nil {
 		usageErr(err)
 	}
 	// Resolve every CPU and operator up front so a typo is a usage error
@@ -91,6 +93,8 @@ func main() {
 
 	// The fingerprint covers every flag that shapes an analysis value, so a
 	// checkpoint from a different configuration is refused, not mixed in.
+	// -parallel is deliberately NOT part of it: the search is byte-identical
+	// for every worker count, so checkpoints interchange freely across it.
 	fingerprint := fmt.Sprintf("seed=%d trials=%d jitter=%g portfault=%g elems=%d budget=%d cpu=%s op=%s",
 		*seed, *trials, *jitter, *portFault, *elems, *budget, *cpus, *ops)
 
@@ -114,6 +118,7 @@ func main() {
 					Jitter:        *jitter,
 					PortFaultRate: *portFault,
 					Budget:        *budget,
+					Parallel:      *parallel,
 				})
 			},
 		})
@@ -166,7 +171,7 @@ func main() {
 }
 
 // validate rejects nonsensical flag combinations before any simulation.
-func validate(trials int, jitter, portFault float64, elems int64, budget, workers, retries int) error {
+func validate(trials int, jitter, portFault float64, elems int64, budget, parallel, workers, retries int) error {
 	if trials <= 0 {
 		return fmt.Errorf("-trials must be positive, got %d", trials)
 	}
@@ -181,6 +186,9 @@ func validate(trials int, jitter, portFault float64, elems int64, budget, worker
 	}
 	if budget < 0 {
 		return fmt.Errorf("-budget must be non-negative, got %d", budget)
+	}
+	if parallel <= 0 {
+		return fmt.Errorf("-parallel must be positive, got %d", parallel)
 	}
 	if workers <= 0 {
 		return fmt.Errorf("-workers must be positive, got %d", workers)

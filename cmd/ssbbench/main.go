@@ -24,12 +24,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
 	"hef/internal/experiments"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/obs"
 	"hef/internal/queries"
 	"hef/internal/sched"
@@ -48,6 +50,7 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report (obs.RunReport JSON)")
 	csvOut := flag.Bool("csv", false, `shorthand for -format csv`)
 	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables); with -all the sweep drains cleanly between figures")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent stage simulations per figure; output is byte-identical for every setting")
 	workers := flag.Int("workers", 1, "concurrent figures with -all (1 keeps the classic sequential run)")
 	retries := flag.Int("retries", 2, "retry attempts per figure after a failure or panic (with -all)")
 	checkpoint := flag.String("checkpoint", "", "with -all: persist completed figures to this file as the sweep progresses")
@@ -62,9 +65,16 @@ func main() {
 		outFormat = "json"
 	}
 
+	stageParallel = *parallel
 	qs, err := validate(*cpu, *sf, *sample, *table, *queryList, outFormat, *workers, *retries, *all, *checkpoint, *resume)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *parallel <= 0 {
+		fmt.Fprintf(os.Stderr, "ssbbench: -parallel must be positive, got %d\n\n", *parallel)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -232,11 +242,21 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 	}
 }
 
+// runFigure runs one figure with a fresh per-figure measurement memo so
+// stages shared across queries and engines are simulated once. A figure's
+// report — including the cache counters — is byte-identical for every
+// -parallel setting, which keeps -parallel out of the checkpoint
+// fingerprint.
 func runFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query) (*experiments.Figure, error) {
 	return experiments.RunFigure(experiments.FigureConfig{
 		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed, Queries: qs,
+		Memo: memo.NewCache(), Parallel: stageParallel,
 	})
 }
+
+// stageParallel is the -parallel flag: concurrent stage simulations within
+// one figure.
+var stageParallel = 1
 
 func printFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query, stages bool) error {
 	fig, err := runFigure(cpu, sf, sample, seed, qs)

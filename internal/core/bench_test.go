@@ -1,0 +1,44 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"hef/internal/hashes"
+	"hef/internal/memo"
+)
+
+// BenchmarkOptimizeOperator times the full offline phase for one operator:
+// candidate generation, the pruning search with simulator-backed
+// evaluations, and final code generation. The "memo" variant shares a
+// measurement cache across iterations, so after the first iteration every
+// candidate evaluation is a fingerprint lookup — the steady-state cost of
+// a warm sweep (multi-operator batches, sensitivity trials).
+func BenchmarkOptimizeOperator(b *testing.B) {
+	fw, err := New("silver", WithTestElems(1<<12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmpl := hashes.MurmurTemplate()
+	ctx := context.Background()
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.OptimizeOperatorContext(ctx, tmpl, OptimizeOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memo", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := memo.NewCache()
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.OptimizeOperatorContext(ctx, tmpl, OptimizeOptions{Memo: cache}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st := cache.Stats()
+		b.ReportMetric(st.HitRate()*100, "hit%")
+	})
+}

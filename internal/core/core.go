@@ -13,6 +13,7 @@ import (
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/translator"
 	"hef/internal/uarch"
 )
@@ -79,12 +80,22 @@ type Optimized struct {
 // SecondsPerElem is the measured per-element cost of the optimum.
 func (o *Optimized) SecondsPerElem() float64 { return o.Search.BestSeconds }
 
-// OptimizeOptions tunes OptimizeOperatorContext's degradation behaviour.
+// OptimizeOptions tunes OptimizeOperatorContext's degradation behaviour and
+// its evaluation pipeline.
 type OptimizeOptions struct {
 	// Budget caps the number of candidate evaluations (0 = unlimited).
 	// When exhausted, the best-so-far optimum is returned together with an
 	// error matching errors.Is(err, hef.ErrBudgetExhausted).
 	Budget int
+	// Parallel selects the wave-based parallel search engine with that
+	// many evaluator workers (0 keeps the classic serial walk). The search
+	// result is byte-identical for every setting.
+	Parallel int
+	// Memo, when non-nil, caches candidate measurements by content
+	// fingerprint; repeat measurements (re-measuring searched nodes,
+	// multi-operator batches sharing a translated program) are served from
+	// the cache. See internal/memo.
+	Memo *memo.Cache
 }
 
 // OptimizeOperator runs HEF's offline phase on one operator template:
@@ -115,7 +126,9 @@ func (f *Framework) OptimizeOperatorContext(ctx context.Context, tmpl *hid.Templ
 		initial = clampNode(initial, f.bounds)
 	}
 	eval := hef.NewSimEvaluator(f.cpu, tmpl, f.width, f.elems)
-	res, serr := hef.SearchContext(ctx, eval, initial, f.bounds, hef.SearchOpts{MaxEvaluations: opts.Budget})
+	eval.SetMemo(opts.Memo)
+	res, serr := hef.SearchContext(ctx, eval, initial, f.bounds,
+		hef.SearchOpts{MaxEvaluations: opts.Budget, Workers: opts.Parallel})
 	if res == nil {
 		return nil, serr
 	}
@@ -148,7 +161,16 @@ func (f *Framework) Translate(tmpl *hid.Template, node translator.Node) (*transl
 
 // Measure times an explicit candidate node on the simulator.
 func (f *Framework) Measure(tmpl *hid.Template, node translator.Node) (*uarch.Result, error) {
+	return f.MeasureWith(tmpl, node, nil)
+}
+
+// MeasureWith is Measure consulting a measurement memo cache (nil measures
+// unconditionally). A node already measured by a memoized search — the
+// common case when re-measuring the scalar, SIMD, and optimum flavours
+// after OptimizeOperatorContext — is served from the cache.
+func (f *Framework) MeasureWith(tmpl *hid.Template, node translator.Node, c *memo.Cache) (*uarch.Result, error) {
 	eval := hef.NewSimEvaluator(f.cpu, tmpl, f.width, f.elems)
+	eval.SetMemo(c)
 	return eval.Run(node)
 }
 

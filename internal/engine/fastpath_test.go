@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"reflect"
+	"testing"
+
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/translator"
+	"hef/internal/uarch"
+)
+
+// TestFastPathEngineTemplates is the end-to-end differential for the
+// simulator's steady-state fast path: every engine template, translated at
+// scalar, SIMD, and hybrid nodes, simulated on all four machine models with
+// the evaluator's exact warm-then-measure sequence, must produce Results
+// bit-identical to a fast-path-disabled simulator. Engagement is allowed to
+// vary (templates with striding or region-random addresses legitimately
+// decline), but the numbers may never differ.
+func TestFastPathEngineTemplates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many translate+simulate combinations")
+	}
+	templates := []struct {
+		label string
+		tmpl  *hid.Template
+	}{
+		{"filter", FilterTemplate(2)},
+		{"probe", ProbeTemplate(1 << 20)},
+		{"sumagg", SumAggTemplate()},
+		{"groupagg", GroupAggTemplate(64 << 10)},
+		{"build", BuildTemplate(1 << 20)},
+		{"bloom", BloomTemplate(1 << 18)},
+	}
+	nodes := []translator.Node{
+		{V: 0, S: 1, P: 1},
+		{V: 1, S: 0, P: 1},
+		{V: 1, S: 1, P: 2},
+	}
+	const elems = 1 << 13
+	for _, cpuName := range []string{"silver", "gold", "neoverse", "zen"} {
+		cpu, err := isa.ByName(cpuName)
+		if err != nil {
+			t.Fatalf("cpu %q: %v", cpuName, err)
+		}
+		for _, tc := range templates {
+			for _, node := range nodes {
+				out, err := translator.Translate(tc.tmpl, node,
+					translator.Options{Width: cpu.NativeWidth(), CPU: cpu})
+				if err != nil {
+					t.Fatalf("%s/%s at %v: translate: %v", cpuName, tc.label, node, err)
+				}
+				iters := int64(elems / out.ElemsPerIter)
+				if iters < 1 {
+					iters = 1
+				}
+				run := func(s *uarch.Sim) *uarch.Result {
+					t.Helper()
+					// Mirror SimEvaluator.Run: reset hierarchy, warm
+					// LLC-resident random regions, one throwaway run to
+					// settle the prefetcher, then measure.
+					s.Hierarchy().Reset()
+					for _, p := range tc.tmpl.Params {
+						if p.Pattern == hid.RandomRegion && p.Region > 0 && p.Region <= uint64(cpu.LLC.SizeBytes) {
+							s.Hierarchy().Warm(translator.ParamBase(tc.tmpl, p.Name), p.Region)
+						}
+					}
+					if _, err := s.Run(out.Program, iters); err != nil {
+						t.Fatalf("%s/%s at %v: warm run: %v", cpuName, tc.label, node, err)
+					}
+					res, err := s.Run(out.Program, iters)
+					if err != nil {
+						t.Fatalf("%s/%s at %v: run: %v", cpuName, tc.label, node, err)
+					}
+					return res
+				}
+				slowSim := uarch.NewSim(cpu)
+				slowSim.SetFastPath(false)
+				fastSim := uarch.NewSim(cpu)
+				slow := run(slowSim)
+				fast := run(fastSim)
+				if !reflect.DeepEqual(slow, fast) {
+					t.Errorf("%s/%s at %v: fast path diverged\nslow: %+v\nfast: %+v",
+						cpuName, tc.label, node, slow, fast)
+				}
+			}
+		}
+	}
+}

@@ -76,7 +76,7 @@ func TimeQueryTuned(cpu *isa.CPU, q queries.Query, st queries.Stats, nominalSF f
 		}
 		n := node
 		stage.Node = &n
-		res, err := runStage(cpu, stage, KindHybrid)
+		res, err := runStage(cpu, stage, KindHybrid, nil)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -14,6 +14,7 @@ import (
 	"hef/internal/engine"
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/queries"
 	"hef/internal/ssb"
 	"hef/internal/translator"
@@ -247,13 +248,19 @@ func buildStages(q queries.Query, st queries.Stats, nominalSF float64, kind Engi
 	return stages, nil
 }
 
-// runStage translates and simulates one stage, scaling the counters to the
-// stage's nominal element count. Random regions that fit in the LLC are
-// warmed first so node comparisons reflect steady state.
-func runStage(cpu *isa.CPU, stage Stage, kind EngineKind) (*uarch.Result, error) {
-	if stage.Elems == 0 {
-		return &uarch.Result{Name: stage.Name, FreqGHz: cpu.Freq.ScalarGHz}, nil
-	}
+// stagePlan is one stage's translated, fingerprinted measurement: the
+// inputs measurePlan needs plus the content key the memo cache stores the
+// result under.
+type stagePlan struct {
+	prog  *uarch.Program
+	iters int64
+	warm  []memo.WarmRange
+	key   memo.Key
+}
+
+// planStage translates a stage at the engine's node and computes the
+// simulation parameters and content fingerprint of its measurement.
+func planStage(cpu *isa.CPU, stage Stage, kind EngineKind) (*stagePlan, error) {
 	node := nodeFor(kind)
 	if stage.Node != nil {
 		node = *stage.Node
@@ -270,18 +277,53 @@ func runStage(cpu *isa.CPU, stage Stage, kind EngineKind) (*uarch.Result, error)
 	if iters < 1 {
 		iters = 1
 	}
-	sim := uarch.NewSim(cpu)
-	if err := sim.Err(); err != nil {
-		return nil, fmt.Errorf("experiments: stage %s: %w", stage.Name, err)
-	}
+	pl := &stagePlan{prog: out.Program, iters: iters}
 	for _, p := range stage.Template.Params {
 		if p.Pattern == hid.RandomRegion && p.Region <= uint64(cpu.LLC.SizeBytes) {
-			sim.Hierarchy().Warm(translator.ParamBase(stage.Template, p.Name), p.Region)
+			pl.warm = append(pl.warm, memo.WarmRange{Base: translator.ParamBase(stage.Template, p.Name), Region: p.Region})
 		}
 	}
-	res, err := sim.Run(out.Program, iters)
+	pl.key = memo.Fingerprint(memo.ProtoStage, cpu, nil, out.Program, iters, pl.warm)
+	return pl, nil
+}
+
+// measurePlan simulates one planned stage measurement: a fresh hierarchy
+// with the LLC-fitting random regions warmed, then a single run — a pure
+// function of the plan, which is what makes the memo cache exact.
+func measurePlan(cpu *isa.CPU, name string, pl *stagePlan) (*uarch.Result, error) {
+	sim := uarch.NewSim(cpu)
+	if err := sim.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: stage %s: %w", name, err)
+	}
+	for _, w := range pl.warm {
+		sim.Hierarchy().Warm(w.Base, w.Region)
+	}
+	res, err := sim.Run(pl.prog, pl.iters)
 	if err != nil {
-		return nil, fmt.Errorf("experiments: stage %s: %w", stage.Name, err)
+		return nil, fmt.Errorf("experiments: stage %s: %w", name, err)
+	}
+	return res, nil
+}
+
+// runStage translates and simulates one stage, scaling the counters to the
+// stage's nominal element count. Random regions that fit in the LLC are
+// warmed first so node comparisons reflect steady state. A non-nil cache
+// serves repeat measurements (stages shared across queries and engines)
+// from their fingerprint; a nil cache always simulates.
+func runStage(cpu *isa.CPU, stage Stage, kind EngineKind, cache *memo.Cache) (*uarch.Result, error) {
+	if stage.Elems == 0 {
+		return &uarch.Result{Name: stage.Name, FreqGHz: cpu.Freq.ScalarGHz}, nil
+	}
+	pl, err := planStage(cpu, stage, kind)
+	if err != nil {
+		return nil, err
+	}
+	res, ok := cache.Get(pl.key)
+	if !ok {
+		if res, err = measurePlan(cpu, stage.Name, pl); err != nil {
+			return nil, err
+		}
+		cache.Put(pl.key, res)
 	}
 	res.Name = stage.Name
 	res.Scale(float64(stage.Elems) / float64(res.Elems))
@@ -291,13 +333,18 @@ func runStage(cpu *isa.CPU, stage Stage, kind EngineKind) (*uarch.Result, error)
 // TimeQuery produces the timing of one query for one engine on one CPU,
 // from the sampled functional stats, extrapolated to nominalSF.
 func TimeQuery(cpu *isa.CPU, q queries.Query, st queries.Stats, nominalSF float64, kind EngineKind) (*QueryRun, error) {
+	return timeQuery(cpu, q, st, nominalSF, kind, nil)
+}
+
+// timeQuery is TimeQuery with an optional stage-measurement cache.
+func timeQuery(cpu *isa.CPU, q queries.Query, st queries.Stats, nominalSF float64, kind EngineKind, cache *memo.Cache) (*QueryRun, error) {
 	stages, err := buildStages(q, st, nominalSF, kind)
 	if err != nil {
 		return nil, err
 	}
 	run := &QueryRun{QueryID: q.ID, Kind: kind, CPU: cpu}
 	for _, stage := range stages {
-		res, err := runStage(cpu, stage, kind)
+		res, err := runStage(cpu, stage, kind, cache)
 		if err != nil {
 			return nil, err
 		}

@@ -30,6 +30,7 @@ func (f *Figure) Report() *obs.RunReport {
 			rep.Runs = append(rep.Runs, r)
 		}
 	}
+	rep.Memo = obs.MemoFromStats(f.MemoStats)
 	return rep
 }
 
@@ -71,6 +72,20 @@ func MergeReports(tool string, reports ...*obs.RunReport) *obs.RunReport {
 		}
 		if rep.Search != nil && merged.Search == nil {
 			merged.Search = rep.Search
+		}
+		// Memo counters sum: each source report snapshots its own cache.
+		if rep.Memo != nil {
+			if merged.Memo == nil {
+				merged.Memo = &obs.MemoStats{}
+			}
+			merged.Memo.Hits += rep.Memo.Hits
+			merged.Memo.Misses += rep.Memo.Misses
+			merged.Memo.Entries += rep.Memo.Entries
+		}
+	}
+	if merged.Memo != nil {
+		if t := merged.Memo.Hits + merged.Memo.Misses; t > 0 {
+			merged.Memo.HitRate = float64(merged.Memo.Hits) / float64(t)
 		}
 	}
 	if sameCPU && len(reports) > 0 {

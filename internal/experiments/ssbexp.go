@@ -1,13 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
 	"hef/internal/engine"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/queries"
+	"hef/internal/sched"
 	"hef/internal/ssb"
 )
 
@@ -23,6 +26,12 @@ type Figure struct {
 	Runs      map[string]map[EngineKind]*QueryRun
 	// Sums holds the functional query answers (identical across engines).
 	Sums map[string]uint64
+	// MemoStats snapshots the stage-measurement cache's counters when the
+	// figure ran with one (zero otherwise). With a fresh per-figure cache
+	// the counters are deterministic for every Parallel setting: distinct
+	// measurements miss once during the pre-measure phase, and every stage
+	// reference hits during assembly.
+	MemoStats memo.Stats
 }
 
 // FigureConfig parameterises a figure run.
@@ -40,6 +49,16 @@ type FigureConfig struct {
 	Queries []queries.Query
 	// Engines restricts the engine set; nil selects all four.
 	Engines []EngineKind
+	// Memo, when non-nil, caches stage measurements by content fingerprint:
+	// the figure's distinct measurements are simulated exactly once (stages
+	// recur heavily across queries and engines) and the per-cell assembly is
+	// served from the cache. The timing numbers are identical either way —
+	// a stage measurement is a pure function of its fingerprint.
+	Memo *memo.Cache
+	// Parallel runs the distinct stage measurements on that many concurrent
+	// workers (requires Memo; <= 1 measures serially). The figure — numbers,
+	// ordering, and cache counters — is identical for every setting.
+	Parallel int
 }
 
 // RunFigure executes the functional pipeline at the sample scale and times
@@ -73,6 +92,7 @@ func RunFigure(cfg FigureConfig) (*Figure, error) {
 		Runs:      map[string]map[EngineKind]*QueryRun{},
 		Sums:      map[string]uint64{},
 	}
+	stats := map[string]queries.Stats{}
 	for _, q := range qs {
 		fres, err := queries.Execute(q, data, engine.Scalar)
 		if err != nil {
@@ -81,15 +101,100 @@ func RunFigure(cfg FigureConfig) (*Figure, error) {
 		fig.Order = append(fig.Order, q.ID)
 		fig.Sums[q.ID] = fres.Sum
 		fig.Runs[q.ID] = map[EngineKind]*QueryRun{}
+		stats[q.ID] = fres.Stats
+	}
+	if cfg.Memo != nil {
+		if err := premeasureFigure(cpu, qs, stats, cfg.NominalSF, engines, cfg.Memo, cfg.Parallel); err != nil {
+			return nil, err
+		}
+	}
+	for _, q := range qs {
 		for _, kind := range engines {
-			run, err := TimeQuery(cpu, q, fres.Stats, cfg.NominalSF, kind)
+			run, err := timeQuery(cpu, q, stats[q.ID], cfg.NominalSF, kind, cfg.Memo)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: timing %s/%v: %w", q.ID, kind, err)
 			}
 			fig.Runs[q.ID][kind] = run
 		}
 	}
+	fig.MemoStats = cfg.Memo.Stats()
 	return fig, nil
+}
+
+// premeasureFigure simulates every distinct stage measurement of the figure
+// exactly once, concurrently when parallel > 1. Deduplicating by fingerprint
+// before dispatch — rather than letting concurrent cells race to measure the
+// same stage — both avoids duplicate simulations and keeps the cache
+// counters independent of the worker count, so a figure report is
+// byte-identical for every Parallel setting.
+func premeasureFigure(cpu *isa.CPU, qs []queries.Query, stats map[string]queries.Stats, nominalSF float64, engines []EngineKind, cache *memo.Cache, parallel int) error {
+	type work struct {
+		name string
+		pl   *stagePlan
+	}
+	var todo []work
+	seen := map[memo.Key]bool{}
+	for _, q := range qs {
+		for _, kind := range engines {
+			stages, err := buildStages(q, stats[q.ID], nominalSF, kind)
+			if err != nil {
+				return err
+			}
+			for _, st := range stages {
+				if st.Elems == 0 {
+					continue
+				}
+				pl, err := planStage(cpu, st, kind)
+				if err != nil {
+					return err
+				}
+				if seen[pl.key] {
+					continue
+				}
+				seen[pl.key] = true
+				todo = append(todo, work{name: st.Name, pl: pl})
+			}
+		}
+	}
+	measure := func(w work) error {
+		if _, ok := cache.Get(w.pl.key); ok {
+			return nil // pre-populated by the caller (a shared cache)
+		}
+		res, err := measurePlan(cpu, w.name, w.pl)
+		if err != nil {
+			return err
+		}
+		cache.Put(w.pl.key, res)
+		return nil
+	}
+	if parallel <= 1 || len(todo) < 2 {
+		for _, w := range todo {
+			if err := measure(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	runner := sched.New(sched.Config{Workers: parallel, QueueSize: 2 * parallel})
+	defer runner.Stop()
+	errs := make([]error, len(todo))
+	for i, w := range todo {
+		i, w := i, w
+		job := sched.Job{ID: fmt.Sprintf("%d:%s", i, w.name), Run: func(context.Context) (any, error) {
+			errs[i] = measure(w)
+			return nil, nil
+		}}
+		if err := runner.SubmitWait(context.Background(), job); err != nil {
+			return err
+		}
+	}
+	runner.Drain()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // String renders the figure as the table of per-query execution times the

@@ -5,6 +5,7 @@ import (
 
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/translator"
 	"hef/internal/uarch"
 )
@@ -21,11 +22,14 @@ type Evaluator interface {
 // the microarchitecture simulator — the analogue of the paper's
 // compile-and-run test step (Algorithm 2 lines 4-5).
 type SimEvaluator struct {
-	cpu   *isa.CPU
-	tmpl  *hid.Template
-	width isa.Width
-	elems int64
-	sim   *uarch.Sim
+	cpu     *isa.CPU
+	tmpl    *hid.Template
+	width   isa.Width
+	elems   int64
+	sim     *uarch.Sim
+	perturb *uarch.Perturb
+	memo    *memo.Cache
+	traced  bool
 
 	// Evaluations counts Evaluate calls, for pruning-savings reports.
 	Evaluations int
@@ -50,13 +54,43 @@ func NewSimEvaluator(cpu *isa.CPU, tmpl *hid.Template, width isa.Width, elems in
 
 // SetTraceLog attaches a per-instruction lifecycle recorder to the
 // evaluator's simulator (nil detaches). Note the warm-up run is recorded
-// too; bound the log with TraceLog.Limit when that matters.
-func (e *SimEvaluator) SetTraceLog(t *uarch.TraceLog) { e.sim.SetTraceLog(t) }
+// too; bound the log with TraceLog.Limit when that matters. While a trace
+// is attached the memo cache is bypassed: a cached result would leave the
+// log empty.
+func (e *SimEvaluator) SetTraceLog(t *uarch.TraceLog) {
+	e.traced = t != nil
+	e.sim.SetTraceLog(t)
+}
+
+// SetMemo attaches a content-addressed measurement cache (nil detaches).
+// Runs whose fingerprint — machine model, perturbation, translated program,
+// iteration count, warmed regions — is already cached return the stored
+// Result without simulating. The cache is concurrency-safe and is shared
+// with forks, so a parallel search populates it for later operators,
+// trials, and benchmark stages.
+func (e *SimEvaluator) SetMemo(c *memo.Cache) { e.memo = c }
 
 // SetPerturb installs a fault-injection model on the evaluator's simulator
 // (nil removes it); see uarch.Sim.SetPerturb. The sensitivity driver uses
 // this to re-run the search on perturbed machines.
-func (e *SimEvaluator) SetPerturb(p *uarch.Perturb) { e.sim.SetPerturb(p) }
+func (e *SimEvaluator) SetPerturb(p *uarch.Perturb) {
+	e.perturb = p
+	e.sim.SetPerturb(p)
+}
+
+// Fork implements ForkableEvaluator: the clone measures nodes identically
+// (same CPU model, template, width, test size, and perturbation) on its own
+// fresh simulator, so forks are safe to run concurrently. Each run resets
+// the cache hierarchy before measuring, so a fresh simulator times nodes
+// exactly like the original. Trace logs do not carry over (a shared log
+// would interleave nondeterministically); the fork's Evaluations counter
+// starts at zero.
+func (e *SimEvaluator) Fork() Evaluator {
+	f := NewSimEvaluator(e.cpu, e.tmpl, e.width, e.elems)
+	f.SetPerturb(e.perturb)
+	f.SetMemo(e.memo)
+	return f
+}
 
 // Evaluate implements Evaluator.
 func (e *SimEvaluator) Evaluate(n Node) (float64, error) {
@@ -84,20 +118,47 @@ func (e *SimEvaluator) Run(n Node) (*uarch.Result, error) {
 	if iters < 1 {
 		iters = 1
 	}
+	warm := e.warmRanges()
+	// The whole measurement protocol below is a pure function of the
+	// fingerprinted inputs, so a cached Result is exact, not approximate.
+	var key memo.Key
+	useMemo := e.memo != nil && !e.traced
+	if useMemo {
+		key = memo.Fingerprint(memo.ProtoEvaluator, e.cpu, e.perturb, out.Program, iters, warm)
+		if res, ok := e.memo.Get(key); ok {
+			e.Evaluations++
+			return res, nil
+		}
+	}
 	// Every node is measured under identical cache conditions: a reset
 	// hierarchy with LLC-fitting random regions (hash tables, lookup
 	// tables) warmed, then one throwaway run to settle the stream
 	// prefetcher. Without the reset, lines touched by earlier candidates
 	// would stay resident and bias later candidates.
 	e.sim.Hierarchy().Reset()
-	for _, p := range e.tmpl.Params {
-		if p.Pattern == hid.RandomRegion && p.Region > 0 && p.Region <= uint64(e.cpu.LLC.SizeBytes) {
-			e.sim.Hierarchy().Warm(translator.ParamBase(e.tmpl, p.Name), p.Region)
-		}
+	for _, w := range warm {
+		e.sim.Hierarchy().Warm(w.Base, w.Region)
 	}
 	if _, err := e.sim.Run(out.Program, iters); err != nil {
 		return nil, err
 	}
 	e.Evaluations++
-	return e.sim.Run(out.Program, iters)
+	res, err := e.sim.Run(out.Program, iters)
+	if err == nil && useMemo {
+		e.memo.Put(key, res)
+	}
+	return res, err
+}
+
+// warmRanges lists the regions Run warms before measuring: every
+// random-access template parameter that fits in the LLC, in parameter
+// order. The list is part of the memo fingerprint.
+func (e *SimEvaluator) warmRanges() []memo.WarmRange {
+	var w []memo.WarmRange
+	for _, p := range e.tmpl.Params {
+		if p.Pattern == hid.RandomRegion && p.Region > 0 && p.Region <= uint64(e.cpu.LLC.SizeBytes) {
+			w = append(w, memo.WarmRange{Base: translator.ParamBase(e.tmpl, p.Name), Region: p.Region})
+		}
+	}
+	return w
 }

@@ -1,0 +1,188 @@
+package hef
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+
+	"hef/internal/sched"
+)
+
+// ForkableEvaluator is an Evaluator that can clone itself for concurrent
+// use. Fork must return an evaluator that measures nodes identically to the
+// receiver (same template, machine model, test size, perturbation) but
+// shares no mutable state with it, so forks may run on different goroutines.
+type ForkableEvaluator interface {
+	Evaluator
+	Fork() Evaluator
+}
+
+// searchParallel is the wave-based engine behind SearchOpts.Workers. It
+// reproduces the serial Algorithm 2 walk byte for byte: the serial queue is
+// FIFO, so its pop order equals generation order, and which neighbours get
+// evaluated (as opposed to which win) depends only on bounds and the seen
+// set — never on measured cost. That makes each frontier's evaluation list
+// computable up front: the engine lists a whole wave, evaluates the list
+// concurrently on a sched pool, then replays the list serially in
+// generation order to apply the pruning rule. Trace, candidate list, end
+// list, and best node come out identical to the serial path for every
+// worker count.
+//
+// Degradation semantics match the serial engine for budgets, panics, and
+// evaluator errors (the replay stops at the same entry the serial walk
+// would have stopped at). Context cancellation is wave-granular: the
+// context is checked once per frontier before its evaluations launch, so a
+// cancellation mid-wave takes effect at the next wave boundary — identical
+// bytes for any worker count, at the cost of finishing the wave in flight.
+func searchParallel(ctx context.Context, eval Evaluator, initial Node, bounds Bounds, opts SearchOpts) (*Result, error) {
+	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
+	partial := func(err error) (*Result, error) {
+		res.Partial = true
+		sortNodes(res.EndList)
+		return res, err
+	}
+	checkCtx := func() error {
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("hef: search interrupted after %d evaluations: %w", res.Tested, ctx.Err())
+		default:
+			return nil
+		}
+	}
+
+	if err := checkCtx(); err != nil {
+		return partial(err)
+	}
+	initSec, err := safeEvaluate(eval, initial)
+	if err != nil {
+		if pe := (*PanicError)(nil); errors.As(err, &pe) {
+			return partial(err)
+		}
+		return nil, fmt.Errorf("hef: evaluating initial node %v: %w", initial, err)
+	}
+	res.Tested++
+	res.Trace = append(res.Trace, Step{Node: initial, Seconds: initSec, Parent: initial, Winner: true})
+	res.Best, res.BestSeconds = initial, initSec
+	res.CandidateList = append(res.CandidateList, initial)
+
+	// The evaluator pool: the caller's evaluator plus Workers-1 forks. An
+	// unforkable evaluator caps effective concurrency at one worker; the
+	// wave replay keeps the results identical either way.
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if _, ok := eval.(ForkableEvaluator); !ok {
+		workers = 1
+	}
+	pool := make(chan Evaluator, workers)
+	pool <- eval
+	for i := 1; i < workers; i++ {
+		pool <- eval.(ForkableEvaluator).Fork()
+	}
+	runner := sched.New(sched.Config{Workers: workers, QueueSize: 2 * workers})
+	defer runner.Stop()
+
+	type scored struct {
+		node Node
+		sec  float64
+	}
+	type entry struct {
+		node      Node
+		parent    scored
+		sec       float64
+		err       error
+		evaluated bool
+	}
+	seen := map[Node]float64{initial: initSec}
+	wave := []scored{{initial, initSec}}
+	for waveNo := 0; len(wave) > 0; waveNo++ {
+		// List the frontier's evaluations in serial generation order. Nodes
+		// are marked seen as they are listed — exactly when the serial walk
+		// would have evaluated them — so a node reachable from two wave
+		// members keeps its first parent.
+		var list []entry
+		for _, cur := range wave {
+			for _, nb := range neighbors(cur.node) {
+				if !bounds.contains(nb) {
+					continue
+				}
+				if _, ok := seen[nb]; ok {
+					continue
+				}
+				seen[nb] = 0 // placeholder; the replay stores the measurement
+				list = append(list, entry{node: nb, parent: cur})
+			}
+		}
+		if len(list) == 0 {
+			break
+		}
+		if err := checkCtx(); err != nil {
+			return partial(err)
+		}
+		evalN := len(list)
+		if opts.MaxEvaluations > 0 {
+			if rem := opts.MaxEvaluations - res.Tested; rem < evalN {
+				evalN = rem
+			}
+			if evalN < 0 {
+				evalN = 0
+			}
+		}
+		for i := 0; i < evalN; i++ {
+			e := &list[i]
+			err := runner.SubmitWait(context.Background(), sched.Job{
+				ID: strconv.Itoa(waveNo) + "/" + strconv.Itoa(i),
+				Run: func(context.Context) (any, error) {
+					ev := <-pool
+					defer func() { pool <- ev }()
+					// Panics are recovered here into *PanicError (keyed by
+					// node) rather than left to the runner's own recovery,
+					// so the replay can surface the exact serial error.
+					e.sec, e.err = safeEvaluate(ev, e.node)
+					e.evaluated = true
+					return nil, nil
+				},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("hef: submitting node %v: %w", e.node, err)
+			}
+		}
+		runner.Drain()
+
+		// Serial replay: apply the pruning rule in generation order using
+		// the concurrent measurements.
+		var next []scored
+		for i := range list {
+			e := &list[i]
+			if !e.evaluated {
+				// Beyond the budget truncation — the serial walk would have
+				// stopped before this evaluation.
+				return partial(fmt.Errorf("hef: %w after %d evaluations", ErrBudgetExhausted, res.Tested))
+			}
+			if e.err != nil {
+				if pe := (*PanicError)(nil); errors.As(e.err, &pe) {
+					return partial(e.err)
+				}
+				return nil, fmt.Errorf("hef: evaluating node %v: %w", e.node, e.err)
+			}
+			res.Tested++
+			seen[e.node] = e.sec
+			win := e.sec < e.parent.sec
+			res.Trace = append(res.Trace, Step{Node: e.node, Seconds: e.sec, Parent: e.parent.node, Winner: win})
+			if win {
+				res.CandidateList = append(res.CandidateList, e.node)
+				next = append(next, scored{e.node, e.sec})
+				if e.sec < res.BestSeconds {
+					res.Best, res.BestSeconds = e.node, e.sec
+				}
+			} else {
+				res.EndList = append(res.EndList, e.node)
+			}
+		}
+		wave = next
+	}
+	sortNodes(res.EndList)
+	return res, nil
+}

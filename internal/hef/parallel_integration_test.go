@@ -1,0 +1,83 @@
+package hef_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/hef"
+	"hef/internal/isa"
+	"hef/internal/obs"
+)
+
+// TestParallelSearchSimEvaluatorBytes is the production-shaped determinism
+// check: a real pruning search over an engine template on the simulator
+// evaluator must serialize (obs.SearchJSON) to the same bytes whether it
+// ran serially or on 1, 2, or 8 workers — forks run on fresh simulators,
+// so this also pins that a SimEvaluator measurement is a pure function of
+// the node.
+func TestParallelSearchSimEvaluatorBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full searches")
+	}
+	cpu, err := isa.ByName("silver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := engine.FilterTemplate(2)
+	const elems = 1 << 12
+	initial, err := hef.InitialNode(cpu, tmpl, cpu.NativeWidth())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		t.Helper()
+		eval := hef.NewSimEvaluator(cpu, tmpl, cpu.NativeWidth(), elems)
+		res, err := hef.SearchContext(t.Context(), eval, initial, hef.DefaultBounds,
+			hef.SearchOpts{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		js, err := obs.SearchJSON(res)
+		if err != nil {
+			t.Fatalf("workers=%d: marshal: %v", workers, err)
+		}
+		return js
+	}
+	serial := run(0)
+	for _, w := range []int{1, 2, 8} {
+		if par := run(w); !bytes.Equal(serial, par) {
+			t.Errorf("workers=%d: SearchJSON bytes diverged from serial", w)
+		}
+	}
+}
+
+// BenchmarkSearchParallel measures one full pruning search over the probe
+// template per iteration at several worker counts; workers/0 is the classic
+// serial engine, the baseline the wave engine's speedup is quoted against.
+func BenchmarkSearchParallel(b *testing.B) {
+	cpu, err := isa.ByName("silver")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tmpl := engine.ProbeTemplate(1 << 20)
+	initial, err := hef.InitialNode(cpu, tmpl, cpu.NativeWidth())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{0, 1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eval := hef.NewSimEvaluator(cpu, tmpl, cpu.NativeWidth(), hef.DefaultTestElems)
+				res, err := hef.SearchContext(context.Background(), eval, initial, hef.DefaultBounds,
+					hef.SearchOpts{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(res.Tested), "nodes")
+			}
+		})
+	}
+}

@@ -18,6 +18,14 @@ type SearchOpts struct {
 	// cap is hit the search returns best-so-far with an ErrBudgetExhausted
 	// error.
 	MaxEvaluations int
+	// Workers selects the wave-based parallel engine: each search
+	// frontier's candidates are evaluated concurrently on a pool of that
+	// many workers (the evaluator must implement ForkableEvaluator to get
+	// real concurrency) and the results replayed in serial order, so the
+	// Result is byte-identical to the serial engine for every worker
+	// count. Zero keeps the classic serial walk. Context cancellation
+	// under Workers > 0 is wave-granular — see searchParallel.
+	Workers int
 }
 
 // PanicError is a panic from inside an evaluator (translator or simulator)

@@ -134,6 +134,9 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 	if !bounds.contains(initial) {
 		return nil, fmt.Errorf("hef: initial node %v outside bounds %+v", initial, bounds)
 	}
+	if opts.Workers > 0 {
+		return searchParallel(ctx, eval, initial, bounds, opts)
+	}
 	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
 
 	// partial finalizes an early exit: the result so far plus the reason.

@@ -1,0 +1,257 @@
+// Package memo is a content-addressed cache of simulator measurements. A
+// measurement under the evaluator protocol — reset hierarchy, warm the
+// LLC-resident regions, one throwaway run, one measured run — is a pure
+// function of the machine model, the fault-injection model, the translated
+// program, the iteration count, and the warmed regions, so its Result can
+// be reused wherever the same fingerprint recurs: the per-flavour
+// measurements hefopt re-runs after each search, sensitivity trials whose
+// perturbed machine coincides, and SSB stages sharing an operator across
+// queries and engines.
+//
+// Keys are 128 bits of SHA-256 over a canonical length-prefixed encoding of
+// every semantic input. Nothing is keyed by pointer identity or by name
+// alone: two CPU models with the same name but different geometry (a
+// perturbed clone, say) fingerprint differently, as do programs differing
+// in any instruction, operand, or address-stream field.
+package memo
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"hef/internal/isa"
+	"hef/internal/uarch"
+)
+
+// Key is a 128-bit content fingerprint.
+type Key [16]byte
+
+// Protocol distinguishes the measurement protocols that may share one
+// cache. The same (machine, program, iters, warm) inputs yield different
+// Results under different protocols — a throwaway settling run changes the
+// stream-prefetcher state the measured run sees — so the protocol is part
+// of the fingerprint.
+type Protocol uint8
+
+const (
+	// ProtoEvaluator is SimEvaluator.Run: reset the hierarchy, warm the
+	// LLC-resident regions, one throwaway run, one measured run.
+	ProtoEvaluator Protocol = iota + 1
+	// ProtoStage is the experiment harness's stage timing: a fresh
+	// hierarchy, warm, and a single measured run.
+	ProtoStage
+)
+
+// WarmRange is one region warmed into the hierarchy before measuring.
+type WarmRange struct {
+	Base, Region uint64
+}
+
+// enc accumulates the canonical encoding. Strings are length-prefixed and
+// slices count-prefixed, so adjacent variable-length fields can never alias
+// each other's bytes.
+type enc struct {
+	buf []byte
+}
+
+func (e *enc) u64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+func (e *enc) i(v int)     { e.u64(uint64(int64(v))) }
+func (e *enc) f(v float64) { e.u64(math.Float64bits(v)) }
+func (e *enc) boolean(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+func (e *enc) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *enc) cpu(c *isa.CPU) {
+	e.str(c.Name)
+	e.i(len(c.Ports))
+	for i := range c.Ports {
+		p := &c.Ports[i]
+		e.str(p.Name)
+		for _, a := range p.Accepts {
+			e.boolean(a)
+		}
+	}
+	e.i(len(c.Vec512Ports))
+	for _, p := range c.Vec512Ports {
+		e.i(p)
+	}
+	e.i(c.DecodeWidth)
+	e.i(c.RetireWidth)
+	e.i(c.ROBSize)
+	e.i(c.RSSize)
+	e.i(c.LoadQueue)
+	e.i(c.StoreQueue)
+	e.i(c.LineFillBuffers)
+	e.i(c.GPRegs)
+	e.i(c.VecRegs)
+	for _, g := range []isa.CacheGeom{c.L1D, c.L2, c.LLC} {
+		e.i(g.SizeBytes)
+		e.i(g.Ways)
+		e.i(g.LineBytes)
+		e.i(g.Latency)
+	}
+	e.i(c.MemLatency)
+	e.i(int(c.VecWidth))
+	e.f(c.Freq.ScalarGHz)
+	e.f(c.Freq.AVX2GHz)
+	e.f(c.Freq.AVX512GHz)
+	e.f(c.Freq.AVX512HeavyGHz)
+	e.f(c.Freq.UncoreGovPenalty)
+	e.f(c.Freq.MinGHz)
+}
+
+func (e *enc) perturb(p *uarch.Perturb) {
+	// A perturbation with every rate zero is the identity no matter its
+	// seed; encode it as absent so sensitivity trials share entries exactly
+	// when the perturbed machine coincides with the nominal one.
+	if p != nil && p.LatJitter == 0 && p.OccJitter == 0 && p.CacheJitter == 0 &&
+		p.FreqJitter == 0 && p.PortFaultRate == 0 {
+		p = nil
+	}
+	if p == nil {
+		e.boolean(false)
+		return
+	}
+	e.boolean(true)
+	e.u64(p.Seed)
+	e.f(p.LatJitter)
+	e.f(p.OccJitter)
+	e.f(p.CacheJitter)
+	e.f(p.FreqJitter)
+	e.f(p.PortFaultRate)
+}
+
+func (e *enc) program(p *uarch.Program) {
+	e.str(p.Name)
+	e.i(p.NumRegs)
+	e.i(p.ElemsPerIter)
+	e.i(p.VectorStatements)
+	e.i(int(p.VectorWidth))
+	e.i(len(p.Body))
+	for i := range p.Body {
+		u := &p.Body[i]
+		in := u.Instr
+		e.str(in.Name)
+		e.i(int(in.Class))
+		e.i(int(in.Width))
+		e.i(in.Latency)
+		e.i(in.Occupancy)
+		e.i(in.Uops)
+		e.i(in.Lanes)
+		e.i(in.Argc)
+		e.i(int(u.Dst))
+		for _, s := range u.Srcs {
+			e.i(int(s))
+		}
+		e.i(int(u.Addr.Kind))
+		e.u64(u.Addr.Base)
+		e.u64(u.Addr.Stride)
+		e.u64(u.Addr.Region)
+		e.u64(u.Addr.Offset)
+		e.u64(u.Addr.Seed)
+		e.i(int(u.Addr.LaneSel))
+	}
+}
+
+// Fingerprint computes the content key of one measurement under the given
+// protocol. warm lists the regions warmed before the runs, in warming
+// order.
+func Fingerprint(proto Protocol, cpu *isa.CPU, p *uarch.Perturb, prog *uarch.Program, iters int64, warm []WarmRange) Key {
+	var e enc
+	e.buf = make([]byte, 0, 512)
+	e.buf = append(e.buf, byte(proto))
+	e.cpu(cpu)
+	e.perturb(p)
+	e.program(prog)
+	e.u64(uint64(iters))
+	e.i(len(warm))
+	for _, w := range warm {
+		e.u64(w.Base)
+		e.u64(w.Region)
+	}
+	sum := sha256.Sum256(e.buf)
+	var k Key
+	copy(k[:], sum[:16])
+	return k
+}
+
+// Stats is a snapshot of the cache's counters.
+type Stats struct {
+	// Hits and Misses count Get calls; Entries counts stored Results.
+	Hits, Misses, Entries uint64
+}
+
+// HitRate is Hits/(Hits+Misses), 0 on an unused cache.
+func (s Stats) HitRate() float64 {
+	if t := s.Hits + s.Misses; t > 0 {
+		return float64(s.Hits) / float64(t)
+	}
+	return 0
+}
+
+// Cache is a concurrency-safe content-addressed store of measurement
+// Results. Results are deep-copied on both Put and Get, so callers may
+// freely mutate what they pass in and get back (the experiment harness
+// scales and accumulates counters in place). A nil *Cache is valid and
+// never hits, so callers thread an optional cache without branching.
+type Cache struct {
+	mu     sync.Mutex
+	m      map[Key]*uarch.Result
+	hits   uint64
+	misses uint64
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]*uarch.Result)}
+}
+
+// Get returns a private copy of the Result stored under k, if any.
+func (c *Cache) Get(k Key) (*uarch.Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.m[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return r.Clone(), true
+}
+
+// Put stores a private copy of r under k. Re-putting a key overwrites;
+// identical content produces identical Results, so the overwrite is
+// invisible.
+func (c *Cache) Put(k Key, r *uarch.Result) {
+	if c == nil || r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = r.Clone()
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Entries: uint64(len(c.m))}
+}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"hef/internal/hef"
+	"hef/internal/memo"
 	"hef/internal/uarch"
 )
 
@@ -39,6 +40,28 @@ type RunReport struct {
 	Runs   []Run             `json:"runs"`
 	// Search is the HEF pruning walk when the tool ran one.
 	Search *SearchReport `json:"search,omitempty"`
+	// Memo holds the content-addressed measurement cache's counters when
+	// the tool ran with memoization (additive field; absent otherwise).
+	Memo *MemoStats `json:"memo,omitempty"`
+}
+
+// MemoStats is the report form of the measurement memo cache's counters
+// (see internal/memo). In merged reports the counters are summed over the
+// per-task caches.
+type MemoStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	Entries uint64  `json:"entries"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// MemoFromStats converts the memo package's counter snapshot, returning
+// nil for an unused cache so reports omit the field rather than emit zeros.
+func MemoFromStats(s memo.Stats) *MemoStats {
+	if s == (memo.Stats{}) {
+		return nil
+	}
+	return &MemoStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, HitRate: s.HitRate()}
 }
 
 // Run is one measured (workload, implementation) cell.

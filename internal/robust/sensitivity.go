@@ -9,6 +9,7 @@ import (
 	"hef/internal/hef"
 	"hef/internal/hid"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/uarch"
 )
 
@@ -45,6 +46,12 @@ type SensConfig struct {
 	// sweep over many operators stays bounded even if a perturbed model
 	// makes the search walk far.
 	Budget int
+
+	// Parallel selects the wave-based parallel search engine with that many
+	// evaluator workers for the baseline and every trial search (0 keeps
+	// the classic serial walk). The analysis is byte-identical for every
+	// setting.
+	Parallel int
 }
 
 // Trial is the outcome of the search on one perturbed model.
@@ -137,8 +144,16 @@ func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 
 	// A budget-exhausted search still yields a usable (partial) result; any
 	// other failure — cancellation, a broken model — aborts the analysis.
-	opts := hef.SearchOpts{MaxEvaluations: cfg.Budget}
+	opts := hef.SearchOpts{MaxEvaluations: cfg.Budget, Workers: cfg.Parallel}
+	// One measurement memo for the whole analysis. Trials only share entries
+	// when their perturbed machine actually coincides with another's (the
+	// fingerprint normalizes a zero-rate perturbation to the nominal model,
+	// so a Jitter=0 ensemble collapses onto the baseline's measurements);
+	// within a trial it serves the regret re-measurement of already-searched
+	// nodes.
+	cache := memo.NewCache()
 	baseEval := hef.NewSimEvaluator(cfg.CPU, cfg.Template, width, cfg.Elems)
+	baseEval.SetMemo(cache)
 	baseRes, err := hef.SearchContext(ctx, baseEval, initial, bounds, opts)
 	if err != nil && (baseRes == nil || !errors.Is(err, hef.ErrBudgetExhausted)) {
 		return nil, fmt.Errorf("robust: baseline search: %w", err)
@@ -172,6 +187,7 @@ func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 		// faults hook into issue via SetPerturb.
 		eval := hef.NewSimEvaluator(p.CPU(cfg.CPU), cfg.Template, width, cfg.Elems)
 		eval.SetPerturb(p)
+		eval.SetMemo(cache)
 		res, err := hef.SearchContext(ctx, eval, initial, bounds, opts)
 		if err != nil && (res == nil || !errors.Is(err, hef.ErrBudgetExhausted)) {
 			return nil, fmt.Errorf("robust: trial %d: %w", k, err)

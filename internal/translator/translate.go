@@ -10,6 +10,7 @@ package translator
 
 import (
 	"fmt"
+	"sort"
 
 	"hef/internal/hid"
 	"hef/internal/isa"
@@ -125,9 +126,12 @@ func Translate(tmpl *hid.Template, node Node, opt Options) (*Output, error) {
 	// no defining op in the body, so the simulator treats them as
 	// always-ready; they still consume architectural registers, accounted
 	// for in the spill budgets below.
+	// Iterate in sorted name order: map order would renumber the constants'
+	// SSA ids from run to run — semantically neutral, but it would make the
+	// emitted program (and its content fingerprint) nondeterministic.
 	constScalar := map[string]int{}
 	constVector := map[string]int{}
-	for name := range tmpl.Consts {
+	for _, name := range sortedConstNames(tmpl) {
 		constScalar[name] = em.newVal(false, true)
 		if node.V > 0 {
 			constVector[name] = em.newVal(true, true)
@@ -257,6 +261,17 @@ func Translate(tmpl *hid.Template, node Node, opt Options) (*Output, error) {
 // ParamBase returns the virtual base address the translator assigns to a
 // pointer parameter of the template — the address the experiment harness
 // warms in the cache hierarchy before timing a stage.
+// sortedConstNames returns the template's constant names in sorted order —
+// the canonical iteration order for everything derived from the Consts map.
+func sortedConstNames(tmpl *hid.Template) []string {
+	names := make([]string, 0, len(tmpl.Consts))
+	for name := range tmpl.Consts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func ParamBase(tmpl *hid.Template, name string) uint64 {
 	for i := range tmpl.Params {
 		if tmpl.Params[i].Name == name {

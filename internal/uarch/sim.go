@@ -116,13 +116,24 @@ func (r *Result) Add(o *Result) {
 	r.Elems += o.Elems
 	r.Stalls.addStalls(&o.Stalls)
 	if len(o.PortBusy) > len(r.PortBusy) {
-		r.PortBusy = append(r.PortBusy, make([]uint64, len(o.PortBusy)-len(r.PortBusy))...)
+		pb := make([]uint64, len(o.PortBusy))
+		copy(pb, r.PortBusy)
+		r.PortBusy = pb
 	}
 	for i := range o.PortBusy {
 		r.PortBusy[i] += o.PortBusy[i]
 	}
 	r.ROBOcc.addHist(&o.ROBOcc)
 	r.LoadQOcc.addHist(&o.LoadQOcc)
+}
+
+// Clone returns an independent deep copy of r. Callers that cache results
+// (the evaluation memo) hand out clones so that Add/Scale on one consumer
+// cannot corrupt another's counters.
+func (r *Result) Clone() *Result {
+	c := *r
+	c.PortBusy = append([]uint64(nil), r.PortBusy...)
+	return &c
 }
 
 // Scale multiplies all extensive counters by f, used to extrapolate a
@@ -255,6 +266,12 @@ type Sim struct {
 	// hierErr records a cache-hierarchy construction failure; NewSim keeps
 	// its infallible signature and Run surfaces the error instead.
 	hierErr error
+
+	// steady is the steady-state fast-path detector (see steady.go); its
+	// scratch buffers persist across runs so hot sweep loops stay
+	// allocation-free. fastOff disables the fast path (SetFastPath).
+	steady  steadyState
+	fastOff bool
 }
 
 // NewSim builds a simulator for a CPU with a fresh cache hierarchy. An
@@ -291,22 +308,40 @@ func (s *Sim) CPU() *isa.CPU { return s.cpu }
 // set. The cache hierarchy retains its contents across calls (reset it
 // explicitly for a cold run); counters are deltas for this call.
 func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
-	if s.hierErr != nil {
-		return nil, s.hierErr
-	}
-	if err := prog.Validate(); err != nil {
+	res := &Result{}
+	if err := s.RunInto(res, prog, iters); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// RunInto is Run with caller-owned result storage: res is fully overwritten
+// (its PortBusy backing array is reused when large enough), so hot sweep
+// loops can run without per-call allocations.
+func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
+	if s.hierErr != nil {
+		return s.hierErr
+	}
+	if err := prog.Validate(); err != nil {
+		return err
+	}
 	if iters <= 0 {
-		return nil, fmt.Errorf("uarch: iters must be positive, got %d", iters)
+		return fmt.Errorf("uarch: iters must be positive, got %d", iters)
 	}
 	prog.prepare()
 	s.reset(prog)
 	statsBefore := s.hier.Stats()
 
 	cpu := s.cpu
-	res := &Result{Name: prog.Name}
-	res.PortBusy = make([]uint64, len(cpu.Ports))
+	pb := res.PortBusy[:0]
+	*res = Result{Name: prog.Name}
+	if cap(pb) < len(cpu.Ports) {
+		pb = make([]uint64, len(cpu.Ports))
+	} else {
+		pb = pb[:len(cpu.Ports)]
+		clear(pb)
+	}
+	res.PortBusy = pb
 	res.ROBOcc.Cap = cpu.ROBSize
 	res.LoadQOcc.Cap = cpu.LoadQueue
 	body := prog.Body
@@ -316,6 +351,7 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 	var dispatchIter int64
 	var dispatchIdx int
 	traceDone := false
+	s.steady.begin(s, prog)
 
 	for !traceDone || s.robCount > 0 {
 		// Free memory-queue slots whose operations completed.
@@ -323,6 +359,15 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 		s.storeQ.drain(cycle)
 		s.lfb.drain(cycle)
 		s.inflight.drain(cycle)
+
+		// Steady-state fast path: at the first cycle observing each new
+		// dispatch iteration (after the drains, so every queued completion
+		// is in the future), look for an exact recurrence of the machine's
+		// relative state and, on a match, extrapolate whole periods of the
+		// loop at once.
+		if s.steady.active && !traceDone && dispatchIter > s.steady.lastIter {
+			s.steady.observe(s, res, &cycle, &dispatchIter, dispatchIdx, iters)
+		}
 
 		// Retire in order.
 		retiredUops := 0
@@ -484,7 +529,7 @@ func (s *Sim) Run(prog *Program, iters int64) (*Result, error) {
 	res.Elems = uint64(iters) * uint64(prog.ElemsPerIter)
 	res.Cache = statsDelta(s.hier.Stats(), statsBefore)
 	res.FreqGHz = EffectiveFreq(cpu, prog, res)
-	return res, nil
+	return nil
 }
 
 // MustRun is Run for known-good programs; it panics on error.
@@ -517,10 +562,18 @@ func (s *Sim) reset(prog *Program) {
 	s.rob = s.rob[:robCap]
 	s.robHead, s.robTail, s.robCount, s.uopsInROB = 0, 0, 0, 0
 	s.rs = s.rs[:0]
-	if len(s.regRing) != regRingSlots || len(s.regRing[0]) < prog.NumRegs {
+	if len(s.regRing) != regRingSlots {
 		s.regRing = make([][]int64, regRingSlots)
-		for i := range s.regRing {
+	}
+	// Grow each ring slot in place: slots keep their backing arrays across
+	// runs, so alternating programs of different register counts (a pruning
+	// search) stop reallocating the whole ring. Stale values are harmless —
+	// a slot is cleared when its iteration dispatches, before any read.
+	for i := range s.regRing {
+		if cap(s.regRing[i]) < prog.NumRegs {
 			s.regRing[i] = make([]int64, prog.NumRegs)
+		} else {
+			s.regRing[i] = s.regRing[i][:prog.NumRegs]
 		}
 	}
 	if len(s.portFree) != len(s.cpu.Ports) {

@@ -13,16 +13,43 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	p := indepProg("bench", isa.MustScalar("add"), 8)
 	s := NewSim(cpu)
 	const iters = 4096
+	var res Result
+	b.ReportAllocs()
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		res, err := s.Run(p, iters)
-		if err != nil {
+		if err := s.RunInto(&res, p, iters); err != nil {
 			b.Fatal(err)
 		}
 		instrs += res.Instructions
 	}
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// TestRunIntoAllocs pins the allocation hygiene of the hot loop: once a Sim
+// and Result have been through one warm-up Run, steady-state RunInto calls
+// must not allocate at all.
+func TestRunIntoAllocs(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	progs := []*Program{
+		indepProg("alloc-add", isa.MustScalar("add"), 8),
+		stackSpillProg("alloc-spill", 4),
+	}
+	for _, p := range progs {
+		s := NewSim(cpu)
+		var res Result
+		if err := s.RunInto(&res, p, 1024); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(10, func() {
+			if err := s.RunInto(&res, p, 1024); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if avg > 0 {
+			t.Errorf("%s: RunInto allocates %.1f objects per call after warm-up, want 0", p.Name, avg)
+		}
+	}
 }
 
 func BenchmarkSimulatorGatherHeavy(b *testing.B) {

@@ -1,0 +1,333 @@
+package uarch
+
+import (
+	"bytes"
+	"encoding/binary"
+	"slices"
+
+	"hef/internal/cache"
+	"hef/internal/isa"
+)
+
+// Steady-state fast path.
+//
+// A loop body whose memory addresses do not depend on the iteration number
+// (Program.fastEligible) drives the machine into a periodic regime: once the
+// pipeline's *relative* state — ROB contents, scheduler order, register
+// readiness, port horizons, memory-queue completions, and the reachable
+// cache/prefetcher state — recurs at an iteration-dispatch boundary, every
+// subsequent period replays the same cycle-by-cycle trajectory shifted by a
+// fixed (iterations, cycles) delta. Run therefore digests the relative state
+// at each boundary; on an exact recurrence it adds k periods' worth of
+// counter deltas, shifts the live state forward by k*(P iterations, D
+// cycles), and resumes the normal loop for the tail. The result is
+// bit-identical to the slow path (see steady_test.go's differential tests).
+//
+// The fast path turns itself off when a trace log is attached (events carry
+// absolute cycles), when Debug printing is on, and when port-fault injection
+// is active (faults hash the absolute cycle, so state recurrence does not
+// imply trajectory recurrence). Latency/occupancy perturbation keys on the
+// instruction name and is safe.
+
+const (
+	// steadyRing is how many recent boundary snapshots are kept: recurrences
+	// with periods up to steadyRing iterations are detected.
+	steadyRing = 8
+	// steadyMaxBoundaries bounds the snapshot work on programs that never
+	// settle; past it the detector gives up for the rest of the run.
+	steadyMaxBoundaries = 512
+)
+
+// steadySnap is one stored boundary snapshot. Its buffers are reused across
+// boundaries and runs.
+type steadySnap struct {
+	valid    bool
+	iter     int64
+	cycle    int64
+	digest   []byte
+	res      Result
+	stats    cache.Stats
+	accessNo uint64
+}
+
+// steadyState is the per-Sim detector; scratch persists across runs so the
+// steady path itself allocates nothing once warm.
+type steadyState struct {
+	active   bool
+	lastIter int64
+	seen     int
+	ring     [steadyRing]steadySnap
+	next     int
+
+	addrs   []uint64
+	lines   []uint64
+	buf     []byte
+	heapTmp []int64
+	regTmp  []int64
+
+	skippedIters  int64
+	skippedCycles int64
+}
+
+// SetFastPath enables or disables the steady-state fast path (default
+// enabled). Disabling forces every Run onto the full cycle-by-cycle path;
+// the differential tests use it to check bit-identity.
+func (s *Sim) SetFastPath(on bool) { s.fastOff = !on }
+
+// FastForwarded reports how many iterations and cycles the most recent Run
+// skipped by steady-state extrapolation (both zero when the full path ran).
+func (s *Sim) FastForwarded() (iters, cycles int64) {
+	return s.steady.skippedIters, s.steady.skippedCycles
+}
+
+// begin arms the detector for one Run and precomputes the cache lines the
+// program (and the hardware prefetcher chasing it) can touch.
+func (st *steadyState) begin(s *Sim, prog *Program) {
+	st.skippedIters, st.skippedCycles = 0, 0
+	st.active = false
+	if s.fastOff || !prog.fastEligible || s.trace != nil || Debug {
+		return
+	}
+	if s.perturb != nil && s.perturb.PortFaultRate > 0 {
+		return
+	}
+	st.active = true
+	st.lastIter = 0
+	st.seen = 0
+	st.next = 0
+	for i := range st.ring {
+		st.ring[i].valid = false
+	}
+	st.addrs = st.addrs[:0]
+	for i := range prog.Body {
+		u := &prog.Body[i]
+		if !u.Instr.Class.IsMemory() {
+			continue
+		}
+		// Eligibility makes every address iteration-invariant, so iteration
+		// 0 enumerates the whole footprint.
+		switch u.Instr.Class {
+		case isa.GatherOp:
+			for lane := 0; lane < u.Instr.Lanes; lane++ {
+				st.addrs = append(st.addrs, u.Addr.address(0, lane, prog.ElemsPerIter))
+			}
+		case isa.Store:
+			st.addrs = append(st.addrs, u.Addr.address(0, 0, prog.ElemsPerIter))
+		default: // Load, Prefetch
+			st.addrs = append(st.addrs, u.Addr.address(0, int(u.Addr.LaneSel), prog.ElemsPerIter))
+		}
+	}
+	st.lines = s.hier.SteadyLines(st.addrs, st.lines[:0])
+}
+
+// observe runs at one iteration-dispatch boundary: digest the relative
+// state, extrapolate on a recurrence, or remember the snapshot.
+func (st *steadyState) observe(s *Sim, res *Result, cycle, dispatchIter *int64, dispatchIdx int, iters int64) {
+	st.lastIter = *dispatchIter
+	st.seen++
+	if st.seen > steadyMaxBoundaries {
+		st.active = false
+		return
+	}
+	digest, minIter, ok := st.encode(s, *cycle, *dispatchIter, dispatchIdx)
+	if !ok {
+		return
+	}
+	for i := range st.ring {
+		snap := &st.ring[i]
+		if !snap.valid || !bytes.Equal(snap.digest, digest) {
+			continue
+		}
+		p := *dispatchIter - snap.iter
+		d := *cycle - snap.cycle
+		if p <= 0 || d <= 0 {
+			continue
+		}
+		// Leave at least one iteration of tail so the loop-exit transition
+		// and the ROB drain are simulated, not extrapolated.
+		k := (iters - 1 - *dispatchIter) / p
+		if k <= 0 {
+			st.active = false
+			return
+		}
+		addScaledSelfDelta(res, &snap.res, uint64(k))
+		s.hier.AdvanceSteady(k, statsDelta(s.hier.Stats(), snap.stats), s.hier.AccessNo()-snap.accessNo)
+		s.shiftSteady(k*p, k*d, minIter, *dispatchIter, dispatchIdx)
+		*cycle += k * d
+		*dispatchIter += k * p
+		st.skippedIters, st.skippedCycles = k*p, k*d
+		st.active = false
+		return
+	}
+	snap := &st.ring[st.next]
+	st.next = (st.next + 1) % steadyRing
+	snap.valid = true
+	snap.iter, snap.cycle = *dispatchIter, *cycle
+	snap.digest = append(snap.digest[:0], digest...)
+	pb := snap.res.PortBusy[:0]
+	snap.res = *res
+	snap.res.PortBusy = append(pb, res.PortBusy...)
+	snap.stats = s.hier.Stats()
+	snap.accessNo = s.hier.AccessNo()
+}
+
+// encode canonicalises the machine state relative to (cycle, dispatchIter).
+// Completion cycles at or before the current cycle are clamped to zero (all
+// "already available" states behave identically), iteration numbers are
+// taken relative to the dispatch front, and ROB positions relative to the
+// head. It refuses (ok=false) while iteration 0 is still in flight, whose
+// loop-carried reads are special-cased by srcsReady.
+func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int) (digest []byte, minIter int64, ok bool) {
+	buf := st.buf[:0]
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+
+	minIter = dispatchIter
+	u64(uint64(dispatchIdx))
+	u64(uint64(s.robCount))
+	for idx := 0; idx < s.robCount; idx++ {
+		e := &s.rob[(s.robHead+idx)%len(s.rob)]
+		if e.iter < minIter {
+			minIter = e.iter
+		}
+		u64(uint64(e.bodyIdx))
+		u64(uint64(dispatchIter - e.iter))
+		if e.issued {
+			c := e.completion - cycle
+			if c < 0 {
+				c = 0
+			}
+			u64(1)
+			u64(uint64(c))
+		} else {
+			u64(0)
+			u64(0)
+		}
+	}
+	if minIter < 1 {
+		st.buf = buf
+		return nil, 0, false
+	}
+	u64(uint64(s.uopsInROB))
+	u64(uint64(len(s.rs)))
+	for _, ri := range s.rs {
+		u64(uint64((int(ri) - s.robHead + len(s.rob)) % len(s.rob)))
+	}
+	for _, f := range s.portFree {
+		c := f - cycle
+		if c < 0 {
+			c = 0
+		}
+		u64(uint64(c))
+	}
+	// Heap layout is irrelevant to behaviour (drain removes every entry at
+	// or below the cycle, min only reads the minimum), so the multiset of
+	// pending completions is the canonical form.
+	for _, h := range []*minHeap{&s.loadQ, &s.storeQ, &s.lfb, &s.inflight} {
+		u64(uint64(len(*h)))
+		tmp := append(st.heapTmp[:0], *h...)
+		slices.Sort(tmp)
+		st.heapTmp = tmp
+		for _, v := range tmp {
+			u64(uint64(v - cycle))
+		}
+	}
+	// Live register-ring window: slots minIter-1 (loop-carried reads of the
+	// oldest in-flight iteration) up to the dispatch front. The front
+	// iteration's slot is live only once its first instruction has
+	// dispatched (which cleared it); before that it holds dead values from
+	// regRingSlots iterations ago.
+	hi := dispatchIter
+	if dispatchIdx > 0 {
+		hi = dispatchIter + 1
+	}
+	for j := minIter - 1; j < hi; j++ {
+		for _, v := range s.regRing[j%regRingSlots] {
+			switch {
+			case v == notIssued:
+				u64(^uint64(0))
+			case v <= cycle:
+				u64(0)
+			default:
+				u64(uint64(v - cycle))
+			}
+		}
+	}
+	buf = s.hier.AppendSteadyState(buf, st.lines)
+	st.buf = buf
+	return buf, minIter, true
+}
+
+// shiftSteady moves the live machine state forward by kp iterations and kd
+// cycles without simulating them: every absolute cycle shifts by kd, every
+// iteration number by kp, and the live register-ring window rotates to the
+// slots its shifted iteration numbers index.
+func (s *Sim) shiftSteady(kp, kd, minIter, dispatchIter int64, dispatchIdx int) {
+	for idx := 0; idx < s.robCount; idx++ {
+		e := &s.rob[(s.robHead+idx)%len(s.rob)]
+		e.iter += kp
+		if e.issued {
+			e.completion += kd
+		}
+	}
+	nr := 0
+	if len(s.regRing) > 0 {
+		nr = len(s.regRing[0])
+	}
+	hi := dispatchIter // exclusive upper slot is hi
+	if dispatchIdx > 0 {
+		hi = dispatchIter + 1
+	}
+	w := int(hi - minIter + 1)
+	need := w * nr
+	if cap(s.steady.regTmp) < need {
+		s.steady.regTmp = make([]int64, need)
+	}
+	tmp := s.steady.regTmp[:need]
+	for i := 0; i < w; i++ {
+		copy(tmp[i*nr:(i+1)*nr], s.regRing[(minIter-1+int64(i))%regRingSlots])
+	}
+	for i := 0; i < w; i++ {
+		dst := s.regRing[(minIter-1+int64(i)+kp)%regRingSlots]
+		for r, v := range tmp[i*nr : (i+1)*nr] {
+			if v != notIssued {
+				v += kd
+			}
+			dst[r] = v
+		}
+	}
+	for _, h := range []*minHeap{&s.loadQ, &s.storeQ, &s.lfb, &s.inflight} {
+		for i := range *h {
+			(*h)[i] += kd
+		}
+	}
+	for i := range s.portFree {
+		s.portFree[i] += kd
+	}
+}
+
+// addScaledSelfDelta adds k times the counter delta accumulated since base
+// (res - base) onto res, in exact integer arithmetic — the counter half of
+// replaying k steady-state periods.
+func addScaledSelfDelta(res, base *Result, k uint64) {
+	res.Instructions += k * (res.Instructions - base.Instructions)
+	res.Uops += k * (res.Uops - base.Uops)
+	for i := range res.Hist {
+		res.Hist[i] += k * (res.Hist[i] - base.Hist[i])
+	}
+	res.Vec512Uops += k * (res.Vec512Uops - base.Vec512Uops)
+	res.PrefetchUops += k * (res.PrefetchUops - base.PrefetchUops)
+	res.Stalls.Retiring += k * (res.Stalls.Retiring - base.Stalls.Retiring)
+	res.Stalls.Frontend += k * (res.Stalls.Frontend - base.Stalls.Frontend)
+	res.Stalls.BackendPort += k * (res.Stalls.BackendPort - base.Stalls.BackendPort)
+	res.Stalls.Memory += k * (res.Stalls.Memory - base.Stalls.Memory)
+	res.Stalls.Dependency += k * (res.Stalls.Dependency - base.Stalls.Dependency)
+	for i := range res.PortBusy {
+		res.PortBusy[i] += k * (res.PortBusy[i] - base.PortBusy[i])
+	}
+	for i := range res.ROBOcc.Buckets {
+		res.ROBOcc.Buckets[i] += k * (res.ROBOcc.Buckets[i] - base.ROBOcc.Buckets[i])
+	}
+	for i := range res.LoadQOcc.Buckets {
+		res.LoadQOcc.Buckets[i] += k * (res.LoadQOcc.Buckets[i] - base.LoadQOcc.Buckets[i])
+	}
+}

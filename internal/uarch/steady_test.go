@@ -1,0 +1,224 @@
+package uarch
+
+import (
+	"reflect"
+	"testing"
+
+	"hef/internal/isa"
+)
+
+// steadyCPUs is the four machine models the fast path must be bit-exact on.
+func steadyCPUs(t *testing.T) []*isa.CPU {
+	t.Helper()
+	var cpus []*isa.CPU
+	for _, name := range []string{"silver", "gold", "neoverse", "zen"} {
+		cpu, err := isa.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", name, err)
+		}
+		cpus = append(cpus, cpu)
+	}
+	return cpus
+}
+
+// stackSpillProg mixes arithmetic with stack spill traffic — eligible for
+// the fast path, and it exercises the cache/prefetcher state digest.
+func stackSpillProg(name string, n int) *Program {
+	p := &Program{Name: name, NumRegs: int16Max(n+2, 4), ElemsPerIter: n}
+	ld := isa.MustScalar("movq")
+	st := isa.MustScalar("movq.st")
+	add := isa.MustScalar("add")
+	for i := 0; i < n; i++ {
+		r := int16(i + 2)
+		p.Body = append(p.Body,
+			UOp{Instr: ld, Dst: r, Srcs: [3]int16{NoReg, NoReg, NoReg},
+				Addr: AddrSpec{Kind: AddrStack, Base: 1 << 20, Offset: uint64(i)}},
+			UOp{Instr: add, Dst: r, Srcs: [3]int16{r, 0, NoReg}},
+			UOp{Instr: st, Dst: NoReg, Srcs: [3]int16{r, NoReg, NoReg},
+				Addr: AddrSpec{Kind: AddrStack, Base: 1 << 20, Offset: uint64(i)}},
+		)
+	}
+	return p
+}
+
+// hotProbeProg loads a single constant address (Region 0 degenerates to
+// Base), the pattern of a hot single-entry lookup.
+func hotProbeProg(name string) *Program {
+	ld := isa.MustScalar("movq")
+	add := isa.MustScalar("add")
+	return &Program{Name: name, NumRegs: 4, ElemsPerIter: 1, Body: []UOp{
+		{Instr: ld, Dst: 2, Srcs: [3]int16{NoReg, NoReg, NoReg},
+			Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 30, Region: 0, Seed: 7}},
+		{Instr: add, Dst: 3, Srcs: [3]int16{2, 0, NoReg}},
+	}}
+}
+
+func int16Max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// eligibleProgs are programs whose addresses are iteration-invariant; the
+// fast path must engage on them and stay bit-identical to the slow path.
+// 512-bit vector programs are only runnable on CPUs with 512-bit units, so
+// callers filter by model.
+func eligibleProgs(cpu *isa.CPU) []*Program {
+	progs := []*Program{
+		indepProg("fp-indep-add", isa.MustScalar("add"), 8),
+		chainProg("fp-chain-mul", isa.MustScalar("imul"), 4),
+		stackSpillProg("fp-spill", 6),
+		hotProbeProg("fp-hot-probe"),
+	}
+	if len(cpu.Vec512Ports) > 0 {
+		progs = append(progs, indepProg("fp-vec", isa.MustAVX512("vpmullq"), 4))
+	}
+	return progs
+}
+
+// runBoth executes prog on fresh simulators with the fast path off and on
+// and returns both results plus the fast simulator (for FastForwarded).
+func runBoth(t *testing.T, cpu *isa.CPU, prog *Program, iters int64) (slow, fast *Result, fastSim *Sim) {
+	t.Helper()
+	ss := NewSim(cpu)
+	ss.SetFastPath(false)
+	slow, err := ss.Run(prog, iters)
+	if err != nil {
+		t.Fatalf("%s/%s slow: %v", cpu.Name, prog.Name, err)
+	}
+	fs := NewSim(cpu)
+	fast, err = fs.Run(prog, iters)
+	if err != nil {
+		t.Fatalf("%s/%s fast: %v", cpu.Name, prog.Name, err)
+	}
+	return slow, fast, fs
+}
+
+// TestFastPathBitIdentical is the core differential: on every eligible
+// program × CPU model the fast path must produce the identical Result and
+// must actually have skipped work.
+func TestFastPathBitIdentical(t *testing.T) {
+	const iters = 4096
+	for _, cpu := range steadyCPUs(t) {
+		for _, prog := range eligibleProgs(cpu) {
+			slow, fast, fs := runBoth(t, cpu, prog, iters)
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s/%s: fast path diverged\nslow: %+v\nfast: %+v", cpu.Name, prog.Name, slow, fast)
+			}
+			if fi, fc := fs.FastForwarded(); fi == 0 || fc == 0 {
+				t.Errorf("%s/%s: fast path did not engage (skipped %d iters, %d cycles)", cpu.Name, prog.Name, fi, fc)
+			}
+		}
+	}
+}
+
+// TestFastPathBackToBackRuns checks the hierarchy bookkeeping the skip
+// leaves behind: a second Run on the same simulator (retained cache and
+// prefetcher state, the evaluator's warm-up/measure pattern) must match the
+// slow path too.
+func TestFastPathBackToBackRuns(t *testing.T) {
+	const iters = 2048
+	for _, cpu := range steadyCPUs(t) {
+		for _, prog := range eligibleProgs(cpu) {
+			ss := NewSim(cpu)
+			ss.SetFastPath(false)
+			fs := NewSim(cpu)
+			for run := 0; run < 2; run++ {
+				slow := ss.MustRun(prog, iters)
+				fast := fs.MustRun(prog, iters)
+				if !reflect.DeepEqual(slow, fast) {
+					t.Errorf("%s/%s run %d: diverged\nslow: %+v\nfast: %+v", cpu.Name, prog.Name, run, slow, fast)
+				}
+			}
+		}
+	}
+}
+
+// TestFastPathIrregularIters sweeps iteration counts (including ones that
+// leave awkward tails) to pin the exact-tail arithmetic.
+func TestFastPathIrregularIters(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	for _, prog := range eligibleProgs(cpu) {
+		for _, iters := range []int64{1, 2, 63, 100, 1000, 1001, 4097} {
+			slow, fast, _ := runBoth(t, cpu, prog, iters)
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s iters=%d: diverged", prog.Name, iters)
+			}
+		}
+	}
+}
+
+// TestFastPathDeclinesIterDependentAddresses: streaming and region-random
+// programs must never be extrapolated — their address streams change every
+// iteration.
+func TestFastPathDeclinesIterDependentAddresses(t *testing.T) {
+	ld := isa.MustScalar("movq")
+	stream := &Program{Name: "stream", NumRegs: 2, ElemsPerIter: 1, Body: []UOp{
+		{Instr: ld, Dst: 1, Srcs: [3]int16{NoReg, NoReg, NoReg},
+			Addr: AddrSpec{Kind: AddrStride, Base: 1 << 28, Stride: 8}},
+	}}
+	random := &Program{Name: "random", NumRegs: 2, ElemsPerIter: 1, Body: []UOp{
+		{Instr: ld, Dst: 1, Srcs: [3]int16{NoReg, NoReg, NoReg},
+			Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 28, Region: 1 << 22, Seed: 3}},
+	}}
+	for _, prog := range []*Program{stream, random} {
+		s := NewSim(isa.XeonSilver4110())
+		if _, err := s.Run(prog, 2048); err != nil {
+			t.Fatal(err)
+		}
+		if fi, _ := s.FastForwarded(); fi != 0 {
+			t.Errorf("%s: fast path engaged on an iteration-dependent address stream (skipped %d iters)", prog.Name, fi)
+		}
+	}
+}
+
+// TestFastPathUnderPerturbation: name-keyed latency/occupancy jitter keeps
+// the trajectory periodic, so the fast path stays exact; port-fault
+// injection hashes absolute cycles, so the fast path must decline.
+func TestFastPathUnderPerturbation(t *testing.T) {
+	cpu := isa.XeonSilver4110()
+	prog := indepProg("fp-perturb", isa.MustScalar("add"), 8)
+	jit := &Perturb{Seed: 99, LatJitter: 0.3, OccJitter: 0.3}
+	ss := NewSim(cpu)
+	ss.SetFastPath(false)
+	ss.SetPerturb(jit)
+	slow := ss.MustRun(prog, 4096)
+	fs := NewSim(cpu)
+	fs.SetPerturb(jit)
+	fast := fs.MustRun(prog, 4096)
+	if !reflect.DeepEqual(slow, fast) {
+		t.Errorf("latency-jitter run diverged\nslow: %+v\nfast: %+v", slow, fast)
+	}
+
+	pf := NewSim(cpu)
+	pf.SetPerturb(&Perturb{Seed: 99, PortFaultRate: 0.05})
+	pf.MustRun(prog, 4096)
+	if fi, _ := pf.FastForwarded(); fi != 0 {
+		t.Errorf("fast path engaged under port-fault injection (skipped %d iters)", fi)
+	}
+}
+
+// TestFastPathDeclinesTrace: attached trace logs record absolute cycles for
+// every event, so extrapolation must be off.
+func TestFastPathDeclinesTrace(t *testing.T) {
+	s := NewSim(isa.XeonSilver4110())
+	tl := &TraceLog{}
+	s.SetTraceLog(tl)
+	s.MustRun(indepProg("fp-trace", isa.MustScalar("add"), 4), 512)
+	if fi, _ := s.FastForwarded(); fi != 0 {
+		t.Errorf("fast path engaged with a trace log attached (skipped %d iters)", fi)
+	}
+}
+
+// TestFastPathSpeedupObservable: the point of the exercise — the skip must
+// cover the overwhelming majority of a long run.
+func TestFastPathSpeedupObservable(t *testing.T) {
+	s := NewSim(isa.XeonSilver4110())
+	const iters = 1 << 16
+	s.MustRun(indepProg("fp-speed", isa.MustScalar("add"), 8), iters)
+	fi, _ := s.FastForwarded()
+	if fi < iters*9/10 {
+		t.Errorf("fast path skipped only %d of %d iterations", fi, iters)
+	}
+}
