@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short chaos fuzz bench bench-json figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -31,6 +31,15 @@ test-short:
 chaos:
 	$(GO) test ./internal/sched/ -race -count=1 -run 'Chaos|Drain' -v -timeout 15m
 
+# corrupt runs the seeded corruption matrix against the durable artifacts:
+# bit flips, truncations, and garbage appends in the memo store plus torn
+# checkpoint primaries, each followed by an interrupted-then-resumed sweep
+# that must salvage, quarantine, and reproduce the baseline report byte for
+# byte. CORRUPT_SEED overrides the damage plan; CORRUPT_ARTIFACT_DIR keeps
+# the damaged stores and quarantine sidecars (CI uploads them on failure).
+corrupt:
+	$(GO) test ./internal/doctor/ -race -count=1 -run 'Corruption' -v -timeout 10m
+
 # fuzz gives each native fuzz target a short smoke budget (~30s total);
 # CI runs this on every push, longer campaigns run the same targets with
 # a bigger -fuzztime.
@@ -39,6 +48,9 @@ fuzz:
 	$(GO) test ./internal/hid/ -run TestNone -fuzz FuzzParse -fuzztime 10s
 	$(GO) test ./internal/translator/ -run TestNone -fuzz FuzzTranslate -fuzztime 10s
 	$(GO) test ./internal/memo/ -run TestNone -fuzz FuzzFingerprint -fuzztime 10s
+	$(GO) test ./internal/store/ -run TestNone -fuzz FuzzStoreLoad -fuzztime 10s
+	$(GO) test ./internal/store/ -run TestNone -fuzz FuzzSaveRotateLoadFallback -fuzztime 10s
+	$(GO) test ./internal/sched/ -run TestNone -fuzz FuzzCheckpointLoad -fuzztime 10s
 
 # One benchmark per paper table and figure (plus ablations).
 bench:

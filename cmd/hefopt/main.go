@@ -29,6 +29,7 @@ import (
 	"strings"
 	"syscall"
 
+	"hef/internal/check"
 	"hef/internal/core"
 	"hef/internal/experiments"
 	"hef/internal/hef"
@@ -37,6 +38,7 @@ import (
 	"hef/internal/memo"
 	"hef/internal/obs"
 	"hef/internal/sched"
+	"hef/internal/store"
 	"hef/internal/translator"
 )
 
@@ -56,7 +58,13 @@ func main() {
 	retries := flag.Int("retries", 2, "retry attempts per operator after a failure or panic")
 	checkpoint := flag.String("checkpoint", "", "persist completed optimizations to this file as the batch progresses")
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed optimizations")
+	memoDir := flag.String("memo-dir", "", "directory of a durable measurement memo store; measurements persist across runs and corrupt records are quarantined at open")
+	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	flag.Parse()
+
+	if *selfcheck {
+		check.SetEnabled(true)
+	}
 
 	ops := splitList(*op)
 	if err := validate(ops, *cpuName, *file, *dotOut, *elems, *budget, *parallel, *workers, *retries); err != nil {
@@ -82,8 +90,21 @@ func main() {
 	// One measurement memo for the whole batch: the search populates it and
 	// the per-flavour re-measurements (and any operator sharing a translated
 	// program) hit it. Shared live state, so its counters are reported to
-	// stderr only — the checkpointed reports stay resume-invariant.
+	// stderr only — the checkpointed reports stay resume-invariant. With
+	// -memo-dir the cache is backed by a durable store: prior runs' entries
+	// load at open, new measurements append as they are made, and the store
+	// block is attached to the emitted report at emit time only.
 	cache := memo.NewCache()
+	var mstore *store.MemoStore
+	if *memoDir != "" {
+		st, err := store.Open(*memoDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hefopt: -memo-dir %s unusable, continuing without persistence: %v\n", *memoDir, err)
+		} else {
+			mstore = st
+			cache = st.Cache()
+		}
+	}
 	var tasks []sched.Task[*opResult]
 	for _, name := range ops {
 		name := name
@@ -135,6 +156,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hefopt: memo cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
 			st.Hits, st.Misses, st.HitRate()*100, st.Entries)
 	}
+	// Close the store before emitting so flagged shards compact and the
+	// final counters are on disk; the stats feed the report's memo block.
+	var storeStats *obs.StoreStats
+	if mstore != nil {
+		if err := mstore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hefopt: memo store close: %v\n", err)
+		}
+		st := mstore.Stats()
+		fmt.Fprintf(os.Stderr, "hefopt: memo store %s: %s\n", mstore.Dir(), st.Summary())
+		storeStats = obs.StoreFromStats(mstore.Dir(), st)
+	}
 	if *dotOut != "" {
 		if err := os.WriteFile(*dotOut, []byte(res.Results[tasks[0].ID].Dot), 0o644); err != nil {
 			fail(err)
@@ -153,6 +185,17 @@ func main() {
 				reports = append(reports, res.Results[t.ID].Report)
 			}
 			rep = experiments.MergeReports("hefopt", reports...)
+		}
+		// The memo block joins the report at emit time only: checkpointed
+		// per-operator reports never carry it, so resumed and uninterrupted
+		// batches stay byte-identical outside the memo block itself.
+		if storeStats != nil {
+			m := obs.MemoFromStats(cache.Stats())
+			if m == nil {
+				m = &obs.MemoStats{}
+			}
+			m.Store = storeStats
+			rep.Memo = m
 		}
 		data, err := rep.MarshalIndent()
 		if err != nil {

@@ -31,10 +31,13 @@ import (
 	"strings"
 	"syscall"
 
+	"hef/internal/check"
 	"hef/internal/experiments"
 	"hef/internal/isa"
+	"hef/internal/memo"
 	"hef/internal/robust"
 	"hef/internal/sched"
+	"hef/internal/store"
 )
 
 func main() {
@@ -53,7 +56,13 @@ func main() {
 	retries := flag.Int("retries", 2, "retry attempts per analysis after a failure or panic")
 	checkpoint := flag.String("checkpoint", "", "persist completed analyses to this file as the sweep progresses")
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed analyses")
+	memoDir := flag.String("memo-dir", "", "directory of a durable measurement memo store shared by every analysis; measurements persist across runs and corrupt records are quarantined at open")
+	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	flag.Parse()
+
+	if *selfcheck {
+		check.SetEnabled(true)
+	}
 
 	if err := validate(*trials, *jitter, *portFault, *elems, *budget, *parallel, *workers, *retries); err != nil {
 		usageErr(err)
@@ -98,6 +107,23 @@ func main() {
 	fingerprint := fmt.Sprintf("seed=%d trials=%d jitter=%g portfault=%g elems=%d budget=%d cpu=%s op=%s",
 		*seed, *trials, *jitter, *portFault, *elems, *budget, *cpus, *ops)
 
+	// With -memo-dir every analysis shares one durable measurement cache:
+	// entries are keyed by the perturbed machine fingerprint, so sharing
+	// never mixes models — it only lets repeated and resumed runs reuse
+	// measurements. The analysis values (and the report bytes) are identical
+	// either way, which keeps -memo-dir out of the fingerprint.
+	var cache *memo.Cache
+	var mstore *store.MemoStore
+	if *memoDir != "" {
+		st, err := store.Open(*memoDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hefsens: -memo-dir %s unusable, continuing without persistence: %v\n", *memoDir, err)
+		} else {
+			mstore = st
+			cache = st.Cache()
+		}
+	}
+
 	var tasks []sched.Task[*robust.Sensitivity]
 	for _, p := range pairs {
 		p := p
@@ -119,6 +145,7 @@ func main() {
 					PortFaultRate: *portFault,
 					Budget:        *budget,
 					Parallel:      *parallel,
+					Memo:          cache,
 				})
 			},
 		})
@@ -150,6 +177,15 @@ func main() {
 			}
 		}
 		fail(err)
+	}
+
+	// The sensitivity report schema carries no memo block, so the store's
+	// counters go to stderr only; closing first compacts flagged shards.
+	if mstore != nil {
+		if err := mstore.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hefsens: memo store close: %v\n", err)
+		}
+		fmt.Fprintf(os.Stderr, "hefsens: memo store %s: %s\n", mstore.Dir(), mstore.Stats().Summary())
 	}
 
 	// Assemble the report in task order, not completion order, so the bytes

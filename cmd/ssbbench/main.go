@@ -29,12 +29,14 @@ import (
 	"syscall"
 	"time"
 
+	"hef/internal/check"
 	"hef/internal/experiments"
 	"hef/internal/isa"
 	"hef/internal/memo"
 	"hef/internal/obs"
 	"hef/internal/queries"
 	"hef/internal/sched"
+	"hef/internal/store"
 )
 
 func main() {
@@ -55,7 +57,13 @@ func main() {
 	retries := flag.Int("retries", 2, "retry attempts per figure after a failure or panic (with -all)")
 	checkpoint := flag.String("checkpoint", "", "with -all: persist completed figures to this file as the sweep progresses")
 	resume := flag.String("resume", "", "with -all: load a prior -checkpoint file and skip its completed figures")
+	memoDir := flag.String("memo-dir", "", "directory of a durable stage-measurement memo store shared by every figure; measurements persist across runs and corrupt records are quarantined at open")
+	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	flag.Parse()
+
+	if *selfcheck {
+		check.SetEnabled(true)
+	}
 
 	outFormat = *format
 	if *csvOut {
@@ -77,6 +85,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ssbbench: -parallel must be positive, got %d\n\n", *parallel)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *memoDir != "" {
+		openMemoDir(*memoDir)
 	}
 
 	if *all {
@@ -186,6 +198,13 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 					switch outFormat {
 					case "json":
 						cell.Report = fig.Report()
+						// A shared persistent cache's counters depend on
+						// figure order and resume state; strip them so the
+						// checkpointed report stays resume-invariant (the
+						// aggregate is re-attached at emit).
+						if sharedMemo != nil {
+							cell.Report.Memo = nil
+						}
 					case "csv":
 						cell.Text = fig.CSV()
 					case "markdown":
@@ -229,12 +248,15 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 
 	// Emit in task order, not completion order, so the output is identical
 	// however the pool interleaved (or resumed) the work.
+	ss := finishStore()
 	if outFormat == "json" {
 		var reports []*obs.RunReport
 		for _, t := range tasks {
 			reports = append(reports, res.Results[t.ID].Report)
 		}
-		emitJSON(experiments.MergeReports("ssbbench", reports...))
+		merged := experiments.MergeReports("ssbbench", reports...)
+		attachMemo(merged, ss)
+		emitJSON(merged)
 		return
 	}
 	for _, t := range tasks {
@@ -242,16 +264,71 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 	}
 }
 
-// runFigure runs one figure with a fresh per-figure measurement memo so
-// stages shared across queries and engines are simulated once. A figure's
-// report — including the cache counters — is byte-identical for every
-// -parallel setting, which keeps -parallel out of the checkpoint
-// fingerprint.
+// runFigure runs one figure with a measurement memo so stages shared across
+// queries and engines are simulated once: a fresh per-figure cache, or — under
+// -memo-dir — the run-wide persistent cache. A figure's numbers are
+// byte-identical for every -parallel setting and either cache, which keeps
+// -parallel and -memo-dir out of the checkpoint fingerprint; only the cache
+// counters vary with sharing, so under -memo-dir they are stripped from
+// checkpointed reports and re-attached in aggregate at emit time.
 func runFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query) (*experiments.Figure, error) {
+	cache := sharedMemo
+	if cache == nil {
+		cache = memo.NewCache()
+	}
 	return experiments.RunFigure(experiments.FigureConfig{
 		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed, Queries: qs,
-		Memo: memo.NewCache(), Parallel: stageParallel,
+		Memo: cache, Parallel: stageParallel,
 	})
+}
+
+// memoStore is the durable measurement store opened by -memo-dir (nil
+// without the flag); sharedMemo is its cache, shared by every figure of the
+// run so measurements carry across figures and across processes.
+var (
+	memoStore  *store.MemoStore
+	sharedMemo *memo.Cache
+)
+
+func openMemoDir(dir string) {
+	st, err := store.Open(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: -memo-dir %s unusable, continuing without persistence: %v\n", dir, err)
+		return
+	}
+	memoStore = st
+	sharedMemo = st.Cache()
+}
+
+// finishStore closes the durable memo store (compacting shards whose corrupt
+// tails could not be truncated at open), prints its one-line summary, and
+// returns the report form of its counters — nil without -memo-dir.
+func finishStore() *obs.StoreStats {
+	if memoStore == nil {
+		return nil
+	}
+	if err := memoStore.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: memo store close: %v\n", err)
+	}
+	st := memoStore.Stats()
+	fmt.Fprintf(os.Stderr, "ssbbench: memo store %s: %s\n", memoStore.Dir(), st.Summary())
+	return obs.StoreFromStats(memoStore.Dir(), st)
+}
+
+// attachMemo replaces a report's memo block with the shared persistent
+// cache's aggregate counters plus the store block. It runs at emit time
+// only — never on a report headed for a checkpoint — so resumed and
+// uninterrupted sweeps stay byte-identical outside the memo block itself.
+func attachMemo(rep *obs.RunReport, ss *obs.StoreStats) {
+	if ss == nil {
+		return
+	}
+	m := obs.MemoFromStats(sharedMemo.Stats())
+	if m == nil {
+		m = &obs.MemoStats{}
+	}
+	m.Store = ss
+	rep.Memo = m
 }
 
 // stageParallel is the -parallel flag: concurrent stage simulations within
@@ -263,9 +340,12 @@ func printFigure(cpu string, sf, sample float64, seed uint64, qs []queries.Query
 	if err != nil {
 		return err
 	}
+	ss := finishStore()
 	switch outFormat {
 	case "json":
-		emitJSON(fig.Report())
+		rep := fig.Report()
+		attachMemo(rep, ss)
+		emitJSON(rep)
 	case "csv":
 		fmt.Print(fig.CSV())
 	case "markdown":
@@ -312,15 +392,17 @@ func printTable(n int, sample float64, seed uint64) error {
 	}
 	fig, err := experiments.RunFigure(experiments.FigureConfig{
 		CPUName: cpu, NominalSF: sf, SampleSF: sample, Seed: seed,
-		Queries: []queries.Query{q},
+		Queries: []queries.Query{q}, Memo: sharedMemo,
 	})
 	if err != nil {
 		return err
 	}
+	ss := finishStore()
 	switch outFormat {
 	case "json":
 		rep := fig.Report()
 		rep.Params["table"] = fmt.Sprintf("%d", n)
+		attachMemo(rep, ss)
 		emitJSON(rep)
 		return nil
 	case "csv":

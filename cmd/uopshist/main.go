@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"hef/internal/check"
 	"hef/internal/experiments"
 	"hef/internal/isa"
 	"hef/internal/obs"
@@ -34,7 +35,11 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of short traced runs to this file (open in Perfetto) and exit")
 	traceIters := flag.Int64("trace-iters", 0, "loop iterations per traced run with -trace-out (<= 0 selects 64)")
 	timeout := flag.Duration("timeout", 0, "abort the run if it exceeds this duration (0 disables)")
+	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	flag.Parse()
+	if *selfcheck {
+		check.SetEnabled(true)
+	}
 	if err := validate(*cpu, *bench, *elems); err != nil {
 		fmt.Fprintf(os.Stderr, "uopshist: %v\n\n", err)
 		flag.Usage()

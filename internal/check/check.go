@@ -1,0 +1,28 @@
+// Package check gates the simulator's runtime self-check invariants.
+//
+// The conservation laws the simulator promises (every cycle lands in
+// exactly one stall bucket, every issued µop retires, occupancy histograms
+// integrate to the cycle count, the cache level counters chain) used to be
+// asserted only in one test file; this package makes them executable at run
+// time. The checks are always on under `go test` — any simulator change
+// that breaks a law fails the whole suite, not just the one test that
+// thought to assert it — and off by default in the tools, where the
+// `-selfcheck` flag turns them on for production-run auditing at a few
+// percent overhead.
+package check
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+var enabled atomic.Bool
+
+func init() { enabled.Store(testing.Testing()) }
+
+// Enabled reports whether invariant self-checks should run.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns the self-checks on or off; the tools' -selfcheck flag
+// calls it. Tests need not: the checks default on under `go test`.
+func SetEnabled(on bool) { enabled.Store(on) }

@@ -1,0 +1,331 @@
+// Package doctor verifies — and, on request, repairs — the artifacts the
+// pipeline writes to disk: durable memo stores (internal/store shard logs),
+// sweep checkpoints (internal/sched), machine-readable run reports
+// (internal/obs, including the BENCH_*.json snapshots), and JSON-line
+// streams (go test -json captures). It is the library behind cmd/hefdoctor.
+//
+// Verification is read-only and classifies each artifact by content, not
+// file name, so a misnamed artifact is still diagnosed correctly. Repair
+// applies the same salvage the runtime layers apply at open — truncate a
+// record log to its longest valid prefix (preserving the bad suffix in a
+// .quarantine sidecar), restore a torn checkpoint from its .bak rotation,
+// trim a torn JSON-line stream to its last intact line — so a repaired
+// artifact loads cleanly without further salvage work.
+package doctor
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+
+	"hef/internal/obs"
+	"hef/internal/sched"
+	"hef/internal/store"
+)
+
+// Status classifies one finding.
+type Status string
+
+const (
+	// StatusOK marks a healthy artifact.
+	StatusOK Status = "ok"
+	// StatusCorrupt marks damage that was found and not fixed — either
+	// repair was not requested, or the damage is unrepairable (regenerate
+	// the artifact instead).
+	StatusCorrupt Status = "corrupt"
+	// StatusRepaired marks damage that was found and fixed in place.
+	StatusRepaired Status = "repaired"
+)
+
+// Finding is the diagnosis of one artifact file.
+type Finding struct {
+	Path string
+	// Kind is the detected artifact type: "memo-shard", "checkpoint",
+	// "run-report", "json-lines", or "unknown".
+	Kind   string
+	Status Status
+	// Detail explains the diagnosis (what was found, what a repair did or
+	// would do).
+	Detail string
+}
+
+// Report collects the findings of one Diagnose call.
+type Report struct {
+	Findings []Finding
+}
+
+// Corrupt reports whether any artifact remains damaged (StatusCorrupt).
+// Repaired artifacts do not count: after a successful -repair pass the
+// report is clean.
+func (r *Report) Corrupt() bool {
+	for _, f := range r.Findings {
+		if f.Status == StatusCorrupt {
+			return true
+		}
+	}
+	return false
+}
+
+// Diagnose inspects one path — a memo store directory or a single artifact
+// file — and returns a finding per artifact. With repair set, damaged
+// artifacts are fixed in place where possible. The returned error covers
+// unreachable paths only; damage is reported through findings.
+func Diagnose(fsys store.FS, path string, repair bool) (*Report, error) {
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("doctor: %v", err)
+	}
+	rep := &Report{}
+	if info.IsDir() {
+		entries, err := fsys.ReadDir(path)
+		if err != nil {
+			return nil, fmt.Errorf("doctor: %v", err)
+		}
+		found := false
+		for _, e := range entries {
+			if e.IsDir() || !store.IsShardFile(e.Name()) {
+				continue
+			}
+			found = true
+			rep.Findings = append(rep.Findings, checkShard(fsys, filepath.Join(path, e.Name()), repair))
+		}
+		if !found {
+			return nil, fmt.Errorf("doctor: %s: no memo shard logs found", path)
+		}
+		return rep, nil
+	}
+	rep.Findings = append(rep.Findings, checkFile(fsys, path, repair))
+	return rep, nil
+}
+
+// checkFile diagnoses a single artifact file by content.
+func checkFile(fsys store.FS, path string, repair bool) Finding {
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return Finding{Path: path, Kind: "unknown", Status: StatusCorrupt, Detail: fmt.Sprintf("unreadable: %v", err)}
+	}
+	if store.IsShardFile(path) || bytes.HasPrefix(data, []byte(store.MemoMagic)) {
+		return checkShard(fsys, path, repair)
+	}
+	// A single JSON document with a schema field is a checkpoint or a run
+	// report; which one decides the validation applied.
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err == nil {
+		switch head.Schema {
+		case sched.CheckpointSchema:
+			return checkCheckpoint(fsys, path, data, repair)
+		case obs.Schema:
+			return checkRunReport(path, data)
+		default:
+			return Finding{Path: path, Kind: "unknown", Status: StatusCorrupt,
+				Detail: fmt.Sprintf("well-formed JSON with unrecognized schema %q", head.Schema)}
+		}
+	}
+	// Undecodable as one document: a torn checkpoint (recoverable from its
+	// .bak rotation), a JSON-line stream, or a torn stream.
+	if bak, err := fsys.ReadFile(path + store.BackupSuffix); err == nil {
+		if _, perr := sched.ParseCheckpoint(bak); perr == nil {
+			return repairCheckpointFromBackup(fsys, path, bak, repair)
+		}
+	}
+	return checkJSONLines(fsys, path, data, repair)
+}
+
+// checkShard diagnoses one memo record log: magic header, then CRC-framed
+// records whose payloads must decode as (fingerprint, result). Repair is
+// the same salvage Open performs — quarantine the invalid suffix, truncate
+// to the valid prefix.
+func checkShard(fsys store.FS, path string, repair bool) Finding {
+	f := Finding{Path: path, Kind: "memo-shard"}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("unreadable: %v", err)
+		return f
+	}
+	if len(data) == 0 {
+		f.Status, f.Detail = StatusOK, "empty"
+		return f
+	}
+	validLen, records := 0, 0
+	reason := "bad shard header"
+	if bytes.HasPrefix(data, []byte(store.MemoMagic)) {
+		n, scanErr := store.ScanRecords(data[len(store.MemoMagic):], func(payload []byte) error {
+			if _, _, err := store.DecodeMemoPayload(payload); err != nil {
+				return err
+			}
+			records++
+			return nil
+		})
+		validLen = len(store.MemoMagic) + n
+		if scanErr != nil {
+			reason = scanErr.Error()
+		}
+	}
+	if validLen == len(data) {
+		f.Status, f.Detail = StatusOK, fmt.Sprintf("%d record(s), %d bytes", records, len(data))
+		return f
+	}
+	bad := len(data) - validLen
+	diag := fmt.Sprintf("%s: %d valid record(s) in a %d-byte prefix, %d bytes invalid", reason, records, validLen, bad)
+	if !repair {
+		f.Status, f.Detail = StatusCorrupt, diag+" (repair would quarantine and truncate)"
+		return f
+	}
+	if err := quarantineSuffix(fsys, path, validLen, data[validLen:], reason); err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("%s; quarantine failed: %v", diag, err)
+		return f
+	}
+	if err := fsys.Truncate(path, int64(validLen)); err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("%s; truncate failed: %v", diag, err)
+		return f
+	}
+	f.Status = StatusRepaired
+	f.Detail = fmt.Sprintf("%s; suffix preserved in %s.quarantine, log truncated to %d bytes", diag, filepath.Base(path), validLen)
+	return f
+}
+
+// quarantineSuffix preserves a shard's invalid suffix in its sidecar, in
+// the same one-line-JSON-header-then-raw-bytes format the store writes.
+func quarantineSuffix(fsys store.FS, path string, offset int, bad []byte, reason string) error {
+	side, err := fsys.OpenAppend(path + ".quarantine")
+	if err != nil {
+		return err
+	}
+	meta, _ := json.Marshal(map[string]any{
+		"offset": offset, "bytes": len(bad), "reason": reason, "tool": "hefdoctor",
+	})
+	if _, err := side.Write(append(append(meta, '\n'), bad...)); err != nil {
+		side.Close()
+		return err
+	}
+	return side.Close()
+}
+
+// checkCheckpoint validates a parseable checkpoint document (version skew
+// and schema damage are typed by sched.ParseCheckpoint).
+func checkCheckpoint(fsys store.FS, path string, data []byte, repair bool) Finding {
+	f := Finding{Path: path, Kind: "checkpoint"}
+	cp, err := sched.ParseCheckpoint(data)
+	if err == nil {
+		f.Status = StatusOK
+		f.Detail = fmt.Sprintf("tool %q, %d completed job(s)", cp.Tool, len(cp.Done))
+		return f
+	}
+	// The primary decodes as JSON but fails validation; an intact backup
+	// generation can still serve a repair.
+	if bak, rerr := fsys.ReadFile(path + store.BackupSuffix); rerr == nil {
+		if _, perr := sched.ParseCheckpoint(bak); perr == nil {
+			g := repairCheckpointFromBackup(fsys, path, bak, repair)
+			g.Detail = fmt.Sprintf("%v; %s", err, g.Detail)
+			return g
+		}
+	}
+	f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("%v (no intact %s generation; regenerate or re-run the sweep)", err, store.BackupSuffix)
+	return f
+}
+
+// repairCheckpointFromBackup reports a torn primary whose .bak rotation is
+// intact and, with repair, copies the backup over the primary — leaving the
+// .bak untouched so the repair itself is crash-safe.
+func repairCheckpointFromBackup(fsys store.FS, path string, bak []byte, repair bool) Finding {
+	f := Finding{Path: path, Kind: "checkpoint"}
+	if !repair {
+		f.Status = StatusCorrupt
+		f.Detail = fmt.Sprintf("primary torn; intact %s generation available (repair would restore it)", store.BackupSuffix)
+		return f
+	}
+	tmp, err := fsys.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("primary torn; restore failed: %v", err)
+		return f
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(bak); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = fsys.Rename(name, path)
+	}
+	if err != nil {
+		fsys.Remove(name)
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("primary torn; restore failed: %v", err)
+		return f
+	}
+	f.Status = StatusRepaired
+	f.Detail = fmt.Sprintf("primary torn; restored from the %s generation (up to one flush interval of progress re-runs)", store.BackupSuffix)
+	return f
+}
+
+// checkRunReport validates an obs.RunReport document.
+func checkRunReport(path string, data []byte) Finding {
+	f := Finding{Path: path, Kind: "run-report"}
+	var rep obs.RunReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("undecodable: %v (unrepairable; regenerate with the producing tool's -json run)", err)
+		return f
+	}
+	if err := rep.Validate(); err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("%v (unrepairable; regenerate with the producing tool's -json run)", err)
+		return f
+	}
+	f.Status = StatusOK
+	f.Detail = fmt.Sprintf("tool %q, %d run(s)", rep.Tool, len(rep.Runs))
+	return f
+}
+
+// checkJSONLines diagnoses a newline-delimited JSON stream (a go test -json
+// capture): every line must decode on its own. Repair trims a torn tail to
+// the last intact, newline-terminated line.
+func checkJSONLines(fsys store.FS, path string, data []byte, repair bool) Finding {
+	f := Finding{Path: path, Kind: "json-lines"}
+	validLen, lines := 0, 0
+	rest := data
+	for len(rest) > 0 {
+		line := rest
+		nl := bytes.IndexByte(rest, '\n')
+		terminated := nl >= 0
+		if terminated {
+			line = rest[:nl]
+		}
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 && !json.Valid(trimmed) {
+			break
+		}
+		if !terminated {
+			// A valid but unterminated final line counts: the stream was
+			// simply not newline-terminated, which every consumer accepts.
+			validLen = len(data)
+			lines++
+			break
+		}
+		rest = rest[nl+1:]
+		validLen = len(data) - len(rest)
+		lines++
+	}
+	if lines == 0 {
+		f.Kind = "unknown"
+		f.Status, f.Detail = StatusCorrupt, "not a recognized artifact (no JSON document, record log, or JSON-line stream)"
+		return f
+	}
+	if validLen == len(data) {
+		f.Status, f.Detail = StatusOK, fmt.Sprintf("%d JSON line(s), %d bytes", lines, len(data))
+		return f
+	}
+	bad := len(data) - validLen
+	diag := fmt.Sprintf("torn after %d intact line(s): %d trailing bytes invalid", lines, bad)
+	if !repair {
+		f.Status, f.Detail = StatusCorrupt, diag+" (repair would trim them)"
+		return f
+	}
+	if err := fsys.Truncate(path, int64(validLen)); err != nil {
+		f.Status, f.Detail = StatusCorrupt, fmt.Sprintf("%s; truncate failed: %v", diag, err)
+		return f
+	}
+	f.Status, f.Detail = StatusRepaired, diag+"; trimmed to the last intact line"
+	return f
+}

@@ -1,0 +1,245 @@
+package doctor
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hef/internal/memo"
+	"hef/internal/obs"
+	"hef/internal/sched"
+	"hef/internal/store"
+	"hef/internal/uarch"
+)
+
+// seedStore writes a small healthy memo store and returns its directory.
+func seedStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		var k memo.Key
+		k[0] = byte(i)
+		k[1] = byte(i * 7)
+		st.Cache().Put(k, &uarch.Result{Cycles: uint64(100 + i), Instructions: uint64(10 * i)})
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func diagnose(t *testing.T, path string, repair bool) *Report {
+	t.Helper()
+	rep, err := Diagnose(store.OS, path, repair)
+	if err != nil {
+		t.Fatalf("Diagnose(%s): %v", path, err)
+	}
+	return rep
+}
+
+func TestDiagnoseHealthyStore(t *testing.T) {
+	dir := seedStore(t, 8)
+	rep := diagnose(t, dir, false)
+	if rep.Corrupt() {
+		t.Fatalf("healthy store diagnosed corrupt: %+v", rep.Findings)
+	}
+	for _, f := range rep.Findings {
+		if f.Kind != "memo-shard" || f.Status != StatusOK {
+			t.Errorf("finding %+v, want ok memo-shard", f)
+		}
+	}
+}
+
+func TestDiagnoseAndRepairCorruptShard(t *testing.T) {
+	dir := seedStore(t, 16)
+	// Flip a byte mid-file in the first non-trivial shard.
+	var victim string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if info, _ := e.Info(); store.IsShardFile(e.Name()) && info.Size() > 100 {
+			victim = filepath.Join(dir, e.Name())
+			break
+		}
+	}
+	if victim == "" {
+		t.Fatal("no shard to corrupt")
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if rep := diagnose(t, dir, false); !rep.Corrupt() {
+		t.Fatal("corrupt shard not detected")
+	}
+	rep := diagnose(t, dir, true)
+	if rep.Corrupt() {
+		t.Fatalf("repair left corruption: %+v", rep.Findings)
+	}
+	repaired := 0
+	for _, f := range rep.Findings {
+		if f.Status == StatusRepaired {
+			repaired++
+		}
+	}
+	if repaired != 1 {
+		t.Errorf("%d repaired findings, want 1", repaired)
+	}
+	if _, err := os.Stat(victim + ".quarantine"); err != nil {
+		t.Errorf("repair left no quarantine sidecar: %v", err)
+	}
+	// The repaired store must open with nothing left to salvage.
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if s := st.Stats(); s.Quarantined != 0 {
+		t.Errorf("post-repair open still quarantined %d regions", s.Quarantined)
+	}
+	if rep := diagnose(t, dir, false); rep.Corrupt() {
+		t.Fatal("store corrupt again after repair + reopen")
+	}
+}
+
+func TestDiagnoseCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	cp := sched.NewCheckpoint("tool", "fp")
+	if err := cp.Put("job", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put("job2", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if rep := diagnose(t, path, false); rep.Corrupt() || rep.Findings[0].Kind != "checkpoint" {
+		t.Fatalf("healthy checkpoint: %+v", rep.Findings)
+	}
+
+	// Tear the primary: detected, then repaired from the .bak rotation.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := diagnose(t, path, false)
+	if !rep.Corrupt() {
+		t.Fatal("torn checkpoint not detected")
+	}
+	if !strings.Contains(rep.Findings[0].Detail, ".bak") {
+		t.Errorf("detail does not mention the backup: %q", rep.Findings[0].Detail)
+	}
+	rep = diagnose(t, path, true)
+	if rep.Corrupt() || rep.Findings[0].Status != StatusRepaired {
+		t.Fatalf("repair from backup failed: %+v", rep.Findings)
+	}
+	got, err := sched.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if ok, _ := got.Get("job", &v); !ok || v != 1 {
+		t.Errorf("restored generation holds job=%d (present=%v), want 1", v, ok)
+	}
+	// The restore must not have clobbered the backup with torn bytes.
+	if _, err := sched.LoadCheckpoint(path + store.BackupSuffix); err != nil {
+		t.Errorf("backup generation damaged by the repair: %v", err)
+	}
+}
+
+func TestDiagnoseRunReport(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "report.json")
+	rep := obs.NewReport("uopshist")
+	data, err := rep.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(good, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, good, false); d.Corrupt() || d.Findings[0].Kind != "run-report" {
+		t.Fatalf("healthy report: %+v", d.Findings)
+	}
+
+	// A torn report has no rotation: corrupt, and repair cannot clear it.
+	torn := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(torn, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, torn, true); !d.Corrupt() {
+		t.Fatalf("torn report not flagged: %+v", d.Findings)
+	}
+
+	// Wrong schema version is corruption the doctor reports, not accepts.
+	skew := filepath.Join(dir, "skew.json")
+	if err := os.WriteFile(skew, []byte(`{"schema":"hef.obs.run-report","version":99,"tool":"x","runs":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, skew, false); !d.Corrupt() {
+		t.Fatalf("version skew not flagged: %+v", d.Findings)
+	}
+}
+
+func TestDiagnoseJSONLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	content := `{"Action":"start","Package":"p"}` + "\n" + `{"Action":"pass","Package":"p"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, path, false); d.Corrupt() || d.Findings[0].Kind != "json-lines" {
+		t.Fatalf("healthy stream: %+v", d.Findings)
+	}
+
+	if err := os.WriteFile(path, []byte(content+`{"Action":"ou`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, path, false); !d.Corrupt() {
+		t.Fatal("torn stream not detected")
+	}
+	if d := diagnose(t, path, true); d.Corrupt() || d.Findings[0].Status != StatusRepaired {
+		t.Fatalf("trim repair failed: %+v", d.Findings)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != content {
+		t.Errorf("trimmed stream = %q, want the two intact lines", got)
+	}
+}
+
+func TestDiagnoseUnknownAndMissing(t *testing.T) {
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.bin")
+	if err := os.WriteFile(junk, []byte{0x01, 0x02, 0xfe, 0xff}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if d := diagnose(t, junk, false); !d.Corrupt() || d.Findings[0].Kind != "unknown" {
+		t.Fatalf("junk file: %+v", d.Findings)
+	}
+	if _, err := Diagnose(store.OS, filepath.Join(dir, "absent"), false); err == nil {
+		t.Error("missing path did not error")
+	}
+	if _, err := Diagnose(store.OS, dir, false); err == nil {
+		t.Error("directory without shard logs did not error")
+	}
+}

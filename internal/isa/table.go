@@ -119,7 +119,7 @@ func lookup(t map[string]*Instr, name, table string) (*Instr, error) {
 func mustLookup(t map[string]*Instr, name, table string) *Instr {
 	in, err := lookup(t, name, table)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("isa: mustLookup(%s): %v", name, err))
 	}
 	return in
 }

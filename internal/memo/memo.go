@@ -211,6 +211,7 @@ type Cache struct {
 	m      map[Key]*uarch.Result
 	hits   uint64
 	misses uint64
+	onPut  func(Key, *uarch.Result)
 }
 
 // NewCache returns an empty cache.
@@ -236,14 +237,51 @@ func (c *Cache) Get(k Key) (*uarch.Result, bool) {
 
 // Put stores a private copy of r under k. Re-putting a key overwrites;
 // identical content produces identical Results, so the overwrite is
-// invisible.
+// invisible (and does not re-fire the OnPut hook).
 func (c *Cache) Put(k Key, r *uarch.Result) {
 	if c == nil || r == nil {
 		return
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	_, existed := c.m[k]
 	c.m[k] = r.Clone()
+	hook := c.onPut
+	c.mu.Unlock()
+	if hook != nil && !existed {
+		// The hook gets its own clone, outside the lock: a persistence
+		// subscriber may serialise at leisure without blocking Gets, and
+		// may not alias the stored entry.
+		hook(k, r.Clone())
+	}
+}
+
+// OnPut registers fn to be called once for each key newly inserted from now
+// on — the subscription point for a persistence layer. fn runs on the
+// putting goroutine, outside the cache lock, with a private copy of the
+// Result. Overwrites of existing keys do not fire. At most one hook is
+// supported; registering replaces the previous one.
+func (c *Cache) OnPut(fn func(Key, *uarch.Result)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onPut = fn
+}
+
+// Range calls fn for every stored entry, in unspecified order, under the
+// cache lock — fn must not call back into the cache and must not retain or
+// mutate r. It exists for compaction: rewriting a persistent backing from
+// the live entries.
+func (c *Cache) Range(fn func(k Key, r *uarch.Result)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, r := range c.m {
+		fn(k, r)
+	}
 }
 
 // Stats returns a snapshot of the counters.

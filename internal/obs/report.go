@@ -12,6 +12,7 @@ import (
 
 	"hef/internal/hef"
 	"hef/internal/memo"
+	"hef/internal/store"
 	"hef/internal/uarch"
 )
 
@@ -53,6 +54,25 @@ type MemoStats struct {
 	Misses  uint64  `json:"misses"`
 	Entries uint64  `json:"entries"`
 	HitRate float64 `json:"hit_rate"`
+	// Store describes the persistent backing when the tool ran with
+	// -memo-dir: what was restored, appended, and — after corruption —
+	// quarantined. Attached at emit time only, never checkpointed, so
+	// resumed and uninterrupted runs stay byte-identical elsewhere.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats is the report form of the durable memo layer's counters (see
+// internal/store). Quarantined > 0 means corrupt bytes were found at open
+// and preserved in .quarantine sidecars; Degraded non-empty means
+// persistence failed mid-run and later entries stayed in memory only.
+type StoreStats struct {
+	Dir              string `json:"dir"`
+	Loaded           uint64 `json:"loaded"`
+	Persisted        uint64 `json:"persisted"`
+	Quarantined      uint64 `json:"quarantined"`
+	QuarantinedBytes uint64 `json:"quarantined_bytes,omitempty"`
+	SalvagedBytes    uint64 `json:"salvaged_bytes,omitempty"`
+	Degraded         string `json:"degraded,omitempty"`
 }
 
 // MemoFromStats converts the memo package's counter snapshot, returning
@@ -62,6 +82,15 @@ func MemoFromStats(s memo.Stats) *MemoStats {
 		return nil
 	}
 	return &MemoStats{Hits: s.Hits, Misses: s.Misses, Entries: s.Entries, HitRate: s.HitRate()}
+}
+
+// StoreFromStats converts the store package's counter snapshot.
+func StoreFromStats(dir string, s store.MemoStats) *StoreStats {
+	return &StoreStats{
+		Dir: dir, Loaded: s.Loaded, Persisted: s.Persisted,
+		Quarantined: s.Quarantined, QuarantinedBytes: s.QuarantinedBytes,
+		SalvagedBytes: s.SalvagedBytes, Degraded: s.Degraded,
+	}
 }
 
 // Run is one measured (workload, implementation) cell.

@@ -52,6 +52,14 @@ type SensConfig struct {
 	// the classic serial walk). The analysis is byte-identical for every
 	// setting.
 	Parallel int
+
+	// Memo, when non-nil, is the measurement cache the analysis populates
+	// and consults (a persistent store's cache under -memo-dir). Nil keeps
+	// the classic private per-analysis cache. Entries are keyed by the
+	// perturbed machine fingerprint, so sharing one cache across analyses
+	// never mixes measurements from different models — it only lets
+	// coinciding models (e.g. every Jitter=0 trial) reuse work.
+	Memo *memo.Cache
 }
 
 // Trial is the outcome of the search on one perturbed model.
@@ -150,8 +158,12 @@ func Analyze(ctx context.Context, cfg SensConfig) (*Sensitivity, error) {
 	// fingerprint normalizes a zero-rate perturbation to the nominal model,
 	// so a Jitter=0 ensemble collapses onto the baseline's measurements);
 	// within a trial it serves the regret re-measurement of already-searched
-	// nodes.
-	cache := memo.NewCache()
+	// nodes. A caller-supplied cache (cfg.Memo) widens that sharing across
+	// analyses — and across processes when it is backed by a store.
+	cache := cfg.Memo
+	if cache == nil {
+		cache = memo.NewCache()
+	}
 	baseEval := hef.NewSimEvaluator(cfg.CPU, cfg.Template, width, cfg.Elems)
 	baseEval.SetMemo(cache)
 	baseRes, err := hef.SearchContext(ctx, baseEval, initial, bounds, opts)

@@ -3,10 +3,9 @@ package sched
 import (
 	"bytes"
 	"encoding/json"
-	"errors"
 	"fmt"
-	"os"
-	"path/filepath"
+
+	"hef/internal/store"
 )
 
 const (
@@ -20,8 +19,9 @@ const (
 
 // ErrCheckpointMismatch marks a checkpoint whose tool or fingerprint does
 // not match the resuming sweep — resuming it would silently mix results
-// from different configurations.
-var ErrCheckpointMismatch = errors.New("sched: checkpoint does not match this sweep")
+// from different configurations. It is the store layer's fingerprint
+// sentinel, so errors.Is works against either name.
+var ErrCheckpointMismatch = store.ErrFingerprintMismatch
 
 // Checkpoint is the crash-safe persistence format of a sweep: the results
 // of every completed job, keyed by job ID, plus enough identity to refuse a
@@ -96,58 +96,69 @@ func (c *Checkpoint) Marshal() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// Save writes the checkpoint atomically: a temp file in the target
-// directory, fsynced, then renamed over path, so a crash mid-write leaves
-// either the old checkpoint or the new one, never a torn file.
-func (c *Checkpoint) Save(path string) error {
+// Save writes the checkpoint with rotation: the bytes land atomically
+// (temp file, fsync, rename) and the previous generation survives as
+// path+".bak", so even a save whose rename tears on a dying disk leaves a
+// loadable generation behind.
+func (c *Checkpoint) Save(path string) error { return c.SaveFS(store.OS, path) }
+
+// SaveFS is Save on an injectable filesystem (degraded-I/O tests).
+func (c *Checkpoint) SaveFS(fsys store.FS, path string) error {
 	data, err := c.Marshal()
 	if err != nil {
 		return err
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("sched: checkpoint save: %w", err)
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return fmt.Errorf("sched: checkpoint save: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("sched: checkpoint save: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("sched: checkpoint save: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := store.SaveRotate(fsys, path, data); err != nil {
 		return fmt.Errorf("sched: checkpoint save: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint reads and validates a checkpoint file: the schema and
-// version must be ones this code understands. Configuration matching is
-// separate (Match), so callers can distinguish a corrupt file from a
-// mismatched one.
-func LoadCheckpoint(path string) (*Checkpoint, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("sched: checkpoint load: %w", err)
-	}
+// ParseCheckpoint decodes and strictly validates checkpoint bytes. The
+// failure modes are typed: undecodable JSON or a foreign schema is
+// store.ErrCorrupt; a schema version this build does not read is
+// store.ErrVersionSkew (regenerate the checkpoint, or run the matching
+// build). Configuration matching stays separate (Match) so callers can
+// distinguish a damaged file from a mismatched one.
+func ParseCheckpoint(data []byte) (*Checkpoint, error) {
 	var c Checkpoint
 	if err := json.Unmarshal(data, &c); err != nil {
-		return nil, fmt.Errorf("sched: checkpoint load %s: %w", path, err)
+		return nil, fmt.Errorf("%w: checkpoint: %v", store.ErrCorrupt, err)
 	}
 	if c.Schema != CheckpointSchema {
-		return nil, fmt.Errorf("sched: checkpoint %s: schema %q, want %q", path, c.Schema, CheckpointSchema)
+		return nil, fmt.Errorf("%w: checkpoint schema %q, want %q", store.ErrCorrupt, c.Schema, CheckpointSchema)
 	}
 	if c.Version != CheckpointVersion {
-		return nil, fmt.Errorf("sched: checkpoint %s: version %d, want %d", path, c.Version, CheckpointVersion)
+		return nil, fmt.Errorf("%w: checkpoint version %d, this build reads %d", store.ErrVersionSkew, c.Version, CheckpointVersion)
 	}
 	if c.Done == nil {
 		c.Done = map[string]json.RawMessage{}
 	}
 	return &c, nil
+}
+
+// LoadCheckpoint reads and validates the newest loadable generation of a
+// checkpoint: the primary file, or — when the primary is missing, torn, or
+// corrupt — its ".bak" rotation.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c, _, err := LoadCheckpointFS(store.OS, path)
+	return c, err
+}
+
+// LoadCheckpointFS is LoadCheckpoint on an injectable filesystem; it also
+// reports whether the backup generation served the load (the primary was
+// unusable, so up to one flush interval of progress was lost).
+func LoadCheckpointFS(fsys store.FS, path string) (*Checkpoint, bool, error) {
+	data, fromBackup, err := store.LoadFallback(fsys, path, func(d []byte) error {
+		_, perr := ParseCheckpoint(d)
+		return perr
+	})
+	if err != nil {
+		return nil, false, fmt.Errorf("sched: checkpoint load %s: %w", path, err)
+	}
+	c, err := ParseCheckpoint(data)
+	if err != nil {
+		return nil, false, fmt.Errorf("sched: checkpoint load %s: %w", path, err)
+	}
+	return c, fromBackup, nil
 }

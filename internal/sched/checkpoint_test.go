@@ -5,7 +5,11 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"slices"
+	"sort"
 	"testing"
+
+	"hef/internal/store"
 )
 
 func TestCheckpointRoundTrip(t *testing.T) {
@@ -106,7 +110,8 @@ func TestCheckpointRejectsForeignSchema(t *testing.T) {
 }
 
 func TestCheckpointSaveAtomic(t *testing.T) {
-	// Save over an existing file must not leave temp debris behind.
+	// Save over an existing file must leave exactly the primary and the
+	// rotated previous generation — no temp debris.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "cp.json")
 	cp := NewCheckpoint("tool", "fp")
@@ -122,8 +127,13 @@ func TestCheckpointSaveAtomic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(entries) != 1 || entries[0].Name() != "cp.json" {
-		t.Errorf("directory has %d entries after repeated saves: %v", len(entries), entries)
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if want := []string{"cp.json", "cp.json.bak"}; !slices.Equal(names, want) {
+		t.Errorf("directory holds %v after repeated saves, want %v", names, want)
 	}
 	got, err := LoadCheckpoint(path)
 	if err != nil {
@@ -132,5 +142,78 @@ func TestCheckpointSaveAtomic(t *testing.T) {
 	var v int
 	if ok, _ := got.Get("job", &v); !ok || v != 2 {
 		t.Errorf("final checkpoint holds %d (present=%v), want 2", v, ok)
+	}
+	// The rotation is the previous generation.
+	bak, err := LoadCheckpoint(path + ".bak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := bak.Get("job", &v); !ok || v != 1 {
+		t.Errorf("backup generation holds %d (present=%v), want 1", v, ok)
+	}
+}
+
+func TestCheckpointTornPrimaryFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	cp := NewCheckpoint("tool", "fp")
+	if err := cp.Put("job", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Put("job2", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the primary mid-file: load must fall back to the .bak rotation
+	// and report it did.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, fromBackup, err := LoadCheckpointFS(store.OS, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromBackup {
+		t.Error("load did not report the backup generation")
+	}
+	var v int
+	if ok, _ := got.Get("job", &v); !ok || v != 1 {
+		t.Errorf("fallback generation holds job=%d (present=%v), want 1", v, ok)
+	}
+	if ok, _ := got.Get("job2", &v); ok {
+		t.Error("fallback generation should predate job2")
+	}
+
+	// Both generations torn: the typed corruption error surfaces.
+	if err := os.WriteFile(path+".bak", []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := LoadCheckpointFS(store.OS, path); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("both-torn load: %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointTypedErrors(t *testing.T) {
+	if _, err := ParseCheckpoint([]byte(`{"schema":`)); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("truncated JSON: %v, want ErrCorrupt", err)
+	}
+	if _, err := ParseCheckpoint([]byte(`{"schema":"hef.obs.run-report","version":1}`)); !errors.Is(err, store.ErrCorrupt) {
+		t.Errorf("foreign schema: %v, want ErrCorrupt", err)
+	}
+	if _, err := ParseCheckpoint([]byte(`{"schema":"hef.sched.checkpoint","version":99}`)); !errors.Is(err, store.ErrVersionSkew) {
+		t.Errorf("future version: %v, want ErrVersionSkew", err)
+	}
+	if _, err := ParseCheckpoint([]byte(`{"schema":"hef.sched.checkpoint","version":1,"done":{}}`)); err != nil {
+		t.Errorf("valid checkpoint rejected: %v", err)
 	}
 }

@@ -1,0 +1,57 @@
+package sched
+
+import (
+	"errors"
+	"testing"
+
+	"hef/internal/store"
+)
+
+// FuzzCheckpointLoad drives the checkpoint parser with arbitrary bytes.
+// The contract: ParseCheckpoint never panics; every rejection is one of
+// the typed sentinels (ErrCorrupt for undecodable or foreign documents,
+// ErrVersionSkew for versions this build does not read); and every
+// accepted document round-trips through Marshal and back.
+func FuzzCheckpointLoad(f *testing.F) {
+	cp := NewCheckpoint("ssbbench", "sf=10 seed=1")
+	if err := cp.Put("silver/sf10", map[string]int{"v": 1}); err != nil {
+		f.Fatal(err)
+	}
+	valid, err := cp.Marshal()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add([]byte(nil))
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(`{"schema":"hef.sched.checkpoint","version":1}`))
+	f.Add([]byte(`{"schema":"hef.sched.checkpoint","version":99,"done":{}}`))
+	f.Add([]byte(`{"schema":"hef.obs.run-report","version":1,"done":{}}`))
+	f.Add([]byte(`{"schema":"hef.sched.checkpoint","version":1,"done":{"j":
+		{"deep":[[[[[[1]]]]]]}}}`))
+	f.Add([]byte{0xef, 0xbb, 0xbf, '{', '}'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := ParseCheckpoint(data)
+		if err != nil {
+			if !errors.Is(err, store.ErrCorrupt) && !errors.Is(err, store.ErrVersionSkew) {
+				t.Fatalf("rejection is not typed: %v", err)
+			}
+			return
+		}
+		if cp.Done == nil {
+			t.Fatal("accepted checkpoint has a nil Done map")
+		}
+		out, err := cp.Marshal()
+		if err != nil {
+			t.Fatalf("accepted checkpoint does not re-marshal: %v", err)
+		}
+		again, err := ParseCheckpoint(out)
+		if err != nil {
+			t.Fatalf("re-marshalled checkpoint does not re-parse: %v", err)
+		}
+		if len(again.Done) != len(cp.Done) || again.Tool != cp.Tool || again.Fingerprint != cp.Fingerprint {
+			t.Fatalf("round trip changed the document: %+v vs %+v", cp, again)
+		}
+	})
+}

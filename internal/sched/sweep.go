@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"hef/internal/store"
 )
 
 // ErrJobsFailed marks a sweep that completed its drain but left jobs in
@@ -37,6 +39,9 @@ type SweepConfig struct {
 	// CheckpointEvery flushes the checkpoint after every N completions
 	// (<= 0 selects 1, i.e. after every job).
 	CheckpointEvery int
+	// FS is the filesystem checkpoints are written to; nil selects the real
+	// one (store.OS). Tests inject failing filesystems here.
+	FS store.FS
 	// Runner tunes the worker pool; its OnOutcome is invoked after the
 	// sweep's own bookkeeping.
 	Runner Config
@@ -56,6 +61,15 @@ type SweepResult[T any] struct {
 	// Interrupted is true when ctx was cancelled before the sweep
 	// completed; the checkpoint (if configured) was still flushed.
 	Interrupted bool
+	// RestoredFromBackup is true when the resume checkpoint's primary file
+	// was unusable and the ".bak" rotation served the load (up to one flush
+	// interval of prior progress was lost and will be re-executed).
+	RestoredFromBackup bool
+	// PersistWarning is non-empty when checkpoint persistence failed
+	// mid-sweep (disk full, read-only volume). The sweep completed anyway —
+	// results are returned in memory — but further flushes were disabled;
+	// this string carries the first failure for the tool's single warning.
+	PersistWarning string
 	// Stats snapshots the runner's counters at the end of the sweep.
 	Stats Stats
 }
@@ -83,6 +97,9 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 1
 	}
+	if cfg.FS == nil {
+		cfg.FS = store.OS
+	}
 	res := &SweepResult[T]{Results: make(map[string]T, len(tasks))}
 
 	// skip records the jobs satisfied from the resume checkpoint; the
@@ -90,10 +107,14 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 	skip := make(map[string]bool, len(tasks))
 	cp := NewCheckpoint(cfg.Tool, cfg.Fingerprint)
 	if cfg.ResumePath != "" {
-		prior, err := LoadCheckpoint(cfg.ResumePath)
+		// A missing or unloadable resume file is fatal, not degraded:
+		// silently starting fresh would throw away the progress the caller
+		// explicitly asked to reuse.
+		prior, fromBackup, err := LoadCheckpointFS(cfg.FS, cfg.ResumePath)
 		if err != nil {
 			return nil, err
 		}
+		res.RestoredFromBackup = fromBackup
 		if err := prior.Match(cfg.Tool, cfg.Fingerprint); err != nil {
 			return nil, err
 		}
@@ -120,14 +141,17 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 	var (
 		mu         sync.Mutex
 		sinceFlush int
-		saveErr    error
 	)
+	// A flush failure (disk full, volume gone read-only) must not fail the
+	// sweep: the results are all still in memory and perfectly good. The
+	// first failure disables further checkpointing and is surfaced once via
+	// PersistWarning; only durability degrades.
 	flush := func() {
-		if cfg.CheckpointPath == "" {
+		if cfg.CheckpointPath == "" || res.PersistWarning != "" {
 			return
 		}
-		if err := cp.Save(cfg.CheckpointPath); err != nil && saveErr == nil {
-			saveErr = err
+		if err := cp.SaveFS(cfg.FS, cfg.CheckpointPath); err != nil {
+			res.PersistWarning = fmt.Sprintf("checkpointing disabled: %v", err)
 		}
 		sinceFlush = 0
 	}
@@ -138,8 +162,8 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 			mu.Lock()
 			res.Results[o.ID] = o.Value.(T)
 			res.Executed++
-			if err := cp.Put(o.ID, o.Value); err != nil && saveErr == nil {
-				saveErr = err
+			if err := cp.Put(o.ID, o.Value); err != nil && res.PersistWarning == "" {
+				res.PersistWarning = fmt.Sprintf("checkpointing disabled: %v", err)
 			}
 			sinceFlush++
 			if sinceFlush >= cfg.CheckpointEvery {
@@ -193,11 +217,7 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 
 	mu.Lock()
 	flush()
-	err := saveErr
 	mu.Unlock()
-	if err != nil {
-		return res, err
-	}
 	if res.Interrupted {
 		return res, ctx.Err()
 	}

@@ -70,7 +70,7 @@ func (t *Table) AddCol(name string, col []uint64) error {
 // mis-sized columns.
 func (t *Table) MustAddCol(name string, col []uint64) {
 	if err := t.AddCol(name, col); err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ssb: MustAddCol(%s): %v", name, err))
 	}
 }
 
@@ -89,7 +89,7 @@ func (t *Table) Column(name string) ([]uint64, error) {
 func (t *Table) MustCol(name string) []uint64 {
 	c, err := t.Column(name)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("ssb: MustCol(%s): %v", name, err))
 	}
 	return c
 }

@@ -1,0 +1,19 @@
+package store
+
+import "errors"
+
+// The store's typed failure modes. Loaders wrap these so callers can
+// distinguish a damaged artifact (restore the backup, quarantine, re-run)
+// from a version mismatch (regenerate with the current tool) from a
+// configuration mismatch (refuse to mix results) without string matching.
+var (
+	// ErrCorrupt marks an artifact whose bytes do not decode: torn or
+	// truncated writes, bit flips, or a file that is not the claimed format.
+	ErrCorrupt = errors.New("store: artifact corrupt")
+	// ErrVersionSkew marks an artifact written under a schema version this
+	// code does not understand.
+	ErrVersionSkew = errors.New("store: artifact version skew")
+	// ErrFingerprintMismatch marks an artifact bound to a different
+	// configuration fingerprint than the one resuming it.
+	ErrFingerprintMismatch = errors.New("store: artifact fingerprint mismatch")
+)

@@ -1,0 +1,129 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hef/internal/memo"
+	"hef/internal/uarch"
+)
+
+// FuzzStoreLoad drives the record-log decoder and the full shard-salvage
+// path with arbitrary bytes. The contract under test: the decoder never
+// panics and never over-reads (the valid prefix is always within the
+// input); Open on a directory holding those bytes always yields a usable
+// store — arbitrary damage degrades to quarantine + salvage, never to a
+// failure or a crash.
+func FuzzStoreLoad(f *testing.F) {
+	// Seed with a healthy two-record shard and systematic damage to it.
+	var k1, k2 memo.Key
+	k1[0], k2[0] = 7, 23
+	body1, _ := json.Marshal(&uarch.Result{Cycles: 100, Instructions: 400})
+	body2, _ := json.Marshal(&uarch.Result{Cycles: 7, Elems: 1})
+	healthy := []byte(MemoMagic)
+	healthy = AppendRecord(healthy, append(append([]byte(nil), k1[:]...), body1...))
+	healthy = AppendRecord(healthy, append(append([]byte(nil), k2[:]...), body2...))
+
+	f.Add([]byte(nil))
+	f.Add(healthy)
+	f.Add(healthy[:len(healthy)-3])       // torn final frame
+	f.Add(healthy[:len(MemoMagic)+4])     // torn first header
+	f.Add([]byte("HEFMEMO1"))             // header only
+	f.Add([]byte("NOTMAGIC01234567"))     // bad magic
+	f.Add(bytes.Repeat([]byte{0xff}, 64)) // implausible length fields
+	flipped := append([]byte(nil), healthy...)
+	flipped[len(healthy)/2] ^= 0x40
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// The decoder alone: valid prefix in bounds, typed error, and the
+		// prefix property — rescanning the valid prefix is clean.
+		n, err := ScanRecords(data, func(payload []byte) error {
+			_, _, derr := DecodeMemoPayload(payload)
+			return derr
+		})
+		if n < 0 || n > len(data) {
+			t.Fatalf("valid prefix %d out of bounds (input %d bytes)", n, len(data))
+		}
+		if err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("scan error is not typed ErrCorrupt: %v", err)
+		}
+		if err == nil && n != len(data) {
+			t.Fatalf("clean scan stopped early: %d of %d bytes", n, len(data))
+		}
+		if m, rerr := ScanRecords(data[:n], nil); rerr != nil || m != n {
+			t.Fatalf("valid prefix does not rescan cleanly: len %d err %v (want %d, nil)", m, rerr, n)
+		}
+
+		// The full salvage path: a shard holding these bytes must open into
+		// a usable store whose accounting covers the whole file.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "memo-00.log"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open on fuzzed shard failed: %v", err)
+		}
+		defer st.Close()
+		stats := st.Stats()
+		if stats.Degraded != "" {
+			t.Fatalf("fuzzed shard degraded persistence: %s", stats.Degraded)
+		}
+		// After salvage the shard on disk must be exactly the valid prefix
+		// (magic + records), which a second Open loads without quarantining.
+		st2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen failed: %v", err)
+		}
+		defer st2.Close()
+		s2 := st2.Stats()
+		if s2.Quarantined != 0 {
+			t.Fatalf("salvaged shard quarantined again on reopen: %+v", s2)
+		}
+		if s2.Loaded != stats.Loaded {
+			t.Fatalf("reopen loaded %d records, first open loaded %d", s2.Loaded, stats.Loaded)
+		}
+	})
+}
+
+// FuzzSaveRotateLoadFallback fuzzes the torn-primary fallback: whatever
+// bytes land in the primary, a LoadFallback with an intact backup must
+// return a validating generation and never panic.
+func FuzzSaveRotateLoadFallback(f *testing.F) {
+	good := []byte(`{"ok":true}`)
+	f.Add([]byte(nil))
+	f.Add(good)
+	f.Add([]byte(`{"ok":`))
+	f.Add([]byte{0x00, 0xff})
+	f.Fuzz(func(t *testing.T, primary []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "cp.json")
+		if err := SaveRotate(OS, path, good); err != nil {
+			t.Fatal(err)
+		}
+		if err := SaveRotate(OS, path, good); err != nil { // rotate a .bak into place
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, primary, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		validate := func(d []byte) error {
+			if !json.Valid(d) || len(d) == 0 {
+				return ErrCorrupt
+			}
+			return nil
+		}
+		data, _, err := LoadFallback(OS, path, validate)
+		if err != nil {
+			t.Fatalf("LoadFallback with an intact backup failed: %v", err)
+		}
+		if verr := validate(data); verr != nil {
+			t.Fatalf("LoadFallback returned a non-validating generation: %q", data)
+		}
+	})
+}

@@ -1,0 +1,75 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Record framing. Each record is self-validating:
+//
+//	u32 LE payload length | u32 LE CRC32C(payload) | payload
+//
+// A reader that hits a frame whose length is implausible, whose body runs
+// past the end of the file, or whose checksum does not match stops there:
+// everything before the bad frame is the longest valid prefix (each earlier
+// frame checked out independently), everything from it on is unreachable
+// and gets quarantined. A torn append — the usual kill -9 artifact — is a
+// truncated final frame and costs exactly the record being written.
+
+const (
+	// recordHeader is the per-record framing overhead in bytes.
+	recordHeader = 8
+	// MaxRecordLen bounds a single record's payload; a length field above it
+	// is treated as corruption rather than an allocation request, which keeps
+	// the decoder safe on adversarial input (see FuzzStoreLoad).
+	MaxRecordLen = 1 << 26
+)
+
+// castagnoli is the CRC32C polynomial table (hardware-accelerated on
+// amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// AppendRecord frames payload onto buf and returns the extended buffer.
+func AppendRecord(buf, payload []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(payload, castagnoli))
+	return append(buf, payload...)
+}
+
+// ScanRecords walks the framed records in data, calling fn with each valid
+// payload. It returns the length of the valid prefix — the offset of the
+// first frame that failed validation, or len(data) when every frame checked
+// out — and the error that stopped the scan: nil at a clean end, a wrapped
+// ErrCorrupt for a bad frame, or fn's error (which also stops the scan,
+// with the offending record excluded from the valid prefix).
+//
+// The payload passed to fn aliases data; fn must not retain it.
+func ScanRecords(data []byte, fn func(payload []byte) error) (validLen int, err error) {
+	off := 0
+	for off < len(data) {
+		rest := len(data) - off
+		if rest < recordHeader {
+			return off, fmt.Errorf("%w: truncated record header at offset %d (%d trailing bytes)", ErrCorrupt, off, rest)
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		if n == 0 || n > MaxRecordLen {
+			return off, fmt.Errorf("%w: implausible record length %d at offset %d", ErrCorrupt, n, off)
+		}
+		if uint32(rest-recordHeader) < n {
+			return off, fmt.Errorf("%w: truncated record body at offset %d (need %d, have %d)", ErrCorrupt, off, n, rest-recordHeader)
+		}
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		payload := data[off+recordHeader : off+recordHeader+int(n)]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return off, fmt.Errorf("%w: CRC mismatch at offset %d (stored %08x, computed %08x)", ErrCorrupt, off, want, got)
+		}
+		if fn != nil {
+			if err := fn(payload); err != nil {
+				return off, err
+			}
+		}
+		off += recordHeader + int(n)
+	}
+	return off, nil
+}

@@ -1,0 +1,88 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+)
+
+// BackupSuffix names the rotated previous generation of a safe-file.
+const BackupSuffix = ".bak"
+
+// SaveRotate atomically replaces path with data, keeping the previous
+// generation as path+".bak". Write order is crash-safe at every step:
+//
+//  1. data goes to a temp file in the same directory, then fsync — a crash
+//     here leaves the primary untouched;
+//  2. the current primary (if any) is renamed to .bak — a crash here leaves
+//     a valid generation at .bak and LoadFallback finds it;
+//  3. the temp file is renamed over the primary — rename is atomic, so the
+//     primary is always either absent, the old bytes, or the new bytes,
+//     never a mix.
+func SaveRotate(fsys FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := fsys.MkdirAll(dir); err != nil {
+		if _, statErr := fsys.Stat(dir); statErr != nil {
+			return fmt.Errorf("store: creating %s: %w", dir, err)
+		}
+	}
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { fsys.Remove(tmpName) }
+	if n, err := tmp.Write(data); err != nil || n != len(data) {
+		tmp.Close()
+		cleanup()
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(data))
+		}
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: closing temp for %s: %w", path, err)
+	}
+	if _, err := fsys.Stat(path); err == nil {
+		if err := fsys.Rename(path, path+BackupSuffix); err != nil {
+			cleanup()
+			return fmt.Errorf("store: rotating %s to backup: %w", path, err)
+		}
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("store: replacing %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadFallback reads the newest valid generation of a safe-file. validate
+// decodes and checks one candidate's bytes; LoadFallback tries the primary
+// first and, if it is missing or invalid, the .bak rotation. The returned
+// fromBackup flag tells the caller the primary was unusable (worth a
+// warning: one generation of progress was lost to a torn write).
+//
+// When both generations fail, the primary's error is returned — it is the
+// more recent artifact and its failure is the actionable one.
+func LoadFallback(fsys FS, path string, validate func(data []byte) error) (data []byte, fromBackup bool, err error) {
+	primary, primaryErr := fsys.ReadFile(path)
+	if primaryErr == nil {
+		if err := validate(primary); err == nil {
+			return primary, false, nil
+		} else {
+			primaryErr = err
+		}
+	}
+	backup, backupErr := fsys.ReadFile(path + BackupSuffix)
+	if backupErr == nil {
+		if err := validate(backup); err == nil {
+			return backup, true, nil
+		}
+	}
+	return nil, false, fmt.Errorf("store: loading %s: %w", path, primaryErr)
+}

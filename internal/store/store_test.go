@@ -1,0 +1,490 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hef/internal/memo"
+	"hef/internal/uarch"
+)
+
+// testKey returns a fingerprint that lands in shard (b % MemoShards) and is
+// unique per (b, i).
+func testKey(b byte, i int) memo.Key {
+	var k memo.Key
+	k[0] = b
+	k[1] = byte(i)
+	k[2] = byte(i >> 8)
+	return k
+}
+
+func testResult(i int) *uarch.Result {
+	return &uarch.Result{Cycles: uint64(1000 + i), Instructions: uint64(10 * i), Uops: uint64(12 * i)}
+}
+
+func TestRecordLogRoundTrip(t *testing.T) {
+	var buf []byte
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		p := []byte(fmt.Sprintf("payload-%d-%s", i, bytes.Repeat([]byte{byte(i)}, i)))
+		want = append(want, p)
+		buf = AppendRecord(buf, p)
+	}
+	var got [][]byte
+	n, err := ScanRecords(buf, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil || n != len(buf) {
+		t.Fatalf("clean scan: n=%d want %d, err=%v", n, len(buf), err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestRecordLogStopsAtCorruption(t *testing.T) {
+	var buf []byte
+	var offsets []int
+	for i := 0; i < 10; i++ {
+		offsets = append(offsets, len(buf))
+		buf = AppendRecord(buf, []byte(fmt.Sprintf("record-%d", i)))
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func([]byte) []byte
+		want   int // expected valid prefix: index into offsets, -1 for full length
+	}{
+		{"flip payload byte in record 6", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[offsets[6]+recordHeader] ^= 0x01
+			return b
+		}, 6},
+		{"flip CRC byte in record 3", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[offsets[3]+4] ^= 0x80
+			return b
+		}, 3},
+		{"truncate mid final record", func(b []byte) []byte {
+			return b[:len(b)-3]
+		}, 9},
+		{"truncate mid header", func(b []byte) []byte {
+			return b[:offsets[5]+4]
+		}, 5},
+		{"huge length field", func(b []byte) []byte {
+			b = append([]byte(nil), b...)
+			b[offsets[2]+3] = 0xFF
+			return b
+		}, 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(buf)
+			count := 0
+			n, err := ScanRecords(data, func([]byte) error { count++; return nil })
+			if err == nil {
+				t.Fatal("want a corruption error")
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v is not ErrCorrupt", err)
+			}
+			if n != offsets[tc.want] {
+				t.Fatalf("valid prefix %d, want %d", n, offsets[tc.want])
+			}
+			if count != tc.want {
+				t.Fatalf("delivered %d records, want %d", count, tc.want)
+			}
+		})
+	}
+}
+
+func TestMemoStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40
+	for i := 0; i < n; i++ {
+		s.Cache().Put(testKey(byte(i), i), testResult(i))
+	}
+	if st := s.Stats(); st.Persisted != n || st.Degraded != "" {
+		t.Fatalf("stats after puts: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Loaded != n || st.Quarantined != 0 {
+		t.Fatalf("stats after reload: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		r, ok := s2.Cache().Get(testKey(byte(i), i))
+		if !ok {
+			t.Fatalf("entry %d missing after reload", i)
+		}
+		if want := testResult(i); r.Cycles != want.Cycles || r.Uops != want.Uops {
+			t.Fatalf("entry %d: got %+v want %+v", i, r, want)
+		}
+	}
+}
+
+// TestMemoStoreDedupesOverwrites checks Put of an existing key neither
+// re-persists nor miscounts.
+func TestMemoStoreDedupesOverwrites(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1, 1)
+	s.Cache().Put(k, testResult(1))
+	s.Cache().Put(k, testResult(1))
+	s.Cache().Put(k, testResult(1))
+	if st := s.Stats(); st.Persisted != 1 {
+		t.Fatalf("persisted %d, want 1", st.Persisted)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Loaded != 1 {
+		t.Fatalf("loaded %d, want 1", st.Loaded)
+	}
+}
+
+func TestMemoStoreSalvagesCorruptShard(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 entries in shard 2, 4 in shard 5.
+	for i := 0; i < 6; i++ {
+		s.Cache().Put(testKey(2, i), testResult(i))
+	}
+	for i := 0; i < 4; i++ {
+		s.Cache().Put(testKey(5, 100+i), testResult(100+i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte in the middle of shard 2 (past the magic and a couple of
+	// records) — everything from the damaged frame on must be quarantined.
+	shard2 := filepath.Join(dir, "memo-02.log")
+	data, err := os.ReadFile(shard2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origLen := len(data)
+	data[origLen/2] ^= 0x40
+	if err := os.WriteFile(shard2, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Quarantined != 1 {
+		t.Fatalf("quarantined events = %d, want 1 (stats %+v)", st.Quarantined, st)
+	}
+	if st.Loaded >= 10 || st.Loaded < 4 {
+		t.Fatalf("loaded %d entries; want the 4 from shard 5 plus a strict subset of shard 2", st.Loaded)
+	}
+	if st.QuarantinedBytes == 0 || st.SalvagedBytes == 0 {
+		t.Fatalf("byte accounting missing: %+v", st)
+	}
+	// Shard 5 untouched.
+	for i := 0; i < 4; i++ {
+		if _, ok := s2.Cache().Get(testKey(5, 100+i)); !ok {
+			t.Fatalf("shard-5 entry %d lost", i)
+		}
+	}
+	// Sidecar holds the bad suffix; shard file was truncated to the valid
+	// prefix.
+	side, err := os.ReadFile(shard2 + ".quarantine")
+	if err != nil {
+		t.Fatalf("quarantine sidecar: %v", err)
+	}
+	if len(side) == 0 {
+		t.Fatal("empty quarantine sidecar")
+	}
+	fi, err := os.Stat(shard2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.Size() >= int64(origLen) {
+		t.Fatalf("shard not truncated: %d >= %d", fi.Size(), origLen)
+	}
+
+	// New entries appended after salvage must survive the next open: the
+	// truncation put the append position at the end of the valid prefix.
+	missing := 0
+	for i := 0; i < 6; i++ {
+		if _, ok := s2.Cache().Get(testKey(2, i)); !ok {
+			missing++
+			s2.Cache().Put(testKey(2, i), testResult(i))
+		}
+	}
+	if missing == 0 {
+		t.Fatal("corruption cost no entries?")
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if st := s3.Stats(); st.Loaded != 10 || st.Quarantined != 0 {
+		t.Fatalf("after repair reload: %+v", st)
+	}
+}
+
+func TestMemoStoreQuarantinesBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().Put(testKey(3, 0), testResult(7))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "memo-03.log")
+	data, _ := os.ReadFile(shard)
+	data[0] = 'X'
+	os.WriteFile(shard, data, 0o644)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Loaded != 0 || st.Quarantined != 1 || st.QuarantinedBytes != uint64(len(data)) {
+		t.Fatalf("bad-magic stats: %+v", st)
+	}
+	if fi, err := os.Stat(shard); err != nil || fi.Size() != 0 {
+		t.Fatalf("shard should be truncated to empty, got size=%v err=%v", fi, err)
+	}
+}
+
+func TestSaveRotateAndLoadFallback(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	okJSON := func(data []byte) error {
+		if !bytes.HasPrefix(data, []byte("gen")) {
+			return fmt.Errorf("%w: bad prefix", ErrCorrupt)
+		}
+		return nil
+	}
+
+	if err := SaveRotate(OS, path, []byte("gen1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + BackupSuffix); !os.IsNotExist(err) {
+		t.Fatalf("backup should not exist after first save: %v", err)
+	}
+	if err := SaveRotate(OS, path, []byte("gen2")); err != nil {
+		t.Fatal(err)
+	}
+	bak, err := os.ReadFile(path + BackupSuffix)
+	if err != nil || string(bak) != "gen1" {
+		t.Fatalf("backup = %q, %v; want gen1", bak, err)
+	}
+
+	data, fromBackup, err := LoadFallback(OS, path, okJSON)
+	if err != nil || fromBackup || string(data) != "gen2" {
+		t.Fatalf("clean load: %q %v %v", data, fromBackup, err)
+	}
+
+	// Tear the primary: fallback serves gen1 and flags it.
+	if err := os.WriteFile(path, []byte("torn!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, fromBackup, err = LoadFallback(OS, path, okJSON)
+	if err != nil || !fromBackup || string(data) != "gen1" {
+		t.Fatalf("fallback load: %q %v %v", data, fromBackup, err)
+	}
+
+	// Both generations bad: the primary's error wins.
+	if err := os.WriteFile(path+BackupSuffix, []byte("also torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadFallback(OS, path, okJSON)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+
+	// Missing primary, valid backup.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path+BackupSuffix, []byte("gen1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, fromBackup, err = LoadFallback(OS, path, okJSON)
+	if err != nil || !fromBackup || string(data) != "gen1" {
+		t.Fatalf("backup-only load: %q %v %v", data, fromBackup, err)
+	}
+}
+
+func TestMemoStoreDegradesOnENOSPC(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &faultFS{}
+	s, err := OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Cache().Put(testKey(0, 0), testResult(0))
+	if st := s.Stats(); st.Persisted != 1 || st.Degraded != "" {
+		t.Fatalf("healthy stats: %+v", st)
+	}
+
+	fsys.set(func(f *faultFS) { f.failWrites = true })
+	for i := 1; i < 5; i++ {
+		s.Cache().Put(testKey(byte(i), i), testResult(i))
+	}
+	st := s.Stats()
+	if st.Degraded == "" {
+		t.Fatal("store should be degraded after ENOSPC")
+	}
+	if st.Persisted != 1 {
+		t.Fatalf("persisted %d, want 1 (no appends after degrade)", st.Persisted)
+	}
+	// The cache itself keeps working — degraded means memory-only, not broken.
+	for i := 0; i < 5; i++ {
+		if _, ok := s.Cache().Get(testKey(byte(i), i)); !ok {
+			t.Fatalf("in-memory entry %d lost after degrade", i)
+		}
+	}
+}
+
+func TestMemoStoreShortWriteTornFrameSalvaged(t *testing.T) {
+	dir := t.TempDir()
+	fsys := &faultFS{}
+	s, err := OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().Put(testKey(4, 0), testResult(0))
+	fsys.set(func(f *faultFS) { f.shortWrites = true })
+	s.Cache().Put(testKey(4, 1), testResult(1)) // torn: half the frame lands
+	if st := s.Stats(); st.Degraded == "" || st.Persisted != 1 {
+		t.Fatalf("short-write stats: %+v", st)
+	}
+	fsys.set(func(f *faultFS) { f.shortWrites = false })
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Loaded != 1 || st.Quarantined != 1 {
+		t.Fatalf("salvage of torn frame: %+v", st)
+	}
+	if _, ok := s2.Cache().Get(testKey(4, 0)); !ok {
+		t.Fatal("intact record lost")
+	}
+}
+
+func TestMemoStoreReadOnlyDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cache().Put(testKey(6, 0), testResult(3))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fsys := &faultFS{}
+	fsys.set(func(f *faultFS) { f.readOnly = true })
+	s2, err := OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatalf("read-only open must still load: %v", err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.Loaded != 1 {
+		t.Fatalf("read-only load: %+v", st)
+	}
+	if _, ok := s2.Cache().Get(testKey(6, 0)); !ok {
+		t.Fatal("loaded entry missing")
+	}
+	s2.Cache().Put(testKey(7, 1), testResult(4))
+	if st := s2.Stats(); st.Degraded == "" || st.Persisted != 0 {
+		t.Fatalf("read-only put should degrade: %+v", st)
+	}
+}
+
+// TestMemoStoreCorruptReadOnlyCompactsOnClose: a corrupt shard on a
+// directory where Truncate fails is rewritten wholesale at Close.
+func TestMemoStoreCorruptTruncateFailsCompactsOnClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		s.Cache().Put(testKey(8, i), testResult(i))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Join(dir, "memo-08.log")
+	data, _ := os.ReadFile(shard)
+	data[len(data)-3] ^= 0xFF
+	os.WriteFile(shard, data, 0o644)
+
+	fsys := &faultFS{failTruncate: true}
+	s2, err := OpenFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Stats()
+	if st.Quarantined != 1 || st.Loaded != 4 {
+		t.Fatalf("salvage stats: %+v", st)
+	}
+	// Re-measure the lost entry, then close: the shard must be compacted so
+	// the next open sees all five.
+	s2.Cache().Put(testKey(8, 4), testResult(4))
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if st := s3.Stats(); st.Loaded != 5 || st.Quarantined != 0 {
+		t.Fatalf("post-compaction reload: %+v", st)
+	}
+}

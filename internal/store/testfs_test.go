@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// faultFS wraps the real filesystem with switchable failure modes, standing
+// in for a disk that fills up (ENOSPC), tears writes short, or is mounted
+// read-only. It lives in the store package's tests but is exercised through
+// the public FS seam, the same one production code uses.
+type faultFS struct {
+	mu sync.Mutex
+	// failWrites makes every File.Write return ENOSPC.
+	failWrites bool
+	// shortWrites makes every File.Write report half the bytes with no error
+	// once, then ENOSPC (the kernel's short-write-then-fail pattern).
+	shortWrites bool
+	// readOnly fails every mutating operation with EROFS.
+	readOnly bool
+	// failTruncate fails only Truncate (a shard whose bad tail can't be
+	// trimmed in place must be compacted wholesale at Close).
+	failTruncate bool
+}
+
+var errNoSpace = errors.New("no space left on device")
+var errReadOnly = errors.New("read-only file system")
+
+func (f *faultFS) set(mode func(*faultFS)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	mode(f)
+}
+
+func (f *faultFS) state() (failWrites, shortWrites, readOnly bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failWrites, f.shortWrites, f.readOnly
+}
+
+func (f *faultFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (f *faultFS) OpenAppend(path string) (File, error) {
+	if _, _, ro := f.state(); ro {
+		return nil, errReadOnly
+	}
+	file, err := OS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) CreateTemp(dir, pattern string) (File, error) {
+	if _, _, ro := f.state(); ro {
+		return nil, errReadOnly
+	}
+	file, err := OS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *faultFS) Rename(oldPath, newPath string) error {
+	if _, _, ro := f.state(); ro {
+		return errReadOnly
+	}
+	return os.Rename(oldPath, newPath)
+}
+
+func (f *faultFS) Remove(path string) error {
+	if _, _, ro := f.state(); ro {
+		return errReadOnly
+	}
+	return os.Remove(path)
+}
+
+func (f *faultFS) MkdirAll(dir string) error {
+	if _, _, ro := f.state(); ro {
+		return errReadOnly
+	}
+	return os.MkdirAll(dir, 0o755)
+}
+
+func (f *faultFS) Truncate(path string, size int64) error {
+	f.mu.Lock()
+	ro, ft := f.readOnly, f.failTruncate
+	f.mu.Unlock()
+	if ro || ft {
+		return errReadOnly
+	}
+	return os.Truncate(path, size)
+}
+
+func (f *faultFS) Stat(path string) (fs.FileInfo, error) { return os.Stat(path) }
+
+func (f *faultFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+type faultFile struct {
+	File
+	fs       *faultFS
+	shortHit bool
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	failWrites, shortWrites, readOnly := f.fs.state()
+	if readOnly {
+		return 0, errReadOnly
+	}
+	if failWrites {
+		return 0, errNoSpace
+	}
+	if shortWrites {
+		if f.shortHit {
+			return 0, errNoSpace
+		}
+		// Half the bytes land on disk, then the failure surfaces — the torn
+		// frame is what the next Open must salvage around.
+		f.shortHit = true
+		n, _ := f.File.Write(p[:len(p)/2])
+		return n, io.ErrShortWrite
+	}
+	return f.File.Write(p)
+}

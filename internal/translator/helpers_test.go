@@ -1,0 +1,17 @@
+package translator
+
+import (
+	"testing"
+
+	"hef/internal/uarch"
+)
+
+// mustRun simulates prog for iters iterations, failing the test on error.
+func mustRun(t testing.TB, s *uarch.Sim, prog *uarch.Program, iters int64) *uarch.Result {
+	t.Helper()
+	r, err := s.Run(prog, iters)
+	if err != nil {
+		t.Fatalf("Run(%s, %d): %v", prog.Name, iters, err)
+	}
+	return r
+}

@@ -33,7 +33,7 @@ func TestNeonTranslationAndHybridWin(t *testing.T) {
 
 	run := func(n Node) float64 {
 		o := MustTranslate(tmpl, n, Options{Width: isa.W128, CPU: cpu})
-		res := uarch.NewSim(cpu).MustRun(o.Program, 4000)
+		res := mustRun(t, uarch.NewSim(cpu), o.Program, 4000)
 		return res.Seconds() / float64(res.Elems)
 	}
 	scalar := run(Node{V: 0, S: 1, P: 1})
@@ -77,7 +77,7 @@ func TestNeonGatherFallback(t *testing.T) {
 	}
 
 	// And the program still runs.
-	res := uarch.NewSim(cpu).MustRun(out.Program, 500)
+	res := mustRun(t, uarch.NewSim(cpu), out.Program, 500)
 	if res.Instructions == 0 {
 		t.Error("Neon CRC64 produced no instructions")
 	}
@@ -92,7 +92,7 @@ func TestZenTranslation(t *testing.T) {
 	if out.ElemsPerIter != 10 {
 		t.Errorf("Zen AVX2: ElemsPerIter = %d, want 2*(4+1)=10", out.ElemsPerIter)
 	}
-	res := uarch.NewSim(cpu).MustRun(out.Program, 1000)
+	res := mustRun(t, uarch.NewSim(cpu), out.Program, 1000)
 	if res.FreqGHz != cpu.Freq.ScalarGHz {
 		t.Errorf("Zen frequency = %.2f, want flat %.2f", res.FreqGHz, cpu.Freq.ScalarGHz)
 	}

@@ -10,6 +10,7 @@ package translator
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"hef/internal/hid"
@@ -222,6 +223,14 @@ func Translate(tmpl *hid.Template, node Node, opt Options) (*Output, error) {
 		vectorBudget = minBudget
 	}
 
+	// Value ids become int16 register numbers in uarch.UOp; a node with
+	// enough statement instances to overflow that space cannot be
+	// represented, only refused (spilling reuses ids, so the count is
+	// final here).
+	if em.numVals > math.MaxInt16 {
+		return nil, fmt.Errorf("translator: %s@%s needs %d values, exceeding the int16 register id space", tmpl.Name, node, em.numVals)
+	}
+
 	ops, stores, loads := insertSpills(em, scalarBudget, vectorBudget)
 
 	prog := &uarch.Program{
@@ -285,7 +294,7 @@ func ParamBase(tmpl *hid.Template, name string) uint64 {
 func MustTranslate(tmpl *hid.Template, node Node, opt Options) *Output {
 	out, err := Translate(tmpl, node, opt)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("translator: MustTranslate(%s, %s): %v", tmpl.Name, node, err))
 	}
 	return out
 }

@@ -50,7 +50,7 @@ func TestAccumulatorTranslation(t *testing.T) {
 	// The chain must serialize per instance: with 4 instances and a 1-cycle
 	// add, ~1 cycle per 4 elements plus load throughput.
 	cpu := isa.XeonSilver4110()
-	res := uarch.NewSim(cpu).MustRun(out.Program, 4000)
+	res := mustRun(t, uarch.NewSim(cpu), out.Program, 4000)
 	if cpi := float64(res.Cycles) / 4000; cpi > 4 {
 		t.Errorf("accumulator loop %.2f cycles/iter, expected pipelined (<4)", cpi)
 	}
@@ -62,7 +62,7 @@ func TestAccumulatorSerialChain(t *testing.T) {
 	tmpl := sumTemplate(t)
 	out := MustTranslate(tmpl, Node{V: 0, S: 1, P: 1}, Options{})
 	cpu := isa.XeonSilver4110()
-	res := uarch.NewSim(cpu).MustRun(out.Program, 4000)
+	res := mustRun(t, uarch.NewSim(cpu), out.Program, 4000)
 	cpi := float64(res.Cycles) / 4000
 	if cpi < 0.9 || cpi > 1.5 {
 		t.Errorf("serial accumulator: %.2f cycles/iter, want ~1 (add latency)", cpi)
@@ -150,7 +150,7 @@ func TestSpilledProgramRuns(t *testing.T) {
 	if out.SpillStores == 0 {
 		t.Fatal("expected spills at v=2 s=4 p=8")
 	}
-	res := uarch.NewSim(isa.XeonSilver4110()).MustRun(out.Program, 50)
+	res := mustRun(t, uarch.NewSim(isa.XeonSilver4110()), out.Program, 50)
 	if res.Instructions == 0 {
 		t.Error("spilled program produced no instructions")
 	}

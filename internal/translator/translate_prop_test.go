@@ -62,8 +62,8 @@ func TestSimulationScalesWithIterations(t *testing.T) {
 	if _, err := sim.Run(out.Program, 500); err != nil { // warm-up
 		t.Fatal(err)
 	}
-	r1 := sim.MustRun(out.Program, 2000)
-	r2 := sim.MustRun(out.Program, 4000)
+	r1 := mustRun(t, sim, out.Program, 2000)
+	r2 := mustRun(t, sim, out.Program, 4000)
 	if r2.Instructions != 2*r1.Instructions {
 		t.Errorf("instructions: %d vs %d, want exact 2x", r2.Instructions, r1.Instructions)
 	}
@@ -80,7 +80,7 @@ func TestSimulationDeterminism(t *testing.T) {
 	cpu := isa.XeonGold6240R()
 	run := func() *uarch.Result {
 		out := MustTranslate(tmpl, Node{V: 2, S: 1, P: 2}, Options{CPU: cpu})
-		return uarch.NewSim(cpu).MustRun(out.Program, 300)
+		return mustRun(t, uarch.NewSim(cpu), out.Program, 300)
 	}
 	a, b := run(), run()
 	if a.Cycles != b.Cycles || a.Instructions != b.Instructions ||

@@ -174,7 +174,7 @@ func TestHybridMurmurBeatsBothBaselines(t *testing.T) {
 	cpu := isa.XeonSilver4110()
 	run := func(n Node) float64 {
 		out := MustTranslate(murmur(), n, Options{CPU: cpu})
-		res := uarch.NewSim(cpu).MustRun(out.Program, 4000)
+		res := mustRun(t, uarch.NewSim(cpu), out.Program, 4000)
 		return res.Seconds() / float64(res.Elems)
 	}
 	scalar := run(Node{0, 1, 1})
@@ -195,7 +195,7 @@ func TestPackAcceleratesCRC64(t *testing.T) {
 	tmpl := hashes.CRC64Template()
 	run := func(n Node) float64 {
 		out := MustTranslate(tmpl, n, Options{CPU: cpu})
-		res := uarch.NewSim(cpu).MustRun(out.Program, 600)
+		res := mustRun(t, uarch.NewSim(cpu), out.Program, 600)
 		return res.Seconds() / float64(res.Elems)
 	}
 	unpacked := run(Node{1, 0, 1})

@@ -1,0 +1,15 @@
+package uarch
+
+import "testing"
+
+// mustRun runs prog for iters iterations on s, failing the test on error.
+// It replaces the old library-side MustRun: known-good programs are a test
+// concern, so the panic lives here rather than at a library edge.
+func mustRun(t testing.TB, s *Sim, prog *Program, iters int64) *Result {
+	t.Helper()
+	r, err := s.Run(prog, iters)
+	if err != nil {
+		t.Fatalf("Run(%s, %d): %v", prog.Name, iters, err)
+	}
+	return r
+}

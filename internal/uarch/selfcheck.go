@@ -1,0 +1,85 @@
+package uarch
+
+import "fmt"
+
+// SelfCheck verifies the conservation laws a freshly simulated Result must
+// satisfy, returning a descriptive error naming the first violated law. The
+// laws hold exactly for the counter deltas of one RunInto — including runs
+// the steady-state fast path extrapolated — but not necessarily after Scale
+// (floating-point extrapolation rounds) or Add with hand-built Results, so
+// callers check at the simulator boundary, not downstream.
+func (r *Result) SelfCheck() error {
+	if got := r.Stalls.Total(); got != r.Cycles {
+		return fmt.Errorf("uarch: selfcheck %q: stall buckets sum to %d, want cycles=%d", r.Name, got, r.Cycles)
+	}
+	var hist uint64
+	for _, h := range r.Hist {
+		hist += h
+	}
+	if hist != r.Cycles {
+		return fmt.Errorf("uarch: selfcheck %q: issue histogram sums to %d, want cycles=%d", r.Name, hist, r.Cycles)
+	}
+	if r.IssuedUops != r.Uops {
+		return fmt.Errorf("uarch: selfcheck %q: issued %d µops but retired %d", r.Name, r.IssuedUops, r.Uops)
+	}
+	for i, b := range r.PortBusy {
+		if b > r.Cycles {
+			return fmt.Errorf("uarch: selfcheck %q: port %d busy %d of %d cycles", r.Name, i, b, r.Cycles)
+		}
+	}
+	if r.ROBOcc.Cap > 0 {
+		if got := r.ROBOcc.Total(); got != r.Cycles {
+			return fmt.Errorf("uarch: selfcheck %q: ROB occupancy histogram sums to %d, want cycles=%d", r.Name, got, r.Cycles)
+		}
+	}
+	if r.LoadQOcc.Cap > 0 {
+		if got := r.LoadQOcc.Total(); got != r.Cycles {
+			return fmt.Errorf("uarch: selfcheck %q: load-queue occupancy histogram sums to %d, want cycles=%d", r.Name, got, r.Cycles)
+		}
+	}
+	// The hierarchy's demand counters chain: every L1 miss is an L2 access,
+	// every L2 miss an LLC access, every LLC miss a memory access. (Prefetch
+	// fills are counted apart and do not enter the chain.)
+	c := &r.Cache
+	if c.L2Hits+c.L2Misses != c.L1Misses {
+		return fmt.Errorf("uarch: selfcheck %q: L2 hits+misses = %d, want L1 misses = %d", r.Name, c.L2Hits+c.L2Misses, c.L1Misses)
+	}
+	if c.LLCHits+c.LLCMisses != c.L2Misses {
+		return fmt.Errorf("uarch: selfcheck %q: LLC hits+misses = %d, want L2 misses = %d", r.Name, c.LLCHits+c.LLCMisses, c.L2Misses)
+	}
+	if c.MemAccesses != c.LLCMisses {
+		return fmt.Errorf("uarch: selfcheck %q: %d memory accesses, want LLC misses = %d", r.Name, c.MemAccesses, c.LLCMisses)
+	}
+	return nil
+}
+
+// steadyDeltaCheck verifies the cycle-conservation laws on the counter
+// delta the steady-state fast path is about to extrapolate: the d cycles
+// between the matched boundary snapshots must be fully accounted for by the
+// stall buckets, the issue histogram, and the occupancy histograms
+// accumulated over them. Catching a skewed delta here — before it is
+// multiplied by k periods — turns an invisible billion-cycle drift into an
+// immediate, attributable failure.
+func steadyDeltaCheck(res, base *Result, d int64) error {
+	if got := res.Stalls.Total() - base.Stalls.Total(); got != uint64(d) {
+		return fmt.Errorf("uarch: selfcheck steady delta: stall buckets account for %d of %d cycles", got, d)
+	}
+	var hist uint64
+	for i := range res.Hist {
+		hist += res.Hist[i] - base.Hist[i]
+	}
+	if hist != uint64(d) {
+		return fmt.Errorf("uarch: selfcheck steady delta: issue histogram accounts for %d of %d cycles", hist, d)
+	}
+	if res.ROBOcc.Cap > 0 {
+		if got := res.ROBOcc.Total() - base.ROBOcc.Total(); got != uint64(d) {
+			return fmt.Errorf("uarch: selfcheck steady delta: ROB occupancy accounts for %d of %d cycles", got, d)
+		}
+	}
+	if res.LoadQOcc.Cap > 0 {
+		if got := res.LoadQOcc.Total() - base.LoadQOcc.Total(); got != uint64(d) {
+			return fmt.Errorf("uarch: selfcheck steady delta: load-queue occupancy accounts for %d of %d cycles", got, d)
+		}
+	}
+	return nil
+}

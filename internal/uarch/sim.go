@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hef/internal/cache"
+	"hef/internal/check"
 	"hef/internal/isa"
 )
 
@@ -33,6 +34,12 @@ type Result struct {
 	Instructions uint64
 	// Uops is the number of retired micro-operations.
 	Uops uint64
+	// IssuedUops is the number of µops sent to execution ports. The
+	// simulator has no speculation or replay, so issued == retired at the
+	// end of every run (a SelfCheck conservation law); the two counters are
+	// accumulated by independent code paths precisely so drift between them
+	// is detectable.
+	IssuedUops uint64
 	// Hist[i] counts cycles with exactly i issued µops (last bucket: >=).
 	Hist [HistBuckets]uint64
 	// Cache is the hierarchy counter snapshot delta for this run.
@@ -97,6 +104,7 @@ func (r *Result) Add(o *Result) {
 	r.Cycles += o.Cycles
 	r.Instructions += o.Instructions
 	r.Uops += o.Uops
+	r.IssuedUops += o.IssuedUops
 	for i := range r.Hist {
 		r.Hist[i] += o.Hist[i]
 	}
@@ -142,6 +150,7 @@ func (r *Result) Scale(f float64) {
 	r.Cycles = uint64(float64(r.Cycles) * f)
 	r.Instructions = uint64(float64(r.Instructions) * f)
 	r.Uops = uint64(float64(r.Uops) * f)
+	r.IssuedUops = uint64(float64(r.IssuedUops) * f)
 	for i := range r.Hist {
 		r.Hist[i] = uint64(float64(r.Hist[i]) * f)
 	}
@@ -452,6 +461,7 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 			fmt.Printf("c%3d: rob=%d rs=%d issued=%d retired=%d dispIter=%d portFree=%v\n",
 				cycle, s.robCount, len(s.rs), issuedInstrs, retiredUops, dispatchIter, s.portFree)
 		}
+		res.IssuedUops += uint64(issuedUops)
 		if issuedUops >= HistBuckets {
 			issuedUops = HistBuckets - 1
 		}
@@ -529,16 +539,19 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 	res.Elems = uint64(iters) * uint64(prog.ElemsPerIter)
 	res.Cache = statsDelta(s.hier.Stats(), statsBefore)
 	res.FreqGHz = EffectiveFreq(cpu, prog, res)
-	return nil
-}
 
-// MustRun is Run for known-good programs; it panics on error.
-func (s *Sim) MustRun(prog *Program, iters int64) *Result {
-	r, err := s.Run(prog, iters)
-	if err != nil {
-		panic(err)
+	if check.Enabled() {
+		if err := s.steady.invariantErr; err != nil {
+			return err
+		}
+		if err := res.SelfCheck(); err != nil {
+			return err
+		}
+		if want := uint64(iters) * uint64(len(body)); res.Instructions != want {
+			return fmt.Errorf("uarch: selfcheck %q: retired %d instructions, want iters*body = %d", prog.Name, res.Instructions, want)
+		}
 	}
-	return r
+	return nil
 }
 
 func statsDelta(a, b cache.Stats) cache.Stats {

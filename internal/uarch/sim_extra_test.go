@@ -12,7 +12,7 @@ func TestLoopCarriedAccumulator(t *testing.T) {
 	// r0 = r0 * r1 each iteration: a serial imul chain at latency 3.
 	p := &Program{Name: "acc", NumRegs: 2, ElemsPerIter: 1,
 		Body: []UOp{{Instr: isa.MustScalar("imul"), Dst: 0, Srcs: [3]int16{0, 1, NoReg}}}}
-	res := NewSim(cpu).MustRun(p, 3000)
+	res := mustRun(t, NewSim(cpu), p, 3000)
 	cpi := float64(res.Cycles) / 3000
 	if cpi < 2.8 || cpi > 3.4 {
 		t.Errorf("carried imul chain: %.2f cycles/iter, want ~3 (latency-bound)", cpi)
@@ -29,7 +29,7 @@ func TestStackAccessesAreCheap(t *testing.T) {
 			{Instr: isa.MustScalar("movq"), Dst: 0, Srcs: [3]int16{NoReg, NoReg, NoReg},
 				Addr: AddrSpec{Kind: AddrStack, Base: 1 << 40, Offset: 0}},
 		}}
-	res := NewSim(cpu).MustRun(p, 4000)
+	res := mustRun(t, NewSim(cpu), p, 4000)
 	if got := res.Cache.LLCMisses; got > 2 {
 		t.Errorf("stack traffic caused %d LLC misses, want ~0", got)
 	}
@@ -129,8 +129,8 @@ func TestAVX2UsesAllVectorPorts(t *testing.T) {
 		return &Program{Name: in.Name, NumRegs: 7, ElemsPerIter: in.Lanes * 6,
 			VectorStatements: 1, VectorWidth: in.Width, Body: body}
 	}
-	r256 := NewSim(cpu).MustRun(mk(isa.MustAVX2("vpaddq.y")), 3000)
-	r512 := NewSim(cpu).MustRun(mk(isa.MustAVX512("vpaddq")), 3000)
+	r256 := mustRun(t, NewSim(cpu), mk(isa.MustAVX2("vpaddq.y")), 3000)
+	r512 := mustRun(t, NewSim(cpu), mk(isa.MustAVX512("vpaddq")), 3000)
 	c256 := float64(r256.Cycles) / 3000
 	c512 := float64(r512.Cycles) / 3000
 	// 6 x 256-bit adds spread over p0/p1/p5 (~2 cycles); 6 x 512-bit adds

@@ -202,7 +202,7 @@ func TestFrequencyLicense(t *testing.T) {
 	gold := isa.XeonGold6240R()
 
 	scalarProg := indepProg("s", isa.MustScalar("add"), 4)
-	res := NewSim(silver).MustRun(scalarProg, 100)
+	res := mustRun(t, NewSim(silver), scalarProg, 100)
 	if res.FreqGHz != silver.Freq.ScalarGHz {
 		t.Errorf("scalar-only freq = %.2f, want %.2f", res.FreqGHz, silver.Freq.ScalarGHz)
 	}
@@ -210,7 +210,7 @@ func TestFrequencyLicense(t *testing.T) {
 	v1 := indepProg("v1", isa.MustAVX512("vpmullq"), 2)
 	v1.VectorStatements = 1
 	v1.VectorWidth = isa.W512
-	res = NewSim(silver).MustRun(v1, 100)
+	res = mustRun(t, NewSim(silver), v1, 100)
 	if res.FreqGHz != silver.Freq.AVX512GHz {
 		t.Errorf("one 512-bit statement freq = %.2f, want %.2f", res.FreqGHz, silver.Freq.AVX512GHz)
 	}
@@ -219,11 +219,11 @@ func TestFrequencyLicense(t *testing.T) {
 	v2 := indepProg("v2", isa.MustAVX512("vpmullq"), 2)
 	v2.VectorStatements = 2
 	v2.VectorWidth = isa.W512
-	res = NewSim(silver).MustRun(v2, 100)
+	res = mustRun(t, NewSim(silver), v2, 100)
 	if res.FreqGHz != silver.Freq.AVX512GHz {
 		t.Errorf("silver v=2 freq = %.2f, want %.2f (only one 512 unit)", res.FreqGHz, silver.Freq.AVX512GHz)
 	}
-	res = NewSim(gold).MustRun(v2, 100)
+	res = mustRun(t, NewSim(gold), v2, 100)
 	if res.FreqGHz != gold.Freq.AVX512HeavyGHz {
 		t.Errorf("gold v=2 freq = %.2f, want heavy license %.2f", res.FreqGHz, gold.Freq.AVX512HeavyGHz)
 	}

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"hef/internal/cache"
+	"hef/internal/check"
 	"hef/internal/isa"
 )
 
@@ -67,6 +68,11 @@ type steadyState struct {
 
 	skippedIters  int64
 	skippedCycles int64
+
+	// invariantErr records a steadyDeltaCheck violation found while
+	// extrapolating (when self-checks are enabled); RunInto surfaces it as
+	// the run's error.
+	invariantErr error
 }
 
 // SetFastPath enables or disables the steady-state fast path (default
@@ -85,6 +91,7 @@ func (s *Sim) FastForwarded() (iters, cycles int64) {
 func (st *steadyState) begin(s *Sim, prog *Program) {
 	st.skippedIters, st.skippedCycles = 0, 0
 	st.active = false
+	st.invariantErr = nil
 	if s.fastOff || !prog.fastEligible || s.trace != nil || Debug {
 		return
 	}
@@ -149,6 +156,14 @@ func (st *steadyState) observe(s *Sim, res *Result, cycle, dispatchIter *int64, 
 		if k <= 0 {
 			st.active = false
 			return
+		}
+		if check.Enabled() {
+			// Audit the period's counter delta before multiplying it by k:
+			// the fast path must extrapolate exactly what the slow path
+			// would have accumulated.
+			if err := steadyDeltaCheck(res, &snap.res, d); err != nil {
+				st.invariantErr = err
+			}
 		}
 		addScaledSelfDelta(res, &snap.res, uint64(k))
 		s.hier.AdvanceSteady(k, statsDelta(s.hier.Stats(), snap.stats), s.hier.AccessNo()-snap.accessNo)
@@ -311,6 +326,7 @@ func (s *Sim) shiftSteady(kp, kd, minIter, dispatchIter int64, dispatchIdx int) 
 func addScaledSelfDelta(res, base *Result, k uint64) {
 	res.Instructions += k * (res.Instructions - base.Instructions)
 	res.Uops += k * (res.Uops - base.Uops)
+	res.IssuedUops += k * (res.IssuedUops - base.IssuedUops)
 	for i := range res.Hist {
 		res.Hist[i] += k * (res.Hist[i] - base.Hist[i])
 	}

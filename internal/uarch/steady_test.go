@@ -125,8 +125,8 @@ func TestFastPathBackToBackRuns(t *testing.T) {
 			ss.SetFastPath(false)
 			fs := NewSim(cpu)
 			for run := 0; run < 2; run++ {
-				slow := ss.MustRun(prog, iters)
-				fast := fs.MustRun(prog, iters)
+				slow := mustRun(t, ss, prog, iters)
+				fast := mustRun(t, fs, prog, iters)
 				if !reflect.DeepEqual(slow, fast) {
 					t.Errorf("%s/%s run %d: diverged\nslow: %+v\nfast: %+v", cpu.Name, prog.Name, run, slow, fast)
 				}
@@ -183,17 +183,17 @@ func TestFastPathUnderPerturbation(t *testing.T) {
 	ss := NewSim(cpu)
 	ss.SetFastPath(false)
 	ss.SetPerturb(jit)
-	slow := ss.MustRun(prog, 4096)
+	slow := mustRun(t, ss, prog, 4096)
 	fs := NewSim(cpu)
 	fs.SetPerturb(jit)
-	fast := fs.MustRun(prog, 4096)
+	fast := mustRun(t, fs, prog, 4096)
 	if !reflect.DeepEqual(slow, fast) {
 		t.Errorf("latency-jitter run diverged\nslow: %+v\nfast: %+v", slow, fast)
 	}
 
 	pf := NewSim(cpu)
 	pf.SetPerturb(&Perturb{Seed: 99, PortFaultRate: 0.05})
-	pf.MustRun(prog, 4096)
+	mustRun(t, pf, prog, 4096)
 	if fi, _ := pf.FastForwarded(); fi != 0 {
 		t.Errorf("fast path engaged under port-fault injection (skipped %d iters)", fi)
 	}
@@ -205,7 +205,7 @@ func TestFastPathDeclinesTrace(t *testing.T) {
 	s := NewSim(isa.XeonSilver4110())
 	tl := &TraceLog{}
 	s.SetTraceLog(tl)
-	s.MustRun(indepProg("fp-trace", isa.MustScalar("add"), 4), 512)
+	mustRun(t, s, indepProg("fp-trace", isa.MustScalar("add"), 4), 512)
 	if fi, _ := s.FastForwarded(); fi != 0 {
 		t.Errorf("fast path engaged with a trace log attached (skipped %d iters)", fi)
 	}
@@ -216,7 +216,7 @@ func TestFastPathDeclinesTrace(t *testing.T) {
 func TestFastPathSpeedupObservable(t *testing.T) {
 	s := NewSim(isa.XeonSilver4110())
 	const iters = 1 << 16
-	s.MustRun(indepProg("fp-speed", isa.MustScalar("add"), 8), iters)
+	mustRun(t, s, indepProg("fp-speed", isa.MustScalar("add"), 8), iters)
 	fi, _ := s.FastForwarded()
 	if fi < iters*9/10 {
 		t.Errorf("fast path skipped only %d of %d iterations", fi, iters)

@@ -1,13 +1,18 @@
 #!/bin/sh
 # nopanic.sh — fail if non-test library code panics outside Must*-prefixed
-# functions.
+# functions, or panics with a bare identifier anywhere.
 #
 # The repo's error-handling contract: library edges return wrapped sentinel
 # errors; the only panicking entry points are explicitly opt-in Must*
-# helpers (MustScalar, MustRun, MustTranslate, ...). This check walks every
-# non-test .go file under internal/ and cmd/, tracks which top-level
-# function each line belongs to, and flags any `panic(` outside a function
-# whose name starts with "Must" or "must".
+# helpers (MustScalar, MustBuild, MustTranslate, ...). This check walks
+# every non-test .go file under internal/ and cmd/, tracks which top-level
+# function each line belongs to, and flags:
+#
+#   1. any `panic(` outside a function whose name starts with "Must"/"must";
+#   2. any bare `panic(identifier)` — e.g. panic(err) — ANYWHERE, including
+#      inside Must* helpers: a bare value loses the entry-point context, so
+#      Must* panics must format it in (panic(fmt.Sprintf("pkg: MustX(%s):
+#      %v", arg, err))).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,8 +30,15 @@ for f in $(find internal cmd -name '*.go' ! -name '*_test.go'); do
             fn = line
         }
         /panic\(/ {
-            # Allow panics inside Must*-prefixed functions only.
-            if (fn !~ /^[Mm]ust/) {
+            # Rule 2: a bare panic(identifier) is flagged even inside Must*
+            # helpers — format the context in instead of re-throwing a naked
+            # value. (panic(fmt.Sprintf(...)) and panic("msg") do not match:
+            # the identifier must be the entire argument.)
+            if ($0 ~ /panic\([A-Za-z_][A-Za-z0-9_]*\)/) {
+                printf "%s:%d: bare panic(identifier) in %s(): %s\n", FILENAME, FNR, (fn == "" ? "<toplevel>" : fn), $0
+            }
+            # Rule 1: allow panics inside Must*-prefixed functions only.
+            else if (fn !~ /^[Mm]ust/) {
                 printf "%s:%d: panic in %s(): %s\n", FILENAME, FNR, (fn == "" ? "<toplevel>" : fn), $0
             }
         }
@@ -38,7 +50,8 @@ for f in $(find internal cmd -name '*.go' ! -name '*_test.go'); do
 done
 
 if [ "$status" -ne 0 ]; then
-    echo "nopanic: panic() found outside Must*-prefixed functions (see above)" >&2
-    echo "nopanic: convert it to a wrapped error, or move it behind a Must* entry point" >&2
+    echo "nopanic: panic() found outside Must*-prefixed functions, or with a bare identifier (see above)" >&2
+    echo "nopanic: convert it to a wrapped error, move it behind a Must* entry point," >&2
+    echo "nopanic: or format the context into the panic value (panic(fmt.Sprintf(...)))" >&2
 fi
 exit "$status"
