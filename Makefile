@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json metrics-smoke figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -60,10 +60,23 @@ bench:
 # BENCH_1: the µop-histogram microbenchmark. BENCH_2: the evaluation
 # pipeline — simulator throughput, the search layer serial vs parallel,
 # and the memoized offline phase — as a go-test JSON event stream.
+# BENCH_3: the telemetry overhead pair — the full offline phase with the
+# process-wide instruments uninstalled ("off", the default) vs installed
+# ("on"); the paired TestTelemetryOverhead gate (HEF_OVERHEAD_CHECK=1)
+# asserts the delta stays within the 2% budget.
 bench-json:
 	$(GO) run ./cmd/uopshist -bench murmur -json > BENCH_1.json
-	$(GO) test -json -run TestNone -bench 'BenchmarkSimulatorThroughput|BenchmarkSearchParallel|BenchmarkOptimizeOperator' \
+	$(GO) test -json -run TestNone -bench 'BenchmarkSimulatorThroughput|BenchmarkSearchParallel|BenchmarkOptimizeOperator$$' \
 		-benchtime 1x -count=1 ./internal/uarch/ ./internal/hef/ ./internal/core/ > BENCH_2.json
+	$(GO) test -json -run TestNone -bench BenchmarkOptimizeOperatorTelemetry \
+		-benchtime 1x -count=1 ./internal/core/ > BENCH_3.json
+
+# metrics-smoke drives the live-telemetry stack end to end: an instrumented
+# ssbbench sweep scraped mid-run (monotone progress series, /status, a
+# SIGTERM drain observable as /healthz 503 + a final heartbeat), then a
+# hefopt batch proving the search-layer series move. Requires curl.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # Regenerate the paper's evaluation artifacts.
 figures:

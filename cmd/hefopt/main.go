@@ -39,6 +39,8 @@ import (
 	"hef/internal/obs"
 	"hef/internal/sched"
 	"hef/internal/store"
+	"hef/internal/telemetry"
+	"hef/internal/telemetry/mount"
 	"hef/internal/translator"
 )
 
@@ -60,7 +62,15 @@ func main() {
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed optimizations")
 	memoDir := flag.String("memo-dir", "", "directory of a durable measurement memo store; measurements persist across runs and corrupt records are quarantined at open")
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
+	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
 	flag.Parse()
+	heartbeatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "heartbeat" {
+			heartbeatSet = true
+		}
+	})
 
 	if *selfcheck {
 		check.SetEnabled(true)
@@ -72,6 +82,18 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := telemetry.ValidateFlags(*metricsAddr, heartbeatSet, *heartbeat); err != nil {
+		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var err error
+	tel, err = mount.Start(mount.Options{Tool: "hefopt", MetricsAddr: *metricsAddr, Heartbeat: *heartbeat})
+	if err != nil {
+		fail(err)
+	}
+	defer tel.Close()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -80,6 +102,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	telStop := context.AfterFunc(ctx, tel.SetDraining)
+	defer telStop()
 
 	// -parallel is deliberately NOT part of the fingerprint: the wave search
 	// and the memo cache are byte-identical to the serial run, so checkpoints
@@ -103,8 +127,10 @@ func main() {
 		} else {
 			mstore = st
 			cache = st.Cache()
+			tel.ObserveStore(st)
 		}
 	}
+	tel.SetReady()
 	var tasks []sched.Task[*opResult]
 	for _, name := range ops {
 		name := name
@@ -126,6 +152,8 @@ func main() {
 			Workers:    *workers,
 			MaxRetries: *retries,
 		},
+		Metrics: tel.SweepMetrics(),
+		Tracer:  tel.Tracer(),
 	}, tasks)
 	if err != nil {
 		if res != nil && res.Interrupted {
@@ -135,6 +163,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "hefopt: interrupted with %d/%d operators done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			tel.Close()
 			os.Exit(1)
 		}
 		if errors.Is(err, sched.ErrJobsFailed) {
@@ -197,6 +226,8 @@ func main() {
 			m.Store = storeStats
 			rep.Memo = m
 		}
+		// The telemetry block likewise attaches at emit time only.
+		tel.AttachReport(rep)
 		data, err := rep.MarshalIndent()
 		if err != nil {
 			fail(err)
@@ -389,7 +420,12 @@ func selectTemplate(op, file string) (*hid.Template, error) {
 	return experiments.OpTemplate(op)
 }
 
+// tel is the mounted telemetry session; nil without -metrics-addr or
+// -heartbeat, on which every method no-ops.
+var tel *mount.Session
+
 func fail(err error) {
+	tel.Close()
 	fmt.Fprintln(os.Stderr, "hefopt:", err)
 	os.Exit(1)
 }

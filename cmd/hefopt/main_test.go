@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mainArgsEnv carries unit-separator-joined argv for the re-exec'd child; when set,
+// TestMain runs the real main() instead of the test suite, so these tests
+// observe the tool's actual exit codes without building a separate binary.
+const mainArgsEnv = "HEFOPT_MAIN_ARGS"
+
+func TestMain(m *testing.M) {
+	if args := os.Getenv(mainArgsEnv); args != "" {
+		os.Args = append(os.Args[:1], strings.Split(args, "\x1f")...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as the tool with args and returns its
+// exit code and stderr.
+func runMain(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(args, "\x1f"))
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec: %v\nstderr:\n%s", err, stderr.String())
+	}
+	return ee.ExitCode(), stderr.String()
+}
+
+// TestTelemetryFlagValidation: the shared -metrics-addr/-heartbeat contract
+// is a usage error (exit 2 + usage text), not a runtime failure.
+func TestTelemetryFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"portless metrics addr", []string{"-metrics-addr", "localhost"}, "-metrics-addr"},
+		{"garbage metrics addr", []string{"-metrics-addr", "host:port:extra"}, "-metrics-addr"},
+		{"explicit zero heartbeat", []string{"-heartbeat", "0s"}, "-heartbeat must be positive"},
+		{"negative heartbeat", []string{"-heartbeat", "-5s"}, "-heartbeat must be positive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runMain(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if !strings.Contains(stderr, "-budget") {
+				t.Fatalf("usage text not printed:\n%s", stderr)
+			}
+		})
+	}
+}

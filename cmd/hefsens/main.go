@@ -38,6 +38,8 @@ import (
 	"hef/internal/robust"
 	"hef/internal/sched"
 	"hef/internal/store"
+	"hef/internal/telemetry"
+	"hef/internal/telemetry/mount"
 )
 
 func main() {
@@ -58,13 +60,24 @@ func main() {
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed analyses")
 	memoDir := flag.String("memo-dir", "", "directory of a durable measurement memo store shared by every analysis; measurements persist across runs and corrupt records are quarantined at open")
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
+	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
 	flag.Parse()
+	heartbeatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "heartbeat" {
+			heartbeatSet = true
+		}
+	})
 
 	if *selfcheck {
 		check.SetEnabled(true)
 	}
 
 	if err := validate(*trials, *jitter, *portFault, *elems, *budget, *parallel, *workers, *retries); err != nil {
+		usageErr(err)
+	}
+	if err := telemetry.ValidateFlags(*metricsAddr, heartbeatSet, *heartbeat); err != nil {
 		usageErr(err)
 	}
 	// Resolve every CPU and operator up front so a typo is a usage error
@@ -90,6 +103,13 @@ func main() {
 		usageErr(fmt.Errorf("no (op, cpu) pairs selected: -cpu %q -op %q", *cpus, *ops))
 	}
 
+	var err error
+	tel, err = mount.Start(mount.Options{Tool: "hefsens", MetricsAddr: *metricsAddr, Heartbeat: *heartbeat})
+	if err != nil {
+		fail(err)
+	}
+	defer tel.Close()
+
 	// Ctrl-C / SIGTERM and -timeout all drain through the same context; the
 	// sweep flushes its checkpoint before returning either way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -99,6 +119,8 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	telStop := context.AfterFunc(ctx, tel.SetDraining)
+	defer telStop()
 
 	// The fingerprint covers every flag that shapes an analysis value, so a
 	// checkpoint from a different configuration is refused, not mixed in.
@@ -121,8 +143,10 @@ func main() {
 		} else {
 			mstore = st
 			cache = st.Cache()
+			tel.ObserveStore(st)
 		}
 	}
+	tel.SetReady()
 
 	var tasks []sched.Task[*robust.Sensitivity]
 	for _, p := range pairs {
@@ -156,6 +180,8 @@ func main() {
 		Fingerprint:    fingerprint,
 		CheckpointPath: *checkpoint,
 		ResumePath:     *resume,
+		Metrics:        tel.SweepMetrics(),
+		Tracer:         tel.Tracer(),
 		Runner: sched.Config{
 			Workers:    *workers,
 			MaxRetries: *retries,
@@ -169,6 +195,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "hefsens: interrupted with %d/%d analyses done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			tel.Close()
 			os.Exit(1)
 		}
 		if errors.Is(err, sched.ErrJobsFailed) {
@@ -269,7 +296,12 @@ func usageErr(err error) {
 	os.Exit(2)
 }
 
+// tel is the mounted telemetry session; nil without -metrics-addr or
+// -heartbeat, on which every method no-ops.
+var tel *mount.Session
+
 func fail(err error) {
+	tel.Close()
 	fmt.Fprintln(os.Stderr, "hefsens:", err)
 	os.Exit(1)
 }

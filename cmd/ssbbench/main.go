@@ -37,6 +37,8 @@ import (
 	"hef/internal/queries"
 	"hef/internal/sched"
 	"hef/internal/store"
+	"hef/internal/telemetry"
+	"hef/internal/telemetry/mount"
 )
 
 func main() {
@@ -59,7 +61,16 @@ func main() {
 	resume := flag.String("resume", "", "with -all: load a prior -checkpoint file and skip its completed figures")
 	memoDir := flag.String("memo-dir", "", "directory of a durable stage-measurement memo store shared by every figure; measurements persist across runs and corrupt records are quarantined at open")
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
+	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
+	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
+	traceOut := flag.String("trace-out", "", "with -all: write the sweep-lifecycle spans (queue waits, figure runs, checkpoint flushes) as Chrome trace-event JSON to this file")
 	flag.Parse()
+	heartbeatSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "heartbeat" {
+			heartbeatSet = true
+		}
+	})
 
 	if *selfcheck {
 		check.SetEnabled(true)
@@ -86,13 +97,33 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := telemetry.ValidateFlags(*metricsAddr, heartbeatSet, *heartbeat); err != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *traceOut != "" && !*all {
+		fmt.Fprintf(os.Stderr, "ssbbench: -trace-out records the sweep lifecycle and needs -all\n\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	tel, err = mount.Start(mount.Options{Tool: "ssbbench", MetricsAddr: *metricsAddr, Heartbeat: *heartbeat, Trace: *traceOut != ""})
+	if err != nil {
+		fail(err)
+	}
 
 	if *memoDir != "" {
 		openMemoDir(*memoDir)
 	}
+	tel.SetReady()
 
 	if *all {
 		runAll(*sample, *seed, *timeout, *workers, *retries, *checkpoint, *resume)
+		if err := tel.WriteTrace(*traceOut); err != nil {
+			fail(err)
+		}
+		tel.Close()
 		return
 	}
 
@@ -112,12 +143,18 @@ func main() {
 		if err := printTable(*table, *sample, *seed); err != nil {
 			fail(err)
 		}
+		tel.Close()
 		return
 	}
 	if err := printFigure(*cpu, *sf, *sample, *seed, qs, *stages); err != nil {
 		fail(err)
 	}
+	tel.Close()
 }
+
+// tel is the mounted telemetry session; nil without -metrics-addr or
+// -heartbeat, on which every method no-ops.
+var tel *mount.Session
 
 // validate rejects bad flag combinations before any simulation, exit 2. It
 // returns the resolved query restriction so a typo in -queries is a usage
@@ -180,6 +217,10 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
+	// SIGTERM/Ctrl-C flips /healthz to draining while the sweep drains and
+	// the metrics endpoint keeps serving.
+	telStop := context.AfterFunc(ctx, tel.SetDraining)
+	defer telStop()
 
 	fingerprint := fmt.Sprintf("all sample=%g seed=%d format=%s", sample, seed, outFormat)
 	var tasks []sched.Task[*figCell]
@@ -227,6 +268,8 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 			Workers:    workers,
 			MaxRetries: retries,
 		},
+		Metrics: tel.SweepMetrics(),
+		Tracer:  tel.Tracer(),
 	}, tasks)
 	if err != nil {
 		if res != nil && res.Interrupted {
@@ -236,6 +279,7 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 			}
 			fmt.Fprintf(os.Stderr, "ssbbench: interrupted with %d/%d figures done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			tel.Close()
 			os.Exit(1)
 		}
 		if errors.Is(err, sched.ErrJobsFailed) {
@@ -298,6 +342,7 @@ func openMemoDir(dir string) {
 	}
 	memoStore = st
 	sharedMemo = st.Cache()
+	tel.ObserveStore(st)
 }
 
 // finishStore closes the durable memo store (compacting shards whose corrupt
@@ -417,8 +462,11 @@ func printTable(n int, sample float64, seed uint64) error {
 	return nil
 }
 
-// emitJSON prints a run report as indented JSON on stdout.
+// emitJSON prints a run report as indented JSON on stdout, attaching the
+// emit-time telemetry block when a session is live. Checkpointed reports
+// never pass through here, so they stay telemetry-free.
 func emitJSON(rep *obs.RunReport) {
+	tel.AttachReport(rep)
 	data, err := rep.MarshalIndent()
 	if err != nil {
 		fail(err)
@@ -430,6 +478,7 @@ func emitJSON(rep *obs.RunReport) {
 var outFormat = "text"
 
 func fail(err error) {
+	tel.Close()
 	fmt.Fprintln(os.Stderr, "ssbbench:", err)
 	os.Exit(1)
 }

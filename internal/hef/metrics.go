@@ -1,0 +1,26 @@
+package hef
+
+import (
+	"sync/atomic"
+
+	"hef/internal/telemetry"
+)
+
+// searchMetrics is the process-wide instrument set the pruning search
+// bumps. The tools install it once at startup; a nil pointer (the default)
+// makes every bump a single branch via telemetry's nil-safe methods.
+// Metrics never feed back into the search, so traces, candidate lists, and
+// best nodes are identical with telemetry on or off.
+var searchMetrics atomic.Pointer[telemetry.SearchMetrics]
+
+// SetMetrics installs the instrument set every subsequent search bumps.
+// Pass nil to restore the uninstrumented default.
+func SetMetrics(m *telemetry.SearchMetrics) {
+	searchMetrics.Store(m)
+}
+
+// metrics returns the current instrument set (possibly nil; all methods on
+// a nil set no-op).
+func metrics() *telemetry.SearchMetrics {
+	return searchMetrics.Load()
+}

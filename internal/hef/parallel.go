@@ -36,6 +36,8 @@ type ForkableEvaluator interface {
 // cancellation mid-wave takes effect at the next wave boundary — identical
 // bytes for any worker count, at the cost of finishing the wave in flight.
 func searchParallel(ctx context.Context, eval Evaluator, initial Node, bounds Bounds, opts SearchOpts) (*Result, error) {
+	m := metrics()
+	defer m.OnSearchEnd()
 	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
 	partial := func(err error) (*Result, error) {
 		res.Partial = true
@@ -65,6 +67,8 @@ func searchParallel(ctx context.Context, eval Evaluator, initial Node, bounds Bo
 	res.Trace = append(res.Trace, Step{Node: initial, Seconds: initSec, Parent: initial, Winner: true})
 	res.Best, res.BestSeconds = initial, initSec
 	res.CandidateList = append(res.CandidateList, initial)
+	m.OnEvaluated(false)
+	m.OnBest(initSec * 1e9)
 
 	// The evaluator pool: the caller's evaluator plus Workers-1 forks. An
 	// unforkable evaluator caps effective concurrency at one worker; the
@@ -98,6 +102,7 @@ func searchParallel(ctx context.Context, eval Evaluator, initial Node, bounds Bo
 	seen := map[Node]float64{initial: initSec}
 	wave := []scored{{initial, initSec}}
 	for waveNo := 0; len(wave) > 0; waveNo++ {
+		m.OnWave(len(wave))
 		// List the frontier's evaluations in serial generation order. Nodes
 		// are marked seen as they are listed — exactly when the serial walk
 		// would have evaluated them — so a node reachable from two wave
@@ -171,11 +176,13 @@ func searchParallel(ctx context.Context, eval Evaluator, initial Node, bounds Bo
 			seen[e.node] = e.sec
 			win := e.sec < e.parent.sec
 			res.Trace = append(res.Trace, Step{Node: e.node, Seconds: e.sec, Parent: e.parent.node, Winner: win})
+			m.OnEvaluated(!win)
 			if win {
 				res.CandidateList = append(res.CandidateList, e.node)
 				next = append(next, scored{e.node, e.sec})
 				if e.sec < res.BestSeconds {
 					res.Best, res.BestSeconds = e.node, e.sec
+					m.OnBest(e.sec * 1e9)
 				}
 			} else {
 				res.EndList = append(res.EndList, e.node)

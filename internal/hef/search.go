@@ -137,6 +137,8 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 	if opts.Workers > 0 {
 		return searchParallel(ctx, eval, initial, bounds, opts)
 	}
+	m := metrics()
+	defer m.OnSearchEnd()
 	res := &Result{Initial: initial, SpaceSize: SearchSpaceSize(bounds.VMax, bounds.SMax, bounds.PMax)}
 
 	// partial finalizes an early exit: the result so far plus the reason.
@@ -181,12 +183,17 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 	res.Trace = append(res.Trace, Step{Node: initial, Seconds: initSec, Parent: initial, Winner: true})
 	res.Best, res.BestSeconds = initial, initSec
 	res.CandidateList = append(res.CandidateList, initial)
+	m.OnEvaluated(false)
+	m.OnBest(initSec * 1e9)
 
 	seen := map[Node]float64{initial: initSec}
 	queue := []scored{{initial, initSec}}
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
+		// The serial engine's "frontier" is the FIFO queue: the popped node
+		// plus everything still waiting to be expanded.
+		m.OnWave(len(queue) + 1)
 		for _, nb := range neighbors(cur.node) {
 			if !bounds.contains(nb) {
 				continue
@@ -213,11 +220,13 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 			seen[nb] = sec
 			win := sec < cur.sec
 			res.Trace = append(res.Trace, Step{Node: nb, Seconds: sec, Parent: cur.node, Winner: win})
+			m.OnEvaluated(!win)
 			if win {
 				res.CandidateList = append(res.CandidateList, nb)
 				queue = append(queue, scored{nb, sec})
 				if sec < res.BestSeconds {
 					res.Best, res.BestSeconds = nb, sec
+					m.OnBest(sec * 1e9)
 				}
 			} else {
 				res.EndList = append(res.EndList, nb)

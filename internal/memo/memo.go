@@ -20,6 +20,7 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"hef/internal/isa"
 	"hef/internal/uarch"
@@ -207,11 +208,34 @@ func (s Stats) HitRate() float64 {
 // scales and accumulates counters in place). A nil *Cache is valid and
 // never hits, so callers thread an optional cache without branching.
 type Cache struct {
-	mu     sync.Mutex
-	m      map[Key]*uarch.Result
-	hits   uint64
-	misses uint64
+	mu sync.Mutex
+	m  map[Key]*uarch.Result
+	// hits/misses are atomics, not mu-guarded fields: Stats is polled from
+	// the telemetry scrape path while workers are mid-Get, and the counters
+	// must stay exact without the poller contending for the map lock.
+	hits   atomic.Uint64
+	misses atomic.Uint64
 	onPut  func(Key, *uarch.Result)
+}
+
+// Process-wide totals across every Cache, for telemetry polling. Keeping
+// them here (bumped alongside the per-cache counters) lets the metrics
+// layer observe memo behaviour without this package importing it.
+var (
+	totalHits   atomic.Uint64
+	totalMisses atomic.Uint64
+)
+
+// Totals reports hit/miss counts accumulated across all caches since
+// process start (or the last ResetTotals).
+func Totals() (hits, misses uint64) {
+	return totalHits.Load(), totalMisses.Load()
+}
+
+// ResetTotals zeroes the process-wide counters. Test-only.
+func ResetTotals() {
+	totalHits.Store(0)
+	totalMisses.Store(0)
 }
 
 // NewCache returns an empty cache.
@@ -228,10 +252,12 @@ func (c *Cache) Get(k Key) (*uarch.Result, bool) {
 	defer c.mu.Unlock()
 	r, ok := c.m[k]
 	if !ok {
-		c.misses++
+		c.misses.Add(1)
+		totalMisses.Add(1)
 		return nil, false
 	}
-	c.hits++
+	c.hits.Add(1)
+	totalHits.Add(1)
 	return r.Clone(), true
 }
 
@@ -290,6 +316,7 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{Hits: c.hits, Misses: c.misses, Entries: uint64(len(c.m))}
+	entries := uint64(len(c.m))
+	c.mu.Unlock()
+	return Stats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: entries}
 }

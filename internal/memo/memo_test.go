@@ -172,3 +172,42 @@ func FuzzFingerprint(f *testing.F) {
 		}
 	})
 }
+
+// TestCacheCountersConcurrent hammers Get from many goroutines and checks
+// the hit/miss counters stay exact. Runs under -race in CI: the counters
+// are read by the telemetry poller while workers are mid-Get, so they must
+// be atomics, not plain fields.
+func TestCacheCountersConcurrent(t *testing.T) {
+	c := NewCache()
+	k := baseKey()
+	c.Put(k, &uarch.Result{Cycles: 1})
+	var miss Key
+	miss[0] = 0xff
+
+	const workers, per = 8, 500
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				c.Get(k)
+				c.Get(miss)
+				c.Stats() // concurrent reader — the race the test guards against
+			}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	s := c.Stats()
+	if s.Hits != workers*per || s.Misses != workers*per {
+		t.Fatalf("counters hits=%d misses=%d, want %d each", s.Hits, s.Misses, workers*per)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %g, want 0.5", got)
+	}
+	h, m := Totals()
+	if h < workers*per || m < workers*per {
+		t.Fatalf("package totals hits=%d misses=%d, want >= %d each", h, m, workers*per)
+	}
+}

@@ -45,6 +45,16 @@ type chromeDoc struct {
 // sorted by timestamp, so ts is monotonically non-decreasing over the
 // document.
 func ChromeTrace(sections []TraceSection) ([]byte, error) {
+	evs, err := chromeEvents(sections)
+	if err != nil {
+		return nil, err
+	}
+	return marshalChrome(evs)
+}
+
+// chromeEvents converts the traced runs to sorted trace events; extending
+// exporters (ChromeTraceWith) append their own before marshalling.
+func chromeEvents(sections []TraceSection) ([]chromeEvent, error) {
 	var evs []chromeEvent
 	for pid, sec := range sections {
 		evs = append(evs, chromeEvent{
@@ -75,6 +85,10 @@ func ChromeTrace(sections []TraceSection) ([]byte, error) {
 		}
 	}
 	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	return evs, nil
+}
+
+func marshalChrome(evs []chromeEvent) ([]byte, error) {
 	return json.Marshal(chromeDoc{TraceEvents: evs, DisplayTimeUnit: "ns"})
 }
 

@@ -44,6 +44,10 @@ type RunReport struct {
 	// Memo holds the content-addressed measurement cache's counters when
 	// the tool ran with memoization (additive field; absent otherwise).
 	Memo *MemoStats `json:"memo,omitempty"`
+	// Telemetry is the final live-telemetry snapshot when the tool ran with
+	// -metrics-addr or -heartbeat (additive field; absent otherwise —
+	// default runs stay byte-identical).
+	Telemetry *TelemetryStats `json:"telemetry,omitempty"`
 }
 
 // MemoStats is the report form of the measurement memo cache's counters

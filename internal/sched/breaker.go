@@ -79,6 +79,14 @@ func (b *breaker) Success() {
 	b.probing = false
 }
 
+// isOpen reports whether the breaker is currently denying all attempts.
+// Half-open counts as not open: a probe is admitted.
+func (b *breaker) isOpen() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen
+}
+
 // Failure records a failed attempt: it re-opens a half-open circuit
 // immediately and trips a closed one once the consecutive-failure count
 // reaches the threshold.

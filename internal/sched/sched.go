@@ -23,8 +23,24 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"hef/internal/telemetry"
 )
+
+// defaultMetrics is the process-wide instrument set runners adopt when
+// their Config leaves Metrics nil. The tools install it once at startup so
+// every pool in the process — the sweep runner, the wave-search evaluator
+// pools, the per-figure premeasure pools — composes onto the same gauges.
+var defaultMetrics atomic.Pointer[telemetry.SchedMetrics]
+
+// SetDefaultMetrics installs the instrument set future runners inherit.
+// Pass nil to restore the uninstrumented default. Runners created before
+// the call are unaffected.
+func SetDefaultMetrics(m *telemetry.SchedMetrics) {
+	defaultMetrics.Store(m)
+}
 
 // Typed sentinel errors of the runner; match with errors.Is.
 var (
@@ -180,13 +196,23 @@ type Config struct {
 	// serialized; the callback may call Submit but must not call Drain or
 	// Stop.
 	OnOutcome func(Outcome)
+	// Metrics receives lifecycle events for live observability. Nil adopts
+	// the process default (SetDefaultMetrics); telemetry.SchedMetrics is
+	// nil-receiver-safe, so with neither set every bump is one branch.
+	// Metrics never influence scheduling, results, or checkpoints.
+	Metrics *telemetry.SchedMetrics
+	// Tracer, when non-nil, records a queue-wait span and a run span per
+	// job attempt. Unlike Metrics it is never defaulted process-wide: span
+	// volume is per-job, so only the top-level sweep runner sets it.
+	Tracer *telemetry.Tracer
 }
 
 type task struct {
-	job     Job
-	attempt int
-	backoff backoffState
-	paniced bool
+	job        Job
+	attempt    int
+	backoff    backoffState
+	paniced    bool
+	enqueuedAt time.Time // when the task last entered the queue, for the wait span
 }
 
 // Runner is a supervised worker pool. Create with New, feed with
@@ -231,6 +257,9 @@ func New(cfg Config) *Runner {
 	if clk == nil {
 		clk = RealClock{}
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = defaultMetrics.Load()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	r := &Runner{
 		cfg:      cfg,
@@ -257,15 +286,17 @@ func (r *Runner) Submit(j Job) error {
 	if r.stopped {
 		return ErrClosed
 	}
-	t := &task{job: j, attempt: 1}
+	t := &task{job: j, attempt: 1, enqueuedAt: r.clock.Now()}
 	select {
 	case r.queue <- t:
 		r.stats.Submitted++
 		r.stats.Queued++
 		r.pending++
+		r.cfg.Metrics.OnSubmit()
 		return nil
 	default:
 		r.stats.Shed++
+		r.cfg.Metrics.OnShed()
 		return fmt.Errorf("sched: job %q: %w", j.ID, ErrQueueFull)
 	}
 }
@@ -283,7 +314,7 @@ func (r *Runner) SubmitWait(ctx context.Context, j Job) error {
 	r.submitting++
 	r.mu.Unlock()
 
-	t := &task{job: j, attempt: 1}
+	t := &task{job: j, attempt: 1, enqueuedAt: r.clock.Now()}
 	var err error
 	select {
 	case r.queue <- t:
@@ -298,6 +329,7 @@ func (r *Runner) SubmitWait(ctx context.Context, j Job) error {
 	if err == nil {
 		r.stats.Submitted++
 		r.stats.Queued++
+		r.cfg.Metrics.OnSubmit()
 	} else {
 		r.pending--
 	}
@@ -403,11 +435,17 @@ func (r *Runner) execute(t *task) {
 	r.stats.Running++
 	br := r.breakerLocked(t.job.Key)
 	r.mu.Unlock()
+	r.cfg.Metrics.OnStart()
+	started := r.clock.Now()
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Record("queue", t.job.ID, t.enqueuedAt, started.Sub(t.enqueuedAt))
+	}
 
 	var val any
 	var err error
-	if br != nil && !br.Allow(r.clock.Now()) {
+	if br != nil && !br.Allow(started) {
 		err = fmt.Errorf("sched: job %q key %q: %w", t.job.ID, t.job.Key, ErrCircuitOpen)
+		r.cfg.Metrics.OnBreakerDenial()
 	} else {
 		val, err = r.runAttempt(t)
 		if br != nil {
@@ -420,10 +458,18 @@ func (r *Runner) execute(t *task) {
 			}
 		}
 	}
+	if br != nil {
+		r.publishBreakers()
+	}
 
+	ended := r.clock.Now()
 	r.mu.Lock()
 	r.stats.Running--
 	r.mu.Unlock()
+	r.cfg.Metrics.OnAttemptEnd(ended.Sub(started).Seconds())
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Record("run", t.job.ID, started, ended.Sub(started))
+	}
 
 	switch {
 	case err == nil:
@@ -468,6 +514,7 @@ func (r *Runner) retry(t *task, cause error) {
 	r.stats.Retries++
 	r.stats.Retrying++
 	r.mu.Unlock()
+	r.cfg.Metrics.OnRetry()
 	r.retryWG.Add(1)
 	go func() {
 		defer r.retryWG.Done()
@@ -475,6 +522,7 @@ func (r *Runner) retry(t *task, cause error) {
 			r.mu.Lock()
 			r.stats.Retrying--
 			r.mu.Unlock()
+			r.cfg.Metrics.OnRetryResolved(false)
 			r.finish(t, Outcome{ID: t.job.ID, Key: t.job.Key, State: StateFailed,
 				Err:      fmt.Errorf("%w: retry abandoned after: %w", ErrInterrupted, cause),
 				Attempts: t.attempt - 1, Panicked: t.paniced}, false)
@@ -485,12 +533,14 @@ func (r *Runner) retry(t *task, cause error) {
 			interrupted()
 			return
 		}
+		t.enqueuedAt = r.clock.Now()
 		select {
 		case r.queue <- t:
 			r.mu.Lock()
 			r.stats.Retrying--
 			r.stats.Queued++
 			r.mu.Unlock()
+			r.cfg.Metrics.OnRetryResolved(true)
 		case <-r.ctx.Done():
 			interrupted()
 		}
@@ -505,6 +555,9 @@ func (r *Runner) finish(t *task, o Outcome, queuedGauge bool) {
 	r.mu.Lock()
 	if queuedGauge {
 		r.stats.Queued--
+		if m := r.cfg.Metrics; m != nil {
+			m.QueueDepth.Add(-1)
+		}
 	}
 	switch o.State {
 	case StateDone:
@@ -515,6 +568,7 @@ func (r *Runner) finish(t *task, o Outcome, queuedGauge bool) {
 	r.outcomes = append(r.outcomes, o)
 	cb := r.cfg.OnOutcome
 	r.mu.Unlock()
+	r.cfg.Metrics.OnOutcome(o.State == StateDone)
 	if cb != nil {
 		r.cbMu.Lock()
 		cb(o)
@@ -524,6 +578,24 @@ func (r *Runner) finish(t *task, o Outcome, queuedGauge bool) {
 	r.pending--
 	r.cond.Broadcast()
 	r.mu.Unlock()
+}
+
+// publishBreakers recounts open breakers and publishes the gauge. Called
+// after every breaker-routed attempt; keys are CPU-model names, so the walk
+// is a handful of entries.
+func (r *Runner) publishBreakers() {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	r.mu.Lock()
+	open := 0
+	for _, b := range r.breakers {
+		if b.isOpen() {
+			open++
+		}
+	}
+	r.mu.Unlock()
+	r.cfg.Metrics.SetBreakersOpen(open)
 }
 
 // breakerLocked returns the circuit breaker for key, creating it on first

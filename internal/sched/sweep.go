@@ -7,8 +7,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"hef/internal/store"
+	"hef/internal/telemetry"
 )
 
 // ErrJobsFailed marks a sweep that completed its drain but left jobs in
@@ -45,6 +47,14 @@ type SweepConfig struct {
 	// Runner tunes the worker pool; its OnOutcome is invoked after the
 	// sweep's own bookkeeping.
 	Runner Config
+	// Metrics receives sweep progress events (task totals, completions,
+	// checkpoint flushes). Nil-safe; never read back into sweep decisions,
+	// so checkpoints and results are identical with or without it.
+	Metrics *telemetry.SweepMetrics
+	// Tracer records sweep-lifecycle spans (submit, checkpoint flushes, the
+	// sweep itself) and is handed to the runner for per-job queue/run spans
+	// when the Runner config has none of its own.
+	Tracer *telemetry.Tracer
 }
 
 // SweepResult is the outcome of RunSweep.
@@ -100,6 +110,7 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 	if cfg.FS == nil {
 		cfg.FS = store.OS
 	}
+	defer cfg.Tracer.Begin("sweep", cfg.Tool)()
 	res := &SweepResult[T]{Results: make(map[string]T, len(tasks))}
 
 	// skip records the jobs satisfied from the resume checkpoint; the
@@ -150,15 +161,20 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 		if cfg.CheckpointPath == "" || res.PersistWarning != "" {
 			return
 		}
+		start := time.Now()
 		if err := cp.SaveFS(cfg.FS, cfg.CheckpointPath); err != nil {
 			res.PersistWarning = fmt.Sprintf("checkpointing disabled: %v", err)
 		}
+		dur := time.Since(start)
+		cfg.Metrics.OnFlush(dur.Seconds())
+		cfg.Tracer.Record("checkpoint", "flush", start, dur)
 		sinceFlush = 0
 	}
 	userHook := cfg.Runner.OnOutcome
 	rcfg := cfg.Runner
 	rcfg.OnOutcome = func(o Outcome) {
 		if o.State == StateDone {
+			cfg.Metrics.OnTaskDone()
 			mu.Lock()
 			res.Results[o.ID] = o.Value.(T)
 			res.Executed++
@@ -176,6 +192,10 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 		}
 	}
 
+	cfg.Metrics.OnPlan(len(tasks), res.Resumed)
+	if rcfg.Tracer == nil {
+		rcfg.Tracer = cfg.Tracer
+	}
 	r := New(rcfg)
 	// A cancelled context stops the runner: in-flight attempts see their
 	// job context close, queued and retrying work resolves as interrupted.
@@ -184,11 +204,13 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 	go func() {
 		select {
 		case <-ctx.Done():
+			cfg.Metrics.OnInterrupt()
 			stopOnce()
 		case <-watchDone:
 		}
 	}()
 
+	endSubmit := cfg.Tracer.Begin("sweep", "submit")
 	for _, t := range tasks {
 		if skip[t.ID] {
 			continue
@@ -201,6 +223,7 @@ func RunSweep[T any](ctx context.Context, cfg SweepConfig, tasks []Task[T]) (*Sw
 			break // cancelled or runner stopped; drain below
 		}
 	}
+	endSubmit()
 
 	outcomes := r.Drain()
 	close(watchDone)

@@ -1,0 +1,31 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// ValidateFlags checks the shared -metrics-addr/-heartbeat flag contract
+// the tools enforce with exit 2 + usage: a non-empty metrics address must
+// parse as host:port (":0" and "127.0.0.1:9090" are fine), and a heartbeat
+// interval the user set explicitly must be positive — "-heartbeat 0" or a
+// negative interval is a usage error, while leaving the flag unset simply
+// disables heartbeats. heartbeatSet reports whether the flag appeared on
+// the command line (flag.Visit).
+func ValidateFlags(metricsAddr string, heartbeatSet bool, heartbeat time.Duration) error {
+	if metricsAddr != "" {
+		host, port, err := net.SplitHostPort(metricsAddr)
+		if err != nil {
+			return fmt.Errorf("-metrics-addr must be host:port, got %q: %w", metricsAddr, err)
+		}
+		_ = host // empty host binds all interfaces
+		if port == "" {
+			return fmt.Errorf("-metrics-addr must name a port (use :0 for an ephemeral one), got %q", metricsAddr)
+		}
+	}
+	if heartbeatSet && heartbeat <= 0 {
+		return fmt.Errorf("-heartbeat must be positive, got %v", heartbeat)
+	}
+	return nil
+}

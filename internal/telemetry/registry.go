@@ -1,0 +1,343 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. A nil *Counter no-ops, so
+// instrumented code bumps unconditionally and disabled telemetry costs one
+// branch.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an integer point-in-time metric. Add/Sub compose across
+// concurrent owners (several runners sharing one queue-depth gauge sum
+// their contributions). A nil *Gauge no-ops.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d (negative to decrement).
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a float64 point-in-time metric (best-so-far cost, rates).
+// A nil *FloatGauge no-ops.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (0 on nil).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a bounded cumulative-bucket histogram: observations land in
+// the first bucket whose upper bound is >= the value, with an implicit
+// +Inf bucket, plus a running count and sum. Bounds are fixed at creation
+// — the memory is bounded no matter how many observations arrive. A nil
+// *Histogram no-ops.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf implicit
+	counts []atomic.Uint64
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// DefBuckets is the default latency bucket ladder, in seconds.
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the bucket upper bounds and their (non-cumulative)
+// counts; the final count is the +Inf bucket.
+func (h *Histogram) Buckets() (bounds []float64, counts []uint64) {
+	if h == nil {
+		return nil, nil
+	}
+	bounds = make([]float64, len(h.bounds))
+	copy(bounds, h.bounds)
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return bounds, counts
+}
+
+// kind tags a registered series for exposition.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindFloatGauge
+	kindHistogram
+	kindFunc
+)
+
+// series is one registered metric.
+type series struct {
+	name, help string
+	kind       kind
+	counter    *Counter
+	gauge      *Gauge
+	fgauge     *FloatGauge
+	hist       *Histogram
+	fn         func() float64
+}
+
+// value returns the series' scalar value (histograms report their count).
+func (s *series) value() float64 {
+	switch s.kind {
+	case kindCounter:
+		return float64(s.counter.Value())
+	case kindGauge:
+		return float64(s.gauge.Value())
+	case kindFloatGauge:
+		return s.fgauge.Value()
+	case kindHistogram:
+		return float64(s.hist.Count())
+	default:
+		return s.fn()
+	}
+}
+
+// Registry holds named metrics for exposition. Registration is idempotent
+// by name: re-registering a name returns the existing instrument (or, for
+// GaugeFunc, replaces the callback), so package-level wiring can run more
+// than once. All methods are safe on a nil *Registry, returning nil
+// instruments — the disabled-telemetry mode.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*series
+	byName map[string]*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*series{}}
+}
+
+// register installs (or finds) a series by name.
+func (r *Registry) register(name, help string, k kind) *series {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if s, ok := r.byName[name]; ok {
+		return s
+	}
+	s := &series{name: name, help: help, kind: k}
+	r.byName[name] = s
+	r.order = append(r.order, s)
+	return s
+}
+
+// Counter registers (or returns) the named counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindCounter)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge registers (or returns) the named integer gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindGauge)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// FloatGauge registers (or returns) the named float gauge.
+func (r *Registry) FloatGauge(name, help string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindFloatGauge)
+	if s.fgauge == nil {
+		s.fgauge = &FloatGauge{}
+	}
+	return s.fgauge
+}
+
+// Histogram registers (or returns) the named histogram with the given
+// bucket upper bounds (nil selects DefBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, kindHistogram)
+	if s.hist == nil {
+		s.hist = newHistogram(bounds)
+	}
+	return s.hist
+}
+
+// GaugeFunc registers a callback gauge evaluated at exposition time — the
+// polling hook for counters owned elsewhere (memo totals, simulator
+// totals, store stats). Re-registering a name replaces the callback.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	s := r.register(name, help, kindFunc)
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// snapshotSeries returns the registered series sorted by name.
+func (r *Registry) snapshotSeries() []*series {
+	r.mu.Lock()
+	out := make([]*series, len(r.order))
+	copy(out, r.order)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Values returns every series' current scalar value by name, sorted by the
+// map's keys when marshalled. Histograms contribute NAME_count and
+// NAME_sum entries. Nil-safe: a nil registry returns nil.
+func (r *Registry) Values() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	out := map[string]float64{}
+	for _, s := range r.snapshotSeries() {
+		if s.kind == kindHistogram {
+			out[s.name+"_count"] = float64(s.hist.Count())
+			out[s.name+"_sum"] = s.hist.Sum()
+			continue
+		}
+		out[s.name] = s.value()
+	}
+	return out
+}
+
+// Value returns one series' scalar value by name (histograms: the
+// observation count) and whether the name is registered.
+func (r *Registry) Value(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.Lock()
+	s, ok := r.byName[name]
+	r.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return s.value(), true
+}
+
+// formatFloat renders a metric value the way the Prometheus text format
+// expects (no exponent for integers, %g otherwise).
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Health is the server's readiness state machine: starting → ready →
+// draining. /healthz and /readyz report it; SIGTERM handling flips ready →
+// draining so an orchestrator stops routing to a sweep that is flushing
+// its checkpoint.
+type Health int32
+
+const (
+	HealthStarting Health = iota
+	HealthReady
+	HealthDraining
+)
+
+// String renders the state for endpoint bodies and logs.
+func (h Health) String() string {
+	switch h {
+	case HealthReady:
+		return "ready"
+	case HealthDraining:
+		return "draining"
+	default:
+		return "starting"
+	}
+}
+
+// Server serves the live-telemetry endpoints over HTTP:
+//
+//	/metrics  Prometheus text exposition of the registry
+//	/healthz  200 while the process serves, 503 once draining
+//	/readyz   200 only in the ready state
+//	/status   JSON snapshot: state, uptime, every series value, span count
+//
+// All methods are safe on a nil *Server, so tools wire it unconditionally.
+type Server struct {
+	reg    *Registry
+	tracer *Tracer
+	tool   string
+	ln     net.Listener
+	srv    *http.Server
+	state  atomic.Int32
+	start  time.Time
+}
+
+// Serve binds addr (host:port; :0 picks a free port) and serves the
+// endpoints on a background goroutine until Close. tracer may be nil.
+func Serve(addr, tool string, reg *Registry, tracer *Tracer) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, tracer: tracer, tool: tool, ln: ln, start: time.Now()}
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed is the normal Close path; anything else would have
+		// surfaced at Listen time.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Handler returns the endpoint mux — the piece a daemon (cmd/hefd) mounts
+// on its own server instead of calling Serve.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+// Addr returns the bound address ("" on nil), so tools started with :0 can
+// log where they are scrapeable.
+func (s *Server) Addr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// State returns the current health state.
+func (s *Server) State() Health {
+	if s == nil {
+		return HealthStarting
+	}
+	return Health(s.state.Load())
+}
+
+// SetReady marks the server ready (idempotent; a draining server stays
+// draining).
+func (s *Server) SetReady() {
+	if s == nil {
+		return
+	}
+	s.state.CompareAndSwap(int32(HealthStarting), int32(HealthReady))
+}
+
+// SetDraining flips the server to draining: /readyz and /healthz turn 503
+// while /metrics and /status keep serving, so the final moments of a drain
+// stay observable.
+func (s *Server) SetDraining() {
+	if s == nil {
+		return
+	}
+	s.state.Store(int32(HealthDraining))
+}
+
+// Close stops the listener. In-flight scrapes are abandoned — the process
+// is exiting and the run report carries the final numbers.
+func (s *Server) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.reg.WritePrometheus(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(buf.Bytes())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	st := s.State()
+	code := http.StatusOK
+	if st == HealthDraining {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintln(w, st.String())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := s.State()
+	code := http.StatusOK
+	if st != HealthReady {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	fmt.Fprintln(w, st.String())
+}
+
+// StatusDoc is the /status JSON document.
+type StatusDoc struct {
+	Tool          string             `json:"tool"`
+	State         string             `json:"state"`
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Series        map[string]float64 `json:"series,omitempty"`
+	Spans         int                `json:"spans,omitempty"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	doc := StatusDoc{
+		Tool:          s.tool,
+		State:         s.State().String(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Series:        s.reg.Values(),
+		Spans:         s.tracer.Len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed interval of the sweep lifecycle (submit → queue →
+// eval → memo → checkpoint). Times are offsets from the tracer's start, so
+// a trace carries no absolute timestamps. Spans are emit-time-only state:
+// they feed the Chrome-trace export and the /status endpoint, never a
+// checkpoint or a fingerprint.
+type Span struct {
+	// Name labels the interval ("run silver/sf10", "checkpoint", ...).
+	Name string
+	// Track groups spans onto one timeline row ("sweep", "queue", "jobs").
+	Track string
+	// Start and Dur locate the interval relative to the tracer's creation.
+	Start, Dur time.Duration
+}
+
+// Tracer records spans. All methods are safe on a nil *Tracer (no-ops), so
+// instrumented code traces unconditionally. Safe for concurrent use.
+type Tracer struct {
+	mu     sync.Mutex
+	spans  []Span
+	epoch  time.Time
+	now    func() time.Time
+	maxLen int
+}
+
+// maxSpans bounds a tracer's memory: a sweep records a handful of spans
+// per task, so the cap is generous; beyond it new spans are dropped and
+// Dropped counts them.
+const maxSpans = 1 << 16
+
+// NewTracer starts a tracer; offsets are measured from this call.
+func NewTracer() *Tracer {
+	t := &Tracer{now: time.Now, maxLen: maxSpans}
+	t.epoch = t.now()
+	return t
+}
+
+// Begin opens a span on the given track and returns the closure that ends
+// it. On a nil tracer the closure is a no-op.
+func (t *Tracer) Begin(track, name string) func() {
+	if t == nil {
+		return func() {}
+	}
+	start := t.now()
+	return func() {
+		end := t.now()
+		t.Record(track, name, start, end.Sub(start))
+	}
+}
+
+// Record adds a completed span with an explicit start time and duration.
+func (t *Tracer) Record(track, name string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	if dur < 0 {
+		dur = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.maxLen {
+		return
+	}
+	off := start.Sub(t.epoch)
+	if off < 0 {
+		off = 0
+	}
+	t.spans = append(t.spans, Span{Name: name, Track: track, Start: off, Dur: dur})
+}
+
+// Spans returns a copy of the recorded spans in record order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Len reports how many spans are recorded (0 on nil).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}

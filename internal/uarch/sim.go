@@ -539,6 +539,7 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 	res.Elems = uint64(iters) * uint64(prog.ElemsPerIter)
 	res.Cache = statsDelta(s.hier.Stats(), statsBefore)
 	res.FreqGHz = EffectiveFreq(cpu, prog, res)
+	recordTotals(res, s.steady.skippedCycles)
 
 	if check.Enabled() {
 		if err := s.steady.invariantErr; err != nil {

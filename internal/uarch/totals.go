@@ -1,0 +1,60 @@
+package uarch
+
+import "sync/atomic"
+
+// Process-wide simulation totals, bumped once per completed RunInto. The
+// telemetry layer polls these through Totals — keeping them as package
+// atomics means the simulator stays dependency-free and the per-run cost is
+// four uncontended atomic adds, independent of the program size.
+var (
+	totalInstr      atomic.Uint64
+	totalFastCycles atomic.Uint64
+	totalSlowCycles atomic.Uint64
+	totalRuns       atomic.Uint64
+)
+
+// SimTotals is a snapshot of the process-wide simulation counters.
+type SimTotals struct {
+	// Instructions retired across every run.
+	Instructions uint64
+	// FastCycles were fast-forwarded through the steady-state detector;
+	// SlowCycles were stepped one at a time. Their sum is total simulated
+	// cycles.
+	FastCycles, SlowCycles uint64
+	// Runs counts completed RunInto calls.
+	Runs uint64
+}
+
+// Totals reports the counters accumulated since process start (or the last
+// ResetTotals).
+func Totals() SimTotals {
+	return SimTotals{
+		Instructions: totalInstr.Load(),
+		FastCycles:   totalFastCycles.Load(),
+		SlowCycles:   totalSlowCycles.Load(),
+		Runs:         totalRuns.Load(),
+	}
+}
+
+// ResetTotals zeroes the process-wide counters. Test-only.
+func ResetTotals() {
+	totalInstr.Store(0)
+	totalFastCycles.Store(0)
+	totalSlowCycles.Store(0)
+	totalRuns.Store(0)
+}
+
+// recordTotals folds one finished run into the process-wide counters.
+func recordTotals(res *Result, fastCycles int64) {
+	totalInstr.Add(res.Instructions)
+	if fastCycles < 0 {
+		fastCycles = 0
+	}
+	fast := uint64(fastCycles)
+	if fast > res.Cycles {
+		fast = res.Cycles
+	}
+	totalFastCycles.Add(fast)
+	totalSlowCycles.Add(res.Cycles - fast)
+	totalRuns.Add(1)
+}

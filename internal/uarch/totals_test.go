@@ -1,0 +1,48 @@
+package uarch
+
+import (
+	"testing"
+
+	"hef/internal/isa"
+)
+
+// TestTotalsAccumulate: every completed run folds its retired instructions
+// and cycle split into the process-wide counters, with fast+slow summing to
+// total cycles.
+func TestTotalsAccumulate(t *testing.T) {
+	ResetTotals()
+	cpu := isa.XeonSilver4110()
+	prog := &Program{Name: "totals", NumRegs: 4, ElemsPerIter: 1, Body: []UOp{
+		{Instr: isa.MustScalar("add"), Dst: 2, Srcs: [3]int16{0, 1, NoReg}},
+		{Instr: isa.MustScalar("add"), Dst: 3, Srcs: [3]int16{2, 1, NoReg}},
+	}}
+	s := NewSim(cpu)
+	const iters = 256
+	res, err := s.Run(prog, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := Totals()
+	if got.Runs != 1 {
+		t.Fatalf("runs = %d, want 1", got.Runs)
+	}
+	if got.Instructions != res.Instructions {
+		t.Fatalf("instructions = %d, want %d", got.Instructions, res.Instructions)
+	}
+	if got.FastCycles+got.SlowCycles != res.Cycles {
+		t.Fatalf("fast %d + slow %d != cycles %d", got.FastCycles, got.SlowCycles, res.Cycles)
+	}
+
+	if _, err := s.Run(prog, iters); err != nil {
+		t.Fatal(err)
+	}
+	again := Totals()
+	if again.Runs != 2 || again.Instructions != 2*res.Instructions {
+		t.Fatalf("after second run: %+v", again)
+	}
+	ResetTotals()
+	if z := Totals(); z != (SimTotals{}) {
+		t.Fatalf("reset left %+v", z)
+	}
+}
