@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json metrics-smoke figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json metrics-smoke hefd-chaos hefd-smoke figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -70,6 +70,22 @@ bench-json:
 		-benchtime 1x -count=1 ./internal/uarch/ ./internal/hef/ ./internal/core/ > BENCH_2.json
 	$(GO) test -json -run TestNone -bench BenchmarkOptimizeOperatorTelemetry \
 		-benchtime 1x -count=1 ./internal/core/ > BENCH_3.json
+
+# hefd-chaos runs the daemon's seeded load/chaos harness under the race
+# detector: thousands of concurrent submissions against a bounded queue
+# (zero lost accepted jobs), mixed-tenant storms with quotas and breakers
+# live, drain-under-load leak checks, and the kill -9 / SIGTERM recovery
+# tests that assert byte-identical reports across restarts.
+hefd-chaos:
+	$(GO) test ./internal/hefd/ ./cmd/hefd/ -race -count=1 -run 'Chaos|Load|Recovery|Drain|KillDashNine|SIGTERM' -v -timeout 15m
+
+# hefd-smoke drives a live hefd daemon from the outside with curl: a
+# baseline run records a job's report bytes, a burst of concurrent jobs
+# completes while /readyz and the /metrics job gauges are scraped, SIGTERM
+# drains with exit 0, and a kill -9'd run restarted on the same data dir
+# serves a report byte-identical to the baseline. Requires curl.
+hefd-smoke:
+	sh scripts/hefd_smoke.sh
 
 # metrics-smoke drives the live-telemetry stack end to end: an instrumented
 # ssbbench sweep scraped mid-run (monotone progress series, /status, a

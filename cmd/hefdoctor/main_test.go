@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mainArgsEnv carries unit-separator-joined argv for the re-exec'd child;
+// when set, TestMain runs the real main() instead of the test suite, so the
+// tests observe hefdoctor's actual exit codes.
+const mainArgsEnv = "HEFDOCTOR_MAIN_ARGS"
+
+func TestMain(m *testing.M) {
+	// LookupEnv, not Getenv: a set-but-empty value means "run with zero
+	// args" (the no-artifacts usage case). Treating empty as absent would
+	// make that child re-run the test suite — recursively.
+	if args, ok := os.LookupEnv(mainArgsEnv); ok {
+		if args != "" {
+			os.Args = append(os.Args[:1], strings.Split(args, "\x1f")...)
+		} else {
+			os.Args = os.Args[:1]
+		}
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as hefdoctor and returns its exit
+// code, stdout, and stderr.
+func runMain(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(args, "\x1f"))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stdout.String(), stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec: %v\nstderr:\n%s", err, stderr.String())
+	}
+	return ee.ExitCode(), stdout.String(), stderr.String()
+}
+
+// No artifacts is a usage error: exit 2 and the usage text, distinct from
+// exit 1 (artifacts examined and found damaged).
+func TestNoArgsIsUsageError(t *testing.T) {
+	code, _, stderr := runMain(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "no artifacts given") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "-repair") {
+		t.Fatalf("usage text not printed:\n%s", stderr)
+	}
+}
+
+// The exit contract on real artifacts: 0 for healthy, 1 for corrupt,
+// corruption in any one argument poisons the whole run, and a successful
+// -repair returns the artifact (and the exit code) to health.
+func TestExitCodesReflectArtifactHealth(t *testing.T) {
+	dir := t.TempDir()
+	healthy := filepath.Join(dir, "healthy.jsonl")
+	if err := os.WriteFile(healthy, []byte("{\"ok\":true}\n{\"ok\":false}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "torn.jsonl")
+	if err := os.WriteFile(corrupt, []byte("{\"ok\":true}\n{\"ok\":false}\n{\"torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if code, stdout, stderr := runMain(t, healthy); code != 0 {
+		t.Fatalf("healthy artifact: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	code, stdout, _ := runMain(t, corrupt)
+	if code != 1 {
+		t.Fatalf("corrupt artifact: exit %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if code, _, _ = runMain(t, healthy, corrupt); code != 1 {
+		t.Fatalf("mixed artifacts: exit %d, want 1", code)
+	}
+	// Repair trims the torn tail in place; the verdict and the next plain
+	// run both report health.
+	if code, stdout, _ = runMain(t, "-repair", corrupt); code != 0 || !strings.Contains(stdout, "repaired") {
+		t.Fatalf("repair run: exit %d\nstdout:\n%s", code, stdout)
+	}
+	if code, stdout, _ = runMain(t, corrupt); code != 0 {
+		t.Fatalf("post-repair artifact still corrupt: exit %d\nstdout:\n%s", code, stdout)
+	}
+}

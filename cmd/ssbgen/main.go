@@ -33,7 +33,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort if generation and export exceed this duration (0 disables)")
 	flag.Parse()
 
-	if err := validate(*sf, *preview); err != nil {
+	if err := validate(*sf, *preview, *timeout); err != nil {
 		fmt.Fprintf(os.Stderr, "ssbgen: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -104,7 +104,7 @@ func main() {
 
 // validate rejects nonsensical flag values with a descriptive error; main
 // turns that into usage output and a non-zero exit.
-func validate(sf float64, preview int) error {
+func validate(sf float64, preview int, timeout time.Duration) error {
 	if sf != sf || sf <= 0 {
 		return fmt.Errorf("-sf must be a positive number, got %g", sf)
 	}
@@ -114,6 +114,9 @@ func validate(sf float64, preview int) error {
 	}
 	if preview < 0 {
 		return fmt.Errorf("-preview must be non-negative, got %d", preview)
+	}
+	if timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative, got %v", timeout)
 	}
 	return nil
 }

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// mainArgsEnv carries unit-separator-joined argv for the re-exec'd child;
+// when set, TestMain runs the real main() instead of the test suite, so the
+// tests observe ssbgen's actual exit codes and usage output.
+const mainArgsEnv = "SSBGEN_MAIN_ARGS"
+
+func TestMain(m *testing.M) {
+	// LookupEnv, not Getenv: a set-but-empty value means "run with zero
+	// args". Treating empty as absent would make such a child re-run the
+	// test suite — recursively.
+	if args, ok := os.LookupEnv(mainArgsEnv); ok {
+		if args != "" {
+			os.Args = append(os.Args[:1], strings.Split(args, "\x1f")...)
+		} else {
+			os.Args = os.Args[:1]
+		}
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runMain re-executes the test binary as ssbgen and returns its exit code,
+// stdout, and stderr.
+func runMain(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, os.Args[0])
+	cmd.Env = append(os.Environ(), mainArgsEnv+"="+strings.Join(args, "\x1f"))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stdout.String(), stderr.String()
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("re-exec: %v\nstderr:\n%s", err, stderr.String())
+	}
+	return ee.ExitCode(), stdout.String(), stderr.String()
+}
+
+// Bad flags are a usage error — exit 2 with the usage text — before any
+// generation work starts. The negative -timeout case is the regression
+// guard: it used to arm a watchdog with a negative duration (which fires
+// immediately in a goroutine) instead of being rejected up front.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero sf", []string{"-sf", "0"}, "-sf must be a positive number"},
+		{"negative sf", []string{"-sf", "-3"}, "-sf must be a positive number"},
+		{"nan sf", []string{"-sf", "NaN"}, "-sf must be a positive number"},
+		{"oversized sf", []string{"-sf", "1e6"}, "exceeds the maximum"},
+		{"negative preview", []string{"-preview", "-1"}, "-preview must be non-negative"},
+		{"negative timeout", []string{"-timeout", "-5s"}, "-timeout must be non-negative"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := runMain(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if !strings.Contains(stderr, "-preview") {
+				t.Fatalf("usage text not printed:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// A valid tiny run exits 0 and prints the table summary — the smoke half of
+// the exit-code contract.
+func TestTinyRunSucceeds(t *testing.T) {
+	code, stdout, stderr := runMain(t, "-sf", "0.001", "-preview", "0")
+	if code != 0 {
+		t.Fatalf("exit = %d\nstderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"SSB SF0.001", "lineorder", "total in-memory size"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+}

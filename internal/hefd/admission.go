@@ -1,0 +1,172 @@
+package hefd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Shed codes: the typed reasons a submission is refused without entering
+// the queue. The API maps them to HTTP statuses and a JSON error body.
+const (
+	// ShedQueueFull: the global bounded queue is at capacity (HTTP 429).
+	ShedQueueFull = "queue_full"
+	// ShedQuota: the tenant's token bucket is dry (HTTP 429).
+	ShedQuota = "quota_exhausted"
+	// ShedBreakerOpen: the tenant's circuit breaker is open after repeated
+	// job failures (HTTP 503).
+	ShedBreakerOpen = "tenant_breaker_open"
+	// ShedDraining: the daemon is draining for shutdown (HTTP 503).
+	ShedDraining = "draining"
+)
+
+// ShedError is the typed admission refusal. It never represents a server
+// bug: the request was understood and deliberately shed to protect the
+// service, and RetryAfter tells the client when trying again is useful.
+type ShedError struct {
+	// Code is one of the Shed* constants.
+	Code string
+	// Message is a human-readable explanation.
+	Message string
+	// RetryAfter is the suggested wait before resubmitting (0 = none
+	// suggested, e.g. a drain that ends with the process).
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("hefd: %s: %s (retry after %v)", e.Code, e.Message, e.RetryAfter)
+	}
+	return fmt.Sprintf("hefd: %s: %s", e.Code, e.Message)
+}
+
+// shedBackoff derives the queue-full Retry-After from shed pressure: each
+// consecutive shed doubles the suggested wait (base<<n, capped), and a
+// successful admission resets it. Clients that honour the header therefore
+// back off exponentially as overload persists, exactly like the runner's
+// own retry backoff. Deliberately jitter-free: the value is advisory, and
+// determinism keeps the overload tests exact.
+type shedBackoff struct {
+	base, max   time.Duration
+	consecutive int
+}
+
+func (b *shedBackoff) next() time.Duration {
+	d := b.base << min(b.consecutive, 16)
+	if d > b.max || d <= 0 {
+		d = b.max
+	}
+	b.consecutive++
+	return d
+}
+
+func (b *shedBackoff) reset() { b.consecutive = 0 }
+
+// BreakerConfig tunes the per-tenant admission circuit breaker. The zero
+// value disables it.
+type BreakerConfig struct {
+	// Threshold is the consecutive terminal-failure count that opens a
+	// tenant's breaker (<= 0 disables).
+	Threshold int
+	// Cooldown is how long an open breaker sheds the tenant before
+	// half-opening to admit a single probe job (<= 0 selects 30s).
+	Cooldown time.Duration
+}
+
+// tenantBreakers is the per-tenant circuit-breaker table guarding
+// admission: a tenant whose jobs fail Threshold times in a row is shed at
+// the door for Cooldown, then one probe job is admitted — success closes
+// the circuit, failure re-opens it. It mirrors the sched-layer breaker but
+// acts before the queue, so a tenant submitting poisoned specs cannot
+// occupy workers at all.
+type tenantBreakers struct {
+	cfg BreakerConfig
+
+	mu sync.Mutex
+	m  map[string]*tenantBreaker
+}
+
+type tenantBreaker struct {
+	failures int
+	open     bool
+	openedAt time.Time
+	probing  bool // the half-open probe job is in flight
+}
+
+func newTenantBreakers(cfg BreakerConfig) *tenantBreakers {
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 30 * time.Second
+	}
+	return &tenantBreakers{cfg: cfg, m: map[string]*tenantBreaker{}}
+}
+
+// allow reports whether tenant may submit at now; when shed it returns the
+// remaining cooldown as the Retry-After.
+func (t *tenantBreakers) allow(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if t == nil || t.cfg.Threshold <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.m[tenant]
+	if b == nil || !b.open {
+		return true, 0
+	}
+	if wait := t.cfg.Cooldown - now.Sub(b.openedAt); wait > 0 {
+		return false, wait
+	}
+	// Cooldown elapsed: half-open. Exactly one probe job is admitted; the
+	// tenant stays shed until that probe resolves.
+	if b.probing {
+		return false, t.cfg.Cooldown
+	}
+	b.probing = true
+	return true, 0
+}
+
+// release clears a half-open probe without judging it, for probe jobs that
+// ended neutrally (cancelled by the user, parked by a drain): the next
+// submission becomes the new probe instead of the tenant staying shed.
+func (t *tenantBreakers) release(tenant string) {
+	if t == nil || t.cfg.Threshold <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b := t.m[tenant]; b != nil {
+		b.probing = false
+	}
+}
+
+// onResult records a tenant job's terminal outcome. Cancellations and
+// parks say nothing about the tenant's health and must not be reported.
+func (t *tenantBreakers) onResult(tenant string, success bool, now time.Time) {
+	if t == nil || t.cfg.Threshold <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.m[tenant]
+	if b == nil {
+		b = &tenantBreaker{}
+		t.m[tenant] = b
+	}
+	if success {
+		b.failures = 0
+		b.open = false
+		b.probing = false
+		return
+	}
+	if b.open {
+		// A failed probe re-opens for a fresh cooldown.
+		b.openedAt = now
+		b.probing = false
+		return
+	}
+	b.failures++
+	if b.failures >= t.cfg.Threshold {
+		b.open = true
+		b.openedAt = now
+		b.probing = false
+	}
+}

@@ -1,0 +1,151 @@
+package hefd
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestShedBackoffDoublesAndResets(t *testing.T) {
+	b := shedBackoff{base: 100 * time.Millisecond, max: 5 * time.Second}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, 3200 * time.Millisecond,
+		5 * time.Second, 5 * time.Second, // capped
+	}
+	for i, w := range want {
+		if got := b.next(); got != w {
+			t.Fatalf("shed %d: retry-after %v, want %v", i, got, w)
+		}
+	}
+	b.reset()
+	if got := b.next(); got != 100*time.Millisecond {
+		t.Fatalf("after reset: %v, want base again", got)
+	}
+}
+
+func TestShedBackoffNeverOverflows(t *testing.T) {
+	b := shedBackoff{base: time.Second, max: 30 * time.Second}
+	for i := 0; i < 100; i++ {
+		if d := b.next(); d <= 0 || d > 30*time.Second {
+			t.Fatalf("shed %d: retry-after %v outside (0, 30s]", i, d)
+		}
+	}
+}
+
+func TestTenantBreakerDisabledByZeroThreshold(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{})
+	now := time.Unix(0, 0)
+	for i := 0; i < 10; i++ {
+		tb.onResult("a", false, now)
+	}
+	if ok, _ := tb.allow("a", now); !ok {
+		t.Fatal("disabled breaker shed a tenant")
+	}
+}
+
+func TestTenantBreakerOpensAfterThreshold(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{Threshold: 3, Cooldown: 10 * time.Second})
+	now := time.Unix(100, 0)
+	tb.onResult("a", false, now)
+	tb.onResult("a", false, now)
+	if ok, _ := tb.allow("a", now); !ok {
+		t.Fatal("breaker opened below threshold")
+	}
+	tb.onResult("a", false, now)
+	ok, wait := tb.allow("a", now.Add(4*time.Second))
+	if ok {
+		t.Fatal("breaker did not open at threshold")
+	}
+	if wait != 6*time.Second {
+		t.Fatalf("retry-after = %v, want remaining cooldown 6s", wait)
+	}
+	// Another tenant is unaffected.
+	if ok, _ := tb.allow("b", now); !ok {
+		t.Fatal("tenant b shed by tenant a's breaker")
+	}
+}
+
+func TestTenantBreakerHalfOpenAdmitsOneProbe(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second})
+	now := time.Unix(100, 0)
+	tb.onResult("a", false, now)
+	after := now.Add(11 * time.Second)
+	if ok, _ := tb.allow("a", after); !ok {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if ok, _ := tb.allow("a", after); ok {
+		t.Fatal("second submission admitted while the probe is in flight")
+	}
+	// Probe success closes the circuit fully.
+	tb.onResult("a", true, after)
+	for i := 0; i < 3; i++ {
+		if ok, _ := tb.allow("a", after); !ok {
+			t.Fatalf("submission %d refused after the probe closed the circuit", i)
+		}
+	}
+}
+
+func TestTenantBreakerFailedProbeReopens(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second})
+	now := time.Unix(100, 0)
+	tb.onResult("a", false, now)
+	after := now.Add(11 * time.Second)
+	if ok, _ := tb.allow("a", after); !ok {
+		t.Fatal("probe refused")
+	}
+	tb.onResult("a", false, after)
+	// Re-opened for a fresh cooldown from the probe's failure.
+	if ok, wait := tb.allow("a", after.Add(5*time.Second)); ok || wait != 5*time.Second {
+		t.Fatalf("after failed probe: ok=%v wait=%v, want shed with 5s", ok, wait)
+	}
+	if ok, _ := tb.allow("a", after.Add(11*time.Second)); !ok {
+		t.Fatal("next probe refused after the fresh cooldown")
+	}
+}
+
+func TestTenantBreakerReleaseFreesTheProbeSlot(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{Threshold: 1, Cooldown: 10 * time.Second})
+	now := time.Unix(100, 0)
+	tb.onResult("a", false, now)
+	after := now.Add(11 * time.Second)
+	if ok, _ := tb.allow("a", after); !ok {
+		t.Fatal("probe refused")
+	}
+	// The probe job was cancelled/parked: neutral, so the slot frees and
+	// the next submission becomes the new probe instead of waiting out a
+	// phantom cooldown.
+	tb.release("a")
+	if ok, _ := tb.allow("a", after); !ok {
+		t.Fatal("probe slot not freed by release")
+	}
+}
+
+func TestTenantBreakerConcurrentHalfOpenAdmitsExactlyOne(t *testing.T) {
+	tb := newTenantBreakers(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	now := time.Unix(100, 0)
+	tb.onResult("a", false, now)
+	after := now.Add(2 * time.Second)
+
+	var wg sync.WaitGroup
+	admitted := make(chan bool, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, _ := tb.allow("a", after)
+			admitted <- ok
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for ok := range admitted {
+		if ok {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Fatalf("%d concurrent submissions admitted in half-open, want exactly 1", n)
+	}
+}

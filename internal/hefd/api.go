@@ -1,0 +1,127 @@
+package hefd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// MaxBodyBytes caps a request body. It comfortably fits the largest valid
+// spec (MaxHIDBytes plus JSON overhead) while keeping a hostile client from
+// streaming gigabytes into the decoder.
+const MaxBodyBytes = 1 << 20
+
+// apiError is the JSON error body every non-2xx response carries:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1500}}
+type apiError struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// NewHandler builds the daemon's HTTP API around a Manager. tel, when
+// non-nil, serves the telemetry endpoints (/metrics, /healthz, /readyz,
+// /status) on the same listener, so one hardened server exposes both the
+// job API and its own observability.
+func NewHandler(m *Manager, tel http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+		if err := dec.Decode(&spec); err != nil {
+			writeJSONErr(w, http.StatusBadRequest, apiError{Code: "bad_json", Message: err.Error()})
+			return
+		}
+		view, err := m.Submit(spec)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, view)
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		views := m.List(r.URL.Query().Get("tenant"))
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := m.Get(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		data, err := m.Report(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		// The stored report bytes are served verbatim — no re-marshal — so
+		// the byte-identity guarantee survives the HTTP layer.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		view, err := m.Cancel(r.PathValue("id"))
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+	})
+	if tel != nil {
+		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/status"} {
+			mux.Handle("GET "+p, tel)
+		}
+	}
+	return mux
+}
+
+// writeErr maps the manager's typed errors onto the HTTP surface. Shed
+// responses carry a Retry-After header (whole seconds, rounded up) so
+// well-behaved clients back off exactly as the admission layer suggests.
+func writeErr(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		status := http.StatusTooManyRequests
+		if shed.Code == ShedBreakerOpen || shed.Code == ShedDraining {
+			status = http.StatusServiceUnavailable
+		}
+		body := apiError{Code: shed.Code, Message: shed.Message}
+		if shed.RetryAfter > 0 {
+			body.RetryAfterMS = shed.RetryAfter.Milliseconds()
+			secs := int64((shed.RetryAfter + time.Second - 1) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+		}
+		writeJSONErr(w, status, body)
+	case errors.Is(err, ErrInvalidSpec):
+		writeJSONErr(w, http.StatusBadRequest, apiError{Code: "invalid_spec", Message: err.Error()})
+	case errors.Is(err, ErrStorage):
+		writeJSONErr(w, http.StatusServiceUnavailable, apiError{Code: "storage_unavailable", Message: err.Error()})
+	case errors.Is(err, ErrUnknownJob):
+		writeJSONErr(w, http.StatusNotFound, apiError{Code: "unknown_job", Message: err.Error()})
+	case errors.Is(err, ErrReportNotReady):
+		writeJSONErr(w, http.StatusConflict, apiError{Code: "report_not_ready", Message: err.Error()})
+	default:
+		writeJSONErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeJSONErr(w http.ResponseWriter, status int, e apiError) {
+	writeJSON(w, status, map[string]any{"error": e})
+}

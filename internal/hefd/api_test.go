@@ -1,0 +1,288 @@
+package hefd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"hef/internal/leakcheck"
+	"hef/internal/obs"
+	"hef/internal/telemetry/mount"
+)
+
+// newTestServer wires a stub-backed manager behind the real handler on an
+// httptest server, the same composition cmd/hefd serves.
+func newTestServer(t *testing.T, cfg Config) (*httptest.Server, *Manager) {
+	t.Helper()
+	m := newTestManager(t, cfg)
+	srv := httptest.NewServer(NewHandler(m, nil))
+	t.Cleanup(srv.Close)
+	return srv, m
+}
+
+func doJSON(t *testing.T, method, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// errCode digs the typed code out of the JSON error body.
+func errCode(t *testing.T, data []byte) string {
+	t.Helper()
+	var body struct {
+		Error apiError `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatalf("error body is not the typed shape: %v\n%s", err, data)
+	}
+	return body.Error.Code
+}
+
+func TestAPISubmitStatusReport(t *testing.T) {
+	leakcheck.Check(t)
+	srv, _ := newTestServer(t, Config{})
+	resp, data := doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"murmur", "crc64"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d\n%s", resp.StatusCode, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.OpsTotal != 2 {
+		t.Fatalf("bad accepted view: %+v", v)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, data = doJSON(t, "GET", srv.URL+"/v1/jobs/"+v.ID, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d\n%s", resp.StatusCode, data)
+		}
+		var cur JobView
+		if err := json.Unmarshal(data, &cur); err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == StateDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck: %+v", cur)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	resp, report := doJSON(t, "GET", srv.URL+"/v1/jobs/"+v.ID+"/report", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: %d\n%s", resp.StatusCode, report)
+	}
+	var rep obs.RunReport
+	if err := json.Unmarshal(report, &rep); err != nil {
+		t.Fatalf("report is not a RunReport: %v", err)
+	}
+	// Byte-identity through HTTP: what the manager stores is exactly what
+	// the wire carries.
+	srvBytes, _ := doJSONManagerReport(t, srv, v.ID)
+	if !bytes.Equal(report, srvBytes) {
+		t.Fatal("report bytes changed across reads")
+	}
+
+	resp, data = doJSON(t, "GET", srv.URL+"/v1/jobs", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(data), v.ID) {
+		t.Fatalf("list: %d\n%s", resp.StatusCode, data)
+	}
+	resp, data = doJSON(t, "GET", srv.URL+"/v1/jobs?tenant=nobody", nil)
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil || len(list.Jobs) != 0 {
+		t.Fatalf("tenant filter leaked: %s", data)
+	}
+}
+
+func doJSONManagerReport(t *testing.T, srv *httptest.Server, id string) ([]byte, int) {
+	t.Helper()
+	resp, data := doJSON(t, "GET", srv.URL+"/v1/jobs/"+id+"/report", nil)
+	return data, resp.StatusCode
+}
+
+func TestAPIErrorMapping(t *testing.T) {
+	leakcheck.Check(t)
+	srv, m := newTestServer(t, Config{})
+
+	// Malformed JSON → 400 bad_json.
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || errCode(t, data) != "bad_json" {
+		t.Fatalf("malformed body: %d %s", resp.StatusCode, data)
+	}
+
+	// Invalid spec → 400 invalid_spec.
+	resp2, data := doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"nosuchop"}})
+	if resp2.StatusCode != http.StatusBadRequest || errCode(t, data) != "invalid_spec" {
+		t.Fatalf("invalid spec: %d %s", resp2.StatusCode, data)
+	}
+
+	// Unknown job → 404; report of a non-done job → 409.
+	resp2, data = doJSON(t, "GET", srv.URL+"/v1/jobs/nope", nil)
+	if resp2.StatusCode != http.StatusNotFound || errCode(t, data) != "unknown_job" {
+		t.Fatalf("unknown job: %d %s", resp2.StatusCode, data)
+	}
+	v, err2 := m.Submit(JobSpec{Ops: []string{"murmur"}})
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	waitState(t, m, v.ID, StateDone)
+	cv, _ := m.Submit(JobSpec{Ops: []string{"crc64"}})
+	m.StartDrain() // freeze: queued jobs stop moving, so cv stays report-less
+	if _, code := doJSONManagerReport(t, srv, cv.ID); code != http.StatusConflict {
+		// cv may have finished before the drain; only assert when not done.
+		if got, _ := m.Get(cv.ID); got.State != StateDone {
+			t.Fatalf("report of unfinished job: %d", code)
+		}
+	}
+
+	// Draining → 503 with the typed code.
+	resp2, data = doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"murmur"}})
+	if resp2.StatusCode != http.StatusServiceUnavailable || errCode(t, data) != ShedDraining {
+		t.Fatalf("draining submit: %d %s", resp2.StatusCode, data)
+	}
+}
+
+func TestAPIQueueFullCarriesRetryAfter(t *testing.T) {
+	leakcheck.Check(t)
+	release := make(chan struct{})
+	defer close(release)
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueSize: 1, runOp: func(ctx context.Context, spec JobSpec, op string) (*obs.RunReport, error) {
+		select {
+		case <-release:
+			return stubRun(ctx, spec, op)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	resp, data := doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d\n%s", resp.StatusCode, data)
+	}
+	resp, data = doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(t, data) != ShedQueueFull {
+		t.Fatalf("over-capacity submit: %d %s", resp.StatusCode, data)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After header = %q, want a positive integer of seconds", ra)
+	}
+	var body struct {
+		Error apiError `json:"error"`
+	}
+	if json.Unmarshal(data, &body); body.Error.RetryAfterMS <= 0 {
+		t.Fatalf("retry_after_ms missing from body: %s", data)
+	}
+}
+
+func TestAPICancel(t *testing.T) {
+	leakcheck.Check(t)
+	release := make(chan struct{})
+	defer close(release)
+	srv, _ := newTestServer(t, Config{Workers: 1, QueueSize: 8, runOp: func(ctx context.Context, spec JobSpec, op string) (*obs.RunReport, error) {
+		select {
+		case <-release:
+			return stubRun(ctx, spec, op)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	_, data := doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"murmur"}})
+	var blocker JobView
+	json.Unmarshal(data, &blocker)
+	_, data = doJSON(t, "POST", srv.URL+"/v1/jobs", JobSpec{Ops: []string{"crc64"}})
+	var queued JobView
+	json.Unmarshal(data, &queued)
+
+	resp, data := doJSON(t, "DELETE", srv.URL+"/v1/jobs/"+queued.ID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: %d\n%s", resp.StatusCode, data)
+	}
+	var v JobView
+	json.Unmarshal(data, &v)
+	if v.State != StateCancelled {
+		t.Fatalf("cancelled queued job is %s", v.State)
+	}
+}
+
+// The embedded telemetry session mounts on the API handler: one listener
+// serves jobs and observability, with readiness flipping on drain.
+func TestAPIServesEmbeddedTelemetry(t *testing.T) {
+	leakcheck.Check(t)
+	tel, err := mount.Start(mount.Options{Tool: "hefd-test", Embedded: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tel.Close()
+	m := newTestManager(t, Config{})
+	srv := httptest.NewServer(NewHandler(m, tel.Handler()))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK || !strings.Contains(body, "# TYPE") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz: %d", code)
+	}
+	// Starting state: not ready yet.
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetReady: %d", code)
+	}
+	tel.SetReady()
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz after SetReady: %d", code)
+	}
+	tel.SetDraining()
+	if code, body := get("/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("/readyz draining: %d %q", code, body)
+	}
+	if code, body := get("/status"); code != http.StatusOK || !strings.Contains(body, "hefd-test") {
+		t.Fatalf("/status: %d %q", code, body)
+	}
+}

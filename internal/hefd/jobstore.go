@@ -1,0 +1,176 @@
+package hefd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"hef/internal/store"
+)
+
+// ErrStorage marks a write-ahead append that could not be made durable. A
+// submission that cannot be logged is refused — the daemon's contract is
+// that an acknowledged job survives kill -9, so it never acknowledges a job
+// it could not persist.
+var ErrStorage = errors.New("hefd: job log unavailable")
+
+// JobLogName is the write-ahead log file inside the data directory.
+const JobLogName = "jobs.log"
+
+// walKind discriminates job-log records.
+const (
+	walSpec   = "spec"   // job accepted: carries the sequence number and full spec
+	walState  = "state"  // lifecycle transition: carries the new state (and error)
+	walReport = "report" // completion: carries the final RunReport bytes
+)
+
+// walRecord is one framed record of the job log. Every record is appended
+// and fsynced before the effect it describes is acknowledged, so the log
+// replays to the daemon's accepted state after any crash.
+type walRecord struct {
+	Kind  string   `json:"kind"`
+	ID    string   `json:"id"`
+	Seq   int      `json:"seq,omitempty"`
+	Spec  *JobSpec `json:"spec,omitempty"`
+	State JobState `json:"state,omitempty"`
+	Error string   `json:"error,omitempty"`
+	// Report holds the final obs.RunReport bytes verbatim, as a JSON string
+	// rather than embedded JSON: json.Marshal compacts embedded RawMessage,
+	// and byte-identical crash recovery needs the exact indented bytes back.
+	Report string `json:"report,omitempty"`
+}
+
+// JobLog is the append-only, CRC-framed write-ahead log of accepted jobs.
+// Open salvages a torn tail (the kill -9 artifact) into a .quarantine
+// sidecar exactly like the memo store's shards, so one interrupted append
+// costs that record, never the log.
+type JobLog struct {
+	fs   store.FS
+	path string
+
+	mu       sync.Mutex
+	f        store.File
+	degraded string // first persistence failure; appends stop, reads keep serving
+	salvaged int    // bytes quarantined at open
+}
+
+// OpenJobLog opens (creating if needed) the job log in dir and replays its
+// records in append order through replay. A torn or corrupt tail is
+// truncated to the longest valid prefix with the bad suffix preserved in
+// jobs.log.quarantine.
+func OpenJobLog(fsys store.FS, dir string, replay func(walRecord)) (*JobLog, error) {
+	if fsys == nil {
+		fsys = store.OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("hefd: job log dir: %w", err)
+	}
+	l := &JobLog{fs: fsys, path: filepath.Join(dir, JobLogName)}
+
+	data, err := fsys.ReadFile(l.path)
+	if err != nil {
+		// A missing log is a first boot; anything else (permission, I/O) is
+		// fatal — silently starting empty would orphan accepted jobs.
+		if _, statErr := fsys.Stat(l.path); statErr == nil {
+			return nil, fmt.Errorf("hefd: job log read: %w", err)
+		}
+		data = nil
+	}
+	validLen, scanErr := store.ScanRecords(data, func(payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			// CRC passed but JSON did not: a foreign or future record.
+			// Refuse rather than guess — the log is the source of truth.
+			return fmt.Errorf("%w: job log record: %v", store.ErrCorrupt, err)
+		}
+		if replay != nil {
+			replay(rec)
+		}
+		return nil
+	})
+	if scanErr != nil {
+		l.quarantine(data[validLen:], validLen, scanErr)
+		if err := fsys.Truncate(l.path, int64(validLen)); err != nil {
+			return nil, fmt.Errorf("hefd: job log truncate after salvage: %w", err)
+		}
+	}
+
+	f, err := fsys.OpenAppend(l.path)
+	if err != nil {
+		return nil, fmt.Errorf("hefd: job log open: %w", err)
+	}
+	l.f = f
+	return l, nil
+}
+
+// quarantine preserves the invalid suffix in a sidecar: a one-line JSON
+// header describing the event, then the raw bytes.
+func (l *JobLog) quarantine(bad []byte, offset int, cause error) {
+	l.salvaged = len(bad)
+	side, err := l.fs.OpenAppend(l.path + ".quarantine")
+	if err != nil {
+		return // salvage still happened; only the post-mortem copy is lost
+	}
+	meta, _ := json.Marshal(map[string]any{
+		"offset": offset, "bytes": len(bad), "reason": cause.Error(),
+	})
+	_, _ = side.Write(append(append(meta, '\n'), bad...))
+	_ = side.Close()
+}
+
+// Salvaged reports how many bytes the open scan quarantined (0 on a clean
+// log).
+func (l *JobLog) Salvaged() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.salvaged
+}
+
+// Degraded reports the first append failure ("" while healthy).
+func (l *JobLog) Degraded() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+// Append frames, writes, and fsyncs one record. The first failure degrades
+// the log — further appends return ErrStorage immediately — because a log
+// that failed mid-write can no longer promise ordering.
+func (l *JobLog) Append(rec walRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("%w: marshal: %w", ErrStorage, err)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.degraded != "" {
+		return fmt.Errorf("%w: %s", ErrStorage, l.degraded)
+	}
+	if l.f == nil {
+		return fmt.Errorf("%w: closed", ErrStorage)
+	}
+	frame := store.AppendRecord(nil, payload)
+	if _, err := l.f.Write(frame); err != nil {
+		l.degraded = err.Error()
+		return fmt.Errorf("%w: %w", ErrStorage, err)
+	}
+	if err := l.f.Sync(); err != nil {
+		l.degraded = err.Error()
+		return fmt.Errorf("%w: %w", ErrStorage, err)
+	}
+	return nil
+}
+
+// Close releases the append handle. Safe to call more than once.
+func (l *JobLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}

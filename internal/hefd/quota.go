@@ -1,0 +1,68 @@
+package hefd
+
+import (
+	"sync"
+	"time"
+)
+
+// QuotaConfig tunes the per-tenant token buckets. The zero value disables
+// quotas entirely (every submission passes).
+type QuotaConfig struct {
+	// Rate is the sustained refill in jobs per second (<= 0 disables).
+	Rate float64
+	// Burst is the bucket capacity — how many submissions a tenant may make
+	// back to back before the rate applies (<= 0 selects 1).
+	Burst float64
+}
+
+// quotas is the per-tenant token-bucket table. Buckets are created lazily
+// on first submission; the table is bounded by the number of distinct
+// tenants ever seen, each entry two words — a hostile tenant churning
+// through names costs bytes, not goroutines.
+type quotas struct {
+	cfg QuotaConfig
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newQuotas(cfg QuotaConfig) *quotas {
+	if cfg.Rate > 0 && cfg.Burst <= 0 {
+		cfg.Burst = 1
+	}
+	return &quotas{cfg: cfg, buckets: map[string]*bucket{}}
+}
+
+// take spends one token from tenant's bucket. When the bucket is dry it
+// reports ok=false and how long until the next token accrues — the exact
+// Retry-After for the 429.
+func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q.cfg.Rate <= 0 {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, found := q.buckets[tenant]
+	if !found {
+		b = &bucket{tokens: q.cfg.Burst, last: now}
+		q.buckets[tenant] = b
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * q.cfg.Rate
+		if b.tokens > q.cfg.Burst {
+			b.tokens = q.cfg.Burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	return false, time.Duration(deficit / q.cfg.Rate * float64(time.Second))
+}

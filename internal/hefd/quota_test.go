@@ -1,0 +1,94 @@
+package hefd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQuotaDisabledByZeroConfig(t *testing.T) {
+	q := newQuotas(QuotaConfig{})
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		if ok, _ := q.take("anyone", now); !ok {
+			t.Fatalf("submission %d refused with quotas disabled", i)
+		}
+	}
+}
+
+func TestQuotaBurstThenRefusal(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 3})
+	now := time.Unix(100, 0)
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.take("a", now); !ok {
+			t.Fatalf("burst submission %d refused", i)
+		}
+	}
+	ok, wait := q.take("a", now)
+	if ok {
+		t.Fatal("4th back-to-back submission admitted past the burst")
+	}
+	// The bucket is exactly empty: one token accrues in 1s at rate 1.
+	if wait != time.Second {
+		t.Fatalf("retry-after = %v, want 1s", wait)
+	}
+}
+
+func TestQuotaRefillsAtRate(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 2, Burst: 2})
+	now := time.Unix(100, 0)
+	q.take("a", now)
+	q.take("a", now)
+	if ok, _ := q.take("a", now); ok {
+		t.Fatal("bucket should be dry")
+	}
+	// 500ms at 2 jobs/s accrues exactly one token.
+	now = now.Add(500 * time.Millisecond)
+	if ok, _ := q.take("a", now); !ok {
+		t.Fatal("token not refilled after 500ms at rate 2")
+	}
+	if ok, _ := q.take("a", now); ok {
+		t.Fatal("second token granted from a 500ms refill at rate 2")
+	}
+}
+
+func TestQuotaCapsAtBurst(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 2})
+	now := time.Unix(100, 0)
+	q.take("a", now)
+	// An hour idle must not accumulate an hour of tokens.
+	now = now.Add(time.Hour)
+	granted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := q.take("a", now); ok {
+			granted++
+		}
+	}
+	if granted != 2 {
+		t.Fatalf("granted %d after long idle, want burst cap 2", granted)
+	}
+}
+
+func TestQuotaTenantsAreIndependent(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	now := time.Unix(100, 0)
+	if ok, _ := q.take("a", now); !ok {
+		t.Fatal("tenant a refused its first submission")
+	}
+	if ok, _ := q.take("a", now); ok {
+		t.Fatal("tenant a admitted past its burst")
+	}
+	if ok, _ := q.take("b", now); !ok {
+		t.Fatal("tenant b shed by tenant a's consumption")
+	}
+}
+
+func TestQuotaBurstDefaultsToOne(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 1})
+	now := time.Unix(100, 0)
+	if ok, _ := q.take("a", now); !ok {
+		t.Fatal("first submission refused")
+	}
+	if ok, _ := q.take("a", now); ok {
+		t.Fatal("second back-to-back submission admitted with default burst 1")
+	}
+}

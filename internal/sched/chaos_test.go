@@ -26,6 +26,7 @@ import (
 
 	"hef/internal/experiments"
 	"hef/internal/isa"
+	"hef/internal/leakcheck"
 	"hef/internal/obs"
 	"hef/internal/queries"
 	"hef/internal/robust"
@@ -72,6 +73,7 @@ func chaosRand(seed uint64, k int) uint64 {
 // eventually succeeds within the retry bound, and the retry count matches
 // the injected-fault plan exactly.
 func TestChaosSupervisedPool(t *testing.T) {
+	leakcheck.Check(t)
 	const jobs = 60
 	const maxRetries = 2
 	seed := chaosSeed(t)
@@ -213,6 +215,7 @@ func hefsensReport(t *testing.T, tasks []sched.Task[*robust.Sensitivity], result
 // asserts the resumed run's final report is byte-identical to the clean
 // run's, with no job executed twice after checkpointing.
 func TestChaosKillResumeHefsens(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("chaos equivalence runs real searches")
 	}
@@ -346,6 +349,7 @@ func ssbReport(t *testing.T, tasks []sched.Task[*obs.RunReport], results map[str
 // equivalence test: kill after the first completed figure, resume, and
 // require the merged -all report to match the uninterrupted run's bytes.
 func TestChaosKillResumeSSB(t *testing.T) {
+	leakcheck.Check(t)
 	if testing.Short() {
 		t.Skip("chaos equivalence runs real figure simulations")
 	}
@@ -411,6 +415,7 @@ func TestChaosKillResumeSSB(t *testing.T) {
 // contract: a checkpoint taken under one configuration must not silently
 // seed a sweep with different flags.
 func TestChaosResumeRefusesMismatchedConfig(t *testing.T) {
+	leakcheck.Check(t)
 	cp := filepath.Join(t.TempDir(), "cp.json")
 	tasks := []sched.Task[int]{{ID: "a", Run: func(context.Context) (int, error) { return 1, nil }}}
 	if _, err := sched.RunSweep(context.Background(), sched.SweepConfig{

@@ -7,12 +7,12 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
-	"runtime"
 	"sync/atomic"
 	"syscall"
 	"testing"
 	"time"
 
+	"hef/internal/leakcheck"
 	"hef/internal/sched"
 )
 
@@ -23,7 +23,7 @@ import (
 // with every completed result, leak no goroutines, and return cleanly with
 // the interruption reported.
 func TestGracefulDrainOnSignal(t *testing.T) {
-	before := runtime.NumGoroutine()
+	leakcheck.Check(t)
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM)
 	defer stop()
@@ -112,27 +112,16 @@ func TestGracefulDrainOnSignal(t *testing.T) {
 	}
 
 	// No goroutine leaks: the worker pools, retry timers, and watchers of
-	// both sweeps must all have exited. Allow a little slack for runtime
-	// and test-framework goroutines, and give stragglers time to unwind.
+	// both sweeps must all have exited — asserted exactly by the leakcheck
+	// snapshot diff registered at the top of the test.
 	stop()
-	deadline := time.Now().Add(3 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<16)
-			t.Fatalf("goroutine leak: %d before, %d after\n%s",
-				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
 }
 
 // TestDrainWithoutCheckpointStillClean covers the drain path when no
 // checkpoint is configured: the sweep must still interrupt cleanly and
 // account for every job.
 func TestDrainWithoutCheckpointStillClean(t *testing.T) {
+	leakcheck.Check(t)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	var tasks []sched.Task[int]

@@ -15,6 +15,7 @@ package mount
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -44,6 +45,11 @@ type Options struct {
 	// Trace keeps the session live even with no server and no heartbeat, so
 	// lifecycle spans are recorded for a WriteTrace export (-trace-out).
 	Trace bool
+	// Embedded builds the /metrics, /healthz, /readyz, and /status endpoints
+	// without binding a listener: a daemon (cmd/hefd) mounts Session.Handler
+	// on its own hardened HTTP server and still drives readiness through
+	// SetReady/SetDraining. Mutually exclusive with MetricsAddr.
+	Embedded bool
 }
 
 // Session is a mounted telemetry stack. The zero of the type is never used;
@@ -62,7 +68,7 @@ type Session struct {
 // process-wide scheduler and search instrument sets are installed, so every
 // runner and search created afterwards reports into the session's registry.
 func Start(opts Options) (*Session, error) {
-	if opts.MetricsAddr == "" && opts.Heartbeat <= 0 && !opts.Trace {
+	if opts.MetricsAddr == "" && opts.Heartbeat <= 0 && !opts.Trace && !opts.Embedded {
 		return nil, nil
 	}
 	if opts.LogW == nil {
@@ -118,7 +124,9 @@ func Start(opts Options) (*Session, error) {
 	sched.SetDefaultMetrics(telemetry.NewSchedMetrics(s.reg))
 	hef.SetMetrics(telemetry.NewSearchMetrics(s.reg))
 
-	if opts.MetricsAddr != "" {
+	if opts.Embedded {
+		s.srv = telemetry.NewServer(opts.Tool, s.reg, s.tracer)
+	} else if opts.MetricsAddr != "" {
 		srv, err := telemetry.Serve(opts.MetricsAddr, opts.Tool, s.reg, s.tracer)
 		if err != nil {
 			sched.SetDefaultMetrics(nil)
@@ -159,6 +167,15 @@ func (s *Session) SweepMetrics() *telemetry.SweepMetrics {
 		return nil
 	}
 	return telemetry.NewSweepMetrics(s.reg)
+}
+
+// Handler returns the telemetry endpoint mux of an Embedded session for the
+// daemon to mount on its own server (nil when disabled or not embedded).
+func (s *Session) Handler() http.Handler {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Handler()
 }
 
 // SetReady flips /healthz and /readyz from starting to ready — call once

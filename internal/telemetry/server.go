@@ -52,6 +52,40 @@ type Server struct {
 	start  time.Time
 }
 
+// Hardened HTTP server limits, shared by the telemetry endpoints and the
+// hefd API server. Every limit bounds what one misbehaving client can pin:
+// a slowloris drip-feeding its header or body hits the read timeouts, an
+// abandoned response hits the write timeout, an idle keep-alive connection
+// is reaped, and an oversized header is rejected before it buffers.
+const (
+	ReadHeaderTimeout = 5 * time.Second
+	ReadTimeout       = 30 * time.Second
+	WriteTimeout      = 30 * time.Second
+	IdleTimeout       = 2 * time.Minute
+	MaxHeaderBytes    = 1 << 20
+)
+
+// NewHTTPServer wraps a handler in an http.Server with the hardened limits
+// above. Daemons (cmd/hefd) use it for their API listener so slow or
+// abandoned connections cannot accumulate.
+func NewHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: ReadHeaderTimeout,
+		ReadTimeout:       ReadTimeout,
+		WriteTimeout:      WriteTimeout,
+		IdleTimeout:       IdleTimeout,
+		MaxHeaderBytes:    MaxHeaderBytes,
+	}
+}
+
+// NewServer builds the endpoint state machine without binding a listener:
+// the daemon embeds Handler() in its own (hardened) HTTP server and drives
+// SetReady/SetDraining itself. tracer may be nil.
+func NewServer(tool string, reg *Registry, tracer *Tracer) *Server {
+	return &Server{reg: reg, tracer: tracer, tool: tool, start: time.Now()}
+}
+
 // Serve binds addr (host:port; :0 picks a free port) and serves the
 // endpoints on a background goroutine until Close. tracer may be nil.
 func Serve(addr, tool string, reg *Registry, tracer *Tracer) (*Server, error) {
@@ -59,8 +93,9 @@ func Serve(addr, tool string, reg *Registry, tracer *Tracer) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
 	}
-	s := &Server{reg: reg, tracer: tracer, tool: tool, ln: ln, start: time.Now()}
-	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	s := NewServer(tool, reg, tracer)
+	s.ln = ln
+	s.srv = NewHTTPServer(s.Handler())
 	go func() {
 		// ErrServerClosed is the normal Close path; anything else would have
 		// surfaced at Listen time.

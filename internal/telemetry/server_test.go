@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -101,6 +102,65 @@ func TestServerEndpoints(t *testing.T) {
 	s.SetReady()
 	if s.State() != HealthDraining {
 		t.Fatal("SetReady resurrected a draining server")
+	}
+}
+
+// TestServerHardenedTimeouts: Serve must apply every hardened limit, not
+// just the header timeout — a slowloris that got its header in on time
+// could otherwise hold a connection open forever with a dripped body or an
+// unread response.
+func TestServerHardenedTimeouts(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", "testtool", NewRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := s.srv.ReadHeaderTimeout; got != ReadHeaderTimeout {
+		t.Errorf("ReadHeaderTimeout = %v, want %v", got, ReadHeaderTimeout)
+	}
+	if got := s.srv.ReadTimeout; got != ReadTimeout {
+		t.Errorf("ReadTimeout = %v, want %v", got, ReadTimeout)
+	}
+	if got := s.srv.WriteTimeout; got != WriteTimeout {
+		t.Errorf("WriteTimeout = %v, want %v", got, WriteTimeout)
+	}
+	if got := s.srv.IdleTimeout; got != IdleTimeout {
+		t.Errorf("IdleTimeout = %v, want %v", got, IdleTimeout)
+	}
+	if got := s.srv.MaxHeaderBytes; got != MaxHeaderBytes {
+		t.Errorf("MaxHeaderBytes = %d, want %d", got, MaxHeaderBytes)
+	}
+}
+
+// TestStalledClientDisconnected: a client that opens a connection and never
+// finishes its request header is cut off once the read deadline passes,
+// instead of pinning a server goroutine until the heat death of CI. The
+// test shrinks the timeout on a NewHTTPServer-built server so the reap is
+// observable in milliseconds; production keeps the package defaults.
+func TestStalledClientDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer("testtool", NewRegistry(), nil)
+	srv := NewHTTPServer(s.Handler())
+	srv.ReadHeaderTimeout = 150 * time.Millisecond
+	srv.ReadTimeout = 150 * time.Millisecond
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Half a request line, then stall: the server must hang up on its own.
+	if _, err := conn.Write([]byte("GET /metrics HT")); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil {
+		t.Fatalf("expected server-side close (EOF), got read error %v", err)
 	}
 }
 

@@ -1,0 +1,155 @@
+#!/bin/sh
+# hefd_smoke.sh — end-to-end crash-recovery smoke against a live hefd.
+#
+# Proves the daemon's service contract from the outside, with nothing but
+# curl and kill:
+#   1. an uninterrupted baseline run records a job's report bytes,
+#   2. concurrent submissions against the same daemon all reach done while
+#      /readyz reports ready and /metrics exports the hefd job gauges,
+#   3. a second data dir gets the same job, is kill -9'd mid-run, restarts
+#      on the same dir, resumes from the WAL + checkpoint, and serves a
+#      report byte-identical to the baseline (job IDs are deterministic, so
+#      the two runs are directly comparable),
+#   4. SIGTERM drains: exit 0 and the "drained" diagnostic on stderr.
+#
+# Requires curl. Exit 0 on success, 1 with a diagnostic on any failure.
+set -u
+
+GO=${GO:-go}
+WORK=$(mktemp -d)
+STDERR="$WORK/stderr.log"
+PID=
+
+# The smoke job: three real optimizer ops, sized so the run lasts a few
+# seconds — long enough to land a kill between the first checkpoint and the
+# final report.
+SPEC='{"ops":["murmur","crc64","probe"],"elems":2048,"budget":80}'
+QUICK='{"ops":["murmur"],"elems":1024,"budget":40}'
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+die() {
+    echo "hefd-smoke: FAIL: $*" >&2
+    echo "--- hefd stderr ---" >&2
+    cat "$STDERR" >&2 2>/dev/null
+    exit 1
+}
+
+$GO build -o "$WORK/hefd" ./cmd/hefd || die "build"
+
+# start_daemon DATA_DIR [extra flags...] — launches hefd on an ephemeral
+# port, sets PID and ADDR from the machine-parseable stderr line.
+start_daemon() {
+    dir=$1
+    shift
+    : >"$STDERR"
+    "$WORK/hefd" -addr 127.0.0.1:0 -data-dir "$dir" -memo-dir "$WORK/memo" "$@" \
+        >"$WORK/stdout.log" 2>"$STDERR" &
+    PID=$!
+    ADDR=
+    i=0
+    while [ $i -lt 100 ]; do
+        ADDR=$(sed -n 's/^hefd: serving on //p' "$STDERR" 2>/dev/null | head -1)
+        [ -n "$ADDR" ] && break
+        kill -0 "$PID" 2>/dev/null || die "hefd exited before serving"
+        sleep 0.1
+        i=$((i + 1))
+    done
+    [ -n "$ADDR" ] || die "no 'hefd: serving on' line within 10s"
+}
+
+# submit SPEC — POSTs a job, prints its id.
+submit() {
+    out=$(curl -fsS -X POST -d "$1" "http://$ADDR/v1/jobs") || die "submit refused: $out"
+    id=$(echo "$out" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+    [ -n "$id" ] || die "no job id in accepted response: $out"
+    echo "$id"
+}
+
+# field ID NAME — prints one scalar field of the job's status JSON.
+field() {
+    curl -fsS "http://$ADDR/v1/jobs/$1" 2>/dev/null \
+        | sed -n "s/.*\"$2\":\"\{0,1\}\([^\",}]*\)\"\{0,1\}[,}].*/\1/p"
+}
+
+# wait_done ID — polls until the job is done (3 minute cap).
+wait_done() {
+    i=0
+    while [ $i -lt 1800 ]; do
+        state=$(field "$1" state)
+        case "$state" in
+        done) return 0 ;;
+        failed | cancelled) die "job $1 ended $state: $(field "$1" error)" ;;
+        esac
+        sleep 0.1
+        i=$((i + 1))
+    done
+    die "job $1 never finished (last state: ${state:-unknown})"
+}
+
+# 1. Baseline: an uninterrupted run of the smoke job records the expected
+# report bytes. Submitted first so its job id matches the chaos run's.
+start_daemon "$WORK/baseline"
+BASE_ID=$(submit "$SPEC") || exit 1
+wait_done "$BASE_ID"
+curl -fsS "http://$ADDR/v1/jobs/$BASE_ID/report" >"$WORK/want.json" || die "baseline report"
+grep -q '"tool"' "$WORK/want.json" || die "baseline report is not a run report"
+
+# 2. Concurrency + observability against the live daemon: a burst of quick
+# jobs all complete, /readyz is ready, and /metrics exports the job gauges.
+IDS=
+for i in 1 2 3 4; do
+    IDS="$IDS $(submit "$QUICK")" || exit 1
+done
+for id in $IDS; do
+    wait_done "$id"
+done
+curl -fsS "http://$ADDR/readyz" >/dev/null || die "/readyz not ready under load"
+curl -fsS "http://$ADDR/metrics" >"$WORK/metrics" || die "/metrics scrape"
+for series in hefd_jobs_queued hefd_jobs_running hefd_jobs_done hefd_jobs_accepted_total; do
+    grep -q "^$series " "$WORK/metrics" || die "metrics missing series $series"
+done
+accepted=$(awk '$1 == "hefd_jobs_accepted_total" { print $2 }' "$WORK/metrics")
+awk -v a="${accepted:-0}" 'BEGIN { exit !(a >= 5) }' \
+    || die "hefd_jobs_accepted_total = ${accepted:-absent}, want >= 5"
+
+# 3. SIGTERM drain: exit 0 with the drained diagnostic.
+kill -TERM "$PID"
+wait "$PID"
+rc=$?
+PID=
+[ "$rc" = 0 ] || die "SIGTERM drain exited $rc, want 0"
+grep -q "hefd: drained" "$STDERR" || die "no drained diagnostic after SIGTERM"
+
+# 4. Crash recovery: same job in a fresh dir, kill -9 mid-run, restart on
+# the same dir, and the resumed report must be byte-identical to baseline.
+start_daemon "$WORK/chaos"
+CHAOS_ID=$(submit "$SPEC") || exit 1
+[ "$CHAOS_ID" = "$BASE_ID" ] || die "job ids diverged: baseline $BASE_ID vs chaos $CHAOS_ID"
+i=0
+while [ $i -lt 1800 ]; do
+    [ "$(field "$CHAOS_ID" state)" = done ] && break # degenerate: finished pre-kill
+    done_ops=$(field "$CHAOS_ID" ops_done)
+    [ "${done_ops:-0}" -ge 1 ] 2>/dev/null && break
+    sleep 0.05
+    i=$((i + 1))
+done
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+PID=
+echo "hefd-smoke: killed mid-run after ${done_ops:-?} op(s); restarting"
+
+start_daemon "$WORK/chaos"
+wait_done "$CHAOS_ID"
+curl -fsS "http://$ADDR/v1/jobs/$CHAOS_ID/report" >"$WORK/got.json" || die "recovered report"
+cmp -s "$WORK/want.json" "$WORK/got.json" \
+    || die "recovered report differs from uninterrupted baseline"
+kill -TERM "$PID"
+wait "$PID" || die "final drain failed"
+PID=
+
+echo "hefd-smoke: OK (report $(wc -c <"$WORK/want.json") bytes, byte-identical after kill -9)"
