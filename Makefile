@@ -74,8 +74,11 @@ bench-json:
 # hefd-chaos runs the daemon's seeded load/chaos harness under the race
 # detector: thousands of concurrent submissions against a bounded queue
 # (zero lost accepted jobs), mixed-tenant storms with quotas and breakers
-# live, drain-under-load leak checks, and the kill -9 / SIGTERM recovery
-# tests that assert byte-identical reports across restarts.
+# live, drain-under-load leak checks, the kill -9 / SIGTERM recovery tests
+# that assert byte-identical reports across restarts, and the retention
+# suite — WAL compaction killed at every byte budget (surviving reports
+# stay byte-identical, tombstoned jobs never resurrect) and repeated
+# sweep/restart campaigns whose data dir stays bounded.
 hefd-chaos:
 	$(GO) test ./internal/hefd/ ./cmd/hefd/ -race -count=1 -run 'Chaos|Load|Recovery|Drain|KillDashNine|SIGTERM' -v -timeout 15m
 
@@ -83,7 +86,11 @@ hefd-chaos:
 # baseline run records a job's report bytes, a burst of concurrent jobs
 # completes while /readyz and the /metrics job gauges are scraped, SIGTERM
 # drains with exit 0, and a kill -9'd run restarted on the same data dir
-# serves a report byte-identical to the baseline. Requires curl.
+# serves a report byte-identical to the baseline. It then exercises the
+# lifecycle features live: -retain-count compaction (expired 404s, WAL
+# shrinks, retained report byte-identical across another kill -9), API-key
+# auth with a SIGHUP rotation, and a dry quota bucket surviving a kill -9
+# restart. Requires curl.
 hefd-smoke:
 	sh scripts/hefd_smoke.sh
 

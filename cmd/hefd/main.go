@@ -57,11 +57,19 @@ func run() int {
 	breakerCooldown := flag.Duration("breaker-cooldown", 30*time.Second, "how long an open tenant breaker sheds before admitting a probe job")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "SIGTERM grace: how long running jobs get to checkpoint and park")
 	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
+	retainAge := flag.Duration("retain-age", 0, "expire terminal jobs this long after they finish (0 retains forever)")
+	retainCount := flag.Int("retain-count", 0, "keep at most this many terminal jobs per tenant, newest first (0 retains all)")
+	authKeys := flag.String("auth-keys", "", "API key file (\"<key> <tenant> [rate=R] [burst=B]\" per line); SIGHUP reloads it (empty disables auth)")
 	flag.Parse()
-	heartbeatSet := false
+	heartbeatSet, retainAgeSet, retainCountSet := false, false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "heartbeat" {
+		switch f.Name {
+		case "heartbeat":
 			heartbeatSet = true
+		case "retain-age":
+			retainAgeSet = true
+		case "retain-count":
+			retainCountSet = true
 		}
 	})
 
@@ -69,6 +77,28 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "hefd: %v\n\n", err)
 		flag.Usage()
 		return 2
+	}
+	// Retention zero means "off", so an explicit zero or negative value is a
+	// configuration mistake, not a request — same convention as -heartbeat.
+	if retainAgeSet && *retainAge <= 0 {
+		fmt.Fprintf(os.Stderr, "hefd: -retain-age must be positive when set, got %v\n\n", *retainAge)
+		flag.Usage()
+		return 2
+	}
+	if retainCountSet && *retainCount <= 0 {
+		fmt.Fprintf(os.Stderr, "hefd: -retain-count must be positive when set, got %d\n\n", *retainCount)
+		flag.Usage()
+		return 2
+	}
+	if *authKeys != "" {
+		// Loading here (and again inside New) front-loads key-file mistakes
+		// into the exit-2 flag contract: a bad path or malformed line is
+		// caught before the daemon touches its data directory.
+		if _, err := hefd.LoadKeyring(nil, *authKeys); err != nil {
+			fmt.Fprintf(os.Stderr, "hefd: -auth-keys: %v\n\n", err)
+			flag.Usage()
+			return 2
+		}
 	}
 	if err := telemetry.ValidateFlags("", heartbeatSet, *heartbeat); err != nil {
 		fmt.Fprintf(os.Stderr, "hefd: %v\n\n", err)
@@ -93,6 +123,8 @@ func run() int {
 		Retries:      *retries,
 		Quota:        hefd.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
 		Breaker:      hefd.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
+		Retention:    hefd.RetentionConfig{Age: *retainAge, Count: *retainCount},
+		AuthKeys:     *authKeys,
 		SweepMetrics: tel.SweepMetrics(),
 		Tracer:       tel.Tracer(),
 	})
@@ -104,13 +136,18 @@ func run() int {
 		tel.ObserveStore(st)
 	}
 	if reg := tel.Registry(); reg != nil {
-		reg.GaugeFunc("hefd_jobs_queued", "jobs accepted and waiting to run", func() float64 { return float64(m.Counts().Queued) })
-		reg.GaugeFunc("hefd_jobs_running", "jobs currently running", func() float64 { return float64(m.Counts().Running) })
-		reg.GaugeFunc("hefd_jobs_done", "jobs finished successfully", func() float64 { return float64(m.Counts().Done) })
-		reg.GaugeFunc("hefd_jobs_failed", "jobs failed terminally", func() float64 { return float64(m.Counts().Failed) })
-		reg.GaugeFunc("hefd_jobs_accepted_total", "jobs admitted since start", func() float64 { return float64(m.Counts().Accepted) })
-		reg.GaugeFunc("hefd_jobs_shed_total", "submissions shed by admission control since start", func() float64 { return float64(m.Counts().Shed) })
-		reg.GaugeFunc("hefd_jobs_recovered_total", "jobs re-queued from the log at start", func() float64 { return float64(m.Counts().Recovered) })
+		reg.GaugeFunc(telemetry.MetricHefdQueued, "jobs accepted and waiting to run", func() float64 { return float64(m.Counts().Queued) })
+		reg.GaugeFunc(telemetry.MetricHefdRunning, "jobs currently running", func() float64 { return float64(m.Counts().Running) })
+		reg.GaugeFunc(telemetry.MetricHefdDone, "jobs finished successfully", func() float64 { return float64(m.Counts().Done) })
+		reg.GaugeFunc(telemetry.MetricHefdFailed, "jobs failed terminally", func() float64 { return float64(m.Counts().Failed) })
+		reg.GaugeFunc(telemetry.MetricHefdAccepted, "jobs admitted since start", func() float64 { return float64(m.Counts().Accepted) })
+		reg.GaugeFunc(telemetry.MetricHefdShed, "submissions shed by admission control since start", func() float64 { return float64(m.Counts().Shed) })
+		reg.GaugeFunc(telemetry.MetricHefdRecovered, "jobs re-queued from the log at start", func() float64 { return float64(m.Counts().Recovered) })
+		reg.GaugeFunc(telemetry.MetricHefdExpired, "terminal jobs expired by the retention sweep since start", func() float64 { return float64(m.Counts().Expired) })
+		reg.GaugeFunc(telemetry.MetricHefdCompactions, "job log compactions since start", func() float64 { return float64(m.Counts().Compactions) })
+		reg.GaugeFunc(telemetry.MetricHefdWALBytes, "job log size on disk in bytes", func() float64 { return float64(m.WALSize()) })
+		reg.GaugeFunc(telemetry.MetricHefdAuthDenied, "requests refused with 401/403 since start", func() float64 { return float64(m.Counts().AuthDenied) })
+		reg.GaugeFunc(telemetry.MetricHefdKeyReloads, "successful SIGHUP key file reloads since start", func() float64 { return float64(m.Counts().KeyReloads) })
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -127,6 +164,19 @@ func run() int {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 	tel.SetReady()
+
+	// SIGHUP re-reads the key file in place: in-flight jobs keep running,
+	// only the keyring pointer swaps. A broken edit keeps the old ring.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	hupDone := make(chan struct{})
+	go func() {
+		defer close(hupDone)
+		for range hup {
+			_ = m.ReloadKeys()
+		}
+	}()
+	defer func() { signal.Stop(hup); close(hup); <-hupDone }()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

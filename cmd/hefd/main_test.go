@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strings"
 	"sync"
 	"syscall"
@@ -403,4 +404,164 @@ func TestHTTPOverloadSheds(t *testing.T) {
 		t.Fatalf("untyped shed body:\n%s", data)
 	}
 	d.kill(t)
+}
+
+// The lifecycle flags validate before any side effect: explicit
+// non-positive retention values and unusable key files are usage errors.
+func TestLifecycleFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	badKeys := filepath.Join(dir, "keys")
+	if err := os.WriteFile(badKeys, []byte("short x\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero retain-age", []string{"-data-dir", "d", "-retain-age", "0s"}, "-retain-age must be positive when set"},
+		{"negative retain-age", []string{"-data-dir", "d", "-retain-age", "-5s"}, "-retain-age must be positive when set"},
+		{"zero retain-count", []string{"-data-dir", "d", "-retain-count", "0"}, "-retain-count must be positive when set"},
+		{"negative retain-count", []string{"-data-dir", "d", "-retain-count", "-3"}, "-retain-count must be positive when set"},
+		{"missing key file", []string{"-data-dir", "d", "-auth-keys", filepath.Join(dir, "absent")}, "-auth-keys"},
+		{"malformed key file", []string{"-data-dir", "d", "-auth-keys", badKeys}, "key shorter than"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runMain(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			if !strings.Contains(stderr, "-drain-timeout") {
+				t.Fatalf("usage text not printed:\n%s", stderr)
+			}
+		})
+	}
+}
+
+// authPost submits spec with a bearer key and returns status + body.
+func authPost(t *testing.T, d *daemon, key, spec string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest("POST", d.url("/v1/jobs"), strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Authorization", "Bearer "+key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(data)
+}
+
+// fastSpec completes in well under a second: admission and auth tests only
+// need the accept/refuse verdict, not a long-running pipeline.
+const fastSpec = `{"ops":["murmur"],"elems":64,"budget":10}`
+
+// SIGHUP swaps the key file without a restart: the rotated-out key stops
+// working, the rotated-in key starts, and a job accepted before the reload
+// runs to completion under the old identity.
+func TestSIGHUPReloadsKeyFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the real optimizer; skipped in -short")
+	}
+	dir := t.TempDir()
+	keys := filepath.Join(dir, "keys")
+	if err := os.WriteFile(keys, []byte("alice-key-0001 alice\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d := startDaemon(t, t.TempDir(), "-auth-keys", keys)
+
+	if code, body := authPost(t, d, "", fastSpec); code != http.StatusUnauthorized {
+		t.Fatalf("keyless submit: %d\n%s", code, body)
+	}
+	// In-flight work accepted under the old ring must survive the reload.
+	code, body := authPost(t, d, "alice-key-0001", chaosSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("authed submit: %d\n%s", code, body)
+	}
+	var inflight jobView
+	if err := json.Unmarshal([]byte(body), &inflight); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.WriteFile(keys, []byte("carol-key-0003 carol\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if code, _ := authPost(t, d, "alice-key-0001", fastSpec); code == http.StatusUnauthorized {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("rotated-out key still accepted after SIGHUP; stderr:\n%s", d.Stderr())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if code, body := authPost(t, d, "carol-key-0003", fastSpec); code != http.StatusAccepted {
+		t.Fatalf("rotated-in key: %d\n%s", code, body)
+	}
+	if !strings.Contains(d.Stderr(), "keyring reloaded") {
+		t.Fatalf("reload not logged:\n%s", d.Stderr())
+	}
+
+	// The pre-reload job finishes; its status stays readable with the job's
+	// own tenant key gone (carol owns nothing, alice's job belongs to alice
+	// — reads come through carol and must be refused, so poll unauthed off).
+	req, _ := http.NewRequest("GET", d.url("/v1/jobs/"+inflight.ID), nil)
+	req.Header.Set("Authorization", "Bearer carol-key-0003")
+	deadline = time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusForbidden {
+			break // the job still exists and still belongs to alice
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pre-reload job unreadable: %d", resp.StatusCode)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	d.kill(t)
+}
+
+// A dry token bucket survives kill -9 end to end: the restarted daemon
+// still sheds the tenant with 429 instead of refunding a fresh burst.
+func TestAdmissionStateSurvivesKillDashNine(t *testing.T) {
+	dir := t.TempDir()
+	d1 := startDaemon(t, dir, "-quota-rate", "0.0001", "-quota-burst", "1")
+	v := submitJob(t, d1, fastSpec)
+	waitDone(t, d1, v.ID)
+	resp, err := http.Post(d1.url("/v1/jobs"), "application/json", strings.NewReader(fastSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(data), "quota") {
+		t.Fatalf("bucket not dry before kill: %d\n%s", resp.StatusCode, data)
+	}
+	d1.kill(t)
+
+	d2 := startDaemon(t, dir, "-quota-rate", "0.0001", "-quota-burst", "1")
+	resp, err = http.Post(d2.url("/v1/jobs"), "application/json", strings.NewReader(fastSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || !strings.Contains(string(data), "quota") {
+		t.Fatalf("restart refunded the dry bucket: %d\n%s", resp.StatusCode, data)
+	}
+	d2.kill(t)
 }

@@ -10,6 +10,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"hef/internal/hefd"
+	"hef/internal/store"
 )
 
 // mainArgsEnv carries unit-separator-joined argv for the re-exec'd child;
@@ -101,5 +104,49 @@ func TestExitCodesReflectArtifactHealth(t *testing.T) {
 	}
 	if code, stdout, _ = runMain(t, corrupt); code != 0 {
 		t.Fatalf("post-repair artifact still corrupt: exit %d\nstdout:\n%s", code, stdout)
+	}
+}
+
+// The exit contract extends to hefd's artifacts: a torn jobs.log or
+// admission.state exits 1, -repair salvages both back to exit 0.
+func TestExitCodesOnHefdArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, hefd.JobLogName)
+	frames := store.AppendRecord(nil, []byte(`{"kind":"spec","id":"j000001-aa","seq":1}`))
+	frames = store.AppendRecord(frames, []byte(`{"kind":"state","id":"j000001-aa","state":"done","at_ms":7}`))
+	if err := os.WriteFile(log, append(append([]byte{}, frames...), 0xde, 0xad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, hefd.AdmissionStateName)
+	good, err := hefd.EncodeAdmissionState(hefd.AdmissionState{
+		Buckets: map[string]hefd.BucketState{"a": {Tokens: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, good[:len(good)-2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, _ := runMain(t, log, snap)
+	if code != 1 {
+		t.Fatalf("torn hefd artifacts: exit %d, want 1\nstdout:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "job-log") || !strings.Contains(stdout, "admission-state") {
+		t.Fatalf("kinds missing from findings:\n%s", stdout)
+	}
+	if code, stdout, _ = runMain(t, "-repair", log, snap); code != 0 {
+		t.Fatalf("repair run: exit %d\nstdout:\n%s", code, stdout)
+	}
+	if code, stdout, _ = runMain(t, log, snap); code != 0 {
+		t.Fatalf("post-repair: exit %d\nstdout:\n%s", code, stdout)
+	}
+	// The salvage matches the daemon's own: log truncated to the valid
+	// prefix, snapshot reset to the empty zero state.
+	if got, err := os.ReadFile(log); err != nil || len(got) != len(frames) {
+		t.Fatalf("repaired log is %d bytes, want %d (%v)", len(got), len(frames), err)
+	}
+	if got, err := os.ReadFile(snap); err != nil || len(got) != 0 {
+		t.Fatalf("repaired snapshot is %d bytes, want 0 (%v)", len(got), err)
 	}
 }

@@ -113,14 +113,26 @@ func runMatrixSweep(t *testing.T, dir, cpPath, resumePath string, stopAfter int)
 		t.Fatalf("store.Open(%s): %v", dir, err)
 	}
 	cache := st.Cache()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
+	// The interruption is task-side and counted at task start, not raced
+	// against the shutdown watcher: exactly stopAfter tasks compute, the
+	// next one cancels the sweep and blocks until its job context closes —
+	// deterministic however loaded the machine is.
+	var ran atomic.Int64
 	var tasks []sched.Task[*matrixRow]
 	for i := 0; i < matrixJobs; i++ {
 		i := i
 		tasks = append(tasks, sched.Task[*matrixRow]{
 			ID:  fmt.Sprintf("job-%02d", i),
 			Key: "k",
-			Run: func(context.Context) (*matrixRow, error) {
+			Run: func(jctx context.Context) (*matrixRow, error) {
+				if stopAfter > 0 && ran.Add(1) > int64(stopAfter) {
+					cancel()
+					<-jctx.Done()
+					return nil, jctx.Err()
+				}
 				row := &matrixRow{Name: fmt.Sprintf("job-%02d", i)}
 				for j := 0; j < 5; j++ {
 					k := matrixKey(i, j)
@@ -136,17 +148,10 @@ func runMatrixSweep(t *testing.T, dir, cpPath, resumePath string, stopAfter int)
 		})
 	}
 
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
-	var done atomic.Int64
 	cfg := sched.SweepConfig{
 		Tool: "corrupt-matrix", Fingerprint: "seeded",
 		CheckpointPath: cpPath, ResumePath: resumePath,
-		Runner: sched.Config{Workers: 1, OnOutcome: func(o sched.Outcome) {
-			if stopAfter > 0 && done.Add(1) >= int64(stopAfter) {
-				cancel()
-			}
-		}},
+		Runner: sched.Config{Workers: 1},
 	}
 	res, err := sched.RunSweep(ctx, cfg, tasks)
 	if stopAfter == 0 && err != nil {

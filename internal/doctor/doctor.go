@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"path/filepath"
 
+	"hef/internal/hefd"
 	"hef/internal/obs"
 	"hef/internal/sched"
 	"hef/internal/store"
@@ -42,7 +43,8 @@ const (
 type Finding struct {
 	Path string
 	// Kind is the detected artifact type: "memo-shard", "checkpoint",
-	// "run-report", "json-lines", or "unknown".
+	// "run-report", "json-lines", "job-log", "admission-state", or
+	// "unknown".
 	Kind   string
 	Status Status
 	// Detail explains the diagnosis (what was found, what a repair did or
@@ -108,6 +110,15 @@ func checkFile(fsys store.FS, path string, repair bool) Finding {
 	if store.IsShardFile(path) || bytes.HasPrefix(data, []byte(store.MemoMagic)) {
 		return checkShard(fsys, path, repair)
 	}
+	// The daemon's record files dispatch by name first: a torn jobs.log or
+	// admission.state can lack any intact record to classify by, and the
+	// names are fixed by the daemon rather than chosen by users.
+	switch filepath.Base(path) {
+	case hefd.JobLogName:
+		return checkJobLog(fsys, path, data, repair)
+	case hefd.AdmissionStateName:
+		return checkAdmissionState(fsys, path, data, repair)
+	}
 	// A single JSON document with a schema field is a checkpoint or a run
 	// report; which one decides the validation applied.
 	var head struct {
@@ -125,11 +136,18 @@ func checkFile(fsys store.FS, path string, repair bool) Finding {
 		}
 	}
 	// Undecodable as one document: a torn checkpoint (recoverable from its
-	// .bak rotation), a JSON-line stream, or a torn stream.
+	// .bak rotation), a misnamed daemon record file, a JSON-line stream, or
+	// a torn stream.
 	if bak, err := fsys.ReadFile(path + store.BackupSuffix); err == nil {
 		if _, perr := sched.ParseCheckpoint(bak); perr == nil {
 			return repairCheckpointFromBackup(fsys, path, bak, repair)
 		}
+	}
+	if sum, _, _ := hefd.ScanJobLog(data); sum.Records > 0 {
+		return checkJobLog(fsys, path, data, repair)
+	}
+	if _, err := hefd.ParseAdmissionState(data); err == nil && len(data) > 0 {
+		return checkAdmissionState(fsys, path, data, repair)
 	}
 	return checkJSONLines(fsys, path, data, repair)
 }

@@ -1,0 +1,169 @@
+package doctor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hef/internal/hefd"
+	"hef/internal/store"
+)
+
+// seedJobLog frames a small, well-formed job write-ahead log: two jobs, one
+// of them tombstoned by retention, plus the compaction sequence mark.
+func seedJobLog(t *testing.T) []byte {
+	t.Helper()
+	var buf []byte
+	for _, payload := range []string{
+		`{"kind":"seq","seq":2}`,
+		`{"kind":"spec","id":"j000001-aa","seq":1}`,
+		`{"kind":"state","id":"j000001-aa","state":"done","at_ms":1000}`,
+		`{"kind":"report","id":"j000001-aa","report":"{}"}`,
+		`{"kind":"spec","id":"j000002-bb","seq":2}`,
+		`{"kind":"tomb","id":"j000002-bb","at_ms":2000}`,
+	} {
+		buf = store.AppendRecord(buf, []byte(payload))
+	}
+	return buf
+}
+
+func TestDiagnoseJobLog(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, hefd.JobLogName)
+	good := seedJobLog(t)
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := diagnose(t, path, false)
+	if rep.Corrupt() || rep.Findings[0].Kind != "job-log" {
+		t.Fatalf("healthy log: %+v", rep.Findings)
+	}
+	if d := rep.Findings[0].Detail; !strings.Contains(d, "6 record(s): 2 job(s), 1 tombstone(s)") {
+		t.Fatalf("summary detail = %q", d)
+	}
+
+	// A torn tail (the kill -9 artifact) is detected, then repaired by the
+	// same quarantine+truncate salvage the daemon applies at open.
+	if err := os.WriteFile(path, append(append([]byte{}, good...), good[:11]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rep := diagnose(t, path, false); !rep.Corrupt() {
+		t.Fatal("torn log not detected")
+	}
+	rep = diagnose(t, path, true)
+	if rep.Corrupt() || rep.Findings[0].Status != StatusRepaired {
+		t.Fatalf("repair: %+v", rep.Findings)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("no quarantine sidecar: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, good) {
+		t.Fatalf("repair did not truncate to the valid prefix: %d bytes, want %d", len(got), len(good))
+	}
+	if rep := diagnose(t, path, false); rep.Corrupt() {
+		t.Fatal("log corrupt again after repair")
+	}
+
+	// A record of an unknown kind is corruption, not a record to skip: the
+	// log is the daemon's source of truth.
+	alien := store.AppendRecord(append([]byte{}, good...), []byte(`{"kind":"alien"}`))
+	if err := os.WriteFile(path, alien, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rep := diagnose(t, path, false); !rep.Corrupt() {
+		t.Fatal("unknown record kind accepted")
+	}
+
+	// An empty log (first boot) is healthy.
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rep := diagnose(t, path, false); rep.Corrupt() || rep.Findings[0].Detail != "empty" {
+		t.Fatalf("empty log: %+v", rep.Findings)
+	}
+}
+
+// A job log under any other file name still classifies by content.
+func TestDiagnoseJobLogByContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "archived.bin")
+	if err := os.WriteFile(path, seedJobLog(t), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := diagnose(t, path, false)
+	if rep.Corrupt() || rep.Findings[0].Kind != "job-log" {
+		t.Fatalf("renamed log: %+v", rep.Findings)
+	}
+}
+
+func TestDiagnoseAdmissionState(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, hefd.AdmissionStateName)
+	good, err := hefd.EncodeAdmissionState(hefd.AdmissionState{
+		Buckets:  map[string]hefd.BucketState{"alice": {Tokens: 1, LastMS: 5}},
+		Breakers: map[string]hefd.BreakerState{"mallory": {Open: true, OpenedAtMS: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := diagnose(t, path, false)
+	if rep.Corrupt() || rep.Findings[0].Kind != "admission-state" {
+		t.Fatalf("healthy snapshot: %+v", rep.Findings)
+	}
+	if d := rep.Findings[0].Detail; !strings.Contains(d, "1 bucket(s), 1 breaker(s)") {
+		t.Fatalf("summary detail = %q", d)
+	}
+
+	// A torn snapshot has no salvageable prefix: repair quarantines the
+	// whole file and resets it to empty — the zero admission state.
+	if err := os.WriteFile(path, good[:len(good)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if rep := diagnose(t, path, false); !rep.Corrupt() {
+		t.Fatal("torn snapshot not detected")
+	}
+	rep = diagnose(t, path, true)
+	if rep.Corrupt() || rep.Findings[0].Status != StatusRepaired {
+		t.Fatalf("repair: %+v", rep.Findings)
+	}
+	if _, err := os.Stat(path + ".quarantine"); err != nil {
+		t.Fatalf("no quarantine sidecar: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("repair left %d bytes, want the empty zero state", len(got))
+	}
+	rep = diagnose(t, path, false)
+	if rep.Corrupt() || !strings.Contains(rep.Findings[0].Detail, "zero admission state") {
+		t.Fatalf("post-repair snapshot: %+v", rep.Findings)
+	}
+}
+
+// An admission snapshot under another name still classifies by content.
+func TestDiagnoseAdmissionStateByContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.saved")
+	good, err := hefd.EncodeAdmissionState(hefd.AdmissionState{
+		Buckets: map[string]hefd.BucketState{"a": {Tokens: 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep := diagnose(t, path, false)
+	if rep.Corrupt() || rep.Findings[0].Kind != "admission-state" {
+		t.Fatalf("renamed snapshot: %+v", rep.Findings)
+	}
+}

@@ -138,6 +138,44 @@ func (t *tenantBreakers) release(tenant string) {
 	}
 }
 
+// snapshot serializes every breaker for the admission.state file. The
+// half-open probing flag is deliberately not persisted: a probe in flight
+// at crash time resolves as parked or lost, and on restart the next
+// submission becomes the probe — persisting it would shed the tenant
+// forever waiting on a probe that no longer exists.
+func (t *tenantBreakers) snapshot() map[string]BreakerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.m) == 0 {
+		return nil
+	}
+	out := make(map[string]BreakerState, len(t.m))
+	for tenant, b := range t.m {
+		s := BreakerState{Failures: b.failures, Open: b.open}
+		if b.open {
+			s.OpenedAtMS = b.openedAt.UnixMilli()
+		}
+		out[tenant] = s
+	}
+	return out
+}
+
+// restore replaces the breaker table with a loaded snapshot: an open
+// breaker stays open for the remainder of its original cooldown, and a
+// tenant one failure from the threshold is still one failure away.
+func (t *tenantBreakers) restore(states map[string]BreakerState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m = make(map[string]*tenantBreaker, len(states))
+	for tenant, s := range states {
+		b := &tenantBreaker{failures: s.Failures, open: s.Open}
+		if s.Open {
+			b.openedAt = time.UnixMilli(s.OpenedAtMS)
+		}
+		t.m[tenant] = b
+	}
+}
+
 // onResult records a tenant job's terminal outcome. Cancellations and
 // parks say nothing about the tenant's health and must not be reported.
 func (t *tenantBreakers) onResult(tenant string, success bool, now time.Time) {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 )
 
@@ -27,13 +28,74 @@ type apiError struct {
 // /status) on the same listener, so one hardened server exposes both the
 // job API and its own observability.
 func NewHandler(m *Manager, tel http.Handler) http.Handler {
+	// authTenant resolves the caller's tenant from the Authorization
+	// header. When the daemon has no keyring, auth is off and every caller
+	// acts as tenant "" (= unrestricted, the PR-7 behavior). With a
+	// keyring, a missing or unknown key is a 401 — the same answer for
+	// both, so a probe cannot distinguish "no key" from "wrong key".
+	authTenant := func(w http.ResponseWriter, r *http.Request) (string, bool) {
+		ring := m.Keys()
+		if ring.Len() == 0 {
+			return "", true
+		}
+		key, found := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !found || key == "" {
+			m.noteAuthDenied()
+			writeErr(w, &AuthError{Code: AuthMissing, Message: "missing or unrecognized API key"})
+			return "", false
+		}
+		tenant, _, ok := ring.Lookup(key)
+		if !ok {
+			m.noteAuthDenied()
+			writeErr(w, &AuthError{Code: AuthMissing, Message: "missing or unrecognized API key"})
+			return "", false
+		}
+		return tenant, true
+	}
+	// authJob additionally checks that the caller's tenant owns job id; a
+	// cross-tenant id is a 403 (the id is real, and hiding that behind a
+	// 404 would make the deterministic id scheme leak instead).
+	authJob := func(w http.ResponseWriter, r *http.Request, id string) bool {
+		tenant, ok := authTenant(w, r)
+		if !ok {
+			return false
+		}
+		if tenant == "" {
+			return true
+		}
+		view, err := m.Get(id)
+		if err != nil {
+			return true // let the handler produce its own 404
+		}
+		if view.Tenant != tenant {
+			m.noteAuthDenied()
+			writeErr(w, &AuthError{Code: AuthForbidden, Message: fmt.Sprintf("job %q belongs to another tenant", id)})
+			return false
+		}
+		return true
+	}
+
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		tenant, ok := authTenant(w, r)
+		if !ok {
+			return
+		}
 		var spec JobSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 		if err := dec.Decode(&spec); err != nil {
 			writeJSONErr(w, http.StatusBadRequest, apiError{Code: "bad_json", Message: err.Error()})
 			return
+		}
+		if tenant != "" {
+			// The key decides the tenant. An explicit spec tenant may only
+			// confirm it — claiming another tenant's identity is a 403.
+			if spec.Tenant != "" && spec.Tenant != tenant {
+				m.noteAuthDenied()
+				writeErr(w, &AuthError{Code: AuthForbidden, Message: fmt.Sprintf("key is for tenant %q, spec says %q", tenant, spec.Tenant)})
+				return
+			}
+			spec.Tenant = tenant
 		}
 		view, err := m.Submit(spec)
 		if err != nil {
@@ -43,10 +105,21 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 		writeJSON(w, http.StatusAccepted, view)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		views := m.List(r.URL.Query().Get("tenant"))
+		tenant, ok := authTenant(w, r)
+		if !ok {
+			return
+		}
+		filter := r.URL.Query().Get("tenant")
+		if tenant != "" {
+			filter = tenant // an authenticated caller lists only its own jobs
+		}
+		views := m.List(filter)
 		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !authJob(w, r, r.PathValue("id")) {
+			return
+		}
 		view, err := m.Get(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, err)
@@ -55,6 +128,9 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 		writeJSON(w, http.StatusOK, view)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		if !authJob(w, r, r.PathValue("id")) {
+			return
+		}
 		data, err := m.Report(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, err)
@@ -67,6 +143,9 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 		_, _ = w.Write(data)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !authJob(w, r, r.PathValue("id")) {
+			return
+		}
 		view, err := m.Cancel(r.PathValue("id"))
 		if err != nil {
 			writeErr(w, err)
@@ -87,7 +166,14 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 // well-behaved clients back off exactly as the admission layer suggests.
 func writeErr(w http.ResponseWriter, err error) {
 	var shed *ShedError
+	var auth *AuthError
 	switch {
+	case errors.As(err, &auth):
+		status := http.StatusUnauthorized
+		if auth.Code == AuthForbidden {
+			status = http.StatusForbidden
+		}
+		writeJSONErr(w, status, apiError{Code: auth.Code, Message: auth.Message})
 	case errors.As(err, &shed):
 		status := http.StatusTooManyRequests
 		if shed.Code == ShedBreakerOpen || shed.Code == ShedDraining {

@@ -1,0 +1,172 @@
+package hefd
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hef/internal/store"
+)
+
+// Auth codes: the typed reasons a request is refused before admission
+// control. The API maps them to HTTP statuses through the same error
+// envelope as every other refusal.
+const (
+	// AuthMissing: no (or unrecognized) API key on a daemon that requires
+	// one (HTTP 401).
+	AuthMissing = "unauthenticated"
+	// AuthForbidden: a valid key addressing another tenant's resources
+	// (HTTP 403).
+	AuthForbidden = "forbidden"
+)
+
+// AuthError is the typed authentication/authorization refusal.
+type AuthError struct {
+	// Code is AuthMissing or AuthForbidden.
+	Code string
+	// Message is a human-readable explanation.
+	Message string
+}
+
+func (e *AuthError) Error() string { return fmt.Sprintf("hefd: %s: %s", e.Code, e.Message) }
+
+// MinKeyLen is the shortest admissible API key. Short keys are a key-file
+// typo until proven otherwise, so loading refuses them outright.
+const MinKeyLen = 8
+
+// keyEntry is one authorized key. Only the SHA-256 digest of the key is
+// kept in memory; the plaintext is dropped at parse time.
+type keyEntry struct {
+	digest [sha256.Size]byte
+	tenant string
+	quota  *QuotaConfig // per-tenant override, nil = global config
+}
+
+// Keyring maps API keys to tenants. Immutable once built: a SIGHUP reload
+// constructs a fresh ring and swaps it atomically, so in-flight requests
+// see either the old or the new ring, never a mix.
+type Keyring struct {
+	entries []keyEntry
+}
+
+// Len reports the number of keys.
+func (k *Keyring) Len() int {
+	if k == nil {
+		return 0
+	}
+	return len(k.entries)
+}
+
+// Lookup resolves an API key to its tenant and quota override. The
+// comparison is constant-time in both the key bytes and the match
+// position: every entry is compared against the presented key's digest,
+// with no early exit, so response timing reveals neither a near-miss nor
+// where in the file the matching key lives.
+func (k *Keyring) Lookup(key string) (tenant string, quota *QuotaConfig, ok bool) {
+	if k == nil {
+		return "", nil, false
+	}
+	digest := sha256.Sum256([]byte(key))
+	match := -1
+	for i := range k.entries {
+		if subtle.ConstantTimeCompare(digest[:], k.entries[i].digest[:]) == 1 {
+			match = i
+		}
+	}
+	if match < 0 {
+		return "", nil, false
+	}
+	return k.entries[match].tenant, k.entries[match].quota, true
+}
+
+// QuotaFor returns the first quota override declared for tenant (nil when
+// the tenant has none): Submit consults it so a key-file quota applies
+// even when the global -quota-rate is off.
+func (k *Keyring) QuotaFor(tenant string) *QuotaConfig {
+	if k == nil {
+		return nil
+	}
+	for i := range k.entries {
+		if k.entries[i].tenant == tenant && k.entries[i].quota != nil {
+			return k.entries[i].quota
+		}
+	}
+	return nil
+}
+
+// ParseKeyring parses a key file. Each non-blank, non-comment line is
+//
+//	<key> <tenant> [rate=R] [burst=B]
+//
+// where key is at least MinKeyLen characters, tenant follows the JobSpec
+// tenant grammar, and rate/burst (jobs per second / bucket capacity)
+// override the daemon-wide quota for that tenant. Any malformed line fails
+// the whole file — a partially loaded keyring would silently lock out the
+// tenants on the bad half.
+func ParseKeyring(data []byte) (*Keyring, error) {
+	ring := &Keyring{}
+	seen := map[[sha256.Size]byte]int{}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("hefd: key file line %d: want \"<key> <tenant> [rate=R] [burst=B]\"", lineNo+1)
+		}
+		key, tenant := fields[0], fields[1]
+		if len(key) < MinKeyLen {
+			return nil, fmt.Errorf("hefd: key file line %d: key shorter than %d characters", lineNo+1, MinKeyLen)
+		}
+		if err := validTenant(tenant); err != nil {
+			return nil, fmt.Errorf("hefd: key file line %d: %v", lineNo+1, err)
+		}
+		entry := keyEntry{digest: sha256.Sum256([]byte(key)), tenant: tenant}
+		var quota QuotaConfig
+		for _, opt := range fields[2:] {
+			name, val, found := strings.Cut(opt, "=")
+			if !found {
+				return nil, fmt.Errorf("hefd: key file line %d: option %q is not name=value", lineNo+1, opt)
+			}
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f <= 0 {
+				return nil, fmt.Errorf("hefd: key file line %d: %s must be a positive number, got %q", lineNo+1, name, val)
+			}
+			switch name {
+			case "rate":
+				quota.Rate = f
+			case "burst":
+				quota.Burst = f
+			default:
+				return nil, fmt.Errorf("hefd: key file line %d: unknown option %q", lineNo+1, name)
+			}
+		}
+		if quota.Rate > 0 || quota.Burst > 0 {
+			entry.quota = &quota
+		}
+		if prev, dup := seen[entry.digest]; dup {
+			return nil, fmt.Errorf("hefd: key file line %d: key already declared on line %d", lineNo+1, prev)
+		}
+		seen[entry.digest] = lineNo + 1
+		ring.entries = append(ring.entries, entry)
+	}
+	if len(ring.entries) == 0 {
+		return nil, fmt.Errorf("hefd: key file declares no keys")
+	}
+	return ring, nil
+}
+
+// LoadKeyring reads and parses a key file.
+func LoadKeyring(fsys store.FS, path string) (*Keyring, error) {
+	if fsys == nil {
+		fsys = store.OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hefd: key file: %w", err)
+	}
+	return ParseKeyring(data)
+}

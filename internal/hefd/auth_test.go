@@ -1,0 +1,262 @@
+package hefd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hef/internal/leakcheck"
+)
+
+func TestParseKeyringAcceptsWellFormedFile(t *testing.T) {
+	ring, err := ParseKeyring([]byte(`
+# ops keys
+alice-key-0001 alice rate=2 burst=5
+
+bob-key-000002 bob
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", ring.Len())
+	}
+	tenant, quota, ok := ring.Lookup("alice-key-0001")
+	if !ok || tenant != "alice" {
+		t.Fatalf("alice lookup: %q %v", tenant, ok)
+	}
+	if quota == nil || quota.Rate != 2 || quota.Burst != 5 {
+		t.Fatalf("alice quota override: %+v", quota)
+	}
+	tenant, quota, ok = ring.Lookup("bob-key-000002")
+	if !ok || tenant != "bob" || quota != nil {
+		t.Fatalf("bob lookup: %q %+v %v", tenant, quota, ok)
+	}
+	if _, _, ok := ring.Lookup("stolen-key-guess"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if q := ring.QuotaFor("alice"); q == nil || q.Rate != 2 {
+		t.Fatalf("QuotaFor(alice) = %+v", q)
+	}
+	if q := ring.QuotaFor("bob"); q != nil {
+		t.Fatalf("QuotaFor(bob) = %+v, want nil", q)
+	}
+}
+
+// Any malformed line fails the whole file: a half-loaded keyring would
+// silently lock out the tenants on the bad half.
+func TestParseKeyringRejectsMalformedLines(t *testing.T) {
+	for name, file := range map[string]string{
+		"missing tenant":   "alice-key-0001\n",
+		"short key":        "short alice\n",
+		"bad tenant":       "alice-key-0001 Not/A/Tenant\n",
+		"bare option":      "alice-key-0001 alice rate\n",
+		"unknown option":   "alice-key-0001 alice ttl=5\n",
+		"negative rate":    "alice-key-0001 alice rate=-1\n",
+		"zero burst":       "alice-key-0001 alice burst=0\n",
+		"non-numeric rate": "alice-key-0001 alice rate=fast\n",
+		"duplicate key":    "alice-key-0001 alice\nalice-key-0001 bob\n",
+		"no keys":          "# only a comment\n",
+	} {
+		if _, err := ParseKeyring([]byte(file)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// An empty (nil) keyring means auth is off: Len 0, every lookup misses.
+func TestKeyringNilIsAuthOff(t *testing.T) {
+	var ring *Keyring
+	if ring.Len() != 0 {
+		t.Fatalf("nil ring Len = %d", ring.Len())
+	}
+	if _, _, ok := ring.Lookup("anything-here"); ok {
+		t.Fatal("nil ring resolved a key")
+	}
+	if q := ring.QuotaFor("alice"); q != nil {
+		t.Fatalf("nil ring QuotaFor = %+v", q)
+	}
+}
+
+// doJSONAuth is doJSON with a bearer key on the request.
+func doJSONAuth(t *testing.T, method, url, key string, body any) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = strings.NewReader(string(data))
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// writeKeyFile drops a key file into a temp dir and returns its path.
+func writeKeyFile(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "keys")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestAPIAuthGatesEveryJobRoute(t *testing.T) {
+	leakcheck.Check(t)
+	keys := writeKeyFile(t, "alice-key-0001 alice\nbob-key-000002 bob\n")
+	srv, m := newTestServer(t, Config{AuthKeys: keys})
+
+	// No key and a wrong key are indistinguishable 401s with the typed code.
+	for _, key := range []string{"", "stolen-key-guess"} {
+		resp, data := doJSONAuth(t, "POST", srv.URL+"/v1/jobs", key, JobSpec{Ops: []string{"murmur"}})
+		if resp.StatusCode != http.StatusUnauthorized || errCode(t, data) != AuthMissing {
+			t.Fatalf("key %q: %d %s", key, resp.StatusCode, data)
+		}
+	}
+
+	// A valid key stamps its tenant onto the accepted spec.
+	resp, data := doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("authed submit: %d\n%s", resp.StatusCode, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil || v.Tenant != "alice" {
+		t.Fatalf("accepted view tenant: %+v %v", v, err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	// A spec claiming a different tenant than its key is refused outright.
+	resp, data = doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Tenant: "bob", Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusForbidden || errCode(t, data) != AuthForbidden {
+		t.Fatalf("cross-tenant submit: %d %s", resp.StatusCode, data)
+	}
+
+	// Status, report, and cancel of another tenant's job are 403, not 404:
+	// ids are deterministic, so hiding existence would leak by omission.
+	for _, route := range []struct{ method, url string }{
+		{"GET", srv.URL + "/v1/jobs/" + v.ID},
+		{"GET", srv.URL + "/v1/jobs/" + v.ID + "/report"},
+		{"DELETE", srv.URL + "/v1/jobs/" + v.ID},
+	} {
+		resp, data := doJSONAuth(t, route.method, route.url, "bob-key-000002", nil)
+		if resp.StatusCode != http.StatusForbidden || errCode(t, data) != AuthForbidden {
+			t.Fatalf("%s %s as bob: %d %s", route.method, route.url, resp.StatusCode, data)
+		}
+	}
+	// The owner still reads it fine.
+	resp, data = doJSONAuth(t, "GET", srv.URL+"/v1/jobs/"+v.ID, "alice-key-0001", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner status: %d %s", resp.StatusCode, data)
+	}
+
+	// The list is forced to the caller's tenant even when the query asks
+	// for someone else's.
+	resp, data = doJSONAuth(t, "GET", srv.URL+"/v1/jobs?tenant=alice", "bob-key-000002", nil)
+	var list struct {
+		Jobs []JobView `json:"jobs"`
+	}
+	if err := json.Unmarshal(data, &list); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("list as bob: %d %s", resp.StatusCode, data)
+	}
+	for _, j := range list.Jobs {
+		if j.Tenant != "bob" {
+			t.Fatalf("bob's list leaked %s (tenant %q)", j.ID, j.Tenant)
+		}
+	}
+}
+
+// A key-file quota override is live even when the daemon-wide quota is off.
+func TestAPIKeyFileQuotaOverride(t *testing.T) {
+	leakcheck.Check(t)
+	keys := writeKeyFile(t, "alice-key-0001 alice rate=0.001 burst=1\n")
+	srv, _ := newTestServer(t, Config{AuthKeys: keys})
+
+	resp, data := doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("burst submit: %d\n%s", resp.StatusCode, data)
+	}
+	resp, data = doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusTooManyRequests || errCode(t, data) != ShedQuota {
+		t.Fatalf("over-quota submit: %d %s", resp.StatusCode, data)
+	}
+}
+
+// ReloadKeys swaps the ring atomically: new keys work, removed keys stop,
+// and a broken file keeps the previous ring serving.
+func TestReloadKeysSwapsRingAndSurvivesBadFile(t *testing.T) {
+	leakcheck.Check(t)
+	path := writeKeyFile(t, "alice-key-0001 alice\n")
+	srv, m := newTestServer(t, Config{AuthKeys: path})
+
+	submit := func(key string) int {
+		resp, _ := doJSONAuth(t, "POST", srv.URL+"/v1/jobs", key, JobSpec{Ops: []string{"murmur"}})
+		return resp.StatusCode
+	}
+	if code := submit("alice-key-0001"); code != http.StatusAccepted {
+		t.Fatalf("original key: %d", code)
+	}
+
+	// Rotate: alice's key is replaced by carol's.
+	if err := os.WriteFile(path, []byte("carol-key-0003 carol\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReloadKeys(); err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	if code := submit("alice-key-0001"); code != http.StatusUnauthorized {
+		t.Fatalf("rotated-out key still admitted: %d", code)
+	}
+	if code := submit("carol-key-0003"); code != http.StatusAccepted {
+		t.Fatalf("rotated-in key: %d", code)
+	}
+
+	// A broken file on the next reload is an error, and the previous ring
+	// keeps serving — rotation never fails open or locks everyone out.
+	if err := os.WriteFile(path, []byte("short x\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReloadKeys(); err == nil {
+		t.Fatal("reload of a broken file reported success")
+	}
+	if code := submit("carol-key-0003"); code != http.StatusAccepted {
+		t.Fatalf("previous ring dropped after failed reload: %d", code)
+	}
+	if m.Counts().KeyReloads != 1 {
+		t.Fatalf("KeyReloads = %d, want 1 (failed reload must not count)", m.Counts().KeyReloads)
+	}
+}
+
+// A daemon pointed at an unreadable or invalid key file refuses to start:
+// silently serving unauthenticated would fail open.
+func TestNewRefusesBadKeyFile(t *testing.T) {
+	if _, err := New(Config{DataDir: t.TempDir(), LogW: io.Discard, runOp: stubRun,
+		AuthKeys: filepath.Join(t.TempDir(), "nope")}); err == nil {
+		t.Fatal("missing key file accepted")
+	}
+	bad := writeKeyFile(t, "short x\n")
+	if _, err := New(Config{DataDir: t.TempDir(), LogW: io.Discard, runOp: stubRun,
+		AuthKeys: bad}); err == nil {
+		t.Fatal("malformed key file accepted")
+	}
+}

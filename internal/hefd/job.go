@@ -3,6 +3,7 @@ package hefd
 import (
 	"context"
 	"errors"
+	"time"
 )
 
 // JobState is a job's position in the lifecycle state machine
@@ -53,7 +54,10 @@ type job struct {
 	done, total int
 	errMsg      string
 	report      []byte
-	cancel      context.CancelFunc
+	// terminalAt anchors the retention age policy; zero for non-terminal
+	// jobs and for terminal transitions whose WAL record predates retention.
+	terminalAt time.Time
+	cancel     context.CancelFunc
 	// cancelRequested distinguishes a DELETE-driven interruption from a
 	// drain or deadline when the sweep unwinds.
 	cancelRequested bool

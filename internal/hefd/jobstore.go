@@ -24,6 +24,8 @@ const (
 	walSpec   = "spec"   // job accepted: carries the sequence number and full spec
 	walState  = "state"  // lifecycle transition: carries the new state (and error)
 	walReport = "report" // completion: carries the final RunReport bytes
+	walTomb   = "tomb"   // retention: the job and its artifacts are expired
+	walSeq    = "seq"    // compaction high-water mark: ids never restart below Seq
 )
 
 // walRecord is one framed record of the job log. Every record is appended
@@ -31,7 +33,7 @@ const (
 // replays to the daemon's accepted state after any crash.
 type walRecord struct {
 	Kind  string   `json:"kind"`
-	ID    string   `json:"id"`
+	ID    string   `json:"id,omitempty"`
 	Seq   int      `json:"seq,omitempty"`
 	Spec  *JobSpec `json:"spec,omitempty"`
 	State JobState `json:"state,omitempty"`
@@ -40,6 +42,61 @@ type walRecord struct {
 	// rather than embedded JSON: json.Marshal compacts embedded RawMessage,
 	// and byte-identical crash recovery needs the exact indented bytes back.
 	Report string `json:"report,omitempty"`
+	// AtMS timestamps terminal transitions (unix milliseconds) so the
+	// retention sweep can age jobs out; zero means unknown — an unknown
+	// terminal time counts as already aged when an age policy is active.
+	AtMS int64 `json:"at_ms,omitempty"`
+}
+
+// walKindKnown reports whether kind is one of the closed record-kind set;
+// hefdoctor uses it (through ScanJobLog) to classify job logs by content.
+func walKindKnown(kind string) bool {
+	switch kind {
+	case walSpec, walState, walReport, walTomb, walSeq:
+		return true
+	}
+	return false
+}
+
+// JobLogSummary describes the intact content of a job log, for hefdoctor.
+type JobLogSummary struct {
+	// Records counts valid framed records.
+	Records int
+	// Jobs counts distinct spec records (accepted jobs still in the log).
+	Jobs int
+	// Tombstones counts retention tombstones.
+	Tombstones int
+}
+
+// ScanJobLog validates data as a job write-ahead log: CRC-framed records
+// whose payloads decode as job-log records of a known kind. It returns a
+// content summary, the length of the valid prefix, and the error that
+// stopped the scan (nil when every byte checked out) — the verification
+// primitive behind hefdoctor's job-log findings.
+func ScanJobLog(data []byte) (JobLogSummary, int, error) {
+	var sum JobLogSummary
+	seen := map[string]bool{}
+	validLen, err := store.ScanRecords(data, func(payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("%w: job log record: %v", store.ErrCorrupt, err)
+		}
+		if !walKindKnown(rec.Kind) {
+			return fmt.Errorf("%w: job log record kind %q unknown", store.ErrCorrupt, rec.Kind)
+		}
+		sum.Records++
+		switch rec.Kind {
+		case walSpec:
+			if !seen[rec.ID] {
+				seen[rec.ID] = true
+				sum.Jobs++
+			}
+		case walTomb:
+			sum.Tombstones++
+		}
+		return nil
+	})
+	return sum, validLen, err
 }
 
 // JobLog is the append-only, CRC-framed write-ahead log of accepted jobs.
@@ -68,6 +125,9 @@ func OpenJobLog(fsys store.FS, dir string, replay func(walRecord)) (*JobLog, err
 		return nil, fmt.Errorf("hefd: job log dir: %w", err)
 	}
 	l := &JobLog{fs: fsys, path: filepath.Join(dir, JobLogName)}
+	// A crash mid-compaction leaves the temp file behind; sweep it so the
+	// directory stays bounded across any number of interrupted compactions.
+	store.RemoveStaleTemps(fsys, l.path)
 
 	data, err := fsys.ReadFile(l.path)
 	if err != nil {
@@ -161,6 +221,63 @@ func (l *JobLog) Append(rec walRecord) error {
 		return fmt.Errorf("%w: %w", ErrStorage, err)
 	}
 	return nil
+}
+
+// Compact rewrites the log so it holds exactly recs, in order, via the
+// atomic temp+fsync+rename discipline: a kill -9 at any byte of the
+// compaction leaves either the old log or the new log fully intact on
+// disk, never a mix. On success the append handle points at the new log;
+// on failure the old log is untouched and appending resumes against it.
+// It returns the compacted log's size in bytes.
+func (l *JobLog) Compact(recs []walRecord) (int, error) {
+	var buf []byte
+	for _, rec := range recs {
+		payload, err := json.Marshal(rec)
+		if err != nil {
+			return 0, fmt.Errorf("hefd: compact marshal: %w", err)
+		}
+		buf = store.AppendRecord(buf, payload)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.degraded != "" {
+		return 0, fmt.Errorf("%w: %s", ErrStorage, l.degraded)
+	}
+	// The append handle must close before the rename replaces the inode:
+	// a write through the old handle after the swap would vanish.
+	if l.f != nil {
+		if err := l.f.Close(); err != nil {
+			return 0, fmt.Errorf("hefd: compact close: %w", err)
+		}
+		l.f = nil
+	}
+	rewriteErr := store.RewriteFile(l.fs, l.path, buf)
+	f, openErr := l.fs.OpenAppend(l.path)
+	if openErr != nil {
+		// Whichever generation survived, it can no longer be appended to;
+		// degrade exactly like a failed append.
+		l.degraded = openErr.Error()
+		if rewriteErr != nil {
+			return 0, fmt.Errorf("%w: %v (reopen also failed: %v)", ErrStorage, rewriteErr, openErr)
+		}
+		return 0, fmt.Errorf("%w: reopen after compaction: %v", ErrStorage, openErr)
+	}
+	l.f = f
+	if rewriteErr != nil {
+		return 0, fmt.Errorf("hefd: compact: %w", rewriteErr)
+	}
+	return len(buf), nil
+}
+
+// Size reports the log's current on-disk size in bytes (0 when missing).
+func (l *JobLog) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	info, err := l.fs.Stat(l.path)
+	if err != nil {
+		return 0
+	}
+	return info.Size()
 }
 
 // Close releases the append handle. Safe to call more than once.

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hef/internal/core"
@@ -45,6 +46,14 @@ type Config struct {
 	Quota QuotaConfig
 	// Breaker configures the per-tenant admission breaker (zero disables).
 	Breaker BreakerConfig
+	// Retention bounds the data directory: expired terminal jobs are
+	// tombstoned by a periodic sweep and the WAL is compacted at startup
+	// (zero retains everything forever).
+	Retention RetentionConfig
+	// AuthKeys, when non-empty, is the API key file: requests must present
+	// a listed key, and the key decides the tenant. Reloadable at runtime
+	// via ReloadKeys (cmd/hefd wires it to SIGHUP). "" disables auth.
+	AuthKeys string
 	// Clock abstracts time for quota/breaker/backoff tests (nil = real).
 	Clock sched.Clock
 	// FS is the filesystem for the job log and checkpoints (nil = real).
@@ -70,6 +79,8 @@ type Counts struct {
 	Queued, Running, Parked            int
 	Done, Failed, Cancelled            int
 	Accepted, Shed, Recovered, Resumed int
+	Expired, Compactions               int
+	AuthDenied, KeyReloads             int
 }
 
 // Manager supervises the accepted jobs: admission, the bounded queue, the
@@ -86,6 +97,16 @@ type Manager struct {
 	cache    *memo.Cache
 	mstore   *store.MemoStore
 
+	// keys is the active API keyring (nil when auth is off). Swapped
+	// atomically by ReloadKeys so requests never see a half-built ring.
+	keys atomic.Pointer[Keyring]
+	// persistAdm enables the admission.state snapshot: only set when
+	// quotas or breakers can actually hold state worth persisting, so the
+	// default configuration's I/O profile is unchanged.
+	persistAdm bool
+	admPath    string
+	retainStop chan struct{}
+
 	mu           sync.Mutex
 	cond         *sync.Cond
 	jobs         map[string]*job
@@ -98,6 +119,8 @@ type Manager struct {
 	draining     bool
 	closed       bool
 	walWarned    bool
+	admWarned    bool
+	replayed     int // records replayed at open, for the compaction decision
 
 	wg sync.WaitGroup
 
@@ -149,6 +172,14 @@ func New(cfg Config) (*Manager, error) {
 		m.runOp = cfg.runOp
 	}
 
+	if cfg.AuthKeys != "" {
+		ring, err := LoadKeyring(cfg.FS, cfg.AuthKeys)
+		if err != nil {
+			return nil, err
+		}
+		m.keys.Store(ring)
+	}
+
 	wal, err := OpenJobLog(cfg.FS, cfg.DataDir, m.replay)
 	if err != nil {
 		return nil, err
@@ -156,6 +187,42 @@ func New(cfg Config) (*Manager, error) {
 	m.wal = wal
 	if n := wal.Salvaged(); n > 0 {
 		fmt.Fprintf(m.logW, "hefd: job log: quarantined %d bytes of torn tail\n", n)
+	}
+	// Tombstones replayed out of m.jobs leave dangling ids in the
+	// acceptance order; drop them before anything walks it.
+	keep := m.order[:0]
+	for _, id := range m.order {
+		if m.jobs[id] != nil {
+			keep = append(keep, id)
+		}
+	}
+	m.order = keep
+
+	// Admission state restores before any request can spend from it. A
+	// torn or foreign snapshot falls back to the zero state with one
+	// warning — admission is a protection layer, not a source of truth,
+	// so corruption here must never stop the daemon.
+	m.persistAdm = cfg.Quota.Rate > 0 || cfg.Breaker.Threshold > 0 || m.Keys().Len() > 0
+	m.admPath = filepath.Join(cfg.DataDir, AdmissionStateName)
+	if m.persistAdm {
+		store.RemoveStaleTemps(cfg.FS, m.admPath)
+		if data, err := cfg.FS.ReadFile(m.admPath); err == nil {
+			if st, perr := ParseAdmissionState(data); perr != nil {
+				fmt.Fprintf(m.logW, "hefd: %s unusable, starting from zero admission state: %v\n", AdmissionStateName, perr)
+			} else {
+				m.quotas.restore(st.Buckets)
+				m.breakers.restore(st.Breakers)
+			}
+		}
+	}
+
+	// Retention runs once before the compaction below, so a plain restart
+	// is enough to enforce a newly tightened policy.
+	if cfg.Retention.enabled() {
+		m.Sweep()
+		if err := m.compact(); err != nil {
+			fmt.Fprintf(m.logW, "hefd: startup compaction skipped: %v\n", err)
+		}
 	}
 
 	// One shared measurement memo across all tenants and jobs: identical
@@ -188,12 +255,18 @@ func New(cfg Config) (*Manager, error) {
 	for i := 0; i < cfg.Workers; i++ {
 		go m.worker()
 	}
+	if cfg.Retention.enabled() {
+		m.retainStop = make(chan struct{})
+		m.wg.Add(1)
+		go m.retentionLoop(m.retainStop)
+	}
 	return m, nil
 }
 
 // replay applies one job-log record during OpenJobLog. Records arrive in
 // append order, so the last state recorded wins.
 func (m *Manager) replay(rec walRecord) {
+	m.replayed++
 	switch rec.Kind {
 	case walSpec:
 		if rec.Spec == nil || rec.ID == "" {
@@ -214,13 +287,63 @@ func (m *Manager) replay(rec walRecord) {
 		if j := m.jobs[rec.ID]; j != nil {
 			j.state = rec.State
 			j.errMsg = rec.Error
+			if rec.AtMS > 0 {
+				j.terminalAt = time.UnixMilli(rec.AtMS)
+			}
 		}
 	case walReport:
 		if j := m.jobs[rec.ID]; j != nil {
 			j.report = []byte(rec.Report)
 			j.done = j.total
 		}
+	case walTomb:
+		// The job expired before the crash; its artifacts may or may not
+		// have been deleted — the startup sweep's orphan pass finishes the
+		// cleanup either way.
+		delete(m.jobs, rec.ID)
+	case walSeq:
+		// Compaction high-water mark: ids never restart below it even when
+		// every job it covered has since expired.
+		if rec.Seq > m.seq {
+			m.seq = rec.Seq
+		}
 	}
+}
+
+// compact rewrites the WAL down to the live jobs: one high-water sequence
+// record, then per surviving job its spec, terminal state, and report.
+// Tombstoned and superseded records vanish. The rewrite is atomic (old or
+// new log, never a mix), so this is safe to run at every startup.
+func (m *Manager) compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	recs := make([]walRecord, 0, 1+3*len(m.order))
+	recs = append(recs, walRecord{Kind: walSeq, Seq: m.seq})
+	for _, id := range m.order {
+		j := m.jobs[id]
+		recs = append(recs, walRecord{Kind: walSpec, ID: j.id, Seq: j.seq, Spec: &j.spec})
+		// Non-terminal jobs re-queue on replay, so their spec alone is the
+		// whole story; terminal jobs keep their final transition and report.
+		if j.state.Terminal() {
+			rec := walRecord{Kind: walState, ID: j.id, State: j.state, Error: j.errMsg}
+			if !j.terminalAt.IsZero() {
+				rec.AtMS = j.terminalAt.UnixMilli()
+			}
+			recs = append(recs, rec)
+			if j.state == StateDone && j.report != nil {
+				recs = append(recs, walRecord{Kind: walReport, ID: j.id, Report: string(j.report)})
+			}
+		}
+	}
+	if m.replayed <= len(recs) {
+		return nil // the log is already minimal; a rewrite would only burn I/O
+	}
+	if _, err := m.wal.Compact(recs); err != nil {
+		return err
+	}
+	m.replayed = len(recs)
+	m.counts.Compactions++
+	return nil
 }
 
 // MemoStore exposes the durable memo store for telemetry bridging (nil
@@ -290,7 +413,11 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 			RetryAfter: m.queueBackoff.next(),
 		}
 	}
-	if ok, wait := m.quotas.take(spec.Tenant, now); !ok {
+	ok, wait := m.quotas.take(spec.Tenant, now, m.Keys().QuotaFor(spec.Tenant))
+	// Whether the take succeeded or not, the bucket moved (level or refill
+	// anchor); persist it so a restart cannot refund it.
+	m.saveAdmissionLocked()
+	if !ok {
 		m.counts.Shed++
 		return JobView{}, &ShedError{
 			Code:       ShedQuota,
@@ -388,11 +515,23 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 }
 
 // setTerminalLocked records a terminal (or parked) transition in memory
-// and the WAL. Callers hold m.mu.
+// and the WAL. Terminal jobs also lose their checkpoint right away — the
+// report (or the failure) is the durable outcome now, and keeping the
+// checkpoint would let the data dir grow with every finished job. Parked
+// jobs keep theirs: it is exactly what the next start resumes from.
+// Callers hold m.mu.
 func (m *Manager) setTerminalLocked(j *job, state JobState, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
-	m.walAppendLocked(walRecord{Kind: walState, ID: j.id, State: state, Error: errMsg})
+	rec := walRecord{Kind: walState, ID: j.id, State: state, Error: errMsg}
+	if state.Terminal() {
+		j.terminalAt = m.clock.Now()
+		rec.AtMS = j.terminalAt.UnixMilli()
+	}
+	m.walAppendLocked(rec)
+	if state.Terminal() {
+		m.removeJobArtifacts(j.id)
+	}
 }
 
 // walAppendLocked appends a non-admission record, degrading with a single
@@ -440,9 +579,14 @@ func (m *Manager) worker() {
 	}
 }
 
+// ckptDir holds the per-job sweep checkpoints.
+func (m *Manager) ckptDir() string {
+	return filepath.Join(m.cfg.DataDir, "ckpt")
+}
+
 // ckptPath is the job's sweep checkpoint file.
 func (m *Manager) ckptPath(id string) string {
-	return filepath.Join(m.cfg.DataDir, "ckpt", id+".ckpt")
+	return filepath.Join(m.ckptDir(), id+".ckpt")
 }
 
 // runJob executes one job as a checkpointed sweep over its operators and
@@ -564,7 +708,65 @@ func (m *Manager) runJob(ctx context.Context, j *job) {
 func (m *Manager) finishLocked(j *job, state JobState, errMsg string) {
 	m.setTerminalLocked(j, state, errMsg)
 	m.breakers.onResult(j.spec.Tenant, state == StateDone, m.clock.Now())
+	// A breaker that opened (or stepped toward opening) must survive a
+	// crash: a tenant cannot close its circuit by killing the daemon.
+	m.saveAdmissionLocked()
 }
+
+// saveAdmissionLocked snapshots bucket and breaker state to
+// admission.state via an atomic rewrite. Disabled configurations skip it
+// entirely; a failing disk degrades to memory-only admission with a
+// single warning, exactly like a degraded WAL. Callers hold m.mu.
+func (m *Manager) saveAdmissionLocked() {
+	if !m.persistAdm {
+		return
+	}
+	buf, err := EncodeAdmissionState(AdmissionState{
+		Buckets:  m.quotas.snapshot(),
+		Breakers: m.breakers.snapshot(),
+	})
+	if err == nil {
+		err = store.RewriteFile(m.fs, m.admPath, buf)
+	}
+	if err != nil && !m.admWarned {
+		m.admWarned = true
+		fmt.Fprintf(m.logW, "hefd: %s unwritable, admission state is memory-only: %v\n", AdmissionStateName, err)
+	}
+}
+
+// Keys returns the active keyring (nil when auth is disabled).
+func (m *Manager) Keys() *Keyring { return m.keys.Load() }
+
+// ReloadKeys re-reads the key file (cmd/hefd calls this on SIGHUP). On
+// error the previous ring stays active: a fat-fingered edit must not lock
+// every tenant out. In-flight jobs are untouched either way — the ring
+// only gates new requests.
+func (m *Manager) ReloadKeys() error {
+	if m.cfg.AuthKeys == "" {
+		return nil
+	}
+	ring, err := LoadKeyring(m.fs, m.cfg.AuthKeys)
+	if err != nil {
+		fmt.Fprintf(m.logW, "hefd: key reload failed, keeping previous keyring: %v\n", err)
+		return err
+	}
+	m.keys.Store(ring)
+	m.mu.Lock()
+	m.counts.KeyReloads++
+	m.mu.Unlock()
+	fmt.Fprintf(m.logW, "hefd: keyring reloaded: %d keys\n", ring.Len())
+	return nil
+}
+
+// noteAuthDenied counts a 401/403 for the metrics bridge.
+func (m *Manager) noteAuthDenied() {
+	m.mu.Lock()
+	m.counts.AuthDenied++
+	m.mu.Unlock()
+}
+
+// WALSize reports the job log's on-disk size for the metrics bridge.
+func (m *Manager) WALSize() int64 { return m.wal.Size() }
 
 // optimizeOp is the production runOp: the hefopt pipeline for one operator
 // — optimize, then measure the scalar, SIMD, and optimal implementations —
@@ -652,9 +854,13 @@ func (m *Manager) StartDrain() {
 func (m *Manager) Close() error {
 	m.StartDrain()
 	m.mu.Lock()
+	alreadyClosed := m.closed
 	m.closed = true
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	if !alreadyClosed && m.retainStop != nil {
+		close(m.retainStop)
+	}
 	m.wg.Wait()
 
 	m.mu.Lock()
@@ -662,6 +868,9 @@ func (m *Manager) Close() error {
 		m.setTerminalLocked(j, StateParked, "")
 	}
 	m.pending = nil
+	// One final snapshot so the drain's last breaker/bucket movements are
+	// what the next instance restores.
+	m.saveAdmissionLocked()
 	m.mu.Unlock()
 
 	err := m.wal.Close()

@@ -15,6 +15,14 @@ type QuotaConfig struct {
 	Burst float64
 }
 
+// normalized returns the config with the burst default applied.
+func (c QuotaConfig) normalized() QuotaConfig {
+	if c.Rate > 0 && c.Burst <= 0 {
+		c.Burst = 1
+	}
+	return c
+}
+
 // quotas is the per-tenant token-bucket table. Buckets are created lazily
 // on first submission; the table is bounded by the number of distinct
 // tenants ever seen, each entry two words — a hostile tenant churning
@@ -32,37 +40,68 @@ type bucket struct {
 }
 
 func newQuotas(cfg QuotaConfig) *quotas {
-	if cfg.Rate > 0 && cfg.Burst <= 0 {
-		cfg.Burst = 1
-	}
-	return &quotas{cfg: cfg, buckets: map[string]*bucket{}}
+	return &quotas{cfg: cfg.normalized(), buckets: map[string]*bucket{}}
 }
 
-// take spends one token from tenant's bucket. When the bucket is dry it
-// reports ok=false and how long until the next token accrues — the exact
-// Retry-After for the 429.
-func (q *quotas) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
-	if q.cfg.Rate <= 0 {
+// take spends one token from tenant's bucket. override, when non-nil, is
+// the tenant's key-file quota (it replaces the global config for this
+// tenant, and may enable quotas even when they are globally off). When the
+// bucket is dry it reports ok=false and how long until the next token
+// accrues — the exact Retry-After for the 429.
+func (q *quotas) take(tenant string, now time.Time, override *QuotaConfig) (ok bool, retryAfter time.Duration) {
+	cfg := q.cfg
+	if override != nil {
+		cfg = override.normalized()
+	}
+	if cfg.Rate <= 0 {
 		return true, 0
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	b, found := q.buckets[tenant]
 	if !found {
-		b = &bucket{tokens: q.cfg.Burst, last: now}
+		b = &bucket{tokens: cfg.Burst, last: now}
 		q.buckets[tenant] = b
 	}
+	// Refill only for time that actually elapsed. The refill anchor never
+	// moves backwards: a clock that steps back must not re-mint tokens for
+	// an interval that was already credited once the clock recovers.
 	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
-		b.tokens += elapsed * q.cfg.Rate
-		if b.tokens > q.cfg.Burst {
-			b.tokens = q.cfg.Burst
+		b.tokens += elapsed * cfg.Rate
+		if b.tokens > cfg.Burst {
+			b.tokens = cfg.Burst
 		}
+		b.last = now
 	}
-	b.last = now
 	if b.tokens >= 1 {
 		b.tokens--
 		return true, 0
 	}
 	deficit := 1 - b.tokens
-	return false, time.Duration(deficit / q.cfg.Rate * float64(time.Second))
+	return false, time.Duration(deficit / cfg.Rate * float64(time.Second))
+}
+
+// snapshot serializes every bucket for the admission.state file.
+func (q *quotas) snapshot() map[string]BucketState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.buckets) == 0 {
+		return nil
+	}
+	out := make(map[string]BucketState, len(q.buckets))
+	for tenant, b := range q.buckets {
+		out[tenant] = BucketState{Tokens: b.tokens, LastMS: b.last.UnixMilli()}
+	}
+	return out
+}
+
+// restore replaces the bucket table with a loaded snapshot, so a restart
+// neither refunds a dry bucket nor forgets a partially refilled one.
+func (q *quotas) restore(states map[string]BucketState) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.buckets = make(map[string]*bucket, len(states))
+	for tenant, s := range states {
+		q.buckets[tenant] = &bucket{tokens: s.Tokens, last: time.UnixMilli(s.LastMS)}
+	}
 }

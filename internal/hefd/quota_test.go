@@ -9,7 +9,7 @@ func TestQuotaDisabledByZeroConfig(t *testing.T) {
 	q := newQuotas(QuotaConfig{})
 	now := time.Unix(0, 0)
 	for i := 0; i < 1000; i++ {
-		if ok, _ := q.take("anyone", now); !ok {
+		if ok, _ := q.take("anyone", now, nil); !ok {
 			t.Fatalf("submission %d refused with quotas disabled", i)
 		}
 	}
@@ -19,11 +19,11 @@ func TestQuotaBurstThenRefusal(t *testing.T) {
 	q := newQuotas(QuotaConfig{Rate: 1, Burst: 3})
 	now := time.Unix(100, 0)
 	for i := 0; i < 3; i++ {
-		if ok, _ := q.take("a", now); !ok {
+		if ok, _ := q.take("a", now, nil); !ok {
 			t.Fatalf("burst submission %d refused", i)
 		}
 	}
-	ok, wait := q.take("a", now)
+	ok, wait := q.take("a", now, nil)
 	if ok {
 		t.Fatal("4th back-to-back submission admitted past the burst")
 	}
@@ -36,17 +36,17 @@ func TestQuotaBurstThenRefusal(t *testing.T) {
 func TestQuotaRefillsAtRate(t *testing.T) {
 	q := newQuotas(QuotaConfig{Rate: 2, Burst: 2})
 	now := time.Unix(100, 0)
-	q.take("a", now)
-	q.take("a", now)
-	if ok, _ := q.take("a", now); ok {
+	q.take("a", now, nil)
+	q.take("a", now, nil)
+	if ok, _ := q.take("a", now, nil); ok {
 		t.Fatal("bucket should be dry")
 	}
 	// 500ms at 2 jobs/s accrues exactly one token.
 	now = now.Add(500 * time.Millisecond)
-	if ok, _ := q.take("a", now); !ok {
+	if ok, _ := q.take("a", now, nil); !ok {
 		t.Fatal("token not refilled after 500ms at rate 2")
 	}
-	if ok, _ := q.take("a", now); ok {
+	if ok, _ := q.take("a", now, nil); ok {
 		t.Fatal("second token granted from a 500ms refill at rate 2")
 	}
 }
@@ -54,12 +54,12 @@ func TestQuotaRefillsAtRate(t *testing.T) {
 func TestQuotaCapsAtBurst(t *testing.T) {
 	q := newQuotas(QuotaConfig{Rate: 1, Burst: 2})
 	now := time.Unix(100, 0)
-	q.take("a", now)
+	q.take("a", now, nil)
 	// An hour idle must not accumulate an hour of tokens.
 	now = now.Add(time.Hour)
 	granted := 0
 	for i := 0; i < 10; i++ {
-		if ok, _ := q.take("a", now); ok {
+		if ok, _ := q.take("a", now, nil); ok {
 			granted++
 		}
 	}
@@ -71,13 +71,13 @@ func TestQuotaCapsAtBurst(t *testing.T) {
 func TestQuotaTenantsAreIndependent(t *testing.T) {
 	q := newQuotas(QuotaConfig{Rate: 1, Burst: 1})
 	now := time.Unix(100, 0)
-	if ok, _ := q.take("a", now); !ok {
+	if ok, _ := q.take("a", now, nil); !ok {
 		t.Fatal("tenant a refused its first submission")
 	}
-	if ok, _ := q.take("a", now); ok {
+	if ok, _ := q.take("a", now, nil); ok {
 		t.Fatal("tenant a admitted past its burst")
 	}
-	if ok, _ := q.take("b", now); !ok {
+	if ok, _ := q.take("b", now, nil); !ok {
 		t.Fatal("tenant b shed by tenant a's consumption")
 	}
 }
@@ -85,10 +85,61 @@ func TestQuotaTenantsAreIndependent(t *testing.T) {
 func TestQuotaBurstDefaultsToOne(t *testing.T) {
 	q := newQuotas(QuotaConfig{Rate: 1})
 	now := time.Unix(100, 0)
-	if ok, _ := q.take("a", now); !ok {
+	if ok, _ := q.take("a", now, nil); !ok {
 		t.Fatal("first submission refused")
 	}
-	if ok, _ := q.take("a", now); ok {
+	if ok, _ := q.take("a", now, nil); ok {
 		t.Fatal("second back-to-back submission admitted with default burst 1")
+	}
+}
+
+// A clock stepping backwards (NTP correction, VM migration) must not mint
+// tokens: the refill anchor never moves back, so the interval between the
+// step-back and the recovery is credited exactly once.
+func TestQuotaBackwardsClockMintsNothing(t *testing.T) {
+	q := newQuotas(QuotaConfig{Rate: 1, Burst: 1})
+	now := time.Unix(100, 0)
+	if ok, _ := q.take("a", now, nil); !ok {
+		t.Fatal("first submission refused")
+	}
+	// Time steps back a minute. The dry bucket must stay dry.
+	past := now.Add(-time.Minute)
+	if ok, _ := q.take("a", past, nil); ok {
+		t.Fatal("backwards clock minted a token")
+	}
+	// The clock recovers to its original reading: still no elapsed time
+	// relative to the last refill anchor, so still dry. A naive
+	// last-observation anchor would double-credit the minute here.
+	if ok, _ := q.take("a", now, nil); ok {
+		t.Fatal("clock recovery double-credited the backwards interval")
+	}
+	// Genuine progress past the anchor refills as usual.
+	if ok, _ := q.take("a", now.Add(time.Second), nil); !ok {
+		t.Fatal("refill refused after genuine elapsed time")
+	}
+}
+
+// A key-file override replaces the global config for that tenant — and can
+// enable quotas for a tenant even when the daemon-wide quota is off.
+func TestQuotaOverridePerTenant(t *testing.T) {
+	q := newQuotas(QuotaConfig{}) // globally off
+	now := time.Unix(100, 0)
+	ov := &QuotaConfig{Rate: 1, Burst: 2}
+	if ok, _ := q.take("a", now, ov); !ok {
+		t.Fatal("override tenant refused its burst")
+	}
+	if ok, _ := q.take("a", now, ov); !ok {
+		t.Fatal("override tenant refused its second burst token")
+	}
+	ok, wait := q.take("a", now, ov)
+	if ok {
+		t.Fatal("override tenant admitted past its burst")
+	}
+	if wait != time.Second {
+		t.Fatalf("override Retry-After = %v, want 1s at rate 1", wait)
+	}
+	// Tenants without an override still ride the (disabled) global config.
+	if ok, _ := q.take("b", now, nil); !ok {
+		t.Fatal("non-override tenant refused with global quotas off")
 	}
 }

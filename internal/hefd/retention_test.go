@@ -1,0 +1,450 @@
+package hefd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hef/internal/leakcheck"
+	"hef/internal/obs"
+	"hef/internal/sched"
+	"hef/internal/store"
+)
+
+func TestRetentionAgeExpiresTerminalJobs(t *testing.T) {
+	clock := sched.NewFakeClock(time.Unix(1000, 0))
+	m := newTestManager(t, Config{Clock: clock, Retention: RetentionConfig{Age: time.Minute}})
+	v, err := m.Submit(JobSpec{Ops: []string{"murmur"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	// Too young to expire.
+	clock.Advance(30 * time.Second)
+	if expired := m.Sweep(); len(expired) != 0 {
+		t.Fatalf("sweep expired young job: %v", expired)
+	}
+	if _, err := m.Get(v.ID); err != nil {
+		t.Fatalf("young job vanished: %v", err)
+	}
+
+	clock.Advance(31 * time.Second)
+	if expired := m.Sweep(); len(expired) != 1 || expired[0] != v.ID {
+		t.Fatalf("sweep = %v, want [%s]", expired, v.ID)
+	}
+	if _, err := m.Get(v.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("expired job still served: %v", err)
+	}
+	if c := m.Counts(); c.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", c.Expired)
+	}
+	// Idempotent: a second sweep finds nothing.
+	if expired := m.Sweep(); len(expired) != 0 {
+		t.Fatalf("re-sweep expired %v", expired)
+	}
+}
+
+func TestRetentionNeverExpiresNonTerminalJobs(t *testing.T) {
+	clock := sched.NewFakeClock(time.Unix(1000, 0))
+	release := make(chan struct{})
+	defer close(release)
+	m := newTestManager(t, Config{
+		Workers: 1, Clock: clock,
+		Retention: RetentionConfig{Age: time.Millisecond, Count: 1},
+		runOp: func(ctx context.Context, spec JobSpec, op string) (*obs.RunReport, error) {
+			select {
+			case <-release:
+				return stubRun(ctx, spec, op)
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	running, err := m.Submit(JobSpec{Ops: []string{"murmur"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	queued, err := m.Submit(JobSpec{Ops: []string{"crc64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Hour)
+	if expired := m.Sweep(); len(expired) != 0 {
+		t.Fatalf("sweep expired live jobs: %v", expired)
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("non-terminal job %s expired: %v", id, err)
+		}
+	}
+}
+
+func TestRetentionCountKeepsNewestPerTenant(t *testing.T) {
+	m := newTestManager(t, Config{Retention: RetentionConfig{Count: 1}})
+	var ids []string
+	for i, tenant := range []string{"alice", "alice", "alice", "bob"} {
+		v, err := m.Submit(JobSpec{Tenant: tenant, Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, v.ID, StateDone)
+		ids = append(ids, v.ID)
+	}
+	expired := m.Sweep()
+	if len(expired) != 2 {
+		t.Fatalf("sweep = %v, want alice's two oldest", expired)
+	}
+	for _, id := range ids[:2] {
+		if _, err := m.Get(id); !errors.Is(err, ErrUnknownJob) {
+			t.Fatalf("old job %s survived count policy: %v", id, err)
+		}
+	}
+	// Alice's newest and bob's only job survive.
+	for _, id := range ids[2:] {
+		if _, err := m.Get(id); err != nil {
+			t.Fatalf("retained job %s expired: %v", id, err)
+		}
+	}
+}
+
+// The retention goroutine must stop on Close — leakcheck fails the test if
+// it survives — and a clock tick must actually trigger a sweep.
+func TestRetentionSweepLoopRunsAndStopsOnClose(t *testing.T) {
+	leakcheck.Check(t)
+	clock := sched.NewFakeClock(time.Unix(1000, 0))
+	m := newTestManager(t, Config{Clock: clock, Retention: RetentionConfig{Age: time.Minute, Interval: time.Second}})
+	v, err := m.Submit(JobSpec{Ops: []string{"murmur"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+	clock.Advance(2 * time.Minute) // past the age AND the sweep interval
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := m.Get(v.ID); errors.Is(err, ErrUnknownJob) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("periodic sweep never expired the aged job")
+		}
+		clock.Advance(time.Second)
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// dirSize sums the regular files under dir.
+func dirSize(t *testing.T, dir string) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info fs.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.Mode().IsRegular() {
+			total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("walk %s: %v", dir, err)
+	}
+	return total
+}
+
+// Startup compaction rewrites the log down to live jobs: after a campaign
+// of expired jobs, a restart shrinks jobs.log and the surviving job's
+// report is byte-identical.
+func TestRecoveryAfterCompactionServesRetainedReports(t *testing.T) {
+	dir := t.TempDir()
+	m1, err := New(Config{DataDir: dir, LogW: io.Discard, runOp: stubRun, Retention: RetentionConfig{Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last string
+	for i := 0; i < 8; i++ {
+		v, err := m1.Submit(JobSpec{Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m1, v.ID, StateDone)
+		last = v.ID
+	}
+	want, err := m1.Report(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(filepath.Join(dir, JobLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: the sweep tombstones 7 jobs, the compaction sheds them.
+	m2, err := New(Config{DataDir: dir, LogW: io.Discard, runOp: stubRun, Retention: RetentionConfig{Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	after, err := os.Stat(filepath.Join(dir, JobLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Size() >= before.Size() {
+		t.Fatalf("compaction did not shrink the log: %d -> %d bytes", before.Size(), after.Size())
+	}
+	if c := m2.Counts(); c.Compactions != 1 || c.Expired != 7 {
+		t.Fatalf("counts after compacting restart: %+v", c)
+	}
+	got, err := m2.Report(last)
+	if err != nil {
+		t.Fatalf("retained report: %v", err)
+	}
+	if string(got) != string(want) {
+		t.Fatal("retained report bytes differ after compaction")
+	}
+
+	// Sequence numbers never reuse: a new job's id continues past the
+	// compaction high-water mark even though 7 earlier jobs are gone.
+	v, err := m2.Submit(JobSpec{Ops: []string{"crc64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(v.ID, "j000008-") {
+		t.Fatalf("post-compaction id %s reused an expired sequence number", v.ID)
+	}
+}
+
+// budgetFS allows a fixed number of written bytes across all files, then
+// fails every write — freezing the directory mid-compaction exactly where
+// a kill -9 would.
+type budgetFS struct {
+	store.FS
+	remaining int
+}
+
+type budgetFile struct {
+	store.File
+	fs *budgetFS
+}
+
+func (f *budgetFS) OpenAppend(path string) (store.File, error) {
+	inner, err := f.FS.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetFile{File: inner, fs: f}, nil
+}
+
+func (f *budgetFS) CreateTemp(dir, pattern string) (store.File, error) {
+	inner, err := f.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &budgetFile{File: inner, fs: f}, nil
+}
+
+func (f *budgetFile) Write(p []byte) (int, error) {
+	if f.fs.remaining <= 0 {
+		return 0, errors.New("injected: write budget exhausted")
+	}
+	if len(p) > f.fs.remaining {
+		n := f.fs.remaining
+		f.fs.remaining = 0
+		m, _ := f.File.Write(p[:n]) // the torn half-write a crash leaves
+		return m, errors.New("injected: write budget exhausted mid-record")
+	}
+	f.fs.remaining -= len(p)
+	return f.File.Write(p)
+}
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.Walk(src, func(path string, info fs.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copy %s: %v", src, err)
+	}
+}
+
+// The tentpole crash matrix: freeze a retention-sweep-plus-compaction
+// startup at every write budget from zero bytes upward, then restart on
+// what survived. At every freeze point the retained job's report must come
+// back byte-identical and no non-terminal job may be lost; tombstoned jobs
+// must stay gone once their tombstone was durable.
+func TestCompactionChaosKillAtEveryByteBudget(t *testing.T) {
+	seed := t.TempDir()
+	// crc64 blocks until cancelled, so carol's job parks at close while the
+	// murmur jobs finish normally.
+	m0, err := New(Config{DataDir: seed, LogW: io.Discard, runOp: func(ctx context.Context, s JobSpec, op string) (*obs.RunReport, error) {
+		if op == "crc64" {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return stubRun(ctx, s, op)
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := map[string][]byte{}
+	for i, tenant := range []string{"alice", "alice", "bob", "bob"} {
+		v, err := m0.Submit(JobSpec{Tenant: tenant, Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m0, v.ID, StateDone)
+		reports[v.ID], _ = m0.Report(v.ID)
+	}
+	// One non-terminal job that must survive every freeze point.
+	v, err := m0.Submit(JobSpec{Tenant: "carol", Ops: []string{"crc64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parked := v.ID
+	waitState(t, m0, parked, StateRunning)
+	if err := m0.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	retain := RetentionConfig{Count: 1}
+	for budget := 0; budget <= 4096; budget += 64 {
+		budget := budget
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			dir := t.TempDir()
+			copyDir(t, seed, dir)
+			// Frozen startup: retention + compaction against a disk that dies
+			// after `budget` bytes. Warnings expected; opening must succeed.
+			frozen, err := New(Config{DataDir: dir, LogW: io.Discard, FS: &budgetFS{FS: store.OS, remaining: budget}, Retention: retain, runOp: func(ctx context.Context, s JobSpec, op string) (*obs.RunReport, error) {
+				<-ctx.Done() // never let the parked job finish under the dying disk
+				return nil, ctx.Err()
+			}})
+			if err != nil {
+				t.Fatalf("open under byte budget %d: %v", budget, err)
+			}
+			tombstoned := map[string]bool{}
+			for id := range reports {
+				if _, err := frozen.Get(id); errors.Is(err, ErrUnknownJob) {
+					tombstoned[id] = true
+				}
+			}
+			frozen.Close()
+
+			// Restart on the frozen remains with a healthy disk.
+			m, err := New(Config{DataDir: dir, LogW: io.Discard, runOp: stubRun, Retention: retain})
+			if err != nil {
+				t.Fatalf("reopen after freeze at %d bytes: %v", budget, err)
+			}
+			defer m.Close()
+			// The non-terminal job is never lost, at any freeze point.
+			waitState(t, m, parked, StateDone)
+			for id, want := range reports {
+				got, err := m.Report(id)
+				switch {
+				case err == nil:
+					if string(got) != string(want) {
+						t.Fatalf("budget %d: report %s not byte-identical", budget, id)
+					}
+				case errors.Is(err, ErrUnknownJob):
+					// Expired by retention — legitimate only for jobs the
+					// policy targets, and irreversible once tombstoned.
+					if tombstoned[id] {
+						continue
+					}
+				default:
+					t.Fatalf("budget %d: report %s: %v", budget, id, err)
+				}
+			}
+			// Tombstones are one-way: a job dropped before the freeze must
+			// not resurrect after recovery.
+			for id := range tombstoned {
+				if _, err := m.Get(id); !errors.Is(err, ErrUnknownJob) {
+					t.Fatalf("budget %d: tombstoned job %s resurrected", budget, id)
+				}
+			}
+		})
+	}
+}
+
+// Bounded growth: a long campaign of short jobs under a count policy, with
+// periodic sweeps and restart compactions, must hold the data directory
+// under a fixed byte bound no matter how many jobs ran.
+func TestRetentionChaosBoundsDataDirSize(t *testing.T) {
+	dir := t.TempDir()
+	retain := RetentionConfig{Count: 2}
+	const rounds, perRound = 4, 12
+	var lastID string
+	for r := 0; r < rounds; r++ {
+		m, err := New(Config{DataDir: dir, LogW: io.Discard, runOp: stubRun, Retention: retain})
+		if err != nil {
+			t.Fatalf("round %d open: %v", r, err)
+		}
+		for i := 0; i < perRound; i++ {
+			v, err := m.Submit(JobSpec{Ops: []string{"murmur"}, Elems: int64(64 + i)})
+			if err != nil {
+				t.Fatalf("round %d submit %d: %v", r, i, err)
+			}
+			waitState(t, m, v.ID, StateDone)
+			lastID = v.ID
+		}
+		m.Sweep()
+		if err := m.Close(); err != nil {
+			t.Fatalf("round %d close: %v", r, err)
+		}
+	}
+	// One more restart to compact the last round's tombstones away.
+	m, err := New(Config{DataDir: dir, LogW: io.Discard, runOp: stubRun, Retention: retain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Report(lastID); err != nil {
+		t.Fatalf("newest retained report: %v", err)
+	}
+	m.Close()
+
+	const bound = 64 << 10 // two retained reports plus framing, with slack
+	if size := dirSize(t, dir); size > bound {
+		t.Fatalf("data dir grew to %d bytes after %d jobs; bound is %d", size, rounds*perRound, bound)
+	}
+	// No checkpoint residue: every terminal job's artifacts were removed.
+	entries, err := os.ReadDir(filepath.Join(dir, "ckpt"))
+	if err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".ckpt") || strings.HasSuffix(e.Name(), ".ckpt.bak") {
+				t.Fatalf("leftover checkpoint artifact %s", e.Name())
+			}
+		}
+	}
+	// Stale compaction temps (the kill-mid-rewrite residue) are swept too.
+	if matches, _ := filepath.Glob(filepath.Join(dir, JobLogName+".compact-*")); len(matches) != 0 {
+		t.Fatalf("stale compaction temps: %v", matches)
+	}
+}

@@ -1,0 +1,63 @@
+package store
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// RewriteFile atomically replaces path with data: temp file in the same
+// directory, write, fsync, close, then a single rename into place. It is
+// the compaction primitive — the caller's data is derived from the current
+// file contents, so unlike SaveRotate no .bak generation is kept: a crash
+// at any byte leaves either the old file untouched (the rename never ran)
+// or the new file complete (rename is atomic), never a mix of the two.
+func RewriteFile(fsys FS, path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, filepath.Base(path)+".compact-*")
+	if err != nil {
+		return fmt.Errorf("store: creating temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { fsys.Remove(tmpName) }
+	if n, err := tmp.Write(data); err != nil || n != len(data) {
+		tmp.Close()
+		cleanup()
+		if err == nil {
+			err = fmt.Errorf("short write (%d of %d bytes)", n, len(data))
+		}
+		return fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("store: closing temp for %s: %w", path, err)
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("store: replacing %s: %w", path, err)
+	}
+	return nil
+}
+
+// RemoveStaleTemps deletes leftover RewriteFile temp files for path — the
+// residue of a process killed between CreateTemp and the rename. Callers
+// run it at open time, before any rewrite of their own is in flight, so a
+// bounded directory stays bounded across any number of crashed rewrites.
+func RemoveStaleTemps(fsys FS, path string) {
+	dir := filepath.Dir(path)
+	entries, err := fsys.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	prefix := filepath.Base(path) + ".compact-"
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), prefix) {
+			_ = fsys.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRewriteFileReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	if err := os.WriteFile(path, []byte("old generation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RewriteFile(OS, path, []byte("new generation")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new generation" {
+		t.Fatalf("content = %q", got)
+	}
+	// The temp is renamed, not copied: nothing else remains in the dir.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("%d entries after rewrite, want only the target", len(entries))
+	}
+
+	// Rewrite also creates a file that does not exist yet.
+	fresh := filepath.Join(dir, "fresh")
+	if err := RewriteFile(OS, fresh, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A failed rewrite leaves the old generation untouched and no temp behind.
+func TestRewriteFileFailureKeepsOldGeneration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	if err := os.WriteFile(path, []byte("old generation"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fsys := &faultFS{}
+	fsys.set(func(f *faultFS) { f.failWrites = true })
+	if err := RewriteFile(fsys, path, []byte("doomed")); err == nil {
+		t.Fatal("rewrite succeeded with every write failing")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "old generation" {
+		t.Fatalf("old generation damaged: %q", got)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("failed rewrite left %d entries, want only the target", len(entries))
+	}
+}
+
+// RemoveStaleTemps clears exactly the crashed-rewrite residue for its path:
+// same-prefix temps go, the target and unrelated files stay.
+func TestRemoveStaleTemps(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "jobs.log")
+	keep := map[string]bool{"jobs.log": true, "jobs.log.quarantine": true, "other.compact-1": true}
+	files := []string{"jobs.log", "jobs.log.quarantine", "other.compact-1",
+		"jobs.log.compact-123", "jobs.log.compact-9xyz"}
+	for _, name := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	RemoveStaleTemps(OS, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !keep[e.Name()] {
+			t.Errorf("stale temp survived: %s", e.Name())
+		}
+		delete(keep, e.Name())
+	}
+	for name := range keep {
+		t.Errorf("non-temp file removed: %s", name)
+	}
+	// A missing directory is a no-op, not a panic.
+	RemoveStaleTemps(OS, filepath.Join(dir, "absent", "jobs.log"))
+	// And the prefix match is anchored at the base name.
+	if strings.HasPrefix("jobs.log2.compact-1", filepath.Base(path)+".compact-") {
+		t.Fatal("prefix would misfire on a sibling file")
+	}
+}

@@ -51,6 +51,20 @@ const (
 
 	// Process.
 	MetricUptime = "hef_uptime_seconds"
+
+	// hefd daemon (cmd/hefd bridges Manager.Counts as polled gauges).
+	MetricHefdQueued      = "hefd_jobs_queued"
+	MetricHefdRunning     = "hefd_jobs_running"
+	MetricHefdDone        = "hefd_jobs_done"
+	MetricHefdFailed      = "hefd_jobs_failed"
+	MetricHefdAccepted    = "hefd_jobs_accepted_total"
+	MetricHefdShed        = "hefd_jobs_shed_total"
+	MetricHefdRecovered   = "hefd_jobs_recovered_total"
+	MetricHefdExpired     = "hefd_jobs_expired_total"
+	MetricHefdCompactions = "hefd_wal_compactions_total"
+	MetricHefdWALBytes    = "hefd_wal_bytes"
+	MetricHefdAuthDenied  = "hefd_auth_denied_total"
+	MetricHefdKeyReloads  = "hefd_key_reloads_total"
 )
 
 // SchedMetrics is the instrument set a sched.Runner bumps. Every method is

@@ -11,6 +11,13 @@
 #      report byte-identical to the baseline (job IDs are deterministic, so
 #      the two runs are directly comparable),
 #   4. SIGTERM drains: exit 0 and the "drained" diagnostic on stderr.
+#   5. retention + compaction: a restart under -retain-count expires old
+#      jobs (404), compacts the WAL smaller, and a kill -9 straight through
+#      that lifecycle leaves the retained report byte-identical,
+#   6. auth: keyless submits are 401, keyed submits are 202, and a SIGHUP
+#      key rotation takes effect without a restart,
+#   7. admission persistence: a tenant's dry token bucket still sheds 429
+#      after a kill -9 restart.
 #
 # Requires curl. Exit 0 on success, 1 with a diagnostic on any failure.
 set -u
@@ -151,5 +158,101 @@ cmp -s "$WORK/want.json" "$WORK/got.json" \
 kill -TERM "$PID"
 wait "$PID" || die "final drain failed"
 PID=
+
+# code METHOD URL [DATA] [HEADER] — prints the HTTP status, body to
+# $WORK/body.json. Unlike curl -f this keeps 4xx responses inspectable.
+code() {
+    method=$1
+    url=$2
+    data=${3:-}
+    header=${4:-}
+    if [ -n "$data" ]; then
+        curl -s -o "$WORK/body.json" -w '%{http_code}' -X "$method" \
+            ${header:+-H "$header"} -d "$data" "$url"
+    else
+        curl -s -o "$WORK/body.json" -w '%{http_code}' -X "$method" \
+            ${header:+-H "$header"} "$url"
+    fi
+}
+
+# 5. Retention + compaction: three quick jobs land in one data dir; a
+# restart under -retain-count 1 expires the two older jobs (404), shrinks
+# the WAL, and keeps the newest report byte-identical — then a kill -9
+# straight after that compaction and another restart changes none of it.
+start_daemon "$WORK/retain"
+R1=$(submit "$QUICK") || exit 1
+R2=$(submit "$QUICK") || exit 1
+R3=$(submit "$QUICK") || exit 1
+wait_done "$R3"
+wait_done "$R1"
+wait_done "$R2"
+curl -fsS "http://$ADDR/v1/jobs/$R3/report" >"$WORK/retained.json" || die "retained report (pre)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+PID=
+wal_before=$(wc -c <"$WORK/retain/jobs.log")
+
+start_daemon "$WORK/retain" -retain-count 1
+[ "$(code GET "http://$ADDR/v1/jobs/$R1")" = 404 ] || die "expired job $R1 still served"
+[ "$(code GET "http://$ADDR/v1/jobs/$R2")" = 404 ] || die "expired job $R2 still served"
+curl -fsS "http://$ADDR/v1/jobs/$R3/report" >"$WORK/got.json" || die "retained report (post-compaction)"
+cmp -s "$WORK/retained.json" "$WORK/got.json" || die "compaction changed the retained report"
+wal_after=$(wc -c <"$WORK/retain/jobs.log")
+[ "$wal_after" -lt "$wal_before" ] \
+    || die "compaction did not shrink the WAL ($wal_before -> $wal_after bytes)"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+PID=
+
+start_daemon "$WORK/retain" -retain-count 1
+curl -fsS "http://$ADDR/v1/jobs/$R3/report" >"$WORK/got.json" || die "retained report (post-kill)"
+cmp -s "$WORK/retained.json" "$WORK/got.json" || die "kill -9 through compaction changed the retained report"
+kill -TERM "$PID"
+wait "$PID" || die "retention drain failed"
+PID=
+echo "hefd-smoke: retention OK (WAL $wal_before -> $wal_after bytes, 2 expired, report stable)"
+
+# 6. Auth: keyless is 401 with the typed code, keyed is 202, and a SIGHUP
+# rotation swaps the ring live.
+KEYS="$WORK/keys"
+printf 'smoke-key-0001 alice\n' >"$KEYS"
+start_daemon "$WORK/auth" -auth-keys "$KEYS"
+[ "$(code POST "http://$ADDR/v1/jobs" "$QUICK")" = 401 ] || die "keyless submit not 401"
+grep -q unauthenticated "$WORK/body.json" || die "401 body lacks the typed code: $(cat "$WORK/body.json")"
+[ "$(code POST "http://$ADDR/v1/jobs" "$QUICK" "Authorization: Bearer smoke-key-0001")" = 202 ] \
+    || die "keyed submit refused: $(cat "$WORK/body.json")"
+printf 'smoke-key-0002 carol\n' >"$KEYS"
+kill -HUP "$PID"
+i=0
+while [ $i -lt 100 ]; do
+    [ "$(code POST "http://$ADDR/v1/jobs" "$QUICK" "Authorization: Bearer smoke-key-0001")" = 401 ] && break
+    sleep 0.1
+    i=$((i + 1))
+done
+[ $i -lt 100 ] || die "rotated-out key still accepted after SIGHUP"
+[ "$(code POST "http://$ADDR/v1/jobs" "$QUICK" "Authorization: Bearer smoke-key-0002")" = 202 ] \
+    || die "rotated-in key refused: $(cat "$WORK/body.json")"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+PID=
+echo "hefd-smoke: auth OK (401 keyless, 202 keyed, SIGHUP rotation live)"
+
+# 7. Admission persistence: a dry token bucket survives kill -9.
+start_daemon "$WORK/adm" -quota-rate 0.0001 -quota-burst 1
+ADM_ID=$(submit "$QUICK") || exit 1
+wait_done "$ADM_ID"
+[ "$(code POST "http://$ADDR/v1/jobs" "$QUICK")" = 429 ] || die "bucket not dry before kill"
+kill -9 "$PID"
+wait "$PID" 2>/dev/null
+PID=
+
+start_daemon "$WORK/adm" -quota-rate 0.0001 -quota-burst 1
+[ "$(code POST "http://$ADDR/v1/jobs" "$QUICK")" = 429 ] \
+    || die "restart refunded the dry bucket: $(cat "$WORK/body.json")"
+grep -q quota "$WORK/body.json" || die "429 body lacks the quota code: $(cat "$WORK/body.json")"
+kill -TERM "$PID"
+wait "$PID" || die "admission drain failed"
+PID=
+echo "hefd-smoke: admission persistence OK (429 before and after kill -9)"
 
 echo "hefd-smoke: OK (report $(wc -c <"$WORK/want.json") bytes, byte-identical after kill -9)"
