@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json metrics-smoke hefd-chaos hefd-smoke figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json bench-gate metrics-smoke hefd-chaos hefd-smoke figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -63,13 +63,24 @@ bench:
 # BENCH_3: the telemetry overhead pair — the full offline phase with the
 # process-wide instruments uninstalled ("off", the default) vs installed
 # ("on"); the paired TestTelemetryOverhead gate (HEF_OVERHEAD_CHECK=1)
-# asserts the delta stays within the 2% budget.
+# asserts the delta stays within the 2% budget. BENCH_4: the benchsnap
+# snapshot — simulator and offline-phase hot paths with allocs/op and
+# retired Minstr/s as first-class JSON fields; the committed copy is the
+# baseline the bench-gate target (and CI perf-smoke) measures regressions
+# against, so refresh it (on the reference machine) whenever a change
+# legitimately moves throughput.
 bench-json:
 	$(GO) run ./cmd/uopshist -bench murmur -json > BENCH_1.json
 	$(GO) test -json -run TestNone -bench 'BenchmarkSimulatorThroughput|BenchmarkSearchParallel|BenchmarkOptimizeOperator$$' \
 		-benchtime 1x -count=1 ./internal/uarch/ ./internal/hef/ ./internal/core/ > BENCH_2.json
 	$(GO) test -json -run TestNone -bench BenchmarkOptimizeOperatorTelemetry \
 		-benchtime 1x -count=1 ./internal/core/ > BENCH_3.json
+	$(GO) run ./cmd/benchsnap -out BENCH_4.json
+
+# bench-gate re-measures the BENCH_4 benchmarks into a scratch file and
+# fails when any loses more than 10% of the committed baseline's Minstr/s.
+bench-gate:
+	$(GO) run ./cmd/benchsnap -out /tmp/BENCH_4.fresh.json -check BENCH_4.json
 
 # hefd-chaos runs the daemon's seeded load/chaos harness under the race
 # detector: thousands of concurrent submissions against a bounded queue

@@ -64,6 +64,8 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
 	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	heartbeatSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -87,6 +89,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	p, perr := obs.StartProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", perr)
+		flag.Usage()
+		os.Exit(2)
+	}
+	prof = p
+	defer prof.Stop()
 
 	var err error
 	tel, err = mount.Start(mount.Options{Tool: "hefopt", MetricsAddr: *metricsAddr, Heartbeat: *heartbeat})
@@ -163,6 +173,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "hefopt: interrupted with %d/%d operators done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			prof.Stop()
 			tel.Close()
 			os.Exit(1)
 		}
@@ -421,10 +432,15 @@ func selectTemplate(op, file string) (*hid.Template, error) {
 }
 
 // tel is the mounted telemetry session; nil without -metrics-addr or
-// -heartbeat, on which every method no-ops.
-var tel *mount.Session
+// -heartbeat, on which every method no-ops. prof is the -cpuprofile /
+// -memprofile pair; nil without those flags, on which Stop no-ops.
+var (
+	tel  *mount.Session
+	prof *obs.Profiles
+)
 
 func fail(err error) {
+	prof.Stop()
 	tel.Close()
 	fmt.Fprintln(os.Stderr, "hefopt:", err)
 	os.Exit(1)

@@ -35,6 +35,7 @@ import (
 	"hef/internal/experiments"
 	"hef/internal/isa"
 	"hef/internal/memo"
+	"hef/internal/obs"
 	"hef/internal/robust"
 	"hef/internal/sched"
 	"hef/internal/store"
@@ -62,6 +63,8 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
 	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	heartbeatSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -80,6 +83,12 @@ func main() {
 	if err := telemetry.ValidateFlags(*metricsAddr, heartbeatSet, *heartbeat); err != nil {
 		usageErr(err)
 	}
+	p, perr := obs.StartProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		usageErr(perr)
+	}
+	prof = p
+	defer prof.Stop()
 	// Resolve every CPU and operator up front so a typo is a usage error
 	// before any simulation starts, not a mid-sweep failure.
 	type pair struct {
@@ -195,6 +204,7 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "hefsens: interrupted with %d/%d analyses done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			prof.Stop()
 			tel.Close()
 			os.Exit(1)
 		}
@@ -297,10 +307,15 @@ func usageErr(err error) {
 }
 
 // tel is the mounted telemetry session; nil without -metrics-addr or
-// -heartbeat, on which every method no-ops.
-var tel *mount.Session
+// -heartbeat, on which every method no-ops. prof is the -cpuprofile /
+// -memprofile pair; nil without those flags, on which Stop no-ops.
+var (
+	tel  *mount.Session
+	prof *obs.Profiles
+)
 
 func fail(err error) {
+	prof.Stop()
 	tel.Close()
 	fmt.Fprintln(os.Stderr, "hefsens:", err)
 	os.Exit(1)

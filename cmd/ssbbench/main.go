@@ -64,6 +64,8 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
 	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
 	traceOut := flag.String("trace-out", "", "with -all: write the sweep-lifecycle spans (queue waits, figure runs, checkpoint flushes) as Chrome trace-event JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 	heartbeatSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -107,6 +109,14 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	p, perr := obs.StartProfiles(*cpuProfile, *memProfile)
+	if perr != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", perr)
+		flag.Usage()
+		os.Exit(2)
+	}
+	prof = p
+	defer prof.Stop()
 
 	tel, err = mount.Start(mount.Options{Tool: "ssbbench", MetricsAddr: *metricsAddr, Heartbeat: *heartbeat, Trace: *traceOut != ""})
 	if err != nil {
@@ -135,6 +145,7 @@ func main() {
 		go func() {
 			time.Sleep(*timeout)
 			fmt.Fprintf(os.Stderr, "%s: timed out after %v\n", "ssbbench", *timeout)
+			prof.Stop()
 			os.Exit(1)
 		}()
 	}
@@ -279,6 +290,7 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 			}
 			fmt.Fprintf(os.Stderr, "ssbbench: interrupted with %d/%d figures done (%v)%s\n",
 				len(res.Results), len(tasks), err, hint)
+			prof.Stop()
 			tel.Close()
 			os.Exit(1)
 		}
@@ -477,7 +489,12 @@ func emitJSON(rep *obs.RunReport) {
 // outFormat selects the figure rendering ("text", "csv", "markdown", "json").
 var outFormat = "text"
 
+// prof is the -cpuprofile / -memprofile pair; nil without those flags, on
+// which Stop no-ops.
+var prof *obs.Profiles
+
 func fail(err error) {
+	prof.Stop()
 	tel.Close()
 	fmt.Fprintln(os.Stderr, "ssbbench:", err)
 	os.Exit(1)

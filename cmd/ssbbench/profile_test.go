@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestProfileFlags: a run with -cpuprofile/-memprofile writes non-empty
+// pprof outputs, and an unwritable path is a usage error (exit 2, before
+// any simulation starts) naming the offending flag.
+func TestProfileFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-executes full runs")
+	}
+	dir := t.TempDir()
+	cpuOut := dir + "/cpu.prof"
+	memOut := dir + "/mem.prof"
+	code, stderr := runMain(t, "-queries", "Q1.1", "-cpuprofile", cpuOut, "-memprofile", memOut)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; stderr:\n%s", code, stderr)
+	}
+	for _, p := range []string{cpuOut, memOut} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s: empty profile", p)
+		}
+	}
+	for _, tc := range []struct{ flag, path string }{
+		{"-cpuprofile", dir + "/missing/cpu.prof"},
+		{"-memprofile", dir + "/missing/mem.prof"},
+	} {
+		code, stderr := runMain(t, "-queries", "Q1.1", tc.flag, tc.path)
+		if code != 2 {
+			t.Fatalf("%s %s: exit = %d, want 2; stderr:\n%s", tc.flag, tc.path, code, stderr)
+		}
+		if !strings.Contains(stderr, tc.flag) {
+			t.Errorf("%s: stderr does not name the flag:\n%s", tc.flag, stderr)
+		}
+	}
+}

@@ -22,6 +22,11 @@ type level struct {
 
 	hits   uint64
 	misses uint64
+
+	// jr points at the owning hierarchy's journal; gens[s] stamps the last
+	// journal window that saved set s (allocated on first use).
+	jr   *journal
+	gens []uint32
 }
 
 func newLevel(g isa.CacheGeom) (*level, error) {
@@ -44,6 +49,14 @@ func newLevel(g isa.CacheGeom) (*level, error) {
 		setMask:  uint64(numSets - 1),
 		sets:     make([][]uint64, numSets),
 	}
+	// Back every set with a slice of one flat arena at full associativity, so
+	// fill never grows a set's backing array: occupancy changes are pure
+	// length changes and the simulator's hot loop stays allocation-free even
+	// as random-address programs keep touching cold sets.
+	arena := make([]uint64, numSets*g.Ways)
+	for i := range lv.sets {
+		lv.sets[i] = arena[i*g.Ways : i*g.Ways : (i+1)*g.Ways]
+	}
 	return lv, nil
 }
 
@@ -54,6 +67,9 @@ func (l *level) lookup(lineAddr uint64) bool {
 	for i, tag := range set {
 		if tag == lineAddr {
 			if i != 0 {
+				if l.jr.open {
+					l.jr.saveSet(l, s)
+				}
 				copy(set[1:i+1], set[:i])
 				set[0] = lineAddr
 			}
@@ -79,6 +95,9 @@ func (l *level) present(lineAddr uint64) bool {
 // fill installs the line as MRU, evicting LRU if the set is full.
 func (l *level) fill(lineAddr uint64) {
 	s := lineAddr & l.setMask
+	if l.jr.open {
+		l.jr.saveSet(l, s)
+	}
 	set := l.sets[s]
 	if len(set) < l.geom.Ways {
 		set = append(set, 0)
@@ -161,6 +180,7 @@ type Hierarchy struct {
 
 	streams  [streamTableSize]stream
 	accessNo uint64
+	jr       journal
 
 	memAccesses     uint64
 	prefetchFills   uint64
@@ -187,7 +207,9 @@ func New(cpu *isa.CPU) (*Hierarchy, error) {
 	for 1<<shift < cpu.L1D.LineBytes {
 		shift++
 	}
-	return &Hierarchy{l1: l1, l2: l2, llc: llc, memLatency: cpu.MemLatency, lineShift: shift}, nil
+	h := &Hierarchy{l1: l1, l2: l2, llc: llc, memLatency: cpu.MemLatency, lineShift: shift}
+	h.l1.jr, h.l2.jr, h.llc.jr = &h.jr, &h.jr, &h.jr
+	return h, nil
 }
 
 // Access simulates a demand load or store of the byte at addr and returns

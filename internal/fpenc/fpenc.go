@@ -1,0 +1,58 @@
+// Package fpenc holds the canonical byte-encoding primitives shared by every
+// content fingerprint in the tree: the measurement memo keys in internal/memo
+// and the schedule-skeleton cache keys in internal/uarch. It is dependency-free
+// so the hot packages can use it without import cycles.
+//
+// The encoding is fixed: integers are little-endian uint64 (signed values go
+// through int64 first), floats are their IEEE-754 bit patterns, booleans are
+// one byte, and strings are length-prefixed. Changing any of these would
+// silently invalidate every persisted memo store, so they are pinned by tests
+// in internal/memo.
+package fpenc
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+)
+
+// E accumulates a canonical encoding. Strings are length-prefixed and slices
+// count-prefixed by callers, so adjacent variable-length fields can never
+// alias each other's bytes.
+type E struct {
+	Buf []byte
+}
+
+// U64 appends v little-endian.
+func (e *E) U64(v uint64) {
+	e.Buf = binary.LittleEndian.AppendUint64(e.Buf, v)
+}
+
+// Int appends v as uint64(int64(v)).
+func (e *E) Int(v int) { e.U64(uint64(int64(v))) }
+
+// F64 appends the IEEE-754 bit pattern of v.
+func (e *E) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bool appends a single 0/1 byte.
+func (e *E) Bool(v bool) {
+	if v {
+		e.Buf = append(e.Buf, 1)
+	} else {
+		e.Buf = append(e.Buf, 0)
+	}
+}
+
+// Str appends len(s) then the bytes of s.
+func (e *E) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.Buf = append(e.Buf, s...)
+}
+
+// Sum128 is the 128-bit content key of buf: the first half of its SHA-256.
+func Sum128(buf []byte) [16]byte {
+	sum := sha256.Sum256(buf)
+	var k [16]byte
+	copy(k[:], sum[:16])
+	return k
+}

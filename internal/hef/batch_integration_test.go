@@ -1,0 +1,78 @@
+package hef_test
+
+import (
+	"bytes"
+	"testing"
+
+	"hef/internal/engine"
+	"hef/internal/hef"
+	"hef/internal/hid"
+	"hef/internal/isa"
+	"hef/internal/obs"
+)
+
+// serialOnly hides SimEvaluator's EvaluateBatch so SearchContext takes the
+// classic per-node path.
+type serialOnly struct{ e *hef.SimEvaluator }
+
+func (s serialOnly) Evaluate(n hef.Node) (float64, error) { return s.e.Evaluate(n) }
+
+// TestBatchSearchSimEvaluatorBytes is the production-shaped determinism
+// check for batch evaluation: a full pruning search must serialize
+// (obs.SearchJSON) to the same bytes whether SimEvaluator measured siblings
+// one at a time or batched with the shared post-warm state forked from a
+// snapshot. The probe template carries a warmed hash table, so the snapshot
+// actually holds warmed lines; the filter template pins the empty-warm case.
+func TestBatchSearchSimEvaluatorBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four full searches")
+	}
+	cpu, err := isa.ByName("silver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const elems = 1 << 12
+	for _, tc := range []struct {
+		name string
+		tmpl *hid.Template
+	}{
+		{"probe", engine.ProbeTemplate(1 << 20)},
+		{"filter", engine.FilterTemplate(2)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			initial, err := hef.InitialNode(cpu, tc.tmpl, cpu.NativeWidth())
+			if err != nil {
+				t.Fatal(err)
+			}
+			run := func(batch bool) []byte {
+				t.Helper()
+				sim := hef.NewSimEvaluator(cpu, tc.tmpl, cpu.NativeWidth(), elems)
+				var eval hef.Evaluator = sim
+				if !batch {
+					eval = serialOnly{sim}
+				}
+				res, err := hef.Search(eval, initial, hef.DefaultBounds)
+				if err != nil {
+					t.Fatalf("batch=%v: %v", batch, err)
+				}
+				js, err := obs.SearchJSON(res)
+				if err != nil {
+					t.Fatalf("batch=%v: marshal: %v", batch, err)
+				}
+				return js
+			}
+			forksBefore := hef.BatchForks()
+			serial := run(false)
+			if hef.BatchForks() != forksBefore {
+				t.Error("per-node search forked batch state")
+			}
+			batched := run(true)
+			if !bytes.Equal(serial, batched) {
+				t.Error("SearchJSON bytes diverged between per-node and batched evaluation")
+			}
+			if hef.BatchForks() == forksBefore {
+				t.Error("batched search never forked the shared post-warm state")
+			}
+		})
+	}
+}

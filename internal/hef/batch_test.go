@@ -1,0 +1,142 @@
+package hef
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// batchingEval wraps the synthetic cost surface with a BatchEvaluator
+// implementation that mirrors SimEvaluator's contract: per-node panic
+// recovery, partial results on error, the error pertaining to ns[len(secs)].
+type batchingEval struct {
+	countingEval
+	batches int
+}
+
+func (e *batchingEval) EvaluateBatch(ns []Node) ([]float64, error) {
+	e.batches++
+	var secs []float64
+	for _, n := range ns {
+		sec, err := safeEvaluate(&e.countingEval, n)
+		if err != nil {
+			return secs, err
+		}
+		secs = append(secs, sec)
+	}
+	return secs, nil
+}
+
+// TestBatchSearchMatchesSerial: a batch-capable evaluator must leave the
+// search Result bit-identical to the per-node walk, and the batched path
+// must actually have been taken.
+func TestBatchSearchMatchesSerial(t *testing.T) {
+	serialEval := &countingEval{}
+	batchEval := &batchingEval{}
+	initial := Node{V: 1, S: 1, P: 1}
+	serial, err1 := Search(serialEval, initial, testBounds)
+	batched, err2 := Search(batchEval, initial, testBounds)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("errs: %v, %v", err1, err2)
+	}
+	if !reflect.DeepEqual(serial, batched) {
+		t.Errorf("batched search diverged\nserial:  %+v\nbatched: %+v", serial, batched)
+	}
+	if serialEval.calls != batchEval.calls {
+		t.Errorf("evaluation counts diverged: serial %d, batched %d", serialEval.calls, batchEval.calls)
+	}
+	if batchEval.batches == 0 {
+		t.Error("search never took the batched path")
+	}
+}
+
+// TestBatchSearchBudgetMatchesSerial sweeps the evaluation budget: the batch
+// path slices each batch to the remaining budget, so the stop point, Tested
+// count, and error text must match the per-node walk exactly.
+func TestBatchSearchBudgetMatchesSerial(t *testing.T) {
+	initial := Node{V: 1, S: 1, P: 1}
+	for budget := 1; budget <= 12; budget++ {
+		serial, err1 := SearchContext(context.Background(), &countingEval{}, initial, testBounds,
+			SearchOpts{MaxEvaluations: budget})
+		batched, err2 := SearchContext(context.Background(), &batchingEval{}, initial, testBounds,
+			SearchOpts{MaxEvaluations: budget})
+		if !errors.Is(err1, ErrBudgetExhausted) || !errors.Is(err2, ErrBudgetExhausted) {
+			t.Fatalf("budget=%d: errs: %v, %v", budget, err1, err2)
+		}
+		if err1.Error() != err2.Error() {
+			t.Errorf("budget=%d: error text diverged: %q vs %q", budget, err1, err2)
+		}
+		if !reflect.DeepEqual(serial, batched) {
+			t.Errorf("budget=%d: batched search diverged\nserial:  %+v\nbatched: %+v", budget, serial, batched)
+		}
+	}
+}
+
+// TestBatchSearchPanicMatchesSerial plants a panic on a node that lands
+// mid-batch: the batched walk must blame the same node and carry the same
+// partial result as the per-node walk.
+func TestBatchSearchPanicMatchesSerial(t *testing.T) {
+	bad := Node{V: 1, S: 1, P: 2}
+	initial := Node{V: 1, S: 1, P: 1}
+	serial, err1 := Search(&countingEval{panicAt: &bad}, initial, testBounds)
+	batched, err2 := Search(&batchingEval{countingEval: countingEval{panicAt: &bad}}, initial, testBounds)
+	var pe1, pe2 *PanicError
+	if !errors.As(err1, &pe1) || !errors.As(err2, &pe2) {
+		t.Fatalf("errs: %v, %v, want *PanicError from both", err1, err2)
+	}
+	if pe1.Node != bad || pe2.Node != bad {
+		t.Errorf("blamed nodes %v / %v, want %v", pe1.Node, pe2.Node, bad)
+	}
+	if pe1.Value != pe2.Value {
+		t.Errorf("panic values diverged: %v vs %v", pe1.Value, pe2.Value)
+	}
+	if serial.Tested != batched.Tested || !reflect.DeepEqual(serial.Trace, batched.Trace) {
+		t.Errorf("partial results diverged\nserial:  %+v\nbatched: %+v", serial, batched)
+	}
+}
+
+// erroringBatchEval returns a plain error (not a panic) partway through a
+// batch, with partial results per the BatchEvaluator contract.
+type erroringBatchEval struct {
+	countingEval
+	failAt Node
+}
+
+func (e *erroringBatchEval) Evaluate(n Node) (float64, error) {
+	if n == e.failAt {
+		return 0, fmt.Errorf("synthetic evaluator failure at %v", n)
+	}
+	return e.countingEval.Evaluate(n)
+}
+
+func (e *erroringBatchEval) EvaluateBatch(ns []Node) ([]float64, error) {
+	var secs []float64
+	for _, n := range ns {
+		sec, err := e.Evaluate(n)
+		if err != nil {
+			return secs, err
+		}
+		secs = append(secs, sec)
+	}
+	return secs, nil
+}
+
+// TestBatchSearchErrorAttribution: a mid-batch evaluator error must surface
+// with the same "evaluating node %v" wrapping, naming the failing node, as
+// the per-node walk.
+func TestBatchSearchErrorAttribution(t *testing.T) {
+	bad := Node{V: 1, S: 1, P: 2}
+	initial := Node{V: 1, S: 1, P: 1}
+	_, errS := Search(&erroringBatchEval{failAt: bad}, initial, testBounds)
+	se := &erroringBatchEval{failAt: bad}
+	// Hide EvaluateBatch to get the per-node wrapping for comparison.
+	_, errN := Search(struct{ Evaluator }{se}, initial, testBounds)
+	if errS == nil || errN == nil {
+		t.Fatalf("errs: %v, %v, want failures from both", errS, errN)
+	}
+	if errS.Error() != errN.Error() {
+		t.Errorf("error text diverged:\nbatched:  %q\nper-node: %q", errS, errN)
+	}
+}

@@ -63,3 +63,21 @@ func safeEvaluate(eval Evaluator, n Node) (sec float64, err error) {
 	}()
 	return eval.Evaluate(n)
 }
+
+// safeEvaluateBatch is safeEvaluate for BatchEvaluator: a panic that escapes
+// EvaluateBatch becomes a *PanicError blamed on the first node the returned
+// costs do not cover. (SimEvaluator recovers per node internally, so its
+// partial results survive; a foreign implementation that panics outright
+// loses the batch and the first node is blamed.)
+func safeEvaluateBatch(be BatchEvaluator, ns []Node) (secs []float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			n := ns[0]
+			if len(secs) < len(ns) {
+				n = ns[len(secs)]
+			}
+			err = &PanicError{Node: n, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return be.EvaluateBatch(ns)
+}

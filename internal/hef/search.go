@@ -186,14 +186,43 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 	m.OnEvaluated(false)
 	m.OnBest(initSec * 1e9)
 
+	// accept folds one measured neighbor into the result, in the exact order
+	// the classic serial walk used — both the per-node and the batched path
+	// below route every evaluation through it.
 	seen := map[Node]float64{initial: initSec}
 	queue := []scored{{initial, initSec}}
+	accept := func(cur scored, nb Node, sec float64) {
+		res.Tested++
+		seen[nb] = sec
+		win := sec < cur.sec
+		res.Trace = append(res.Trace, Step{Node: nb, Seconds: sec, Parent: cur.node, Winner: win})
+		m.OnEvaluated(!win)
+		if win {
+			res.CandidateList = append(res.CandidateList, nb)
+			queue = append(queue, scored{nb, sec})
+			if sec < res.BestSeconds {
+				res.Best, res.BestSeconds = nb, sec
+				m.OnBest(sec * 1e9)
+			}
+		} else {
+			res.EndList = append(res.EndList, nb)
+		}
+	}
+	be, _ := eval.(BatchEvaluator)
+	var fresh []Node
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		// The serial engine's "frontier" is the FIFO queue: the popped node
 		// plus everything still waiting to be expanded.
 		m.OnWave(len(queue) + 1)
+		// The fresh in-bounds neighbors of one expansion are siblings: their
+		// measurements share a prefix (the same reset-and-warm protocol), so a
+		// batch-capable evaluator measures them together, forking its state at
+		// the point the candidates diverge. Siblings are distinct by
+		// construction (±1 in distinct dimensions), so collecting them before
+		// evaluating keeps the seen-set semantics of the per-node walk.
+		fresh = fresh[:0]
 		for _, nb := range neighbors(cur.node) {
 			if !bounds.contains(nb) {
 				continue
@@ -203,33 +232,53 @@ func SearchContext(ctx context.Context, eval Evaluator, initial Node, bounds Bou
 				// each node once.
 				continue
 			}
+			fresh = append(fresh, nb)
+		}
+		for len(fresh) > 0 {
 			if err := checkCtx(); err != nil {
 				return partial(err)
 			}
 			if err := checkBudget(); err != nil {
 				return partial(err)
 			}
-			sec, err := safeEvaluate(eval, nb)
+			if be == nil {
+				nb := fresh[0]
+				fresh = fresh[1:]
+				sec, err := safeEvaluate(eval, nb)
+				if err != nil {
+					if pe := (*PanicError)(nil); errors.As(err, &pe) {
+						return partial(err)
+					}
+					return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
+				}
+				accept(cur, nb, sec)
+				continue
+			}
+			// Cap the batch at the remaining budget so the stop point, Tested
+			// count, and error are identical to the per-node walk.
+			slice := fresh
+			if budget > 0 {
+				if rem := budget - res.Tested; rem < len(slice) {
+					slice = slice[:rem]
+				}
+			}
+			secs, err := safeEvaluateBatch(be, slice)
+			if len(secs) > len(slice) {
+				secs = secs[:len(slice)]
+			}
+			for i, sec := range secs {
+				accept(cur, slice[i], sec)
+			}
+			fresh = fresh[len(secs):]
 			if err != nil {
 				if pe := (*PanicError)(nil); errors.As(err, &pe) {
 					return partial(err)
 				}
-				return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
-			}
-			res.Tested++
-			seen[nb] = sec
-			win := sec < cur.sec
-			res.Trace = append(res.Trace, Step{Node: nb, Seconds: sec, Parent: cur.node, Winner: win})
-			m.OnEvaluated(!win)
-			if win {
-				res.CandidateList = append(res.CandidateList, nb)
-				queue = append(queue, scored{nb, sec})
-				if sec < res.BestSeconds {
-					res.Best, res.BestSeconds = nb, sec
-					m.OnBest(sec * 1e9)
+				nb := slice[len(slice)-1]
+				if len(secs) < len(slice) {
+					nb = slice[len(secs)]
 				}
-			} else {
-				res.EndList = append(res.EndList, nb)
+				return nil, fmt.Errorf("hef: evaluating node %v: %w", nb, err)
 			}
 		}
 	}

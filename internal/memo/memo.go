@@ -16,12 +16,10 @@
 package memo
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"math"
 	"sync"
 	"sync/atomic"
 
+	"hef/internal/fpenc"
 	"hef/internal/isa"
 	"hef/internal/uarch"
 )
@@ -50,29 +48,17 @@ type WarmRange struct {
 	Base, Region uint64
 }
 
-// enc accumulates the canonical encoding. Strings are length-prefixed and
-// slices count-prefixed, so adjacent variable-length fields can never alias
-// each other's bytes.
+// enc is the canonical encoding accumulator shared with the skeleton cache
+// (internal/fpenc); the method aliases keep this package's encoders readable.
 type enc struct {
-	buf []byte
+	fpenc.E
 }
 
-func (e *enc) u64(v uint64) {
-	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
-}
-func (e *enc) i(v int)     { e.u64(uint64(int64(v))) }
-func (e *enc) f(v float64) { e.u64(math.Float64bits(v)) }
-func (e *enc) boolean(v bool) {
-	if v {
-		e.buf = append(e.buf, 1)
-	} else {
-		e.buf = append(e.buf, 0)
-	}
-}
-func (e *enc) str(s string) {
-	e.u64(uint64(len(s)))
-	e.buf = append(e.buf, s...)
-}
+func (e *enc) u64(v uint64)   { e.U64(v) }
+func (e *enc) i(v int)        { e.Int(v) }
+func (e *enc) f(v float64)    { e.F64(v) }
+func (e *enc) boolean(v bool) { e.Bool(v) }
+func (e *enc) str(s string)   { e.Str(s) }
 
 func (e *enc) cpu(c *isa.CPU) {
 	e.str(c.Name)
@@ -134,58 +120,24 @@ func (e *enc) perturb(p *uarch.Perturb) {
 	e.f(p.PortFaultRate)
 }
 
-func (e *enc) program(p *uarch.Program) {
-	e.str(p.Name)
-	e.i(p.NumRegs)
-	e.i(p.ElemsPerIter)
-	e.i(p.VectorStatements)
-	e.i(int(p.VectorWidth))
-	e.i(len(p.Body))
-	for i := range p.Body {
-		u := &p.Body[i]
-		in := u.Instr
-		e.str(in.Name)
-		e.i(int(in.Class))
-		e.i(int(in.Width))
-		e.i(in.Latency)
-		e.i(in.Occupancy)
-		e.i(in.Uops)
-		e.i(in.Lanes)
-		e.i(in.Argc)
-		e.i(int(u.Dst))
-		for _, s := range u.Srcs {
-			e.i(int(s))
-		}
-		e.i(int(u.Addr.Kind))
-		e.u64(u.Addr.Base)
-		e.u64(u.Addr.Stride)
-		e.u64(u.Addr.Region)
-		e.u64(u.Addr.Offset)
-		e.u64(u.Addr.Seed)
-		e.i(int(u.Addr.LaneSel))
-	}
-}
-
 // Fingerprint computes the content key of one measurement under the given
 // protocol. warm lists the regions warmed before the runs, in warming
-// order.
+// order. The program component is encoded by Program.AppendFingerprint, the
+// same encoding the simulator's skeleton cache keys on.
 func Fingerprint(proto Protocol, cpu *isa.CPU, p *uarch.Perturb, prog *uarch.Program, iters int64, warm []WarmRange) Key {
 	var e enc
-	e.buf = make([]byte, 0, 512)
-	e.buf = append(e.buf, byte(proto))
+	e.Buf = make([]byte, 0, 512)
+	e.Buf = append(e.Buf, byte(proto))
 	e.cpu(cpu)
 	e.perturb(p)
-	e.program(prog)
+	prog.AppendFingerprint(&e.E)
 	e.u64(uint64(iters))
 	e.i(len(warm))
 	for _, w := range warm {
 		e.u64(w.Base)
 		e.u64(w.Region)
 	}
-	sum := sha256.Sum256(e.buf)
-	var k Key
-	copy(k[:], sum[:16])
-	return k
+	return Key(fpenc.Sum128(e.Buf))
 }
 
 // Stats is a snapshot of the cache's counters.

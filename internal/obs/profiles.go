@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profiles manages the command-line tools' optional -cpuprofile and
+// -memprofile outputs. StartProfiles opens both files up front, so an
+// unwritable path is a usage error before any work starts rather than a
+// surprise after a long run; Stop (nil-safe, idempotent) flushes and closes
+// them, and the tools call it on every exit path, not just the happy one.
+type Profiles struct {
+	cpu  *os.File
+	mem  *os.File
+	done bool
+}
+
+// StartProfiles opens the requested profile outputs and starts CPU
+// profiling. Empty paths are skipped; with both empty it returns a nil
+// *Profiles, whose Stop is a no-op.
+func StartProfiles(cpuPath, memPath string) (*Profiles, error) {
+	if cpuPath == "" && memPath == "" {
+		return nil, nil
+	}
+	p := &Profiles{}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+		p.cpu = f
+	}
+	if memPath != "" {
+		f, err := os.Create(memPath)
+		if err != nil {
+			if p.cpu != nil {
+				p.cpu.Close()
+			}
+			return nil, fmt.Errorf("-memprofile: %w", err)
+		}
+		p.mem = f
+	}
+	if p.cpu != nil {
+		if err := pprof.StartCPUProfile(p.cpu); err != nil {
+			p.cpu.Close()
+			if p.mem != nil {
+				p.mem.Close()
+			}
+			return nil, fmt.Errorf("-cpuprofile: %w", err)
+		}
+	}
+	return p, nil
+}
+
+// Stop ends CPU profiling and writes the allocation profile. Safe to call
+// on a nil receiver and more than once; only the first call does anything.
+func (p *Profiles) Stop() {
+	if p == nil || p.done {
+		return
+	}
+	p.done = true
+	if p.cpu != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpu.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+	}
+	if p.mem != nil {
+		// Up-to-date allocation statistics require a completed GC cycle.
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(p.mem, 0); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+		if err := p.mem.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "memprofile:", err)
+		}
+	}
+}

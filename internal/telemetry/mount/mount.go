@@ -117,6 +117,21 @@ func Start(opts Options) (*Session, error) {
 		}
 		return 0
 	})
+	s.reg.GaugeFunc(telemetry.MetricSimIdleSkipped, "slow-path cycles jumped by the event-driven idle skip", func() float64 {
+		return float64(uarch.Totals().IdleSkipped)
+	})
+	s.reg.GaugeFunc(telemetry.MetricSimSkelHits, "schedule-skeleton cache hits", func() float64 {
+		return float64(uarch.Totals().SkeletonHits)
+	})
+	s.reg.GaugeFunc(telemetry.MetricSimSkelMisses, "schedule-skeleton cache misses (skeleton builds)", func() float64 {
+		return float64(uarch.Totals().SkeletonMisses)
+	})
+	s.reg.GaugeFunc(telemetry.MetricSimReplayPeriods, "loop periods fast-forwarded by response-verified replay", func() float64 {
+		return float64(uarch.Totals().ReplayPeriods)
+	})
+	s.reg.GaugeFunc(telemetry.MetricSimBatchForks, "batch evaluations forked from a shared warm-cache snapshot", func() float64 {
+		return float64(hef.BatchForks())
+	})
 	s.reg.GaugeFunc(telemetry.MetricUptime, "process uptime in seconds", func() float64 {
 		return time.Since(s.start).Seconds()
 	})

@@ -75,6 +75,11 @@ func TestMountedSession(t *testing.T) {
 		telemetry.MetricJobsDone + " 1",
 		telemetry.MetricUptime,
 		telemetry.MetricSimInstr,
+		telemetry.MetricSimIdleSkipped,
+		telemetry.MetricSimSkelHits,
+		telemetry.MetricSimSkelMisses,
+		telemetry.MetricSimReplayPeriods,
+		telemetry.MetricSimBatchForks,
 	} {
 		if !strings.Contains(string(body), want) {
 			t.Errorf("scrape missing %q", want)

@@ -43,11 +43,16 @@ const (
 	MetricBestNS       = "hef_search_best_ns_per_elem"
 
 	// Simulator (internal/uarch).
-	MetricSimInstr      = "hef_uarch_instructions_total"
-	MetricSimFastCycles = "hef_uarch_fastpath_cycles_total"
-	MetricSimSlowCycles = "hef_uarch_slowpath_cycles_total"
-	MetricSimRuns       = "hef_uarch_runs_total"
-	MetricSimMinstrRate = "hef_uarch_minstr_per_sec"
+	MetricSimInstr         = "hef_uarch_instructions_total"
+	MetricSimFastCycles    = "hef_uarch_fastpath_cycles_total"
+	MetricSimSlowCycles    = "hef_uarch_slowpath_cycles_total"
+	MetricSimRuns          = "hef_uarch_runs_total"
+	MetricSimMinstrRate    = "hef_uarch_minstr_per_sec"
+	MetricSimIdleSkipped   = "hef_uarch_idle_skipped_cycles_total"
+	MetricSimSkelHits      = "hef_uarch_skeleton_hits_total"
+	MetricSimSkelMisses    = "hef_uarch_skeleton_misses_total"
+	MetricSimReplayPeriods = "hef_uarch_replay_periods_total"
+	MetricSimBatchForks    = "hef_uarch_batch_forks_total"
 
 	// Process.
 	MetricUptime = "hef_uptime_seconds"

@@ -12,6 +12,7 @@ package uarch
 import (
 	"fmt"
 
+	"hef/internal/fpenc"
 	"hef/internal/isa"
 )
 
@@ -224,6 +225,43 @@ func (p *Program) prepare() {
 		default:
 			p.fastEligible = false
 		}
+	}
+}
+
+// AppendFingerprint appends the canonical content encoding of the program to
+// e: every semantic field of every instruction, operand, and address stream.
+// It is the program component of the memo fingerprint (internal/memo) and of
+// the schedule-skeleton cache key, so its byte layout is pinned — changing it
+// invalidates every persisted memo store.
+func (p *Program) AppendFingerprint(e *fpenc.E) {
+	e.Str(p.Name)
+	e.Int(p.NumRegs)
+	e.Int(p.ElemsPerIter)
+	e.Int(p.VectorStatements)
+	e.Int(int(p.VectorWidth))
+	e.Int(len(p.Body))
+	for i := range p.Body {
+		u := &p.Body[i]
+		in := u.Instr
+		e.Str(in.Name)
+		e.Int(int(in.Class))
+		e.Int(int(in.Width))
+		e.Int(in.Latency)
+		e.Int(in.Occupancy)
+		e.Int(in.Uops)
+		e.Int(in.Lanes)
+		e.Int(in.Argc)
+		e.Int(int(u.Dst))
+		for _, s := range u.Srcs {
+			e.Int(int(s))
+		}
+		e.Int(int(u.Addr.Kind))
+		e.U64(u.Addr.Base)
+		e.U64(u.Addr.Stride)
+		e.U64(u.Addr.Region)
+		e.U64(u.Addr.Offset)
+		e.U64(u.Addr.Seed)
+		e.Int(int(u.Addr.LaneSel))
 	}
 }
 

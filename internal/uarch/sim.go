@@ -3,6 +3,7 @@ package uarch
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"hef/internal/cache"
 	"hef/internal/check"
@@ -14,6 +15,8 @@ const (
 	// tracked concurrently. It exceeds the maximum number of in-flight
 	// iterations (bounded by the ROB, 224 µops) with margin.
 	regRingSlots = 512
+	// regRingMask turns an iteration number into its ring slot (power of 2).
+	regRingMask = regRingSlots - 1
 	// notIssued marks a register instance whose producer has not issued.
 	notIssued = int64(-1)
 	// issueInstrCap bounds the instructions issued per cycle (port count).
@@ -176,14 +179,6 @@ func (r *Result) Scale(f float64) {
 	r.LoadQOcc.scale(f)
 }
 
-// entry is one in-flight instruction in the ROB.
-type entry struct {
-	bodyIdx    int32
-	iter       int64
-	issued     bool
-	completion int64
-}
-
 // minHeap is a small binary min-heap of completion cycles.
 type minHeap []int64
 
@@ -242,26 +237,128 @@ func (h *minHeap) min() (int64, bool) {
 	return (*h)[0], true
 }
 
+// timedEntry pairs a scheduler entry with the cycle its operands are ready.
+type timedEntry struct {
+	at int64
+	ei int32
+}
+
 // Sim runs programs on one CPU model, reusing internal buffers across runs.
+//
+// The in-flight state is structure-of-arrays: the reorder buffer is a set of
+// parallel arrays indexed by ring position, and register readiness lives in
+// one flat completion slab of regRingSlots × NumRegs cells. At dispatch each
+// entry's operand cells are resolved to slab offsets (robSrc/robDst), so the
+// per-cycle readiness check is a handful of indexed loads with no pointer
+// chasing through the program structure. Every arena is sized at
+// construction or bind time, so a warm Sim runs with zero allocations.
 type Sim struct {
 	cpu  *isa.CPU
 	hier *cache.Hierarchy
 
-	rob       []entry
+	// Reorder buffer, SoA, ring-indexed by robHead/robTail.
+	robBody       []int32
+	robIter       []int64
+	robCompletion []int64
+	robIssued     []bool
+	// robSrc[3*i ... 3*i+robSrcCnt[i]) are the slab offsets entry i's
+	// tracked operands read; always-ready operands (none, loop-invariant,
+	// iteration 0's loop-carried reads) are omitted at dispatch. robDst[i]
+	// is the slab offset the entry writes its completion to, or -1.
+	robSrc    []int32
+	robSrcCnt []uint8
+	robDst    []int32
+
 	robHead   int
 	robTail   int
 	robCount  int
 	uopsInROB int
 
-	rs []int32 // indices into rob, age order, waiting to issue
+	rs []int32 // indices into the ROB arrays, age order, waiting to issue
 
-	regRing [][]int64 // [regRingSlots][NumRegs]
+	// rsCount is the number of dispatched-but-unissued entries (the scheduler
+	// occupancy). In event-scheduler mode the rs slice stays empty and the
+	// waiting set lives in readySet/timeHeap/watcher lists instead.
+	rsCount int
+
+	// Event-driven scheduler state, used for skeleton.fastScan bodies. An
+	// entry whose operands are all resolved has a final data-ready cycle
+	// (single-writer bodies: a sampled producer completion can never change):
+	// it waits in timeHeap until that cycle arrives, then moves to readySet,
+	// which holds the data-ready entries in age order — the only entries a
+	// scan must visit. Entries with unissued producers are parked on per-cell
+	// watcher lists: watchHead[cell] heads a list threaded through watchNext
+	// (node n watches the cell robSrc[n] names; n/3 is its ROB entry), and
+	// the producer's issue walks the list, folds its completion into each
+	// watcher's readyAt, and moves watchers whose last operand just resolved
+	// (waitCnt reaches zero) into timeHeap.
+	readySet  []int32
+	timeHeap  []timedEntry
+	waitCnt   []uint8
+	readyAt   []int64
+	watchHead []int32
+	watchNext []int32
+
+	// blockedGen/blockedRetry memoize, per body µop within one scan
+	// (stamped by scanGen), a failed tryIssue's retry bound: execution
+	// resources only shrink as a scan proceeds, so a later same-body entry
+	// must fail identically and is skipped.
+	blockedGen   []int64
+	blockedRetry []int64
+	scanGen      int64
+
+	// slab is the register completion ring: cell (iter&regRingMask)*numRegs
+	// + reg holds the completion cycle of that register instance, or
+	// notIssued.
+	slab []int64
+
+	// rsNextReady is a lower bound on the next cycle at which any scheduler
+	// entry could issue. Slab cells, port horizons, and memory queues change
+	// only when an entry issues — which happens only inside a scan — so
+	// after a scan that issued nothing the earliest data-ready/resource-free
+	// time sampled during the scan stays exact until the next issue, and
+	// whole scans below the bound are skipped. Every issue re-arms the bound
+	// to cycle+1; dispatch lowers it with each new entry's own readiness
+	// bound (entries with an unissued producer are excluded: they cannot
+	// issue before a scan that issues the producer, which re-arms).
+	rsNextReady int64
+	// retryAt is set by a failed tryIssue to the earliest cycle the failing
+	// conditions could clear (exact while no issue occurs, since all
+	// resources are frozen between issues).
+	retryAt int64
+	// portMask is scan scratch: bit p set iff port p is free (and unfaulted)
+	// at the scanned cycle; claims clear bits as the scan proceeds.
+	portMask uint32
 
 	portFree []int64
 
 	loadQ, storeQ minHeap
 	lfb           minHeap
 	inflight      minHeap
+
+	// Per-CPU issue tables, built once in NewSim: classPorts[c] lists the
+	// ports accepting class c in ascending order (the same order the
+	// previous per-port scans visited them); loadPortsList is classPorts for
+	// loads, claimed wholesale by gathers. robOccLUT/loadQOccLUT map an
+	// occupancy to its histogram bucket, replacing a per-cycle division.
+	classPorts    [][]int8
+	loadPortsList []int8
+	// classPortMask[c]/loadPortsMask/vec512Mask are the same port sets as
+	// bitmasks; the lowest set bit of classPortMask[c]&portMask is the same
+	// port an ascending scan would pick.
+	classPortMask []uint32
+	loadPortsMask uint32
+	vec512Mask    uint32
+	robOccLUT     []uint8
+	loadQOccLUT   []uint8
+
+	// skel is the schedule skeleton bound by the last Run (see skeleton.go);
+	// skelProg/skelLat/skelOcc/skelSeed identify it for the pointer-equality
+	// fast path in bind.
+	skel             *skeleton
+	skelProg         *Program
+	skelLat, skelOcc float64
+	skelSeed         uint64
 
 	// trace is the optional lifecycle recorder (SetTraceLog).
 	trace *TraceLog
@@ -292,7 +389,135 @@ func NewSim(cpu *isa.CPU) *Sim {
 	if err != nil {
 		return &Sim{cpu: cpu, hierErr: fmt.Errorf("uarch: building cache hierarchy: %w", err)}
 	}
-	return &Sim{cpu: cpu, hier: hier}
+	s := &Sim{cpu: cpu, hier: hier}
+
+	robCap := cpu.ROBSize + 8
+	s.robBody = make([]int32, robCap)
+	s.robIter = make([]int64, robCap)
+	s.robCompletion = make([]int64, robCap)
+	s.robIssued = make([]bool, robCap)
+	s.robSrc = make([]int32, 3*robCap)
+	s.robSrcCnt = make([]uint8, robCap)
+	s.robDst = make([]int32, robCap)
+	rsCap := cpu.RSSize
+	if rsCap < 1 {
+		rsCap = 1
+	}
+	s.rs = make([]int32, 0, rsCap)
+	s.portFree = make([]int64, len(cpu.Ports))
+	s.loadQ = make(minHeap, 0, cpu.LoadQueue+1)
+	s.storeQ = make(minHeap, 0, cpu.StoreQueue+1)
+	// A gather checks only len < LineFillBuffers before pushing one entry
+	// per missing lane, so the fill-buffer heap can briefly exceed its
+	// nominal capacity; the margin keeps that growth allocation-free.
+	s.lfb = make(minHeap, 0, cpu.LineFillBuffers+64)
+	s.inflight = make(minHeap, 0, robCap)
+
+	numClasses := len(isa.Port{}.Accepts)
+	s.classPorts = make([][]int8, numClasses)
+	s.classPortMask = make([]uint32, numClasses)
+	for c := 0; c < numClasses; c++ {
+		for i := range cpu.Ports {
+			if cpu.Ports[i].CanRun(isa.Class(c)) {
+				s.classPorts[c] = append(s.classPorts[c], int8(i))
+				s.classPortMask[c] |= 1 << i
+			}
+		}
+	}
+	s.loadPortsList = s.classPorts[isa.Load]
+	s.loadPortsMask = s.classPortMask[isa.Load]
+	for _, p := range cpu.Vec512Ports {
+		s.vec512Mask |= 1 << p
+	}
+	s.robOccLUT = occLUT(cpu.ROBSize)
+	s.loadQOccLUT = occLUT(cpu.LoadQueue)
+
+	s.waitCnt = make([]uint8, robCap)
+	s.readyAt = make([]int64, robCap)
+	s.watchNext = make([]int32, 3*robCap)
+	s.readySet = make([]int32, 0, robCap)
+	s.timeHeap = make([]timedEntry, 0, robCap)
+	return s
+}
+
+// pushTimed adds entry ei, data-ready at cycle at, to the maturation heap.
+func (s *Sim) pushTimed(at int64, ei int32) {
+	h := append(s.timeHeap, timedEntry{at, ei})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].at <= h[i].at {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	s.timeHeap = h
+}
+
+func (s *Sim) popTimed() int32 {
+	h := s.timeHeap
+	ei := h[0].ei
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && h[l].at < h[m].at {
+			m = l
+		}
+		if r < n && h[r].at < h[m].at {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	s.timeHeap = h
+	return ei
+}
+
+// insertReady places a matured entry into readySet at its age position, so
+// the scan visits data-ready entries in exactly the order the exhaustive
+// age-ordered scan would attempt them.
+func (s *Sim) insertReady(ei int32) {
+	bl := int64(s.skel.bodyLen)
+	seq := s.robIter[ei]*bl + int64(s.robBody[ei])
+	rdy := s.readySet
+	lo, hi := 0, len(rdy)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		m := rdy[mid]
+		if s.robIter[m]*bl+int64(s.robBody[m]) < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	rdy = append(rdy, 0)
+	copy(rdy[lo+1:], rdy[lo:])
+	rdy[lo] = ei
+	s.readySet = rdy
+}
+
+// occLUT precomputes OccHist.Record's bucket for every occupancy 0..cap.
+func occLUT(capacity int) []uint8 {
+	if capacity <= 0 {
+		return nil
+	}
+	lut := make([]uint8, capacity+1)
+	for occ := 0; occ <= capacity; occ++ {
+		b := occ * OccBuckets / capacity
+		if b >= OccBuckets {
+			b = OccBuckets - 1
+		}
+		lut[occ] = uint8(b)
+	}
+	return lut
 }
 
 // Err reports a deferred construction error (an invalid cache geometry in
@@ -331,14 +556,14 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 	if s.hierErr != nil {
 		return s.hierErr
 	}
-	if err := prog.Validate(); err != nil {
-		return err
-	}
 	if iters <= 0 {
 		return fmt.Errorf("uarch: iters must be positive, got %d", iters)
 	}
-	prog.prepare()
-	s.reset(prog)
+	if err := s.bind(prog); err != nil {
+		return err
+	}
+	sk := s.skel
+	s.reset()
 	statsBefore := s.hier.Stats()
 
 	cpu := s.cpu
@@ -353,12 +578,14 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 	res.PortBusy = pb
 	res.ROBOcc.Cap = cpu.ROBSize
 	res.LoadQOcc.Cap = cpu.LoadQueue
-	body := prog.Body
-	deps := prog.deps
+	nr := sk.numRegs
+	slab := s.slab
+	bodyLen := sk.bodyLen
 
 	var cycle int64
 	var dispatchIter int64
 	var dispatchIdx int
+	var idleSkipped int64
 	traceDone := false
 	s.steady.begin(s, prog)
 
@@ -381,24 +608,29 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 		// Retire in order.
 		retiredUops := 0
 		for s.robCount > 0 {
-			head := &s.rob[s.robHead]
-			if !head.issued || head.completion > cycle {
+			h := s.robHead
+			if !s.robIssued[h] || s.robCompletion[h] > cycle {
 				break
 			}
-			u := &body[head.bodyIdx]
+			b := s.robBody[h]
+			uops := int(sk.uops[b])
 			// Instructions wider than the retire bandwidth (e.g. gathers)
 			// retire alone; otherwise respect the per-cycle budget.
-			if retiredUops > 0 && retiredUops+u.Instr.Uops > cpu.RetireWidth {
+			if retiredUops > 0 && retiredUops+uops > cpu.RetireWidth {
 				break
 			}
-			retiredUops += u.Instr.Uops
+			retiredUops += uops
 			res.Instructions++
-			res.Uops += uint64(u.Instr.Uops)
+			res.Uops += uint64(uops)
 			if s.trace != nil {
-				s.trace.add(TraceEvent{Kind: TraceRetire, Cycle: cycle, Iter: head.iter, Body: head.bodyIdx, Name: u.Instr.Name, Port: -1})
+				s.trace.add(TraceEvent{Kind: TraceRetire, Cycle: cycle, Iter: s.robIter[h], Body: b, Name: sk.body[b].Instr.Name, Port: -1})
 			}
-			s.uopsInROB -= u.Instr.Uops
-			s.robHead = (s.robHead + 1) % len(s.rob)
+			s.uopsInROB -= uops
+			h++
+			if h == len(s.robBody) {
+				h = 0
+			}
+			s.robHead = h
 			s.robCount--
 		}
 
@@ -408,58 +640,199 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 		// issue, so the classification sees the state that stalled it).
 		stall := stallRetiring
 		if retiredUops == 0 {
-			stall = s.classifyStall(body, deps, cycle)
+			stall = s.classifyStall(cycle)
 		}
 
-		// Issue from the scheduler in age order.
+		// Issue from the scheduler in age order. A scan below rsNextReady is
+		// provably fruitless (no slab cell changed since the bound was
+		// sampled) and is skipped wholesale; the cycle still accounts as an
+		// ordinary zero-issue cycle.
 		issuedUops := 0
 		issuedInstrs := 0
-		if len(s.rs) > 0 {
-			w := 0
-			for ri := 0; ri < len(s.rs); ri++ {
-				ei := s.rs[ri]
-				if issuedInstrs >= issueInstrCap {
-					s.rs[w] = ei
-					w++
-					continue
+		if cycle >= s.rsNextReady && (len(s.rs) > 0 || len(s.timeHeap) > 0 || len(s.readySet) > 0) {
+			// Mature event-tracked entries whose data-ready cycle has arrived
+			// into the age-ordered ready set.
+			for len(s.timeHeap) > 0 && s.timeHeap[0].at <= cycle {
+				s.insertReady(s.popTimed())
+			}
+			if len(s.rs) == 0 && len(s.readySet) == 0 {
+				// Every waiting entry is event-tracked with a future ready
+				// cycle: the heap minimum (non-empty here) is the exact next.
+				s.rsNextReady = s.timeHeap[0].at
+			} else {
+				// Snapshot port availability once; claims clear bits as the
+				// scan proceeds, and the lowest set bit of a class's masked
+				// ports is exactly the port an ascending scan would pick.
+				pm := uint32(0)
+				for i, f := range s.portFree {
+					if f <= cycle {
+						pm |= 1 << i
+					}
 				}
-				e := &s.rob[ei]
-				u := &body[e.bodyIdx]
-				if !s.srcsReady(e, &deps[e.bodyIdx], body, cycle) {
-					s.rs[w] = ei
-					w++
-					continue
+				if s.perturb != nil && s.perturb.PortFaultRate > 0 {
+					for m := pm; m != 0; m &= m - 1 {
+						p := bits.TrailingZeros32(m)
+						if s.perturb.PortFault(p, cycle) {
+							pm &^= 1 << p
+						}
+					}
 				}
-				lat, ok := s.tryIssue(e, u, prog, cycle)
-				if !ok {
-					s.rs[w] = ei
-					w++
-					continue
+				s.portMask = pm
+				s.scanGen++
+				gen := s.scanGen
+
+				minNext := int64(math.MaxInt64)
+				if len(s.timeHeap) > 0 {
+					minNext = s.timeHeap[0].at
 				}
-				e.issued = true
-				e.completion = cycle + int64(lat)
-				if u.Dst != NoReg {
-					s.regRing[e.iter%regRingSlots][u.Dst] = e.completion
+				// Merge-walk the resampled list and the ready set in age
+				// order, reproducing the attempt sequence of one exhaustive
+				// age-ordered scan over all waiting entries (event-tracked
+				// entries that are not yet ready are provably unissuable this
+				// cycle and need no visit).
+				bl := int64(bodyLen)
+				rs := s.rs
+				rdy := s.readySet
+				ai, bi := 0, 0
+				wa, wb := 0, 0
+				aSeq, bSeq := int64(math.MaxInt64), int64(math.MaxInt64)
+				if len(rs) > 0 {
+					aSeq = s.robIter[rs[0]]*bl + int64(s.robBody[rs[0]])
 				}
-				s.inflight.push(e.completion)
-				if s.trace != nil {
-					s.trace.add(TraceEvent{Kind: TraceIssue, Cycle: cycle, Dur: int64(lat), Iter: e.iter, Body: e.bodyIdx, Name: u.Instr.Name, Port: s.lastPort, Level: s.lastLevel})
-					s.trace.add(TraceEvent{Kind: TraceComplete, Cycle: e.completion, Iter: e.iter, Body: e.bodyIdx, Name: u.Instr.Name, Port: s.lastPort, Level: s.lastLevel})
+				if len(rdy) > 0 {
+					bSeq = s.robIter[rdy[0]]*bl + int64(s.robBody[rdy[0]])
 				}
-				issuedUops += u.Instr.Uops
-				issuedInstrs++
-				if u.Instr.Width == isa.W512 && u.Instr.Class.IsVector() {
-					res.Vec512Uops += uint64(u.Instr.Uops)
+				for ai < len(rs) || bi < len(rdy) {
+					fromA := aSeq <= bSeq
+					var ei int32
+					if fromA {
+						ei = rs[ai]
+					} else {
+						ei = rdy[bi]
+					}
+					issued := false
+					if issuedInstrs < issueInstrCap {
+						attempt := true
+						if fromA {
+							// Live-sample this entry's operand cells: its
+							// watched registers can be rewritten (accumulator
+							// redefinitions), so only current values decide.
+							so := int(ei) * 3
+							n := int(s.robSrcCnt[ei])
+							var ready int64
+							for k := 0; k < n; k++ {
+								v := slab[s.robSrc[so+k]]
+								if v == notIssued {
+									attempt = false
+									break
+								}
+								if v > ready {
+									ready = v
+								}
+							}
+							if attempt && ready > cycle {
+								// Data-ready at a known future cycle: a
+								// candidate for the scan-skip bound.
+								if ready < minNext {
+									minNext = ready
+								}
+								attempt = false
+							}
+						}
+						if attempt {
+							b := s.robBody[ei]
+							if s.blockedGen[b] == gen {
+								// A same-body entry already failed this scan
+								// and resources only shrink within one: same
+								// outcome, same bound.
+								if s.blockedRetry[b] < minNext {
+									minNext = s.blockedRetry[b]
+								}
+							} else if lat, ok := s.tryIssue(ei, b, cycle); !ok {
+								// Blocked on execution resources: retryAt is
+								// the earliest the failing conditions clear.
+								s.blockedGen[b] = gen
+								s.blockedRetry[b] = s.retryAt
+								if s.retryAt < minNext {
+									minNext = s.retryAt
+								}
+							} else {
+								issued = true
+								comp := cycle + int64(lat)
+								s.robIssued[ei] = true
+								s.robCompletion[ei] = comp
+								s.rsCount--
+								if o := s.robDst[ei]; o >= 0 {
+									slab[o] = comp
+									// Wake the consumers parked on this cell.
+									for node := s.watchHead[o]; node >= 0; node = s.watchNext[node] {
+										we := node / 3
+										if comp > s.readyAt[we] {
+											s.readyAt[we] = comp
+										}
+										s.waitCnt[we]--
+										if s.waitCnt[we] == 0 {
+											s.pushTimed(s.readyAt[we], we)
+										}
+									}
+									s.watchHead[o] = -1
+								}
+								s.inflight.push(comp)
+								if s.trace != nil {
+									s.trace.add(TraceEvent{Kind: TraceIssue, Cycle: cycle, Dur: int64(lat), Iter: s.robIter[ei], Body: b, Name: sk.body[b].Instr.Name, Port: s.lastPort, Level: s.lastLevel})
+									s.trace.add(TraceEvent{Kind: TraceComplete, Cycle: comp, Iter: s.robIter[ei], Body: b, Name: sk.body[b].Instr.Name, Port: s.lastPort, Level: s.lastLevel})
+								}
+								issuedUops += int(sk.uops[b])
+								issuedInstrs++
+								if sk.w512[b] {
+									res.Vec512Uops += uint64(sk.uops[b])
+								}
+								if sk.class[b] == isa.Prefetch {
+									res.PrefetchUops++
+								}
+							}
+						}
+					}
+					if fromA {
+						if !issued {
+							rs[wa] = ei
+							wa++
+						}
+						ai++
+						if ai < len(rs) {
+							aSeq = s.robIter[rs[ai]]*bl + int64(s.robBody[rs[ai]])
+						} else {
+							aSeq = int64(math.MaxInt64)
+						}
+					} else {
+						if !issued {
+							rdy[wb] = ei
+							wb++
+						}
+						bi++
+						if bi < len(rdy) {
+							bSeq = s.robIter[rdy[bi]]*bl + int64(s.robBody[rdy[bi]])
+						} else {
+							bSeq = int64(math.MaxInt64)
+						}
+					}
 				}
-				if u.Instr.Class == isa.Prefetch {
-					res.PrefetchUops++
+				s.rs = rs[:wa]
+				s.readySet = rdy[:wb]
+				if issuedInstrs > 0 || minNext == int64(math.MaxInt64) {
+					// An issue rewrote the slab and resource horizons, so the
+					// sampled bound is void (and the MaxInt64 case is a
+					// defensive clamp against an all-blocked scan with no
+					// finite retry bound).
+					s.rsNextReady = cycle + 1
+				} else {
+					s.rsNextReady = minNext
 				}
 			}
-			s.rs = s.rs[:w]
 		}
 		if Debug && cycle < 300 {
 			fmt.Printf("c%3d: rob=%d rs=%d issued=%d retired=%d dispIter=%d portFree=%v\n",
-				cycle, s.robCount, len(s.rs), issuedInstrs, retiredUops, dispatchIter, s.portFree)
+				cycle, s.robCount, s.rsCount, issuedInstrs, retiredUops, dispatchIter, s.portFree)
 		}
 		res.IssuedUops += uint64(issuedUops)
 		if issuedUops >= HistBuckets {
@@ -467,32 +840,115 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 		}
 		res.Hist[issuedUops]++
 
-		// Dispatch new instructions into ROB + scheduler.
+		// Dispatch new instructions into ROB + scheduler, resolving each
+		// entry's operand cells to slab offsets as it enters.
 		dispatched := 0
 		budget := cpu.DecodeWidth
 		for !traceDone && budget > 0 {
-			u := &body[dispatchIdx]
-			if s.uopsInROB+u.Instr.Uops > cpu.ROBSize || len(s.rs) >= cpu.RSSize || s.robCount >= len(s.rob) {
+			b := dispatchIdx
+			uops := int(sk.uops[b])
+			if s.uopsInROB+uops > cpu.ROBSize || s.rsCount >= cpu.RSSize || s.robCount >= len(s.robBody) {
 				break
 			}
-			if dispatchIdx == 0 {
-				slot := s.regRing[dispatchIter%regRingSlots]
-				for i := range slot {
-					slot[i] = notIssued
+			sameBase := int(dispatchIter&regRingMask) * nr
+			if b == 0 {
+				cells := slab[sameBase : sameBase+nr]
+				for i := range cells {
+					cells[i] = notIssued
+				}
+				// The slot's watcher lists are dead along with its cells
+				// (any live watcher's producer issued long before the ring
+				// wrapped around to this slot).
+				wh := s.watchHead[sameBase : sameBase+nr]
+				for i := range wh {
+					wh[i] = -1
 				}
 			}
-			s.rob[s.robTail] = entry{bodyIdx: int32(dispatchIdx), iter: dispatchIter}
-			s.rs = append(s.rs, int32(s.robTail))
-			if s.trace != nil {
-				s.trace.add(TraceEvent{Kind: TraceDispatch, Cycle: cycle, Iter: dispatchIter, Body: int32(dispatchIdx), Name: u.Instr.Name, Port: -1})
+			t := s.robTail
+			s.robBody[t] = int32(b)
+			s.robIter[t] = dispatchIter
+			s.robIssued[t] = false
+			if d := sk.dst[b]; d != NoReg {
+				s.robDst[t] = int32(sameBase + int(d))
+			} else {
+				s.robDst[t] = -1
 			}
-			s.robTail = (s.robTail + 1) % len(s.rob)
+			so := t * 3
+			nsrc := 0
+			waiting := 0
+			safe := sk.srcSafe[b]
+			var srcBound int64
+			for k := 0; k < 3; k++ {
+				var o int32
+				switch sk.srcKind[b*3+k] {
+				case srcSame:
+					o = int32(sameBase + int(sk.srcReg[b*3+k]))
+				case srcCarried:
+					if dispatchIter == 0 {
+						continue // pre-loop value, always ready
+					}
+					o = int32(int((dispatchIter-1)&regRingMask)*nr + int(sk.srcReg[b*3+k]))
+				default:
+					continue
+				}
+				s.robSrc[so+nsrc] = o
+				if v := slab[o]; v == notIssued {
+					if safe {
+						// Park this operand on the producer cell's watcher
+						// list; the producer's issue resolves it.
+						node := int32(so + nsrc)
+						s.watchNext[node] = s.watchHead[o]
+						s.watchHead[o] = node
+					}
+					waiting++
+				} else if v > srcBound {
+					srcBound = v
+				}
+				nsrc++
+			}
+			s.robSrcCnt[t] = uint8(nsrc)
+			// Fold the new entry into the scan-skip bound: an entry with an
+			// unissued producer cannot issue before a scan that issues the
+			// producer (which re-arms the bound), so only resolved entries
+			// lower it. Sampled values stay exact until the next issue.
+			if safe {
+				s.waitCnt[t] = uint8(waiting)
+				s.readyAt[t] = srcBound
+				if waiting == 0 {
+					s.pushTimed(srcBound, int32(t))
+					if srcBound < cycle+1 {
+						srcBound = cycle + 1
+					}
+					if srcBound < s.rsNextReady {
+						s.rsNextReady = srcBound
+					}
+				}
+			} else {
+				if waiting == 0 {
+					if srcBound < cycle+1 {
+						srcBound = cycle + 1
+					}
+					if srcBound < s.rsNextReady {
+						s.rsNextReady = srcBound
+					}
+				}
+				s.rs = append(s.rs, int32(t))
+			}
+			s.rsCount++
+			if s.trace != nil {
+				s.trace.add(TraceEvent{Kind: TraceDispatch, Cycle: cycle, Iter: dispatchIter, Body: int32(b), Name: sk.body[b].Instr.Name, Port: -1})
+			}
+			t++
+			if t == len(s.robBody) {
+				t = 0
+			}
+			s.robTail = t
 			s.robCount++
-			s.uopsInROB += u.Instr.Uops
-			budget -= u.Instr.Uops
+			s.uopsInROB += uops
+			budget -= uops
 			dispatched++
 			dispatchIdx++
-			if dispatchIdx == len(body) {
+			if dispatchIdx == bodyLen {
 				dispatchIdx = 0
 				dispatchIter++
 				if dispatchIter == iters {
@@ -500,12 +956,15 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 				}
 			}
 		}
-
 		// Per-cycle observability accounting: stall bucket, structure
 		// occupancy, port busyness.
 		res.Stalls.add(stall, 1)
-		res.ROBOcc.Record(s.uopsInROB, 1)
-		res.LoadQOcc.Record(len(s.loadQ), 1)
+		if s.robOccLUT != nil {
+			res.ROBOcc.Buckets[s.robOccLUT[s.uopsInROB]]++
+		}
+		if s.loadQOccLUT != nil {
+			res.LoadQOcc.Buckets[s.loadQOccLUT[len(s.loadQ)]]++
+		}
 		for i, f := range s.portFree {
 			if f > cycle {
 				res.PortBusy[i]++
@@ -517,12 +976,17 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 			next := s.nextEvent(cycle)
 			if next > cycle+1 {
 				skipped := uint64(next - cycle - 1)
+				idleSkipped += int64(skipped)
 				res.Hist[0] += skipped
 				// The skipped cycles stall for the same reason and at the
 				// same occupancies as the current one.
 				res.Stalls.add(stall, skipped)
-				res.ROBOcc.Record(s.uopsInROB, skipped)
-				res.LoadQOcc.Record(len(s.loadQ), skipped)
+				if s.robOccLUT != nil {
+					res.ROBOcc.Buckets[s.robOccLUT[s.uopsInROB]] += skipped
+				}
+				if s.loadQOccLUT != nil {
+					res.LoadQOcc.Buckets[s.loadQOccLUT[len(s.loadQ)]] += skipped
+				}
 				for i, f := range s.portFree {
 					if b := min(f, next) - cycle - 1; b > 0 {
 						res.PortBusy[i] += uint64(b)
@@ -536,10 +1000,10 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 	}
 
 	res.Cycles = uint64(cycle)
-	res.Elems = uint64(iters) * uint64(prog.ElemsPerIter)
+	res.Elems = uint64(iters) * uint64(sk.elemsPerIter)
 	res.Cache = statsDelta(s.hier.Stats(), statsBefore)
 	res.FreqGHz = EffectiveFreq(cpu, prog, res)
-	recordTotals(res, s.steady.skippedCycles)
+	recordTotals(res, s.steady.skippedCycles, idleSkipped)
 
 	if check.Enabled() {
 		if err := s.steady.invariantErr; err != nil {
@@ -548,7 +1012,7 @@ func (s *Sim) RunInto(res *Result, prog *Program, iters int64) error {
 		if err := res.SelfCheck(); err != nil {
 			return err
 		}
-		if want := uint64(iters) * uint64(len(body)); res.Instructions != want {
+		if want := uint64(iters) * uint64(bodyLen); res.Instructions != want {
 			return fmt.Errorf("uarch: selfcheck %q: retired %d instructions, want iters*body = %d", prog.Name, res.Instructions, want)
 		}
 	}
@@ -568,31 +1032,14 @@ func statsDelta(a, b cache.Stats) cache.Stats {
 	}
 }
 
-func (s *Sim) reset(prog *Program) {
-	robCap := s.cpu.ROBSize + 8
-	if cap(s.rob) < robCap {
-		s.rob = make([]entry, robCap)
-	}
-	s.rob = s.rob[:robCap]
+// reset rewinds the pipeline state for a fresh run. The slab is not cleared:
+// each iteration's cells are reset when it dispatches, before any read.
+func (s *Sim) reset() {
 	s.robHead, s.robTail, s.robCount, s.uopsInROB = 0, 0, 0, 0
 	s.rs = s.rs[:0]
-	if len(s.regRing) != regRingSlots {
-		s.regRing = make([][]int64, regRingSlots)
-	}
-	// Grow each ring slot in place: slots keep their backing arrays across
-	// runs, so alternating programs of different register counts (a pruning
-	// search) stop reallocating the whole ring. Stale values are harmless —
-	// a slot is cleared when its iteration dispatches, before any read.
-	for i := range s.regRing {
-		if cap(s.regRing[i]) < prog.NumRegs {
-			s.regRing[i] = make([]int64, prog.NumRegs)
-		} else {
-			s.regRing[i] = s.regRing[i][:prog.NumRegs]
-		}
-	}
-	if len(s.portFree) != len(s.cpu.Ports) {
-		s.portFree = make([]int64, len(s.cpu.Ports))
-	}
+	s.rsCount = 0
+	s.readySet = s.readySet[:0]
+	s.timeHeap = s.timeHeap[:0]
 	for i := range s.portFree {
 		s.portFree[i] = 0
 	}
@@ -600,55 +1047,45 @@ func (s *Sim) reset(prog *Program) {
 	s.storeQ = s.storeQ[:0]
 	s.lfb = s.lfb[:0]
 	s.inflight = s.inflight[:0]
+	s.rsNextReady = 0
 }
 
-// srcsReady reports whether every source operand of e is available at cycle.
-func (s *Sim) srcsReady(e *entry, d *depInfo, body []UOp, cycle int64) bool {
-	for k := 0; k < 3; k++ {
-		src := body[e.bodyIdx].Srcs[k]
-		if src == NoReg {
-			continue
-		}
-		var ready int64
-		switch {
-		case d.producer[k] >= 0:
-			ready = s.regRing[e.iter%regRingSlots][body[d.producer[k]].Dst]
-		case d.carried[k] >= 0:
-			if e.iter == 0 {
-				continue // pre-loop value, ready at start
-			}
-			ready = s.regRing[(e.iter-1)%regRingSlots][body[d.carried[k]].Dst]
-		default:
-			continue // loop-invariant
-		}
-		if ready == notIssued || ready > cycle {
-			return false
-		}
-	}
-	return true
-}
-
-// tryIssue attempts to claim execution resources for u at cycle; on success
-// it returns the total result latency (including cache effects).
-func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency int, ok bool) {
-	in := u.Instr
-	baseLat := s.instrLatency(in)
-	occ := int64(s.instrOccupancy(in))
+// tryIssue attempts to claim execution resources for ROB entry ei (body µop
+// b) at cycle; on success it returns the total result latency (including
+// cache effects). On failure it sets retryAt to the earliest cycle the
+// failing conditions could clear — exact while nothing issues, since ports
+// and queues only change at issues and at their own already-known horizons.
+func (s *Sim) tryIssue(ei, b int32, cycle int64) (latency int, ok bool) {
+	sk := s.skel
+	baseLat := int(sk.lat[b])
+	occ := int64(sk.occ[b])
 	s.lastPort, s.lastLevel = -1, 0
-	switch in.Class {
+	switch sk.class[b] {
 	case isa.Load:
 		if len(s.loadQ) >= s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
+			t := cycle + 1
+			if len(s.loadQ) >= s.cpu.LoadQueue && s.loadQ[0] > t {
+				t = s.loadQ[0]
+			}
+			if len(s.lfb) >= s.cpu.LineFillBuffers && s.lfb[0] > t {
+				t = s.lfb[0]
+			}
+			s.retryAt = t
 			return 0, false
 		}
-		port, found := s.freePort(in.Class, cycle)
+		port, found := s.freePort(isa.Load, cycle)
 		if !found {
 			return 0, false
 		}
-		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
+		a := &sk.addr[b]
+		addr := a.address(s.robIter[ei], int(a.LaneSel), sk.elemsPerIter)
 		extra, lvl := s.cacheExtra(addr)
+		if s.steady.recording {
+			s.steady.record(b, s.robIter[ei], int(a.LaneSel), extra)
+		}
 		lat := baseLat + extra
 		s.lastPort, s.lastLevel = int8(port), int8(lvl)
-		s.portFree[port] = cycle + occ
+		s.claimPort(port, cycle, occ)
 		s.loadQ.push(cycle + int64(lat))
 		if extra > 0 {
 			s.lfb.push(cycle + int64(lat))
@@ -659,23 +1096,46 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		// A gather's lane loads coalesce into roughly lanes/2 load-buffer
 		// entries (line-combining in the fill buffers) and keep both load
 		// ports busy for the occupancy window.
-		lqSlots := in.Lanes / 2
-		if lqSlots < 1 {
-			lqSlots = 1
-		}
+		lqSlots := int(sk.lqSlots[b])
 		if len(s.loadQ)+lqSlots > s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
+			t := cycle + 1
+			if len(s.loadQ)+lqSlots > s.cpu.LoadQueue && len(s.loadQ) > 0 && s.loadQ[0] > t {
+				t = s.loadQ[0]
+			}
+			if len(s.lfb) >= s.cpu.LineFillBuffers && s.lfb[0] > t {
+				t = s.lfb[0]
+			}
+			s.retryAt = t
 			return 0, false
 		}
-		p2, ok2 := s.loadPorts(cycle)
-		if !ok2 {
+		if s.loadPortsMask == 0 || s.portMask&s.loadPortsMask != s.loadPortsMask {
+			// All load ports must be simultaneously free and unfaulted; the
+			// bound is the latest busy port's horizon.
+			t := cycle + 1
+			if s.perturb == nil || s.perturb.PortFaultRate == 0 {
+				for _, p := range s.loadPortsList {
+					if f := s.portFree[p]; f > t {
+						t = f
+					}
+				}
+			}
+			if s.loadPortsMask == 0 {
+				t = int64(math.MaxInt64)
+			}
+			s.retryAt = t
 			return 0, false
 		}
 		maxExtra := 0
 		misses := 0
 		s.lastLevel = 1
-		for lane := 0; lane < in.Lanes; lane++ {
-			addr := u.Addr.address(e.iter, lane, prog.ElemsPerIter)
+		a := &sk.addr[b]
+		iter := s.robIter[ei]
+		for lane := 0; lane < int(sk.lanes[b]); lane++ {
+			addr := a.address(iter, lane, sk.elemsPerIter)
 			extra, lvl := s.cacheExtra(addr)
+			if s.steady.recording {
+				s.steady.record(b, iter, lane, extra)
+			}
 			if extra > maxExtra {
 				maxExtra = extra
 				s.lastLevel = int8(lvl)
@@ -685,9 +1145,12 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 			}
 		}
 		lat := baseLat + maxExtra
-		s.lastPort = int8(p2[0])
-		for _, p := range p2 {
+		s.lastPort = s.loadPortsList[0]
+		for _, p := range s.loadPortsList {
 			s.portFree[p] = cycle + occ
+		}
+		if occ > 0 {
+			s.portMask &^= s.loadPortsMask
 		}
 		done := cycle + int64(lat)
 		for i := 0; i < lqSlots; i++ {
@@ -700,16 +1163,25 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 
 	case isa.Store:
 		if len(s.storeQ) >= s.cpu.StoreQueue {
+			t := cycle + 1
+			if len(s.storeQ) > 0 && s.storeQ[0] > t {
+				t = s.storeQ[0]
+			}
+			s.retryAt = t
 			return 0, false
 		}
-		port, found := s.freePort(in.Class, cycle)
+		port, found := s.freePort(isa.Store, cycle)
 		if !found {
 			return 0, false
 		}
-		addr := u.Addr.address(e.iter, 0, prog.ElemsPerIter)
+		a := &sk.addr[b]
+		addr := a.address(s.robIter[ei], 0, sk.elemsPerIter)
 		_, lvl := s.hier.Access(addr)
+		if s.steady.recording {
+			s.steady.record(b, s.robIter[ei], 0, 0)
+		}
 		s.lastPort, s.lastLevel = int8(port), int8(lvl)
-		s.portFree[port] = cycle + occ
+		s.claimPort(port, cycle, occ)
 		s.storeQ.push(cycle + int64(baseLat) + 4)
 		return baseLat, true
 
@@ -719,16 +1191,26 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 		// bandwidth bound that keeps prefetch-everything engines honest).
 		// Sequential-stream prefetches are serviced by the L2 streamer path
 		// and bypass the L1 fill buffers.
-		isStream := u.Addr.Kind == AddrStride
+		isStream := sk.isStream[b]
 		if !isStream && len(s.lfb) >= s.cpu.LineFillBuffers {
+			t := cycle + 1
+			if s.lfb[0] > t {
+				t = s.lfb[0]
+			}
+			s.retryAt = t
 			return 0, false
 		}
 		port, found := s.freePort(isa.Prefetch, cycle)
 		if !found {
 			return 0, false
 		}
-		addr := u.Addr.address(e.iter, int(u.Addr.LaneSel), prog.ElemsPerIter)
-		if lvl := s.hier.Prefetch(addr); lvl > 0 {
+		a := &sk.addr[b]
+		addr := a.address(s.robIter[ei], int(a.LaneSel), sk.elemsPerIter)
+		lvl := s.hier.Prefetch(addr)
+		if s.steady.recording {
+			s.steady.record(b, s.robIter[ei], int(a.LaneSel), lvl)
+		}
+		if lvl > 0 {
 			s.lastLevel = int8(lvl)
 			if !isStream {
 				// Prefetch fills are fire-and-forget: the buffer frees when
@@ -738,88 +1220,92 @@ func (s *Sim) tryIssue(e *entry, u *UOp, prog *Program, cycle int64) (latency in
 			}
 		}
 		s.lastPort = int8(port)
-		s.portFree[port] = cycle + occ
+		s.claimPort(port, cycle, occ)
 		return baseLat, true
 	}
 
 	// Arithmetic classes.
-	if in.Width == isa.W512 && in.Class.IsVector() {
-		return s.issue512(in, cycle)
+	if sk.w512[b] {
+		return s.issue512(b, cycle)
 	}
-	port, found := s.freePort(in.Class, cycle)
+	port, found := s.freePort(sk.class[b], cycle)
 	if !found {
 		return 0, false
 	}
 	s.lastPort = int8(port)
-	s.portFree[port] = cycle + occ
+	s.claimPort(port, cycle, occ)
 	return baseLat, true
 }
 
 // issue512 places a 512-bit vector µop on one of the 512-bit unit ports.
 // Shuffles run on the (always 512-bit-capable) shuffle unit instead.
-func (s *Sim) issue512(in *isa.Instr, cycle int64) (int, bool) {
-	lat := s.instrLatency(in)
-	occ := int64(s.instrOccupancy(in))
-	if in.Class == isa.VecShuffle {
-		for i := range s.cpu.Ports {
-			if s.cpu.Ports[i].CanRun(isa.VecShuffle) && s.portFree[i] <= cycle && !s.portFaulted(i, cycle) {
-				s.lastPort = int8(i)
-				s.portFree[i] = cycle + occ
-				return lat, true
-			}
+func (s *Sim) issue512(b int32, cycle int64) (int, bool) {
+	sk := s.skel
+	lat := int(sk.lat[b])
+	occ := int64(sk.occ[b])
+	if sk.class[b] == isa.VecShuffle {
+		m := s.classPortMask[isa.VecShuffle] & s.portMask
+		if m == 0 {
+			s.retryAt = s.portRetry(s.classPortMask[isa.VecShuffle], cycle)
+			return 0, false
 		}
-		return 0, false
+		p := bits.TrailingZeros32(m)
+		s.lastPort = int8(p)
+		s.claimPort(p, cycle, occ)
+		return lat, true
 	}
+	// Vec512Ports preserves the model's configured preference order, which
+	// need not be ascending, so this scans the list rather than the mask.
 	for _, p := range s.cpu.Vec512Ports {
-		if s.portFree[p] <= cycle && !s.portFaulted(p, cycle) {
+		if s.portMask&(1<<p) != 0 {
 			s.lastPort = int8(p)
-			s.portFree[p] = cycle + occ
+			s.claimPort(p, cycle, occ)
 			return lat, true
 		}
 	}
+	s.retryAt = s.portRetry(s.vec512Mask, cycle)
 	return 0, false
 }
 
-// freePort finds a free port that accepts class c at cycle.
+// freePort finds a free port that accepts class c at cycle: the lowest set
+// bit of the masked availability snapshot is the same port the previous
+// ascending portFree scan selected. On failure it sets retryAt.
 func (s *Sim) freePort(c isa.Class, cycle int64) (int, bool) {
-	for i := range s.cpu.Ports {
-		if s.cpu.Ports[i].CanRun(c) && s.portFree[i] <= cycle && !s.portFaulted(i, cycle) {
-			return i, true
+	m := s.classPortMask[c] & s.portMask
+	if m == 0 {
+		s.retryAt = s.portRetry(s.classPortMask[c], cycle)
+		return 0, false
+	}
+	return bits.TrailingZeros32(m), true
+}
+
+// claimPort occupies port until cycle+occ and keeps the scan's availability
+// snapshot in sync (a zero-occupancy claim leaves the port free this cycle,
+// exactly as the portFree comparison would).
+func (s *Sim) claimPort(port int, cycle, occ int64) {
+	s.portFree[port] = cycle + occ
+	if occ > 0 {
+		s.portMask &^= 1 << port
+	}
+}
+
+// portRetry bounds when any port in mask could next be claimable. With
+// fault injection active a currently-faulted port may clear next cycle, so
+// the bound degrades to cycle+1.
+func (s *Sim) portRetry(mask uint32, cycle int64) int64 {
+	if s.perturb != nil && s.perturb.PortFaultRate > 0 {
+		return cycle + 1
+	}
+	t := int64(math.MaxInt64)
+	for m := mask; m != 0; m &= m - 1 {
+		if f := s.portFree[bits.TrailingZeros32(m)]; f < t {
+			t = f
 		}
 	}
-	return 0, false
-}
-
-// loadPorts claims both load ports for a gather.
-func (s *Sim) loadPorts(cycle int64) ([]int, bool) {
-	var ports []int
-	for i := range s.cpu.Ports {
-		if s.cpu.Ports[i].CanRun(isa.Load) {
-			if s.portFree[i] > cycle || s.portFaulted(i, cycle) {
-				return nil, false
-			}
-			ports = append(ports, i)
-		}
+	if t <= cycle {
+		t = cycle + 1
 	}
-	return ports, len(ports) > 0
-}
-
-// instrLatency is the instruction's result latency under the active
-// perturbation (the table value when none is installed).
-func (s *Sim) instrLatency(in *isa.Instr) int {
-	if s.perturb == nil {
-		return in.Latency
-	}
-	return s.perturb.Latency(in)
-}
-
-// instrOccupancy is the instruction's port-occupancy (reciprocal
-// throughput) under the active perturbation.
-func (s *Sim) instrOccupancy(in *isa.Instr) int {
-	if s.perturb == nil {
-		return in.Occupancy
-	}
-	return s.perturb.Occupancy(in)
+	return t
 }
 
 // portFaulted reports whether fault injection holds port unavailable at

@@ -150,37 +150,62 @@ func (h *OccHist) scale(f float64) {
 // classifyStall attributes one non-retiring cycle. It inspects the oldest
 // in-flight instruction — the one blocking retirement — mirroring the checks
 // tryIssue performs, without mutating any state.
-func (s *Sim) classifyStall(body []UOp, deps []depInfo, cycle int64) stallKind {
+func (s *Sim) classifyStall(cycle int64) stallKind {
 	if s.robCount == 0 {
 		return stallFrontend
 	}
-	head := &s.rob[s.robHead]
-	u := &body[head.bodyIdx]
-	if head.issued {
+	sk := s.skel
+	h := s.robHead
+	b := s.robBody[h]
+	if s.robIssued[h] {
 		// Executing: charge the wait to its result latency.
-		if u.Instr.Class.IsMemory() {
+		if sk.class[b].IsMemory() {
 			return stallMemory
 		}
 		return stallDependency
 	}
-	if !s.srcsReady(head, &deps[head.bodyIdx], body, cycle) {
-		if s.blockedOnMemory(head, &deps[head.bodyIdx], body, cycle) {
+	// Operand readiness, re-deriving each operand's slab cell from the
+	// skeleton (the per-entry robSrc list is packed and drops the operand
+	// slot, which the memory-producer attribution needs).
+	iter := s.robIter[h]
+	nr := sk.numRegs
+	base := int(iter&regRingMask) * nr
+	ready := true
+	memBlocked := false
+	for k := 0; k < 3; k++ {
+		var o int
+		switch sk.srcKind[int(b)*3+k] {
+		case srcSame:
+			o = base + int(sk.srcReg[int(b)*3+k])
+		case srcCarried:
+			if iter == 0 {
+				continue
+			}
+			o = int((iter-1)&regRingMask)*nr + int(sk.srcReg[int(b)*3+k])
+		default:
+			continue
+		}
+		if v := s.slab[o]; v == notIssued || v > cycle {
+			ready = false
+			if sk.srcMem[int(b)*3+k] {
+				memBlocked = true
+			}
+		}
+	}
+	if !ready {
+		if memBlocked {
 			return stallMemory
 		}
 		return stallDependency
 	}
 	// Operands ready: an execution resource is the blocker.
-	switch u.Instr.Class {
+	switch sk.class[b] {
 	case isa.Load:
 		if len(s.loadQ) >= s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
 			return stallMemory
 		}
 	case isa.GatherOp:
-		lqSlots := u.Instr.Lanes / 2
-		if lqSlots < 1 {
-			lqSlots = 1
-		}
-		if len(s.loadQ)+lqSlots > s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
+		if len(s.loadQ)+int(sk.lqSlots[b]) > s.cpu.LoadQueue || len(s.lfb) >= s.cpu.LineFillBuffers {
 			return stallMemory
 		}
 	case isa.Store:
@@ -189,34 +214,4 @@ func (s *Sim) classifyStall(body []UOp, deps []depInfo, cycle int64) stallKind {
 		}
 	}
 	return stallBackendPort
-}
-
-// blockedOnMemory reports whether any not-yet-available source operand of e
-// is produced by a memory-class instruction.
-func (s *Sim) blockedOnMemory(e *entry, d *depInfo, body []UOp, cycle int64) bool {
-	for k := 0; k < 3; k++ {
-		src := body[e.bodyIdx].Srcs[k]
-		if src == NoReg {
-			continue
-		}
-		var ready int64
-		var prod int32
-		switch {
-		case d.producer[k] >= 0:
-			prod = d.producer[k]
-			ready = s.regRing[e.iter%regRingSlots][body[prod].Dst]
-		case d.carried[k] >= 0:
-			if e.iter == 0 {
-				continue
-			}
-			prod = d.carried[k]
-			ready = s.regRing[(e.iter-1)%regRingSlots][body[prod].Dst]
-		default:
-			continue
-		}
-		if (ready == notIssued || ready > cycle) && body[prod].Instr.Class.IsMemory() {
-			return true
-		}
-	}
-	return false
 }

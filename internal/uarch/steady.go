@@ -65,9 +65,25 @@ type steadyState struct {
 	buf     []byte
 	heapTmp []int64
 	regTmp  []int64
+	whTmp   []int32
 
 	skippedIters  int64
 	skippedCycles int64
+
+	// replayMode marks a non-fastEligible run: the digest covers the core
+	// alone and recurrences are exploited by response-verified period replay
+	// (see replay.go) instead of a wholesale state jump.
+	replayMode bool
+	// recording is set while the period after a detected recurrence is
+	// re-simulated slowly with every hierarchy call captured; tryIssue's
+	// memory paths consult it.
+	recording    bool
+	recStartIter int64
+	recStartCycle int64
+	recP, recD   int64
+	recDigest    []byte
+	recRes       Result
+	recCalls     []recCall
 
 	// invariantErr records a steadyDeltaCheck violation found while
 	// extrapolating (when self-checks are enabled); RunInto surfaces it as
@@ -91,14 +107,21 @@ func (s *Sim) FastForwarded() (iters, cycles int64) {
 func (st *steadyState) begin(s *Sim, prog *Program) {
 	st.skippedIters, st.skippedCycles = 0, 0
 	st.active = false
+	st.recording = false
 	st.invariantErr = nil
-	if s.fastOff || !prog.fastEligible || s.trace != nil || Debug {
+	if s.fastOff || s.trace != nil || Debug {
 		return
 	}
 	if s.perturb != nil && s.perturb.PortFaultRate > 0 {
 		return
 	}
 	st.active = true
+	// Eligibility is read from the bound skeleton: on a skeleton-cache hit
+	// the program's own lazy prepare() never ran, so prog.fastEligible may be
+	// stale-zero while the skeleton carries the prepared value. Ineligible
+	// programs run in replay mode: core-only digests, response-verified
+	// period replay instead of a state jump (see replay.go).
+	st.replayMode = !s.skel.fastEligible
 	st.lastIter = 0
 	st.seen = 0
 	st.next = 0
@@ -106,6 +129,10 @@ func (st *steadyState) begin(s *Sim, prog *Program) {
 		st.ring[i].valid = false
 	}
 	st.addrs = st.addrs[:0]
+	if st.replayMode {
+		st.lines = st.lines[:0]
+		return
+	}
 	for i := range prog.Body {
 		u := &prog.Body[i]
 		if !u.Instr.Class.IsMemory() {
@@ -131,12 +158,38 @@ func (st *steadyState) begin(s *Sim, prog *Program) {
 // state, extrapolate on a recurrence, or remember the snapshot.
 func (st *steadyState) observe(s *Sim, res *Result, cycle, dispatchIter *int64, dispatchIdx int, iters int64) {
 	st.lastIter = *dispatchIter
-	st.seen++
-	if st.seen > steadyMaxBoundaries {
-		st.active = false
-		return
+	wasRecording := st.recording
+	if wasRecording && *dispatchIter < st.recStartIter+st.recP {
+		return // mid-recording boundary: keep capturing the period
+	}
+	if !wasRecording {
+		st.seen++
+		if st.seen > steadyMaxBoundaries {
+			st.active = false
+			return
+		}
 	}
 	digest, minIter, ok := st.encode(s, *cycle, *dispatchIter, dispatchIdx)
+	if wasRecording {
+		// The recording window just closed. If the boundary state recurred
+		// at exactly p iterations (wide dispatch can overshoot a boundary,
+		// which voids the window), the captured calls are one canonical
+		// period — self-contained proof of periodicity regardless of the
+		// originally detected cycle delta — and replay starts here.
+		// Otherwise the trajectory shifted while recording; fall through to
+		// ordinary detection at this boundary.
+		st.recording = false
+		if ok && *dispatchIter == st.recStartIter+st.recP && bytes.Equal(digest, st.recDigest) {
+			st.recD = *cycle - st.recStartCycle
+			if check.Enabled() {
+				if err := steadyDeltaCheck(res, &st.recRes, st.recD); err != nil {
+					st.invariantErr = err
+				}
+			}
+			st.replayRun(s, res, cycle, dispatchIter, dispatchIdx, minIter, iters)
+			return
+		}
+	}
 	if !ok {
 		return
 	}
@@ -153,6 +206,16 @@ func (st *steadyState) observe(s *Sim, res *Result, cycle, dispatchIter *int64, 
 		// Leave at least one iteration of tail so the loop-exit transition
 		// and the ROB drain are simulated, not extrapolated.
 		k := (iters - 1 - *dispatchIter) / p
+		if st.replayMode {
+			// One period records, so at least one more must remain to
+			// replay.
+			if k < 2 {
+				st.active = false
+				return
+			}
+			st.startRecording(res, digest, p, d, *dispatchIter, *cycle)
+			return
+		}
 		if k <= 0 {
 			st.active = false
 			return
@@ -170,7 +233,8 @@ func (st *steadyState) observe(s *Sim, res *Result, cycle, dispatchIter *int64, 
 		s.shiftSteady(k*p, k*d, minIter, *dispatchIter, dispatchIdx)
 		*cycle += k * d
 		*dispatchIter += k * p
-		st.skippedIters, st.skippedCycles = k*p, k*d
+		st.skippedIters += k * p
+		st.skippedCycles += k * d
 		st.active = false
 		return
 	}
@@ -199,15 +263,16 @@ func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int
 	minIter = dispatchIter
 	u64(uint64(dispatchIdx))
 	u64(uint64(s.robCount))
+	robLen := len(s.robBody)
 	for idx := 0; idx < s.robCount; idx++ {
-		e := &s.rob[(s.robHead+idx)%len(s.rob)]
-		if e.iter < minIter {
-			minIter = e.iter
+		e := (s.robHead + idx) % robLen
+		if s.robIter[e] < minIter {
+			minIter = s.robIter[e]
 		}
-		u64(uint64(e.bodyIdx))
-		u64(uint64(dispatchIter - e.iter))
-		if e.issued {
-			c := e.completion - cycle
+		u64(uint64(s.robBody[e]))
+		u64(uint64(dispatchIter - s.robIter[e]))
+		if s.robIssued[e] {
+			c := s.robCompletion[e] - cycle
 			if c < 0 {
 				c = 0
 			}
@@ -223,10 +288,13 @@ func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int
 		return nil, 0, false
 	}
 	u64(uint64(s.uopsInROB))
-	u64(uint64(len(s.rs)))
-	for _, ri := range s.rs {
-		u64(uint64((int(ri) - s.robHead + len(s.rob)) % len(s.rob)))
-	}
+	// The waiting set needs no encoding of its own: entries leave the
+	// scheduler exactly when they issue, so it is always the unissued ROB
+	// entries in age order — fully determined by the per-entry issued flags
+	// above, in both scheduler modes. (The event scheduler's watcher lists,
+	// maturation heap, and ready set are equally derived from the ROB and
+	// slab contents; states with equal digests replay identically however
+	// that derived state is partitioned.)
 	for _, f := range s.portFree {
 		c := f - cycle
 		if c < 0 {
@@ -255,8 +323,10 @@ func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int
 	if dispatchIdx > 0 {
 		hi = dispatchIter + 1
 	}
+	nr := s.skel.numRegs
 	for j := minIter - 1; j < hi; j++ {
-		for _, v := range s.regRing[j%regRingSlots] {
+		base := int(j&regRingMask) * nr
+		for _, v := range s.slab[base : base+nr] {
 			switch {
 			case v == notIssued:
 				u64(^uint64(0))
@@ -267,7 +337,11 @@ func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int
 			}
 		}
 	}
-	buf = s.hier.AppendSteadyState(buf, st.lines)
+	// In replay mode the hierarchy is deliberately absent from the digest:
+	// its divergence is caught per access by response verification instead.
+	if !st.replayMode {
+		buf = s.hier.AppendSteadyState(buf, st.lines)
+	}
 	st.buf = buf
 	return buf, minIter, true
 }
@@ -277,16 +351,36 @@ func (st *steadyState) encode(s *Sim, cycle, dispatchIter int64, dispatchIdx int
 // iteration number by kp, and the live register-ring window rotates to the
 // slots its shifted iteration numbers index.
 func (s *Sim) shiftSteady(kp, kd, minIter, dispatchIter int64, dispatchIdx int) {
+	nr := s.skel.numRegs
+	ringLen := regRingSlots * nr
+	// The shifted iteration numbers index ring slots rotated by kp, so every
+	// resolved slab offset rotates with them.
+	rot := int(kp&regRingMask) * nr
+	robLen := len(s.robBody)
 	for idx := 0; idx < s.robCount; idx++ {
-		e := &s.rob[(s.robHead+idx)%len(s.rob)]
-		e.iter += kp
-		if e.issued {
-			e.completion += kd
+		e := (s.robHead + idx) % robLen
+		s.robIter[e] += kp
+		if s.robIssued[e] {
+			s.robCompletion[e] += kd
+		} else {
+			// Resolved-operand completions folded so far are absolute cycles.
+			s.readyAt[e] += kd
 		}
-	}
-	nr := 0
-	if len(s.regRing) > 0 {
-		nr = len(s.regRing[0])
+		so := e * 3
+		for k := 0; k < int(s.robSrcCnt[e]); k++ {
+			o := s.robSrc[so+k] + int32(rot)
+			if o >= int32(ringLen) {
+				o -= int32(ringLen)
+			}
+			s.robSrc[so+k] = o
+		}
+		if o := s.robDst[e]; o >= 0 {
+			o += int32(rot)
+			if o >= int32(ringLen) {
+				o -= int32(ringLen)
+			}
+			s.robDst[e] = o
+		}
 	}
 	hi := dispatchIter // exclusive upper slot is hi
 	if dispatchIdx > 0 {
@@ -298,26 +392,41 @@ func (s *Sim) shiftSteady(kp, kd, minIter, dispatchIter int64, dispatchIdx int) 
 		s.steady.regTmp = make([]int64, need)
 	}
 	tmp := s.steady.regTmp[:need]
+	if cap(s.steady.whTmp) < need {
+		s.steady.whTmp = make([]int32, need)
+	}
+	wtmp := s.steady.whTmp[:need]
 	for i := 0; i < w; i++ {
-		copy(tmp[i*nr:(i+1)*nr], s.regRing[(minIter-1+int64(i))%regRingSlots])
+		base := int((minIter-1+int64(i))&regRingMask) * nr
+		copy(tmp[i*nr:(i+1)*nr], s.slab[base:base+nr])
+		copy(wtmp[i*nr:(i+1)*nr], s.watchHead[base:base+nr])
 	}
 	for i := 0; i < w; i++ {
-		dst := s.regRing[(minIter-1+int64(i)+kp)%regRingSlots]
+		base := int((minIter-1+int64(i)+kp)&regRingMask) * nr
+		dst := s.slab[base : base+nr]
 		for r, v := range tmp[i*nr : (i+1)*nr] {
 			if v != notIssued {
 				v += kd
 			}
 			dst[r] = v
 		}
+		// Watcher lists follow their cells (node ids are entry-based and
+		// unaffected; only the cell → list-head mapping rotates).
+		copy(s.watchHead[base:base+nr], wtmp[i*nr:(i+1)*nr])
 	}
 	for _, h := range []*minHeap{&s.loadQ, &s.storeQ, &s.lfb, &s.inflight} {
 		for i := range *h {
 			(*h)[i] += kd
 		}
 	}
+	for i := range s.timeHeap {
+		s.timeHeap[i].at += kd
+	}
 	for i := range s.portFree {
 		s.portFree[i] += kd
 	}
+	// Slab values changed wholesale; any sampled scan-skip bound is void.
+	s.rsNextReady = 0
 }
 
 // addScaledSelfDelta adds k times the counter delta accumulated since base

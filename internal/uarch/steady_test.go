@@ -149,10 +149,12 @@ func TestFastPathIrregularIters(t *testing.T) {
 	}
 }
 
-// TestFastPathDeclinesIterDependentAddresses: streaming and region-random
-// programs must never be extrapolated — their address streams change every
-// iteration.
-func TestFastPathDeclinesIterDependentAddresses(t *testing.T) {
+// TestReplayIterDependentAddresses: streaming and region-random programs are
+// ineligible for the wholesale state jump, but response-verified replay
+// (replay.go) fast-forwards them — and must stay bit-identical to the slow
+// path across back-to-back runs, where the second run inherits the first
+// run's hierarchy state.
+func TestReplayIterDependentAddresses(t *testing.T) {
 	ld := isa.MustScalar("movq")
 	stream := &Program{Name: "stream", NumRegs: 2, ElemsPerIter: 1, Body: []UOp{
 		{Instr: ld, Dst: 1, Srcs: [3]int16{NoReg, NoReg, NoReg},
@@ -163,12 +165,25 @@ func TestFastPathDeclinesIterDependentAddresses(t *testing.T) {
 			Addr: AddrSpec{Kind: AddrRandom, Base: 1 << 28, Region: 1 << 22, Seed: 3}},
 	}}
 	for _, prog := range []*Program{stream, random} {
-		s := NewSim(isa.XeonSilver4110())
-		if _, err := s.Run(prog, 2048); err != nil {
-			t.Fatal(err)
+		ss := NewSim(isa.XeonSilver4110())
+		ss.SetFastPath(false)
+		fs := NewSim(isa.XeonSilver4110())
+		skipped := int64(0)
+		for run := 0; run < 3; run++ {
+			slow := mustRun(t, ss, prog, 2048)
+			fast := mustRun(t, fs, prog, 2048)
+			if !reflect.DeepEqual(slow, fast) {
+				t.Errorf("%s run %d: replay diverged\nslow: %+v\nfast: %+v", prog.Name, run, slow, fast)
+			}
+			if ss.hier.AccessNo() != fs.hier.AccessNo() {
+				t.Errorf("%s run %d: hierarchy access clocks diverged: slow %d fast %d",
+					prog.Name, run, ss.hier.AccessNo(), fs.hier.AccessNo())
+			}
+			fi, _ := fs.FastForwarded()
+			skipped += fi
 		}
-		if fi, _ := s.FastForwarded(); fi != 0 {
-			t.Errorf("%s: fast path engaged on an iteration-dependent address stream (skipped %d iters)", prog.Name, fi)
+		if skipped == 0 {
+			t.Errorf("%s: replay mode never engaged across 3 runs", prog.Name)
 		}
 	}
 }

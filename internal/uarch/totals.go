@@ -5,12 +5,14 @@ import "sync/atomic"
 // Process-wide simulation totals, bumped once per completed RunInto. The
 // telemetry layer polls these through Totals — keeping them as package
 // atomics means the simulator stays dependency-free and the per-run cost is
-// four uncontended atomic adds, independent of the program size.
+// a handful of uncontended atomic adds, independent of the program size.
 var (
-	totalInstr      atomic.Uint64
-	totalFastCycles atomic.Uint64
-	totalSlowCycles atomic.Uint64
-	totalRuns       atomic.Uint64
+	totalInstr         atomic.Uint64
+	totalFastCycles    atomic.Uint64
+	totalSlowCycles    atomic.Uint64
+	totalRuns          atomic.Uint64
+	totalIdleSkipped   atomic.Uint64
+	totalReplayPeriods atomic.Uint64
 )
 
 // SimTotals is a snapshot of the process-wide simulation counters.
@@ -23,16 +25,32 @@ type SimTotals struct {
 	FastCycles, SlowCycles uint64
 	// Runs counts completed RunInto calls.
 	Runs uint64
+	// IdleSkipped counts cycles the slow path's event-driven idle
+	// fast-forward jumped over (they are accounted in SlowCycles: the jump
+	// produces the identical counters a cycle-by-cycle walk would).
+	IdleSkipped uint64
+	// SkeletonHits and SkeletonMisses count schedule-skeleton cache lookups:
+	// a hit binds a program without re-validating, re-deriving dependencies,
+	// or re-resolving the perturbation; a miss builds the skeleton.
+	SkeletonHits, SkeletonMisses uint64
+	// ReplayPeriods counts loop periods fast-forwarded by response-verified
+	// replay (replay.go): the core was extrapolated while the cache hierarchy
+	// serviced the period's real access sequence.
+	ReplayPeriods uint64
 }
 
 // Totals reports the counters accumulated since process start (or the last
 // ResetTotals).
 func Totals() SimTotals {
 	return SimTotals{
-		Instructions: totalInstr.Load(),
-		FastCycles:   totalFastCycles.Load(),
-		SlowCycles:   totalSlowCycles.Load(),
-		Runs:         totalRuns.Load(),
+		Instructions:   totalInstr.Load(),
+		FastCycles:     totalFastCycles.Load(),
+		SlowCycles:     totalSlowCycles.Load(),
+		Runs:           totalRuns.Load(),
+		IdleSkipped:    totalIdleSkipped.Load(),
+		SkeletonHits:   skelHits.Load(),
+		SkeletonMisses: skelMisses.Load(),
+		ReplayPeriods:  totalReplayPeriods.Load(),
 	}
 }
 
@@ -42,10 +60,14 @@ func ResetTotals() {
 	totalFastCycles.Store(0)
 	totalSlowCycles.Store(0)
 	totalRuns.Store(0)
+	totalIdleSkipped.Store(0)
+	totalReplayPeriods.Store(0)
+	skelHits.Store(0)
+	skelMisses.Store(0)
 }
 
 // recordTotals folds one finished run into the process-wide counters.
-func recordTotals(res *Result, fastCycles int64) {
+func recordTotals(res *Result, fastCycles, idleSkipped int64) {
 	totalInstr.Add(res.Instructions)
 	if fastCycles < 0 {
 		fastCycles = 0
@@ -57,4 +79,7 @@ func recordTotals(res *Result, fastCycles int64) {
 	totalFastCycles.Add(fast)
 	totalSlowCycles.Add(res.Cycles - fast)
 	totalRuns.Add(1)
+	if idleSkipped > 0 {
+		totalIdleSkipped.Add(uint64(idleSkipped))
+	}
 }
