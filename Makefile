@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test test-short chaos corrupt fuzz bench bench-json bench-gate metrics-smoke hefd-chaos hefd-smoke figures tables hash ablate clean
+.PHONY: all build vet lint test test-short chaos corrupt dist-chaos fuzz bench bench-json bench-gate metrics-smoke hefd-chaos hefd-smoke figures tables hash ablate clean
 
 all: build vet lint test
 
@@ -40,6 +40,16 @@ chaos:
 corrupt:
 	$(GO) test ./internal/doctor/ -race -count=1 -run 'Corruption' -v -timeout 10m
 
+# dist-chaos runs the distributed-sweep chaos harness under the race
+# detector: seeded worker kills mid-range, a network partition that outlives
+# its lease, and coordinator kill -9 restarts from the journal — the merged
+# report must come out byte-identical to an uninterrupted single-process run
+# with zero lost and zero double-counted tasks. DIST_CHAOS_SEED reseeds the
+# fault plan; DIST_CHAOS_ARTIFACT_DIR keeps the journal and both checkpoints
+# for post-mortem (CI uploads them on failure).
+dist-chaos:
+	$(GO) test ./internal/dist/ -race -count=1 -run 'DistChaos' -v -timeout 10m
+
 # fuzz gives each native fuzz target a short smoke budget (~30s total);
 # CI runs this on every push, longer campaigns run the same targets with
 # a bigger -fuzztime.
@@ -51,6 +61,7 @@ fuzz:
 	$(GO) test ./internal/store/ -run TestNone -fuzz FuzzStoreLoad -fuzztime 10s
 	$(GO) test ./internal/store/ -run TestNone -fuzz FuzzSaveRotateLoadFallback -fuzztime 10s
 	$(GO) test ./internal/sched/ -run TestNone -fuzz FuzzCheckpointLoad -fuzztime 10s
+	$(GO) test ./internal/dist/ -run TestNone -fuzz FuzzDistProtocol -fuzztime 10s
 
 # One benchmark per paper table and figure (plus ablations).
 bench:

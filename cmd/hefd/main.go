@@ -59,9 +59,10 @@ func run() int {
 	heartbeat := flag.Duration("heartbeat", 0, "emit a structured progress line to stderr at this interval (0 disables)")
 	retainAge := flag.Duration("retain-age", 0, "expire terminal jobs this long after they finish (0 retains forever)")
 	retainCount := flag.Int("retain-count", 0, "keep at most this many terminal jobs per tenant, newest first (0 retains all)")
+	walMaxBytes := flag.Int64("wal-max-bytes", 0, "compact the job log in place once it grows past this many bytes (0 compacts only at startup under retention)")
 	authKeys := flag.String("auth-keys", "", "API key file (\"<key> <tenant> [rate=R] [burst=B]\" per line); SIGHUP reloads it (empty disables auth)")
 	flag.Parse()
-	heartbeatSet, retainAgeSet, retainCountSet := false, false, false
+	heartbeatSet, retainAgeSet, retainCountSet, walMaxBytesSet := false, false, false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {
 		case "heartbeat":
@@ -70,6 +71,8 @@ func run() int {
 			retainAgeSet = true
 		case "retain-count":
 			retainCountSet = true
+		case "wal-max-bytes":
+			walMaxBytesSet = true
 		}
 	})
 
@@ -87,6 +90,11 @@ func run() int {
 	}
 	if retainCountSet && *retainCount <= 0 {
 		fmt.Fprintf(os.Stderr, "hefd: -retain-count must be positive when set, got %d\n\n", *retainCount)
+		flag.Usage()
+		return 2
+	}
+	if walMaxBytesSet && *walMaxBytes <= 0 {
+		fmt.Fprintf(os.Stderr, "hefd: -wal-max-bytes must be positive when set, got %d\n\n", *walMaxBytes)
 		flag.Usage()
 		return 2
 	}
@@ -124,6 +132,7 @@ func run() int {
 		Quota:        hefd.QuotaConfig{Rate: *quotaRate, Burst: *quotaBurst},
 		Breaker:      hefd.BreakerConfig{Threshold: *breakerThreshold, Cooldown: *breakerCooldown},
 		Retention:    hefd.RetentionConfig{Age: *retainAge, Count: *retainCount},
+		WALMaxBytes:  *walMaxBytes,
 		AuthKeys:     *authKeys,
 		SweepMetrics: tel.SweepMetrics(),
 		Tracer:       tel.Tracer(),

@@ -31,6 +31,7 @@ import (
 
 	"hef/internal/check"
 	"hef/internal/core"
+	"hef/internal/dist"
 	"hef/internal/experiments"
 	"hef/internal/hef"
 	"hef/internal/hid"
@@ -60,6 +61,9 @@ func main() {
 	retries := flag.Int("retries", 2, "retry attempts per operator after a failure or panic")
 	checkpoint := flag.String("checkpoint", "", "persist completed optimizations to this file as the batch progresses")
 	resume := flag.String("resume", "", "load a prior -checkpoint file and skip its completed optimizations")
+	coordinator := flag.String("coordinator", "", "hefsweep coordinator URL; run as a distributed sweep worker leasing operator ranges instead of running the whole batch")
+	coordinatorKey := flag.String("coordinator-key", "", "API key presented to the coordinator (with -coordinator)")
+	workerName := flag.String("worker-name", "", "name in coordinator logs and leases (with -coordinator; defaults to the hostname)")
 	memoDir := flag.String("memo-dir", "", "directory of a durable measurement memo store; measurements persist across runs and corrupt records are quarantined at open")
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
@@ -85,6 +89,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err := telemetry.ValidateFlags(*metricsAddr, heartbeatSet, *heartbeat); err != nil {
+		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateCoordinator(*coordinator, *coordinatorKey, *workerName, *checkpoint, *resume); err != nil {
 		fmt.Fprintf(os.Stderr, "hefopt: %v\n\n", err)
 		flag.Usage()
 		os.Exit(2)
@@ -151,6 +160,39 @@ func main() {
 				return runOne(jctx, *cpuName, name, *file, *elems, *budget, *parallel, *showCode, *trace, *dotOut != "", cache)
 			},
 		})
+	}
+
+	if *coordinator != "" {
+		// Worker mode: lease operator ranges from a hefsweep coordinator
+		// instead of running the whole batch here. The fingerprint is the
+		// same one a single-process run computes, so a worker with divergent
+		// flags is refused at registration; results commit remotely and the
+		// coordinator's merged checkpoint renders later via -resume.
+		stats, werr := dist.RunWorker(ctx, dist.WorkerConfig{
+			Coordinator: *coordinator, APIKey: *coordinatorKey, Name: workerIdentity(*workerName),
+			Tool: "hefopt", Fingerprint: fingerprint,
+			Workers: *workers, Retries: *retries,
+			LogW:    os.Stderr,
+			Metrics: tel.SweepMetrics(), Tracer: tel.Tracer(),
+		}, tasks)
+		if mstore != nil {
+			if cerr := mstore.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "hefopt: memo store close: %v\n", cerr)
+			}
+			fmt.Fprintf(os.Stderr, "hefopt: memo store %s: %s\n", mstore.Dir(), mstore.Stats().Summary())
+		}
+		if werr != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "hefopt: worker interrupted; the coordinator re-leases any unfinished range")
+				prof.Stop()
+				tel.Close()
+				os.Exit(1)
+			}
+			fail(werr)
+		}
+		fmt.Fprintf(os.Stderr, "hefopt: worker done: %d ranges, %d operators run here (%d deduped)\n",
+			stats.Ranges, stats.Tasks, stats.Duplicates)
+		return
 	}
 
 	res, err := sched.RunSweep(ctx, sched.SweepConfig{
@@ -391,6 +433,37 @@ func validate(ops []string, cpuName, file, dotOut string, elems int64, budget, p
 		return fmt.Errorf("-retries must be non-negative, got %d", retries)
 	}
 	return nil
+}
+
+// validateCoordinator rejects bad distributed-worker flag combinations:
+// worker options without a coordinator are a typo, and local checkpointing
+// is the coordinator's job in worker mode.
+func validateCoordinator(coordinator, key, name, checkpoint, resume string) error {
+	if coordinator == "" {
+		if key != "" {
+			return fmt.Errorf("-coordinator-key needs -coordinator")
+		}
+		if name != "" {
+			return fmt.Errorf("-worker-name needs -coordinator")
+		}
+		return nil
+	}
+	if checkpoint != "" || resume != "" {
+		return fmt.Errorf("-coordinator and -checkpoint/-resume are mutually exclusive: the coordinator journals progress; render its merged checkpoint with -resume afterwards")
+	}
+	return nil
+}
+
+// workerIdentity resolves -worker-name, defaulting to the hostname so a
+// fleet's coordinator logs tell workers apart without configuration.
+func workerIdentity(name string) string {
+	if name != "" {
+		return name
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "worker"
 }
 
 func splitList(s string) []string {

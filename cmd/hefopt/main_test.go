@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"strings"
 	"testing"
 	"time"
+
+	"hef/internal/dist"
 )
 
 // mainArgsEnv carries unit-separator-joined argv for the re-exec'd child; when set,
@@ -71,5 +74,68 @@ func TestTelemetryFlagValidation(t *testing.T) {
 				t.Fatalf("usage text not printed:\n%s", stderr)
 			}
 		})
+	}
+}
+
+// TestCoordinatorFlagValidation: the distributed-worker flags have the same
+// usage-error contract as everything else.
+func TestCoordinatorFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"key without coordinator", []string{"-coordinator-key", "k-12345678"}, "-coordinator-key needs -coordinator"},
+		{"name without coordinator", []string{"-worker-name", "w1"}, "-worker-name needs -coordinator"},
+		{"coordinator with checkpoint", []string{"-coordinator", "http://localhost:1", "-checkpoint", "c.ckpt"}, "mutually exclusive"},
+		{"coordinator with resume", []string{"-coordinator", "http://localhost:1", "-resume", "c.ckpt"}, "mutually exclusive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runMain(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestWorkerModeAgainstCoordinator runs the real tool as a distributed sweep
+// worker against an in-process coordinator: the batch's operators commit
+// remotely and the coordinator's merged checkpoint holds every one.
+func TestWorkerModeAgainstCoordinator(t *testing.T) {
+	c, err := dist.NewCoordinator(dist.Config{DataDir: t.TempDir(), RangeSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv := httptest.NewServer(dist.NewHandler(c, nil, nil))
+	defer srv.Close()
+
+	code, stderr := runMain(t,
+		"-coordinator", srv.URL, "-worker-name", "w1",
+		"-op", "murmur,crc64", "-cpu", "silver",
+		"-elems", "2048", "-budget", "25", "-parallel", "2", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("worker exit = %d; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "worker done") {
+		t.Fatalf("worker summary missing:\n%s", stderr)
+	}
+	select {
+	case <-c.Done():
+	default:
+		t.Fatal("coordinator does not report the sweep done")
+	}
+	cp, err := c.MergedCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range []string{"murmur", "crc64"} {
+		if _, ok := cp.Done[op]; !ok {
+			t.Fatalf("merged checkpoint is missing operator %q", op)
+		}
 	}
 }

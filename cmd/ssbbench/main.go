@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"hef/internal/check"
+	"hef/internal/dist"
 	"hef/internal/experiments"
 	"hef/internal/isa"
 	"hef/internal/memo"
@@ -59,6 +60,9 @@ func main() {
 	retries := flag.Int("retries", 2, "retry attempts per figure after a failure or panic (with -all)")
 	checkpoint := flag.String("checkpoint", "", "with -all: persist completed figures to this file as the sweep progresses")
 	resume := flag.String("resume", "", "with -all: load a prior -checkpoint file and skip its completed figures")
+	coordinator := flag.String("coordinator", "", "with -all: hefsweep coordinator URL; run as a distributed sweep worker leasing figure ranges instead of running the whole matrix")
+	coordinatorKey := flag.String("coordinator-key", "", "API key presented to the coordinator (with -coordinator)")
+	workerName := flag.String("worker-name", "", "name in coordinator logs and leases (with -coordinator; defaults to the hostname)")
 	memoDir := flag.String("memo-dir", "", "directory of a durable stage-measurement memo store shared by every figure; measurements persist across runs and corrupt records are quarantined at open")
 	selfcheck := flag.Bool("selfcheck", false, "enable the simulator's internal invariant self-checks (always on under go test)")
 	metricsAddr := flag.String("metrics-addr", "", "serve Prometheus /metrics plus /healthz, /readyz, /status on this host:port (\":0\" picks a port, logged to stderr)")
@@ -109,6 +113,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *coordinator != "" && !*all {
+		fmt.Fprintf(os.Stderr, "ssbbench: -coordinator distributes the figure matrix and needs -all\n\n")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := validateCoordinator(*coordinator, *coordinatorKey, *workerName, *checkpoint, *resume); err != nil {
+		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	p, perr := obs.StartProfiles(*cpuProfile, *memProfile)
 	if perr != nil {
 		fmt.Fprintf(os.Stderr, "ssbbench: %v\n\n", perr)
@@ -129,7 +143,8 @@ func main() {
 	tel.SetReady()
 
 	if *all {
-		runAll(*sample, *seed, *timeout, *workers, *retries, *checkpoint, *resume)
+		runAll(*sample, *seed, *timeout, *workers, *retries, *checkpoint, *resume,
+			*coordinator, *coordinatorKey, workerIdentity(*workerName))
 		if err := tel.WriteTrace(*traceOut); err != nil {
 			fail(err)
 		}
@@ -210,6 +225,37 @@ func validate(cpu string, sf, sample float64, table int, queryList, format strin
 	return qs, nil
 }
 
+// validateCoordinator rejects bad distributed-worker flag combinations:
+// worker options without a coordinator are a typo, and local checkpointing
+// is the coordinator's job in worker mode.
+func validateCoordinator(coordinator, key, name, checkpoint, resume string) error {
+	if coordinator == "" {
+		if key != "" {
+			return fmt.Errorf("-coordinator-key needs -coordinator")
+		}
+		if name != "" {
+			return fmt.Errorf("-worker-name needs -coordinator")
+		}
+		return nil
+	}
+	if checkpoint != "" || resume != "" {
+		return fmt.Errorf("-coordinator and -checkpoint/-resume are mutually exclusive: the coordinator journals progress; render its merged checkpoint with -resume afterwards")
+	}
+	return nil
+}
+
+// workerIdentity resolves -worker-name, defaulting to the hostname so a
+// fleet's coordinator logs tell workers apart without configuration.
+func workerIdentity(name string) string {
+	if name != "" {
+		return name
+	}
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "worker"
+}
+
 // figCell is the checkpointable outcome of one figure of the -all sweep:
 // either the pre-rendered text/csv/markdown output or the machine-readable
 // report, depending on the (fingerprinted) output format.
@@ -219,8 +265,9 @@ type figCell struct {
 }
 
 // runAll executes the six-figure sweep on a supervised runner with graceful
-// drain and checkpoint/resume.
-func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries int, checkpoint, resume string) {
+// drain and checkpoint/resume; with a coordinator it leases figure ranges
+// as a distributed sweep worker instead.
+func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries int, checkpoint, resume, coordinator, coordinatorKey, workerName string) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if timeout > 0 {
@@ -268,6 +315,34 @@ func runAll(sample float64, seed uint64, timeout time.Duration, workers, retries
 				},
 			})
 		}
+	}
+
+	if coordinator != "" {
+		// Worker mode: lease figure ranges from a hefsweep coordinator
+		// instead of running the whole matrix here. The fingerprint is the
+		// same one a single-process run computes, so a worker with divergent
+		// flags is refused at registration; results commit remotely and the
+		// coordinator's merged checkpoint renders later via -resume.
+		stats, werr := dist.RunWorker(ctx, dist.WorkerConfig{
+			Coordinator: coordinator, APIKey: coordinatorKey, Name: workerName,
+			Tool: "ssbbench", Fingerprint: fingerprint,
+			Workers: workers, Retries: retries,
+			LogW:    os.Stderr,
+			Metrics: tel.SweepMetrics(), Tracer: tel.Tracer(),
+		}, tasks)
+		finishStore()
+		if werr != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "ssbbench: worker interrupted; the coordinator re-leases any unfinished range")
+				prof.Stop()
+				tel.Close()
+				os.Exit(1)
+			}
+			fail(werr)
+		}
+		fmt.Fprintf(os.Stderr, "ssbbench: worker done: %d ranges, %d figures run here (%d deduped)\n",
+			stats.Ranges, stats.Tasks, stats.Duplicates)
+		return
 	}
 
 	res, err := sched.RunSweep(ctx, sched.SweepConfig{

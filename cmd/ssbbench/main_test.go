@@ -74,3 +74,29 @@ func TestTelemetryFlagValidation(t *testing.T) {
 		})
 	}
 }
+
+// TestCoordinatorFlagValidation: the distributed-worker flags have the same
+// usage-error contract as everything else, and -coordinator distributes the
+// figure matrix so it needs -all.
+func TestCoordinatorFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"coordinator without all", []string{"-coordinator", "http://localhost:1"}, "needs -all"},
+		{"key without coordinator", []string{"-coordinator-key", "k-12345678"}, "-coordinator-key needs -coordinator"},
+		{"name without coordinator", []string{"-worker-name", "w1"}, "-worker-name needs -coordinator"},
+		{"coordinator with checkpoint", []string{"-all", "-coordinator", "http://localhost:1", "-checkpoint", "c.ckpt"}, "mutually exclusive"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runMain(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2; stderr:\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}

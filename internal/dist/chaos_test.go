@@ -1,0 +1,349 @@
+// Chaos harness for the distributed sweep fabric. One stable listener
+// fronts a coordinator that is kill -9'd and restarted from its journal
+// mid-sweep, while seeded chaos kills workers mid-range and partitions one
+// past its lease TTL so its range is reassigned and its eventual commit
+// arrives late. The assertion is the tentpole contract: the merged sweep
+// report is byte-identical to an uninterrupted single-process run, with
+// zero lost tasks, zero double-counted tasks, and zero determinism
+// violations — whatever the interleaving.
+//
+// `make dist-chaos` runs this file with -race; DIST_CHAOS_SEED reseeds the
+// fault plan, DIST_CHAOS_ARTIFACT_DIR keeps the journal and both
+// checkpoints for post-mortem (CI uploads them on failure).
+package dist
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hef/internal/leakcheck"
+	"hef/internal/sched"
+)
+
+// distChaosSeed seeds the fault plan; override with DIST_CHAOS_SEED.
+func distChaosSeed(t *testing.T) uint64 {
+	if s := os.Getenv("DIST_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("DIST_CHAOS_SEED %q: %v", s, err)
+		}
+		return v
+	}
+	return 20230401
+}
+
+// distArtifactDir places the journal and checkpoints under
+// DIST_CHAOS_ARTIFACT_DIR when set, else in the test's temp dir.
+func distArtifactDir(t *testing.T) string {
+	if dir := os.Getenv("DIST_CHAOS_ARTIFACT_DIR"); dir != "" {
+		sub := filepath.Join(dir, t.Name())
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return t.TempDir()
+}
+
+// distChaosRand is the same splitmix64 draw the runner's jitter uses, so
+// the fault plan is a pure function of the seed.
+func distChaosRand(seed uint64, k int) uint64 {
+	x := seed + 0x9e3779b97f4a7c15*uint64(k+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// partitionTransport simulates a network partition that provably lands
+// mid-lease: it arms on the first heartbeat it carries (a worker only
+// heartbeats while holding a lease and computing) and then fails every
+// request — that heartbeat included — at the transport layer for window.
+// The worker keeps computing, its heartbeats die, its lease lapses on the
+// coordinator, and its commit can only arrive after the range has been
+// reassigned.
+type partitionTransport struct {
+	window    time.Duration
+	arm       sync.Once
+	dropUntil atomic.Int64 // unix nanos; requests fail while now < dropUntil
+}
+
+func (p *partitionTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(r.URL.Path, "/v1/heartbeat") {
+		p.arm.Do(func() { p.dropUntil.Store(time.Now().Add(p.window).UnixNano()) })
+	}
+	if time.Now().UnixNano() < p.dropUntil.Load() {
+		return nil, fmt.Errorf("chaos: partitioned")
+	}
+	return http.DefaultTransport.RoundTrip(r)
+}
+
+func TestDistChaosMergedReportByteIdentical(t *testing.T) {
+	leakcheck.Check(t)
+	seed := distChaosSeed(t)
+	t.Logf("DIST_CHAOS_SEED=%d", seed)
+
+	const (
+		tool      = "chaossweep"
+		fp        = "seed=11 chaos=1"
+		nTasks    = 40
+		rangeSize = 4
+		leaseTTL  = 250 * time.Millisecond
+	)
+	// Tasks burn a few milliseconds each so kills and partitions land
+	// mid-range, but the result depends only on the task index.
+	tasks := make([]sched.Task[taskResult], nTasks)
+	for i := 0; i < nTasks; i++ {
+		i := i
+		id := fmt.Sprintf("t%03d", i)
+		tasks[i] = sched.Task[taskResult]{ID: id, Run: func(ctx context.Context) (taskResult, error) {
+			select {
+			case <-time.After(time.Duration(1+i%3) * time.Millisecond):
+			case <-ctx.Done():
+				return taskResult{}, ctx.Err()
+			}
+			return taskResult{ID: id, Value: float64(i) * 2.25, Tags: []int{i, i * 7}}, nil
+		}}
+	}
+	want := serialCheckpointBytes(t, tool, fp, tasks)
+
+	// The partitioned worker runs the same tasks slowed down, so it holds
+	// each lease long enough to heartbeat (and so the partition outlives
+	// the lease while it computes). The results are byte-identical — only
+	// the schedule differs.
+	slowTasks := make([]sched.Task[taskResult], len(tasks))
+	copy(slowTasks, tasks)
+	for i := range slowTasks {
+		run := slowTasks[i].Run
+		slowTasks[i].Run = func(ctx context.Context) (taskResult, error) {
+			select {
+			case <-time.After(60 * time.Millisecond):
+			case <-ctx.Done():
+				return taskResult{}, ctx.Err()
+			}
+			return run(ctx)
+		}
+	}
+
+	artDir := distArtifactDir(t)
+	dataDir := filepath.Join(artDir, "coordinator")
+	logW := newTestLogWriter(t)
+	newCoord := func() *Coordinator {
+		c, err := NewCoordinator(Config{
+			DataDir: dataDir, RangeSize: rangeSize,
+			LeaseTTL: leaseTTL, StragglerAfter: 3 * leaseTTL,
+			LogW: logW,
+		})
+		if err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+		return c
+	}
+
+	// One stable listener whose backing coordinator is swapped across
+	// kill -9 restarts, so workers keep one URL throughout. Counters from
+	// killed incarnations are accumulated so the fault-injection proof
+	// below survives the restarts (counts are in-memory, not journaled).
+	var cmu sync.Mutex
+	coord := newCoord()
+	var acc Counts
+	addCounts := func(a, b Counts) Counts {
+		return Counts{
+			Granted: a.Granted + b.Granted, Expired: a.Expired + b.Expired,
+			Speculative: a.Speculative + b.Speculative, Committed: a.Committed + b.Committed,
+			Duplicates: a.Duplicates + b.Duplicates, LateCommits: a.LateCommits + b.LateCommits,
+			Heartbeats: a.Heartbeats + b.Heartbeats, Failures: a.Failures + b.Failures,
+			Violations: a.Violations + b.Violations,
+		}
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cmu.Lock()
+		h := NewHandler(coord, nil, nil)
+		cmu.Unlock()
+		h.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	defer func() {
+		cmu.Lock()
+		_ = coord.Close()
+		cmu.Unlock()
+	}()
+
+	// killCoordinator is the kill -9: drop the handle (appends are fsynced
+	// record by record, so closing adds no durability) and restart from
+	// the journal.
+	killCoordinator := func() {
+		cmu.Lock()
+		acc = addCounts(acc, coord.Counts())
+		_ = coord.Close()
+		coord = newCoord()
+		cmu.Unlock()
+	}
+	status := func() *StatusResponse {
+		cmu.Lock()
+		defer cmu.Unlock()
+		return coord.Status()
+	}
+
+	// masterCtx stops every unbounded worker if the test bails out early;
+	// its deferred cancel runs before srv.Close, so the listener can drain.
+	masterCtx, masterCancel := context.WithCancel(context.Background())
+	defer masterCancel()
+
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		wErrs []string
+	)
+	spawn := func(name string, lifetime time.Duration, hc *http.Client, ts []sched.Task[taskResult]) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := masterCtx, context.CancelFunc(func() {})
+			if lifetime > 0 {
+				ctx, cancel = context.WithTimeout(masterCtx, lifetime)
+			}
+			defer cancel()
+			_, err := RunWorker(ctx, WorkerConfig{
+				Coordinator: srv.URL, Name: name,
+				Tool: tool, Fingerprint: fp, Workers: 2,
+				Client: hc, PollMax: 50 * time.Millisecond,
+				LogW: logW,
+			}, ts)
+			// A killed worker returns its context error; anything else is a
+			// contract violation.
+			if err != nil && ctx.Err() == nil {
+				errMu.Lock()
+				wErrs = append(wErrs, fmt.Sprintf("worker %s: %v", name, err))
+				errMu.Unlock()
+			}
+		}()
+	}
+
+	// The partitioned worker: starts healthy, loses the network at its
+	// first mid-range heartbeat for 3.5 lease TTLs (lease lapses, range
+	// reassigned), then heals and delivers its late, byte-identical commit.
+	part := &partitionTransport{window: 7 * leaseTTL / 2}
+	spawn("partitioned", 0, &http.Client{Timeout: 5 * time.Second, Transport: part}, slowTasks)
+
+	// Seeded churn: short-lived workers killed mid-range, replacements
+	// spawned, and the coordinator kill -9'd twice along the way.
+	deadline := time.Now().Add(60 * time.Second)
+	k := 1
+	for round := 0; ; round++ {
+		if st := status(); st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			masterCancel()
+			wg.Wait()
+			t.Fatalf("sweep not done before deadline: %+v", status())
+		}
+		// Up to two churning workers per round with seeded lifetimes; a
+		// lifetime under ~150ms dies mid-range with leases outstanding.
+		for i := 0; i < int(distChaosRand(seed, k)%2+1); i++ {
+			k++
+			life := time.Duration(distChaosRand(seed, k)%400+60) * time.Millisecond
+			spawn(fmt.Sprintf("churn-%d-%d", round, i), life, nil, tasks)
+		}
+		k++
+		if round == 2 || round == 5 {
+			killCoordinator()
+		}
+		time.Sleep(150 * time.Millisecond)
+	}
+	// The unbounded partitioned worker doubles as the finisher: it runs
+	// until the coordinator reports the sweep done, so the loop above only
+	// has to keep churning, not to guarantee completion.
+	wg.Wait()
+	errMu.Lock()
+	for _, e := range wErrs {
+		t.Error(e)
+	}
+	errMu.Unlock()
+
+	// The partitioned worker and churners are gone; the sweep must be
+	// complete with nothing lost and nothing double-counted.
+	st := status()
+	if !st.Done || st.RangesDone != st.Ranges {
+		t.Fatalf("sweep incomplete after drain: %+v", st)
+	}
+	total := addCounts(acc, st.Counts)
+	if total.Violations != 0 {
+		t.Fatalf("determinism violations: %+v", total)
+	}
+	if st.Failed != "" {
+		t.Fatalf("sweep failed: %s", st.Failed)
+	}
+	// The fault-injection proof: the partitioned worker's lease really
+	// lapsed past its TTL, and its post-heal commit was really absorbed as
+	// a late or duplicate delivery rather than double-counted.
+	if total.Expired == 0 {
+		t.Fatalf("no lease ever expired — the partition did not outlive a lease: %+v", total)
+	}
+	if total.Duplicates+total.LateCommits == 0 {
+		t.Fatalf("no late or duplicate commit was absorbed: %+v", total)
+	}
+
+	cmu.Lock()
+	cp, err := coord.MergedCheckpoint()
+	cmu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cp.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mergedPath := filepath.Join(artDir, "merged.ckpt")
+	if err := os.WriteFile(mergedPath, got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(artDir, "baseline.ckpt"), want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("merged checkpoint differs from uninterrupted single-process run (see %s)", artDir)
+	}
+	if len(cp.Done) != nTasks {
+		t.Fatalf("merged checkpoint holds %d tasks, want %d", len(cp.Done), nTasks)
+	}
+	t.Logf("chaos counts (all incarnations): %+v", total)
+}
+
+// testLogWriter routes coordinator/worker logs through t.Logf so a failed
+// chaos run carries its own narrative; it goes quiet at test cleanup so a
+// straggling goroutine cannot log into a finished test.
+type testLogWriter struct {
+	t  *testing.T
+	mu sync.Mutex
+	ok bool
+}
+
+func newTestLogWriter(t *testing.T) *testLogWriter {
+	w := &testLogWriter{t: t, ok: true}
+	t.Cleanup(func() {
+		w.mu.Lock()
+		w.ok = false
+		w.mu.Unlock()
+	})
+	return w
+}
+
+func (w *testLogWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.ok {
+		w.t.Logf("%s", p)
+	}
+	return len(p), nil
+}

@@ -1,0 +1,60 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzDistProtocol drives every coordinator wire-message decoder with
+// arbitrary bytes. The decoders sit on the network boundary — any byte
+// string a client can send must either decode into a validated message or
+// come back as a typed bad_json/invalid_request refusal; panics,
+// unvalidated messages, and untyped errors are all bugs.
+func FuzzDistProtocol(f *testing.F) {
+	f.Add(0, []byte(`{"version":1,"tool":"t","fingerprint":"f","task_ids":["a","b"],"worker":"w"}`))
+	f.Add(1, []byte(`{"worker":"w","plan_hash":"abc"}`))
+	f.Add(2, []byte(`{"worker":"w","lease_id":"L000001"}`))
+	f.Add(3, []byte(`{"worker":"w","plan_hash":"abc","range_idx":0,"range":{"start":0,"end":1},"results":{"a":{"v":1}}}`))
+	f.Add(4, []byte(`{"worker":"w","plan_hash":"abc","range_idx":2,"errors":{"a":"boom"}}`))
+	f.Add(3, []byte(`{"worker":"w","plan_hash":"abc","range_idx":-1,"range":{"start":3,"end":1},"results":{"":null}}`))
+	f.Add(0, []byte(`{"version":99}`))
+	f.Add(1, []byte(`not json at all`))
+	f.Add(2, []byte(``))
+
+	f.Fuzz(func(t *testing.T, kind int, data []byte) {
+		var msg interface{ Validate() error }
+		var err error
+		switch ((kind % 5) + 5) % 5 { // Go's % keeps the sign of kind
+		case 0:
+			msg, err = DecodePlanRequest(data)
+		case 1:
+			msg, err = DecodeLeaseRequest(data)
+		case 2:
+			msg, err = DecodeHeartbeatRequest(data)
+		case 3:
+			msg, err = DecodeResultRequest(data)
+		case 4:
+			msg, err = DecodeFailRequest(data)
+		}
+		if err != nil {
+			// Refusals must be typed protocol errors from the closed set.
+			var pe *ProtoError
+			if !errors.As(err, &pe) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			if pe.Code != CodeBadJSON && pe.Code != CodeInvalid {
+				t.Fatalf("decode refused with code %q, want bad_json or invalid_request", pe.Code)
+			}
+			return
+		}
+		// An accepted message must satisfy its own contract (Validate is
+		// idempotent) and survive a marshal round-trip.
+		if verr := msg.Validate(); verr != nil {
+			t.Fatalf("decoder accepted a message its own Validate refuses: %v", verr)
+		}
+		if _, merr := json.Marshal(msg); merr != nil {
+			t.Fatalf("accepted message does not re-marshal: %v", merr)
+		}
+	})
+}

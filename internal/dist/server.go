@@ -1,0 +1,123 @@
+package dist
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"hef/internal/httpapi"
+)
+
+// NewHandler builds the coordinator's HTTP API. keys supplies the current
+// API keyring per request (hot-reloadable; nil func or empty ring turns
+// auth off). tel, when non-nil, serves the telemetry endpoints on the same
+// listener. The surface mirrors hefd's: Go 1.22 pattern routing, Bearer
+// keys, and the shared typed error envelope — a scope=ro key may watch
+// /v1/status but not drive the sweep.
+func NewHandler(c *Coordinator, keys func() *httpapi.Keyring, tel http.Handler) http.Handler {
+	auth := func(w http.ResponseWriter, r *http.Request, mutate bool) bool {
+		if keys == nil {
+			return true
+		}
+		ring := keys()
+		if ring.Len() == 0 {
+			return true
+		}
+		key, found := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if !found || key == "" {
+			httpapi.WriteAuth(w, &httpapi.AuthError{Code: httpapi.AuthMissing, Message: "missing or unrecognized API key"})
+			return false
+		}
+		entry, ok := ring.Lookup(key)
+		if !ok {
+			httpapi.WriteAuth(w, &httpapi.AuthError{Code: httpapi.AuthMissing, Message: "missing or unrecognized API key"})
+			return false
+		}
+		if mutate && entry.ReadOnly {
+			httpapi.WriteAuth(w, &httpapi.AuthError{Code: httpapi.AuthForbidden, Message: "key is read-only (scope=ro)"})
+			return false
+		}
+		return true
+	}
+
+	// handle wires one protocol POST: auth, bounded read, typed decode,
+	// state-machine call, envelope on refusal.
+	handle := func(mux *http.ServeMux, pattern string, call func(body []byte) (any, error)) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			if !auth(w, r, true) {
+				return
+			}
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+			if err != nil {
+				httpapi.WriteError(w, http.StatusBadRequest, httpapi.Error{Code: CodeBadJSON, Message: err.Error()})
+				return
+			}
+			resp, err := call(body)
+			if err != nil {
+				writeProtoErr(w, err)
+				return
+			}
+			httpapi.WriteJSON(w, http.StatusOK, resp)
+		})
+	}
+
+	mux := http.NewServeMux()
+	handle(mux, "POST /v1/plan", func(body []byte) (any, error) {
+		req, err := DecodePlanRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return c.RegisterPlan(req)
+	})
+	handle(mux, "POST /v1/lease", func(body []byte) (any, error) {
+		req, err := DecodeLeaseRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return c.Lease(req)
+	})
+	handle(mux, "POST /v1/heartbeat", func(body []byte) (any, error) {
+		req, err := DecodeHeartbeatRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return c.Heartbeat(req)
+	})
+	handle(mux, "POST /v1/result", func(body []byte) (any, error) {
+		req, err := DecodeResultRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return c.Commit(req)
+	})
+	handle(mux, "POST /v1/fail", func(body []byte) (any, error) {
+		req, err := DecodeFailRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		return c.Fail(req)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if !auth(w, r, false) {
+			return
+		}
+		httpapi.WriteJSON(w, http.StatusOK, c.Status())
+	})
+	if tel != nil {
+		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/status"} {
+			mux.Handle("GET "+p, tel)
+		}
+	}
+	return mux
+}
+
+// writeProtoErr maps a state-machine refusal onto the shared envelope.
+func writeProtoErr(w http.ResponseWriter, err error) {
+	var pe *ProtoError
+	if errors.As(err, &pe) {
+		httpapi.WriteError(w, pe.Status, httpapi.Error{Code: pe.Code, Message: pe.Message})
+		return
+	}
+	httpapi.WriteError(w, http.StatusInternalServerError, httpapi.Error{Code: CodeInternal, Message: err.Error()})
+}

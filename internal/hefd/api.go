@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"hef/internal/httpapi"
 )
 
 // MaxBodyBytes caps a request body. It comfortably fits the largest valid
@@ -14,14 +16,11 @@ import (
 // streaming gigabytes into the decoder.
 const MaxBodyBytes = 1 << 20
 
-// apiError is the JSON error body every non-2xx response carries:
+// apiError is the shared JSON error envelope every non-2xx response
+// carries (see internal/httpapi):
 //
 //	{"error": {"code": "...", "message": "...", "retry_after_ms": 1500}}
-type apiError struct {
-	Code         string `json:"code"`
-	Message      string `json:"message"`
-	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
-}
+type apiError = httpapi.Error
 
 // NewHandler builds the daemon's HTTP API around a Manager. tel, when
 // non-nil, serves the telemetry endpoints (/metrics, /healthz, /readyz,
@@ -32,8 +31,9 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 	// header. When the daemon has no keyring, auth is off and every caller
 	// acts as tenant "" (= unrestricted, the PR-7 behavior). With a
 	// keyring, a missing or unknown key is a 401 — the same answer for
-	// both, so a probe cannot distinguish "no key" from "wrong key".
-	authTenant := func(w http.ResponseWriter, r *http.Request) (string, bool) {
+	// both, so a probe cannot distinguish "no key" from "wrong key" — and
+	// a scope=ro key asking to mutate is a 403.
+	authTenant := func(w http.ResponseWriter, r *http.Request, mutate bool) (string, bool) {
 		ring := m.Keys()
 		if ring.Len() == 0 {
 			return "", true
@@ -44,19 +44,24 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 			writeErr(w, &AuthError{Code: AuthMissing, Message: "missing or unrecognized API key"})
 			return "", false
 		}
-		tenant, _, ok := ring.Lookup(key)
+		entry, ok := ring.LookupEntry(key)
 		if !ok {
 			m.noteAuthDenied()
 			writeErr(w, &AuthError{Code: AuthMissing, Message: "missing or unrecognized API key"})
 			return "", false
 		}
-		return tenant, true
+		if mutate && entry.ReadOnly {
+			m.noteAuthDenied()
+			writeErr(w, &AuthError{Code: AuthForbidden, Message: "key is read-only (scope=ro)"})
+			return "", false
+		}
+		return entry.Tenant, true
 	}
 	// authJob additionally checks that the caller's tenant owns job id; a
 	// cross-tenant id is a 403 (the id is real, and hiding that behind a
 	// 404 would make the deterministic id scheme leak instead).
-	authJob := func(w http.ResponseWriter, r *http.Request, id string) bool {
-		tenant, ok := authTenant(w, r)
+	authJob := func(w http.ResponseWriter, r *http.Request, id string, mutate bool) bool {
+		tenant, ok := authTenant(w, r, mutate)
 		if !ok {
 			return false
 		}
@@ -77,14 +82,14 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		tenant, ok := authTenant(w, r)
+		tenant, ok := authTenant(w, r, true)
 		if !ok {
 			return
 		}
 		var spec JobSpec
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
 		if err := dec.Decode(&spec); err != nil {
-			writeJSONErr(w, http.StatusBadRequest, apiError{Code: "bad_json", Message: err.Error()})
+			httpapi.WriteError(w, http.StatusBadRequest, apiError{Code: "bad_json", Message: err.Error()})
 			return
 		}
 		if tenant != "" {
@@ -102,10 +107,10 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusAccepted, view)
+		httpapi.WriteJSON(w, http.StatusAccepted, view)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		tenant, ok := authTenant(w, r)
+		tenant, ok := authTenant(w, r, false)
 		if !ok {
 			return
 		}
@@ -114,10 +119,10 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 			filter = tenant // an authenticated caller lists only its own jobs
 		}
 		views := m.List(filter)
-		writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+		httpapi.WriteJSON(w, http.StatusOK, map[string]any{"jobs": views})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if !authJob(w, r, r.PathValue("id")) {
+		if !authJob(w, r, r.PathValue("id"), false) {
 			return
 		}
 		view, err := m.Get(r.PathValue("id"))
@@ -125,10 +130,10 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		httpapi.WriteJSON(w, http.StatusOK, view)
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/report", func(w http.ResponseWriter, r *http.Request) {
-		if !authJob(w, r, r.PathValue("id")) {
+		if !authJob(w, r, r.PathValue("id"), false) {
 			return
 		}
 		data, err := m.Report(r.PathValue("id"))
@@ -143,7 +148,7 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 		_, _ = w.Write(data)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if !authJob(w, r, r.PathValue("id")) {
+		if !authJob(w, r, r.PathValue("id"), true) {
 			return
 		}
 		view, err := m.Cancel(r.PathValue("id"))
@@ -151,7 +156,7 @@ func NewHandler(m *Manager, tel http.Handler) http.Handler {
 			writeErr(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		httpapi.WriteJSON(w, http.StatusOK, view)
 	})
 	if tel != nil {
 		for _, p := range []string{"/metrics", "/healthz", "/readyz", "/status"} {
@@ -169,11 +174,7 @@ func writeErr(w http.ResponseWriter, err error) {
 	var auth *AuthError
 	switch {
 	case errors.As(err, &auth):
-		status := http.StatusUnauthorized
-		if auth.Code == AuthForbidden {
-			status = http.StatusForbidden
-		}
-		writeJSONErr(w, status, apiError{Code: auth.Code, Message: auth.Message})
+		httpapi.WriteAuth(w, auth)
 	case errors.As(err, &shed):
 		status := http.StatusTooManyRequests
 		if shed.Code == ShedBreakerOpen || shed.Code == ShedDraining {
@@ -188,26 +189,16 @@ func writeErr(w http.ResponseWriter, err error) {
 			}
 			w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
 		}
-		writeJSONErr(w, status, body)
+		httpapi.WriteError(w, status, body)
 	case errors.Is(err, ErrInvalidSpec):
-		writeJSONErr(w, http.StatusBadRequest, apiError{Code: "invalid_spec", Message: err.Error()})
+		httpapi.WriteError(w, http.StatusBadRequest, apiError{Code: "invalid_spec", Message: err.Error()})
 	case errors.Is(err, ErrStorage):
-		writeJSONErr(w, http.StatusServiceUnavailable, apiError{Code: "storage_unavailable", Message: err.Error()})
+		httpapi.WriteError(w, http.StatusServiceUnavailable, apiError{Code: "storage_unavailable", Message: err.Error()})
 	case errors.Is(err, ErrUnknownJob):
-		writeJSONErr(w, http.StatusNotFound, apiError{Code: "unknown_job", Message: err.Error()})
+		httpapi.WriteError(w, http.StatusNotFound, apiError{Code: "unknown_job", Message: err.Error()})
 	case errors.Is(err, ErrReportNotReady):
-		writeJSONErr(w, http.StatusConflict, apiError{Code: "report_not_ready", Message: err.Error()})
+		httpapi.WriteError(w, http.StatusConflict, apiError{Code: "report_not_ready", Message: err.Error()})
 	default:
-		writeJSONErr(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
+		httpapi.WriteError(w, http.StatusInternalServerError, apiError{Code: "internal", Message: err.Error()})
 	}
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeJSONErr(w http.ResponseWriter, status int, e apiError) {
-	writeJSON(w, status, map[string]any{"error": e})
 }

@@ -1,54 +1,40 @@
 package hefd
 
 import (
-	"crypto/sha256"
-	"crypto/subtle"
 	"fmt"
 	"strconv"
-	"strings"
 
+	"hef/internal/httpapi"
 	"hef/internal/store"
 )
 
 // Auth codes: the typed reasons a request is refused before admission
-// control. The API maps them to HTTP statuses through the same error
-// envelope as every other refusal.
+// control. They are the shared httpapi codes, re-exported so existing
+// callers (and tests) keep reading naturally.
 const (
 	// AuthMissing: no (or unrecognized) API key on a daemon that requires
 	// one (HTTP 401).
-	AuthMissing = "unauthenticated"
-	// AuthForbidden: a valid key addressing another tenant's resources
-	// (HTTP 403).
-	AuthForbidden = "forbidden"
+	AuthMissing = httpapi.AuthMissing
+	// AuthForbidden: a valid key addressing another tenant's resources, or
+	// a write through a read-only key (HTTP 403).
+	AuthForbidden = httpapi.AuthForbidden
 )
 
-// AuthError is the typed authentication/authorization refusal.
-type AuthError struct {
-	// Code is AuthMissing or AuthForbidden.
-	Code string
-	// Message is a human-readable explanation.
-	Message string
-}
+// AuthError is the typed authentication/authorization refusal, shared with
+// the other HTTP services through internal/httpapi.
+type AuthError = httpapi.AuthError
 
-func (e *AuthError) Error() string { return fmt.Sprintf("hefd: %s: %s", e.Code, e.Message) }
+// MinKeyLen is the shortest admissible API key.
+const MinKeyLen = httpapi.MinKeyLen
 
-// MinKeyLen is the shortest admissible API key. Short keys are a key-file
-// typo until proven otherwise, so loading refuses them outright.
-const MinKeyLen = 8
-
-// keyEntry is one authorized key. Only the SHA-256 digest of the key is
-// kept in memory; the plaintext is dropped at parse time.
-type keyEntry struct {
-	digest [sha256.Size]byte
-	tenant string
-	quota  *QuotaConfig // per-tenant override, nil = global config
-}
-
-// Keyring maps API keys to tenants. Immutable once built: a SIGHUP reload
-// constructs a fresh ring and swaps it atomically, so in-flight requests
-// see either the old or the new ring, never a mix.
+// Keyring maps API keys to tenants (and per-tenant quota overrides). It
+// wraps the shared httpapi ring — digest-only storage, constant-time
+// lookup, scope=ro support — with the daemon's quota typing. Immutable
+// once built: a SIGHUP reload constructs a fresh ring and swaps it
+// atomically, so in-flight requests see either the old or the new ring,
+// never a mix.
 type Keyring struct {
-	entries []keyEntry
+	ring *httpapi.Keyring
 }
 
 // Len reports the number of keys.
@@ -56,29 +42,28 @@ func (k *Keyring) Len() int {
 	if k == nil {
 		return 0
 	}
-	return len(k.entries)
+	return k.ring.Len()
 }
 
-// Lookup resolves an API key to its tenant and quota override. The
-// comparison is constant-time in both the key bytes and the match
-// position: every entry is compared against the presented key's digest,
-// with no early exit, so response timing reveals neither a near-miss nor
-// where in the file the matching key lives.
+// Lookup resolves an API key to its tenant and quota override, in constant
+// time (see httpapi.Keyring.Lookup for the timing contract).
 func (k *Keyring) Lookup(key string) (tenant string, quota *QuotaConfig, ok bool) {
+	e, ok := k.LookupEntry(key)
+	if !ok {
+		return "", nil, false
+	}
+	quota, _ = e.Ext.(*QuotaConfig)
+	return e.Tenant, quota, true
+}
+
+// LookupEntry resolves an API key to its full entry (tenant, read-only
+// scope, quota Ext); the API handler uses it to refuse writes through
+// scope=ro keys.
+func (k *Keyring) LookupEntry(key string) (*httpapi.Entry, bool) {
 	if k == nil {
-		return "", nil, false
+		return nil, false
 	}
-	digest := sha256.Sum256([]byte(key))
-	match := -1
-	for i := range k.entries {
-		if subtle.ConstantTimeCompare(digest[:], k.entries[i].digest[:]) == 1 {
-			match = i
-		}
-	}
-	if match < 0 {
-		return "", nil, false
-	}
-	return k.entries[match].tenant, k.entries[match].quota, true
+	return k.ring.Lookup(key)
 }
 
 // QuotaFor returns the first quota override declared for tenant (nil when
@@ -88,75 +73,54 @@ func (k *Keyring) QuotaFor(tenant string) *QuotaConfig {
 	if k == nil {
 		return nil
 	}
-	for i := range k.entries {
-		if k.entries[i].tenant == tenant && k.entries[i].quota != nil {
-			return k.entries[i].quota
-		}
+	e := k.ring.Find(func(e *httpapi.Entry) bool {
+		return e.Tenant == tenant && e.Ext != nil
+	})
+	if e == nil {
+		return nil
 	}
-	return nil
+	quota, _ := e.Ext.(*QuotaConfig)
+	return quota
+}
+
+// quotaOption folds the daemon's rate= and burst= key-file options into a
+// *QuotaConfig Ext.
+func quotaOption(ext any, name, val string) (any, error) {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil || f <= 0 {
+		return nil, fmt.Errorf("%s must be a positive number, got %q", name, val)
+	}
+	quota, _ := ext.(*QuotaConfig)
+	if quota == nil {
+		quota = &QuotaConfig{}
+	}
+	switch name {
+	case "rate":
+		quota.Rate = f
+	case "burst":
+		quota.Burst = f
+	default:
+		return nil, fmt.Errorf("unknown option %q", name)
+	}
+	return quota, nil
 }
 
 // ParseKeyring parses a key file. Each non-blank, non-comment line is
 //
-//	<key> <tenant> [rate=R] [burst=B]
+//	<key> <tenant> [scope=ro] [rate=R] [burst=B]
 //
 // where key is at least MinKeyLen characters, tenant follows the JobSpec
-// tenant grammar, and rate/burst (jobs per second / bucket capacity)
+// tenant grammar, scope=ro makes the key read-only (GET only; POST and
+// DELETE answer 403), and rate/burst (jobs per second / bucket capacity)
 // override the daemon-wide quota for that tenant. Any malformed line fails
 // the whole file — a partially loaded keyring would silently lock out the
 // tenants on the bad half.
 func ParseKeyring(data []byte) (*Keyring, error) {
-	ring := &Keyring{}
-	seen := map[[sha256.Size]byte]int{}
-	for lineNo, line := range strings.Split(string(data), "\n") {
-		line = strings.TrimSpace(line)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		if len(fields) < 2 {
-			return nil, fmt.Errorf("hefd: key file line %d: want \"<key> <tenant> [rate=R] [burst=B]\"", lineNo+1)
-		}
-		key, tenant := fields[0], fields[1]
-		if len(key) < MinKeyLen {
-			return nil, fmt.Errorf("hefd: key file line %d: key shorter than %d characters", lineNo+1, MinKeyLen)
-		}
-		if err := validTenant(tenant); err != nil {
-			return nil, fmt.Errorf("hefd: key file line %d: %v", lineNo+1, err)
-		}
-		entry := keyEntry{digest: sha256.Sum256([]byte(key)), tenant: tenant}
-		var quota QuotaConfig
-		for _, opt := range fields[2:] {
-			name, val, found := strings.Cut(opt, "=")
-			if !found {
-				return nil, fmt.Errorf("hefd: key file line %d: option %q is not name=value", lineNo+1, opt)
-			}
-			f, err := strconv.ParseFloat(val, 64)
-			if err != nil || f <= 0 {
-				return nil, fmt.Errorf("hefd: key file line %d: %s must be a positive number, got %q", lineNo+1, name, val)
-			}
-			switch name {
-			case "rate":
-				quota.Rate = f
-			case "burst":
-				quota.Burst = f
-			default:
-				return nil, fmt.Errorf("hefd: key file line %d: unknown option %q", lineNo+1, name)
-			}
-		}
-		if quota.Rate > 0 || quota.Burst > 0 {
-			entry.quota = &quota
-		}
-		if prev, dup := seen[entry.digest]; dup {
-			return nil, fmt.Errorf("hefd: key file line %d: key already declared on line %d", lineNo+1, prev)
-		}
-		seen[entry.digest] = lineNo + 1
-		ring.entries = append(ring.entries, entry)
+	ring, err := httpapi.ParseKeyring(data, validTenant, quotaOption)
+	if err != nil {
+		return nil, fmt.Errorf("hefd: %w", err)
 	}
-	if len(ring.entries) == 0 {
-		return nil, fmt.Errorf("hefd: key file declares no keys")
-	}
-	return ring, nil
+	return &Keyring{ring: ring}, nil
 }
 
 // LoadKeyring reads and parses a key file.

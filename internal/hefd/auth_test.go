@@ -260,3 +260,101 @@ func TestNewRefusesBadKeyFile(t *testing.T) {
 		t.Fatal("malformed key file accepted")
 	}
 }
+
+// scope=ro keys parse into read-only entries; scope=rw (and no scope) stay
+// writable; anything else fails the file.
+func TestParseKeyringScopes(t *testing.T) {
+	ring, err := ParseKeyring([]byte(`
+viewer-key-01 alice scope=ro
+writer-key-01 alice scope=rw rate=2 burst=4
+plain-key-001 bob
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key, wantRO := range map[string]bool{
+		"viewer-key-01": true, "writer-key-01": false, "plain-key-001": false,
+	} {
+		e, ok := ring.LookupEntry(key)
+		if !ok {
+			t.Fatalf("LookupEntry(%q) missed", key)
+		}
+		if e.ReadOnly != wantRO {
+			t.Fatalf("key %q ReadOnly = %v, want %v", key, e.ReadOnly, wantRO)
+		}
+	}
+	// The ro/rw split does not disturb quota options on the same line.
+	if q := ring.QuotaFor("alice"); q == nil || q.Rate != 2 || q.Burst != 4 {
+		t.Fatalf("QuotaFor(alice) = %+v", q)
+	}
+	if _, err := ParseKeyring([]byte("some-key-0001 alice scope=admin\n")); err == nil {
+		t.Fatal("unknown scope accepted")
+	}
+}
+
+// A scope=ro key reads every job route but gets the typed 403 on POST and
+// DELETE — and a SIGHUP-style reload can tighten or loosen the scope live.
+func TestReadOnlyKeyGatesWritesAcrossReload(t *testing.T) {
+	leakcheck.Check(t)
+	path := writeKeyFile(t, "alice-key-0001 alice\n")
+	srv, m := newTestServer(t, Config{AuthKeys: path})
+
+	resp, data := doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Ops: []string{"murmur"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("rw submit: %d\n%s", resp.StatusCode, data)
+	}
+	var v JobView
+	if err := json.Unmarshal(data, &v); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+
+	// Reload demotes the same key to read-only; in-flight artifacts stay
+	// readable, mutations stop.
+	if err := os.WriteFile(path, []byte("alice-key-0001 alice scope=ro\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReloadKeys(); err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range []struct{ method, url string }{
+		{"POST", srv.URL + "/v1/jobs"},
+		{"DELETE", srv.URL + "/v1/jobs/" + v.ID},
+	} {
+		var body any
+		if route.method == "POST" {
+			body = JobSpec{Ops: []string{"murmur"}}
+		}
+		resp, data := doJSONAuth(t, route.method, route.url, "alice-key-0001", body)
+		if resp.StatusCode != http.StatusForbidden || errCode(t, data) != AuthForbidden {
+			t.Fatalf("%s as ro key: %d %s", route.method, resp.StatusCode, data)
+		}
+	}
+	for _, url := range []string{
+		srv.URL + "/v1/jobs",
+		srv.URL + "/v1/jobs/" + v.ID,
+		srv.URL + "/v1/jobs/" + v.ID + "/report",
+	} {
+		resp, data := doJSONAuth(t, "GET", url, "alice-key-0001", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s as ro key: %d %s", url, resp.StatusCode, data)
+		}
+	}
+
+	// Reload can hand the scope back.
+	if err := os.WriteFile(path, []byte("alice-key-0001 alice scope=rw\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.ReloadKeys(); err != nil {
+		t.Fatal(err)
+	}
+	resp, data = doJSONAuth(t, "POST", srv.URL+"/v1/jobs", "alice-key-0001", JobSpec{Ops: []string{"crc64"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("re-promoted submit: %d\n%s", resp.StatusCode, data)
+	}
+	var v2 JobView
+	if err := json.Unmarshal(data, &v2); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v2.ID, StateDone)
+}

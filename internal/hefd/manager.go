@@ -50,6 +50,12 @@ type Config struct {
 	// tombstoned by a periodic sweep and the WAL is compacted at startup
 	// (zero retains everything forever).
 	Retention RetentionConfig
+	// WALMaxBytes compacts the job log in place, while the daemon is
+	// serving, whenever it grows past this many bytes (0 disables online
+	// compaction; the startup compaction under Retention still applies).
+	// The rewrite is the same atomic old-or-new discipline as the startup
+	// compaction, so a kill -9 mid-compaction costs nothing.
+	WALMaxBytes int64
 	// AuthKeys, when non-empty, is the API key file: requests must present
 	// a listed key, and the key decides the tenant. Reloadable at runtime
 	// via ReloadKeys (cmd/hefd wires it to SIGHUP). "" disables auth.
@@ -120,7 +126,7 @@ type Manager struct {
 	closed       bool
 	walWarned    bool
 	admWarned    bool
-	replayed     int // records replayed at open, for the compaction decision
+	walRecords   int // live record count (replayed at open + appended since), for compaction decisions
 
 	wg sync.WaitGroup
 
@@ -266,7 +272,7 @@ func New(cfg Config) (*Manager, error) {
 // replay applies one job-log record during OpenJobLog. Records arrive in
 // append order, so the last state recorded wins.
 func (m *Manager) replay(rec walRecord) {
-	m.replayed++
+	m.walRecords++
 	switch rec.Kind {
 	case walSpec:
 		if rec.Spec == nil || rec.ID == "" {
@@ -317,6 +323,11 @@ func (m *Manager) replay(rec walRecord) {
 func (m *Manager) compact() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.compactLocked()
+}
+
+// compactLocked is compact's body; callers hold m.mu.
+func (m *Manager) compactLocked() error {
 	recs := make([]walRecord, 0, 1+3*len(m.order))
 	recs = append(recs, walRecord{Kind: walSeq, Seq: m.seq})
 	for _, id := range m.order {
@@ -335,15 +346,32 @@ func (m *Manager) compact() error {
 			}
 		}
 	}
-	if m.replayed <= len(recs) {
+	if m.walRecords <= len(recs) {
 		return nil // the log is already minimal; a rewrite would only burn I/O
 	}
 	if _, err := m.wal.Compact(recs); err != nil {
 		return err
 	}
-	m.replayed = len(recs)
+	m.walRecords = len(recs)
 	m.counts.Compactions++
 	return nil
+}
+
+// maybeCompact compacts the job log in place once it has outgrown
+// Config.WALMaxBytes. It runs after a job finishes and after a retention
+// sweep — the two moments the log accretes shed-able records — never on
+// the submission path, so admission latency stays bounded. A log already
+// at its minimal record set is left alone even above the threshold (large
+// live reports can legitimately exceed it; rewriting would only burn I/O).
+func (m *Manager) maybeCompact() {
+	if m.cfg.WALMaxBytes <= 0 || m.wal.Size() < m.cfg.WALMaxBytes {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.compactLocked(); err != nil {
+		fmt.Fprintf(m.logW, "hefd: online compaction skipped: %v\n", err)
+	}
 }
 
 // MemoStore exposes the durable memo store for telemetry bridging (nil
@@ -433,6 +461,7 @@ func (m *Manager) Submit(spec JobSpec) (JobView, error) {
 	if err := m.wal.Append(walRecord{Kind: walSpec, ID: id, Seq: m.seq, Spec: &spec}); err != nil {
 		return JobView{}, err
 	}
+	m.walRecords++
 	m.seq++
 	m.jobs[id] = j
 	m.order = append(m.order, id)
@@ -540,7 +569,12 @@ func (m *Manager) setTerminalLocked(j *job, state JobState, errMsg string) {
 // write-ahead append does NOT go through here — acceptance must be
 // durable.)
 func (m *Manager) walAppendLocked(rec walRecord) {
-	if err := m.wal.Append(rec); err != nil && !m.walWarned {
+	err := m.wal.Append(rec)
+	if err == nil {
+		m.walRecords++
+		return
+	}
+	if !m.walWarned {
 		m.walWarned = true
 		fmt.Fprintf(m.logW, "hefd: job log degraded, further transitions unpersisted: %v\n", err)
 	}
@@ -576,6 +610,10 @@ func (m *Manager) worker() {
 		m.runningN--
 		m.cond.Broadcast()
 		m.mu.Unlock()
+
+		// Each finished job appended a state transition (and usually a
+		// report); check whether the log has outgrown its bound.
+		m.maybeCompact()
 	}
 }
 

@@ -68,7 +68,6 @@ func (m *Manager) Sweep() []string {
 	// tombstone is durable, so a crash between the two costs nothing.
 	for _, id := range expired {
 		m.walAppendLocked(walRecord{Kind: walTomb, ID: id, AtMS: now.UnixMilli()})
-		m.replayed++ // the tombstone is now a log record the compactor can shed
 		delete(m.jobs, id)
 		m.counts.Expired++
 	}
@@ -142,6 +141,9 @@ func (m *Manager) retentionLoop(stop <-chan struct{}) {
 			return
 		case <-m.clock.After(m.cfg.Retention.interval()):
 			m.Sweep()
+			// A sweep turns terminal jobs into tombstones the compactor can
+			// shed; reclaim the space right away when a bound is set.
+			m.maybeCompact()
 		}
 	}
 }

@@ -1,6 +1,7 @@
 package hefd
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -446,5 +447,168 @@ func TestRetentionChaosBoundsDataDirSize(t *testing.T) {
 	// Stale compaction temps (the kill-mid-rewrite residue) are swept too.
 	if matches, _ := filepath.Glob(filepath.Join(dir, JobLogName+".compact-*")); len(matches) != 0 {
 		t.Fatalf("stale compaction temps: %v", matches)
+	}
+}
+
+// Online compaction: once the job log outgrows WALMaxBytes it is rewritten
+// in place while the daemon keeps serving — running jobs keep their spec,
+// finished jobs keep their exact report bytes, and a restart on the
+// compacted log recovers everything.
+func TestOnlineCompactionBoundsWALWhileServing(t *testing.T) {
+	dir := t.TempDir()
+	release := make(chan struct{})
+	m, err := New(Config{
+		DataDir: dir, Workers: 2, LogW: io.Discard,
+		WALMaxBytes: 1, // every finished job triggers the size check
+		runOp: func(ctx context.Context, spec JobSpec, op string) (*obs.RunReport, error) {
+			if op == "probe" {
+				select {
+				case <-release:
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			return stubRun(ctx, spec, op)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	running, err := m.Submit(JobSpec{Ops: []string{"probe"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+
+	// Each finished job appends running/done states plus a report the
+	// compactor can fold away; by the second one the log holds more records
+	// than its minimal form and the online rewrite fires.
+	var doneIDs []string
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit(JobSpec{Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, v.ID, StateDone)
+		doneIDs = append(doneIDs, v.ID)
+	}
+	if c := m.Counts(); c.Compactions == 0 {
+		t.Fatal("no online compaction ran above the 1-byte threshold")
+	}
+
+	reports := map[string][]byte{}
+	for _, id := range doneIDs {
+		rep, err := m.Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[id] = rep
+	}
+
+	// The job that was mid-run during the compactions survives it.
+	close(release)
+	waitState(t, m, running.ID, StateDone)
+	rep, err := m.Report(running.ID)
+	if err != nil {
+		t.Fatalf("job running through compaction lost its report: %v", err)
+	}
+	reports[running.ID] = rep
+
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart on the compacted log: every job and its exact bytes are back.
+	m2 := newTestManager(t, Config{DataDir: dir})
+	for id, want := range reports {
+		got, err := m2.Report(id)
+		if err != nil {
+			t.Fatalf("after restart, report %s: %v", id, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("report %s bytes changed across online compaction + restart", id)
+		}
+	}
+}
+
+// WALMaxBytes zero keeps the PR-9 behavior: the log only compacts at
+// startup under retention, never while serving.
+func TestOnlineCompactionDisabledByDefault(t *testing.T) {
+	m := newTestManager(t, Config{Workers: 1})
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit(JobSpec{Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, v.ID, StateDone)
+	}
+	if c := m.Counts(); c.Compactions != 0 {
+		t.Fatalf("Compactions = %d with WALMaxBytes unset, want 0", c.Compactions)
+	}
+}
+
+// A minimal log above the threshold (live jobs with big specs or reports)
+// is left alone: rewriting it would shed nothing and only burn I/O.
+func TestOnlineCompactionSkipsMinimalLog(t *testing.T) {
+	dir := t.TempDir()
+	m := newTestManager(t, Config{DataDir: dir, Workers: 1, WALMaxBytes: 1})
+	v, err := m.Submit(JobSpec{Ops: []string{"murmur"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v.ID, StateDone)
+	// One finished job: 4 live records vs a 4-record minimal form — nothing
+	// to shed yet even though the log is far beyond 1 byte.
+	if c := m.Counts(); c.Compactions != 0 {
+		t.Fatalf("Compactions = %d on a minimal log, want 0", c.Compactions)
+	}
+	size := m.WALSize()
+	if size == 0 {
+		t.Fatal("job log missing")
+	}
+	// The second job crosses the record-count line and the rewrite fires.
+	v2, err := m.Submit(JobSpec{Ops: []string{"crc64"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, v2.ID, StateDone)
+	if c := m.Counts(); c.Compactions != 1 {
+		t.Fatalf("Compactions = %d after second job, want 1", c.Compactions)
+	}
+}
+
+// The retention loop pairs its sweeps with a compaction pass, so tombstoned
+// jobs leave the log (not just the tables) without a restart.
+func TestOnlineCompactionReclaimsTombstones(t *testing.T) {
+	clock := sched.NewFakeClock(time.Unix(1000, 0))
+	m := newTestManager(t, Config{
+		Workers: 1, Clock: clock, WALMaxBytes: 1,
+		Retention: RetentionConfig{Age: time.Minute, Interval: time.Second},
+	})
+	for i := 0; i < 3; i++ {
+		v, err := m.Submit(JobSpec{Ops: []string{"murmur"}, Elems: int64(64 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, v.ID, StateDone)
+	}
+	grown := m.WALSize()
+	before := m.Counts()
+	clock.Advance(2 * time.Minute) // past the age and the sweep interval
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := m.Counts()
+		if c.Expired == 3 && c.Compactions > before.Compactions {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention-paired compaction never ran: %+v", c)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if shrunk := m.WALSize(); shrunk >= grown {
+		t.Fatalf("log did not shrink after tombstone compaction: %d -> %d bytes", grown, shrunk)
 	}
 }

@@ -1,0 +1,62 @@
+// Package httpapi holds the HTTP surface conventions shared by the repo's
+// services — the hefd job daemon and the hefsweep distributed-sweep
+// coordinator: the typed JSON error envelope every non-2xx response
+// carries, and the API keyring with digest-only storage, constant-time
+// lookup, and per-key scopes. Keeping them in one package means a client
+// written against one service parses the other's refusals for free, and a
+// hardening fix (a timing leak, an envelope change) lands everywhere at
+// once.
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Error is the envelope payload every non-2xx response carries:
+//
+//	{"error": {"code": "...", "message": "...", "retry_after_ms": 1500}}
+//
+// Code is drawn from a closed per-service set so clients can switch on it;
+// Message is for humans; RetryAfterMS, when present, is the producing
+// admission layer's backoff suggestion.
+type Error struct {
+	Code         string `json:"code"`
+	Message      string `json:"message"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// WriteJSON writes v as a JSON response body with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes the error envelope with the given status.
+func WriteError(w http.ResponseWriter, status int, e Error) {
+	WriteJSON(w, status, map[string]any{"error": e})
+}
+
+// WriteAuth maps an AuthError onto the envelope: 401 for AuthMissing, 403
+// for AuthForbidden.
+func WriteAuth(w http.ResponseWriter, e *AuthError) {
+	status := http.StatusUnauthorized
+	if e.Code == AuthForbidden {
+		status = http.StatusForbidden
+	}
+	WriteError(w, status, Error{Code: e.Code, Message: e.Message})
+}
+
+// DecodeError recovers the envelope from a response body; ok reports
+// whether the body actually was an envelope (clients fall back to the raw
+// status otherwise).
+func DecodeError(body []byte) (Error, bool) {
+	var wrapped struct {
+		Error *Error `json:"error"`
+	}
+	if err := json.Unmarshal(body, &wrapped); err != nil || wrapped.Error == nil || wrapped.Error.Code == "" {
+		return Error{}, false
+	}
+	return *wrapped.Error, true
+}

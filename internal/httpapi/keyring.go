@@ -1,0 +1,190 @@
+package httpapi
+
+import (
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"strings"
+
+	"hef/internal/store"
+)
+
+// Auth codes: the typed reasons a request is refused before it reaches the
+// service's own logic. Services map them to HTTP statuses through the
+// shared envelope.
+const (
+	// AuthMissing: no (or unrecognized) API key on a service that requires
+	// one (HTTP 401).
+	AuthMissing = "unauthenticated"
+	// AuthForbidden: a valid key addressing resources outside its grant —
+	// another tenant's objects, or a write through a read-only key
+	// (HTTP 403).
+	AuthForbidden = "forbidden"
+)
+
+// AuthError is the typed authentication/authorization refusal.
+type AuthError struct {
+	// Code is AuthMissing or AuthForbidden.
+	Code string
+	// Message is a human-readable explanation.
+	Message string
+}
+
+func (e *AuthError) Error() string { return fmt.Sprintf("%s: %s", e.Code, e.Message) }
+
+// MinKeyLen is the shortest admissible API key. Short keys are a key-file
+// typo until proven otherwise, so loading refuses them outright.
+const MinKeyLen = 8
+
+// Entry is one authorized key. Only the SHA-256 digest of the key is kept
+// in memory; the plaintext is dropped at parse time.
+type Entry struct {
+	digest [sha256.Size]byte
+	// Tenant is the identity the key grants.
+	Tenant string
+	// ReadOnly marks a scope=ro key: it may read, never mutate. The
+	// service's handler decides which routes count as mutations.
+	ReadOnly bool
+	// Ext carries service-specific per-key options (hefd stores its quota
+	// override here), produced by the OptionFunc at parse time.
+	Ext any
+}
+
+// Keyring maps API keys to entries. Immutable once built: a reload
+// constructs a fresh ring and swaps it atomically, so in-flight requests
+// see either the old or the new ring, never a mix.
+type Keyring struct {
+	entries []Entry
+}
+
+// Len reports the number of keys.
+func (k *Keyring) Len() int {
+	if k == nil {
+		return 0
+	}
+	return len(k.entries)
+}
+
+// Lookup resolves an API key to its entry. The comparison is constant-time
+// in both the key bytes and the match position: every entry is compared
+// against the presented key's digest, with no early exit, so response
+// timing reveals neither a near-miss nor where in the file the matching
+// key lives.
+func (k *Keyring) Lookup(key string) (*Entry, bool) {
+	if k == nil {
+		return nil, false
+	}
+	digest := sha256.Sum256([]byte(key))
+	match := -1
+	for i := range k.entries {
+		if subtle.ConstantTimeCompare(digest[:], k.entries[i].digest[:]) == 1 {
+			match = i
+		}
+	}
+	if match < 0 {
+		return nil, false
+	}
+	return &k.entries[match], true
+}
+
+// Find returns the first entry satisfying fn (nil when none does) —
+// the primitive behind per-tenant option scans like hefd's QuotaFor.
+func (k *Keyring) Find(fn func(*Entry) bool) *Entry {
+	if k == nil {
+		return nil
+	}
+	for i := range k.entries {
+		if fn(&k.entries[i]) {
+			return &k.entries[i]
+		}
+	}
+	return nil
+}
+
+// OptionFunc consumes one service-specific name=value option from a key
+// line, folding it into the entry's Ext value (which starts nil). It
+// returns the updated Ext, or an error to fail the whole file. A nil
+// OptionFunc rejects every non-scope option.
+type OptionFunc func(ext any, name, value string) (any, error)
+
+// ParseKeyring parses a key file. Each non-blank, non-comment line is
+//
+//	<key> <tenant> [scope=ro|rw] [service options...]
+//
+// where key is at least MinKeyLen characters. scope=ro marks the key
+// read-only (scope=rw, the default, grants writes); every other option is
+// handed to opt. Any malformed line fails the whole file — a partially
+// loaded keyring would silently lock out the tenants on the bad half.
+//
+// Tenant syntax is the caller's concern: validTenant, when non-nil, vets
+// the tenant field so each service keeps its own grammar.
+func ParseKeyring(data []byte, validTenant func(string) error, opt OptionFunc) (*Keyring, error) {
+	ring := &Keyring{}
+	seen := map[[sha256.Size]byte]int{}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("key file line %d: want \"<key> <tenant> [scope=ro] [options]\"", lineNo+1)
+		}
+		key, tenant := fields[0], fields[1]
+		if len(key) < MinKeyLen {
+			return nil, fmt.Errorf("key file line %d: key shorter than %d characters", lineNo+1, MinKeyLen)
+		}
+		if validTenant != nil {
+			if err := validTenant(tenant); err != nil {
+				return nil, fmt.Errorf("key file line %d: %v", lineNo+1, err)
+			}
+		}
+		entry := Entry{digest: sha256.Sum256([]byte(key)), Tenant: tenant}
+		for _, o := range fields[2:] {
+			name, val, found := strings.Cut(o, "=")
+			if !found {
+				return nil, fmt.Errorf("key file line %d: option %q is not name=value", lineNo+1, o)
+			}
+			if name == "scope" {
+				switch val {
+				case "ro":
+					entry.ReadOnly = true
+				case "rw":
+					entry.ReadOnly = false
+				default:
+					return nil, fmt.Errorf("key file line %d: scope must be ro or rw, got %q", lineNo+1, val)
+				}
+				continue
+			}
+			if opt == nil {
+				return nil, fmt.Errorf("key file line %d: unknown option %q", lineNo+1, name)
+			}
+			ext, err := opt(entry.Ext, name, val)
+			if err != nil {
+				return nil, fmt.Errorf("key file line %d: %v", lineNo+1, err)
+			}
+			entry.Ext = ext
+		}
+		if prev, dup := seen[entry.digest]; dup {
+			return nil, fmt.Errorf("key file line %d: key already declared on line %d", lineNo+1, prev)
+		}
+		seen[entry.digest] = lineNo + 1
+		ring.entries = append(ring.entries, entry)
+	}
+	if len(ring.entries) == 0 {
+		return nil, fmt.Errorf("key file declares no keys")
+	}
+	return ring, nil
+}
+
+// LoadKeyring reads and parses a key file.
+func LoadKeyring(fsys store.FS, path string, validTenant func(string) error, opt OptionFunc) (*Keyring, error) {
+	if fsys == nil {
+		fsys = store.OS
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("key file: %w", err)
+	}
+	return ParseKeyring(data, validTenant, opt)
+}

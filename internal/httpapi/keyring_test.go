@@ -1,0 +1,86 @@
+package httpapi
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestParseKeyringScopesAndOptions(t *testing.T) {
+	var seen []string
+	ring, err := ParseKeyring([]byte(`
+# comment
+reader-key-1 alice scope=ro
+writer-key-1 bob color=blue
+`), nil, func(ext any, name, val string) (any, error) {
+		seen = append(seen, name+"="+val)
+		return val, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 2 {
+		t.Fatalf("Len = %d", ring.Len())
+	}
+	e, ok := ring.Lookup("reader-key-1")
+	if !ok || e.Tenant != "alice" || !e.ReadOnly {
+		t.Fatalf("reader entry: %+v ok=%v", e, ok)
+	}
+	e, ok = ring.Lookup("writer-key-1")
+	if !ok || e.ReadOnly || e.Ext != "blue" {
+		t.Fatalf("writer entry: %+v ok=%v", e, ok)
+	}
+	if len(seen) != 1 || seen[0] != "color=blue" {
+		t.Fatalf("option parser saw %v", seen)
+	}
+	if _, ok := ring.Lookup("stolen-key-1"); ok {
+		t.Fatal("unknown key resolved")
+	}
+}
+
+func TestParseKeyringRejectsMalformed(t *testing.T) {
+	for _, file := range []string{
+		"",                                   // no keys
+		"lonely\n",                           // missing tenant
+		"short t\n",                          // key too short
+		"good-key-123 t x\n",                 // option not name=value
+		"good-key-123 t x=1\n",               // unknown option, nil parser
+		"good-key-123 t scope=z",             // bad scope
+		"dup-key-00001 a\ndup-key-00001 b\n", // duplicate key
+	} {
+		if _, err := ParseKeyring([]byte(file), nil, nil); err == nil {
+			t.Fatalf("accepted malformed file %q", file)
+		}
+	}
+	// The tenant validator fails the file too.
+	_, err := ParseKeyring([]byte("good-key-123 BAD\n"), func(tenant string) error {
+		if strings.ToLower(tenant) != tenant {
+			return &AuthError{Code: AuthForbidden, Message: "upper-case tenant"}
+		}
+		return nil
+	}, nil)
+	if err == nil {
+		t.Fatal("tenant validator ignored")
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteAuth(rec, &AuthError{Code: AuthMissing, Message: "no key"})
+	if rec.Code != 401 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	e, ok := DecodeError(rec.Body.Bytes())
+	if !ok || e.Code != AuthMissing || e.Message != "no key" {
+		t.Fatalf("decoded %+v ok=%v", e, ok)
+	}
+	rec = httptest.NewRecorder()
+	WriteError(rec, 429, Error{Code: "quota", Message: "slow down", RetryAfterMS: 1500})
+	e, ok = DecodeError(rec.Body.Bytes())
+	if !ok || e.RetryAfterMS != 1500 {
+		t.Fatalf("decoded %+v ok=%v", e, ok)
+	}
+	if _, ok := DecodeError([]byte("not json")); ok {
+		t.Fatal("garbage decoded as envelope")
+	}
+}

@@ -1,0 +1,71 @@
+package sched
+
+import "fmt"
+
+// Range is a half-open span [Start, End) over a sweep's task list, the unit
+// the distributed coordinator leases out. Tasks are addressed by position
+// in the deterministic task order, so a range plus the sweep fingerprint
+// names exactly the same work on every machine.
+type Range struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Len is the number of tasks the range covers.
+func (r Range) Len() int { return r.End - r.Start }
+
+// Valid reports whether the range is well-formed and inside a task list of
+// n entries.
+func (r Range) Valid(n int) bool {
+	return r.Start >= 0 && r.Start < r.End && r.End <= n
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// ShardRanges cuts n tasks into contiguous ranges of at most size tasks,
+// in task order. size <= 0 selects 1. The split depends only on (n, size),
+// so every participant in a distributed sweep derives the same shards.
+func ShardRanges(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = 1
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		out = append(out, Range{Start: start, End: end})
+	}
+	return out
+}
+
+// TaskIDs extracts the ID of every task, refusing duplicates or blanks:
+// IDs key checkpoints and distributed result merges, so a collision would
+// silently drop work.
+func TaskIDs[T any](tasks []Task[T]) ([]string, error) {
+	ids := make([]string, len(tasks))
+	seen := make(map[string]int, len(tasks))
+	for i, t := range tasks {
+		if t.ID == "" {
+			return nil, fmt.Errorf("sched: task %d has an empty ID", i)
+		}
+		if prev, dup := seen[t.ID]; dup {
+			return nil, fmt.Errorf("sched: task ID %q duplicated at positions %d and %d", t.ID, prev, i)
+		}
+		seen[t.ID] = i
+		ids[i] = t.ID
+	}
+	return ids, nil
+}
+
+// SliceRange returns the sub-list of tasks a range covers.
+func SliceRange[T any](tasks []Task[T], r Range) ([]Task[T], error) {
+	if !r.Valid(len(tasks)) {
+		return nil, fmt.Errorf("sched: range %s outside task list of %d", r, len(tasks))
+	}
+	return tasks[r.Start:r.End], nil
+}

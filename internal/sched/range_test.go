@@ -1,0 +1,69 @@
+package sched
+
+import "testing"
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    []Range
+	}{
+		{0, 4, nil},
+		{1, 4, []Range{{0, 1}}},
+		{4, 4, []Range{{0, 4}}},
+		{5, 4, []Range{{0, 4}, {4, 5}}},
+		{9, 3, []Range{{0, 3}, {3, 6}, {6, 9}}},
+		{3, 0, []Range{{0, 1}, {1, 2}, {2, 3}}}, // size <= 0 selects 1
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("ShardRanges(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+		covered := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ShardRanges(%d,%d)[%d] = %v, want %v", c.n, c.size, i, got[i], c.want[i])
+			}
+			if !got[i].Valid(c.n) {
+				t.Fatalf("range %v invalid for n=%d", got[i], c.n)
+			}
+			covered += got[i].Len()
+		}
+		if covered != c.n {
+			t.Fatalf("ShardRanges(%d,%d) covers %d tasks", c.n, c.size, covered)
+		}
+	}
+}
+
+func TestTaskIDsRejectsDuplicatesAndBlanks(t *testing.T) {
+	mk := func(ids ...string) []Task[int] {
+		out := make([]Task[int], len(ids))
+		for i, id := range ids {
+			out[i] = Task[int]{ID: id}
+		}
+		return out
+	}
+	ids, err := TaskIDs(mk("a", "b", "c"))
+	if err != nil || len(ids) != 3 || ids[1] != "b" {
+		t.Fatalf("TaskIDs = %v, %v", ids, err)
+	}
+	if _, err := TaskIDs(mk("a", "", "c")); err == nil {
+		t.Fatal("blank ID accepted")
+	}
+	if _, err := TaskIDs(mk("a", "b", "a")); err == nil {
+		t.Fatal("duplicate ID accepted")
+	}
+}
+
+func TestSliceRangeBounds(t *testing.T) {
+	tasks := []Task[int]{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	sub, err := SliceRange(tasks, Range{1, 3})
+	if err != nil || len(sub) != 2 || sub[0].ID != "b" {
+		t.Fatalf("SliceRange = %v, %v", sub, err)
+	}
+	for _, r := range []Range{{-1, 2}, {2, 2}, {2, 1}, {0, 4}} {
+		if _, err := SliceRange(tasks, r); err == nil {
+			t.Fatalf("range %v accepted", r)
+		}
+	}
+}

@@ -70,6 +70,19 @@ const (
 	MetricHefdWALBytes    = "hefd_wal_bytes"
 	MetricHefdAuthDenied  = "hefd_auth_denied_total"
 	MetricHefdKeyReloads  = "hefd_key_reloads_total"
+
+	// Distributed sweep coordinator (internal/dist via cmd/hefsweep).
+	MetricDistRanges      = "hef_dist_ranges"
+	MetricDistRangesDone  = "hef_dist_ranges_done"
+	MetricDistLeases      = "hef_dist_leases_active"
+	MetricDistGranted     = "hef_dist_leases_granted_total"
+	MetricDistExpired     = "hef_dist_leases_expired_total"
+	MetricDistSpeculative = "hef_dist_speculative_grants_total"
+	MetricDistCommitted   = "hef_dist_ranges_committed_total"
+	MetricDistDuplicates  = "hef_dist_duplicate_commits_total"
+	MetricDistHeartbeats  = "hef_dist_heartbeats_total"
+	MetricDistFailures    = "hef_dist_range_failures_total"
+	MetricDistViolations  = "hef_dist_determinism_violations_total"
 )
 
 // SchedMetrics is the instrument set a sched.Runner bumps. Every method is
@@ -240,6 +253,109 @@ func (m *SweepMetrics) OnInterrupt() {
 		return
 	}
 	m.Interrupted.Set(1)
+}
+
+// DistMetrics is the instrument set the distributed sweep coordinator
+// bumps: the lease lifecycle (grants, heartbeats, expiries, speculative
+// re-dispatch) and the commit path (commits, byte-identical duplicates,
+// determinism violations).
+type DistMetrics struct {
+	Ranges, RangesDone, LeasesActive *Gauge
+	Granted, Expired, Speculative    *Counter
+	Committed, Duplicates            *Counter
+	Heartbeats, Failures, Violations *Counter
+}
+
+// NewDistMetrics registers the dist series on r (nil r → nil set).
+func NewDistMetrics(r *Registry) *DistMetrics {
+	if r == nil {
+		return nil
+	}
+	return &DistMetrics{
+		Ranges:       r.Gauge(MetricDistRanges, "task ranges in the registered sweep plan"),
+		RangesDone:   r.Gauge(MetricDistRangesDone, "task ranges durably committed"),
+		LeasesActive: r.Gauge(MetricDistLeases, "live leases held by workers"),
+		Granted:      r.Counter(MetricDistGranted, "leases granted, speculative included"),
+		Expired:      r.Counter(MetricDistExpired, "leases lapsed without a heartbeat"),
+		Speculative:  r.Counter(MetricDistSpeculative, "speculative re-dispatches of straggling ranges"),
+		Committed:    r.Counter(MetricDistCommitted, "ranges committed durably for the first time"),
+		Duplicates:   r.Counter(MetricDistDuplicates, "byte-identical duplicate commits deduped"),
+		Heartbeats:   r.Counter(MetricDistHeartbeats, "lease renewals received"),
+		Failures:     r.Counter(MetricDistFailures, "worker failure reports for a range"),
+		Violations:   r.Counter(MetricDistViolations, "duplicate commits whose bytes differed"),
+	}
+}
+
+// OnGrant records a lease grant.
+func (m *DistMetrics) OnGrant(speculative bool) {
+	if m == nil {
+		return
+	}
+	m.Granted.Inc()
+	if speculative {
+		m.Speculative.Inc()
+	}
+}
+
+// OnExpire records n leases lapsing.
+func (m *DistMetrics) OnExpire(n int) {
+	if m == nil {
+		return
+	}
+	m.Expired.Add(uint64(n))
+}
+
+// OnHeartbeat records one lease renewal.
+func (m *DistMetrics) OnHeartbeat() {
+	if m == nil {
+		return
+	}
+	m.Heartbeats.Inc()
+}
+
+// OnCommit records a range commit; duplicate marks a byte-identical replay.
+func (m *DistMetrics) OnCommit(duplicate bool) {
+	if m == nil {
+		return
+	}
+	if duplicate {
+		m.Duplicates.Inc()
+	} else {
+		m.Committed.Inc()
+	}
+}
+
+// OnRangeFailure records a worker failure report.
+func (m *DistMetrics) OnRangeFailure() {
+	if m == nil {
+		return
+	}
+	m.Failures.Inc()
+}
+
+// OnViolation records a duplicate commit whose bytes differed.
+func (m *DistMetrics) OnViolation() {
+	if m == nil {
+		return
+	}
+	m.Violations.Inc()
+}
+
+// SetRanges publishes the plan's range total and committed count.
+func (m *DistMetrics) SetRanges(total, done int) {
+	if m == nil {
+		return
+	}
+	m.Ranges.Set(int64(total))
+	m.RangesDone.Set(int64(done))
+}
+
+// SetLeasesActive publishes the live lease count.
+func (m *DistMetrics) SetLeasesActive(n int) {
+	if m == nil {
+		return
+	}
+	m.LeasesActive.Set(int64(n))
 }
 
 // SearchMetrics is the instrument set the HEF pruning search bumps. With
